@@ -1,0 +1,37 @@
+//! One Criterion benchmark per paper table/figure: each runs the
+//! corresponding experiment end-to-end at quick (scaled-down) scale, so
+//! the whole evaluation pipeline is exercised and timed. The paper-scale
+//! numbers themselves come from `cargo run --release -p least-tlb --bin
+//! figures` (recorded in EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use least_tlb::experiments::{run_by_name, ExpOptions, ALL_EXPERIMENTS};
+
+fn bench_opts() -> ExpOptions {
+    let mut o = ExpOptions::quick();
+    o.budget_single = 50_000;
+    o.budget_multi = 50_000;
+    o
+}
+
+fn figures(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for name in ALL_EXPERIMENTS {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let table = run_by_name(name, &opts).expect("known experiment");
+                assert!(!table.is_empty());
+                table
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

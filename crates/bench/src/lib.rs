@@ -1,0 +1,10 @@
+//! Benchmark harness crate. The Criterion benches live in `benches/`:
+//!
+//! * `figures` — one benchmark per paper table/figure, each running the
+//!   corresponding experiment at quick (scaled-down) scale;
+//! * `micro` — microbenchmarks of the hot structures (TLB, cuckoo filter,
+//!   reuse tracker, event queue, page table, workload generator).
+//!
+//! The paper-scale experiment runs are produced by the `figures` binary of
+//! the `least-tlb` crate, not by Criterion (they take seconds to minutes
+//! per run and are not statistical microbenchmarks).

@@ -1,0 +1,61 @@
+//! Regenerates the paper's tables and figures as text tables.
+//!
+//! ```text
+//! figures [--quick] [--budget N] [fig14 fig16 ... | all]
+//! ```
+//!
+//! With no experiment arguments, runs everything in DESIGN.md order.
+
+use std::time::Instant;
+
+use least_tlb::experiments::{run_by_name, ExpOptions, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut opts = ExpOptions::paper();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                opts = ExpOptions::quick();
+            }
+            "--budget" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--budget takes an instruction count");
+                opts.budget_single = n;
+                opts.budget_multi = n;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes a number");
+            }
+            "all" => wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    let total = Instant::now();
+    for name in &wanted {
+        let t0 = Instant::now();
+        match run_by_name(name, &opts) {
+            Ok(table) => {
+                println!("==== {name} ({:.1}s) ====", t0.elapsed().as_secs_f64());
+                println!("{table}");
+            }
+            Err(unknown) => {
+                eprintln!(
+                    "unknown experiment '{unknown}'; available: {}",
+                    ALL_EXPERIMENTS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("total: {:.1}s", total.elapsed().as_secs_f64());
+}

@@ -1,0 +1,172 @@
+//! General-purpose simulation driver.
+//!
+//! ```text
+//! simulate [--workload ST|W4|...] [--policy baseline|least|least-spill|
+//!           infinite|probing|exclusive] [--gpus N] [--budget N] [--seed N]
+//!           [--quick] [--page-size 4k|2m] [--json]
+//!           [--record-trace FILE] [--replay-trace FILE]
+//! ```
+//!
+//! Prints a human-readable summary, or the full [`RunResult`] as JSON with
+//! `--json`. `--record-trace` dumps the L2-level request stream for later
+//! `--replay-trace` runs (trace-driven policy comparison).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use least_tlb::trace::TranslationTrace;
+use least_tlb::{Policy, RunResult, System, SystemConfig, WorkloadSpec};
+use mgpu_types::PageSize;
+use workloads::{mix_workloads, multi_app_workloads, scaling_workloads, AppKind};
+
+struct Args {
+    workload: String,
+    policy: String,
+    gpus: usize,
+    budget: u64,
+    seed: u64,
+    quick: bool,
+    page_size: PageSize,
+    json: bool,
+    record_trace: Option<String>,
+    replay_trace: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        workload: "ST".into(),
+        policy: "least".into(),
+        gpus: 4,
+        budget: 4_000_000,
+        seed: 0x1ea5_71b5,
+        quick: false,
+        page_size: PageSize::Size4K,
+        json: false,
+        record_trace: None,
+        replay_trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} takes a value"));
+        match flag.as_str() {
+            "--workload" => a.workload = val(),
+            "--policy" => a.policy = val(),
+            "--gpus" => a.gpus = val().parse().expect("--gpus N"),
+            "--budget" => a.budget = val().parse().expect("--budget N"),
+            "--seed" => a.seed = val().parse().expect("--seed N"),
+            "--quick" => a.quick = true,
+            "--page-size" => {
+                a.page_size = match val().to_ascii_lowercase().as_str() {
+                    "4k" => PageSize::Size4K,
+                    "2m" => PageSize::Size2M,
+                    other => panic!("unknown page size '{other}' (4k|2m)"),
+                }
+            }
+            "--json" => a.json = true,
+            "--record-trace" => a.record_trace = Some(val()),
+            "--replay-trace" => a.replay_trace = Some(val()),
+            other => panic!("unknown flag '{other}'"),
+        }
+    }
+    a
+}
+
+fn resolve_policy(name: &str) -> Policy {
+    match name {
+        "baseline" => Policy::baseline(),
+        "least" => Policy::least_tlb(),
+        "least-spill" => Policy::least_tlb_spilling(),
+        "infinite" => Policy::infinite_iommu(),
+        "probing" => Policy::probing_ring(),
+        "exclusive" => Policy::exclusive(),
+        other => panic!("unknown policy '{other}'"),
+    }
+}
+
+fn resolve_workload(name: &str, gpus: usize) -> WorkloadSpec {
+    if let Some(kind) = AppKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+    {
+        return WorkloadSpec::single_app(kind, gpus);
+    }
+    multi_app_workloads()
+        .iter()
+        .chain(scaling_workloads(8).iter())
+        .chain(scaling_workloads(16).iter())
+        .chain(mix_workloads().iter())
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+        .map(WorkloadSpec::from_mix)
+        .unwrap_or_else(|| panic!("unknown workload '{name}' (app name or W1..W19)"))
+}
+
+fn summarize(r: &RunResult) {
+    println!("workload {:>6}: {} cycles, {} events", r.workload, r.end_cycle, r.events);
+    println!(
+        "  IOMMU: {} requests, hit {:.1}%, remote {:.1}%, {} walks ({} wasted, {} cancelled), {} spills",
+        r.iommu.requests,
+        r.iommu_hit_rate() * 100.0,
+        r.remote_hit_rate() * 100.0,
+        r.iommu.walks,
+        r.iommu.wasted_walks,
+        r.iommu.cancelled_walks,
+        r.iommu.spills,
+    );
+    for a in &r.apps {
+        let s = &a.stats;
+        println!(
+            "  {:>4} on {:?}: ipc={:.2} mpki={:.3} l1={:.1}% l2={:.1}% iommu={:.1}%",
+            a.kind.name(),
+            a.gpus.iter().map(|g| g.0).collect::<Vec<_>>(),
+            s.ipc(),
+            s.mpki(),
+            s.l1_hit_rate() * 100.0,
+            s.l2_hit_rate() * 100.0,
+            s.iommu_hit_rate() * 100.0,
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = if args.quick {
+        SystemConfig::scaled_down(args.gpus)
+    } else {
+        SystemConfig::paper(args.gpus)
+    };
+    cfg.policy = resolve_policy(&args.policy);
+    cfg.instructions_per_gpu = args.budget;
+    cfg.seed = args.seed;
+    cfg.page_size = args.page_size;
+    cfg.record_trace = args.record_trace.is_some();
+
+    let mut result = if let Some(path) = &args.replay_trace {
+        let file = File::open(path).expect("trace file opens");
+        let trace = TranslationTrace::read_from(BufReader::new(file)).expect("trace parses");
+        eprintln!(
+            "replaying {} recorded requests from {path} under policy '{}'",
+            trace.len(),
+            args.policy
+        );
+        trace.replay(&cfg).expect("trace workload fits the system")
+    } else {
+        let spec = resolve_workload(&args.workload, args.gpus);
+        System::new(&cfg, &spec)
+            .expect("workload fits the system")
+            .run()
+    };
+
+    if let Some(path) = &args.record_trace {
+        let trace = result.trace.take().expect("trace was recorded");
+        let file = File::create(path).expect("trace file creates");
+        trace.write_to(BufWriter::new(file)).expect("trace writes");
+        eprintln!("recorded {} requests to {path}", trace.len());
+    }
+
+    if args.json {
+        result.trace = None;
+        println!("{}", serde_json::to_string_pretty(&result).expect("serializable"));
+    } else {
+        summarize(&result);
+    }
+}

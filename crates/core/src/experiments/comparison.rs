@@ -1,0 +1,343 @@
+//! State-of-the-art comparison and combination studies (paper §5.5–§5.6,
+//! §4.3) plus the DESIGN.md ablations.
+
+use filters::TrackerBackend;
+use iommu::WalkerMode;
+use workloads::{multi_app_workloads, single_app_kinds, AppKind};
+
+use super::{geomean, run, run_single, ExpOptions};
+use crate::{Policy, Table, WorkloadSpec};
+
+/// **Fig. 25**: least-TLB versus a Valkyrie-style TLB-probing ring
+/// extended across GPUs (paper: least-TLB wins by 15.7% single / 13.1%
+/// multi — ring probing serializes long inter-GPU hops before the IOMMU).
+pub fn fig25_vs_probing(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "probing-speedup".into(),
+        "least-tlb-speedup".into(),
+        "least/probing".into(),
+    ]);
+    let mut ratios = Vec::new();
+    for kind in single_app_kinds() {
+        let base = run_single(opts, kind, Policy::baseline());
+        let probing = run_single(opts, kind, Policy::probing_ring());
+        let least = run_single(opts, kind, Policy::least_tlb());
+        let (ps, ls) = (probing.speedup_vs(&base), least.speedup_vs(&base));
+        ratios.push(ls / ps.max(1e-12));
+        t.row(vec![
+            format!("single:{}", kind.name()),
+            Table::f(ps),
+            Table::f(ls),
+            Table::f(ls / ps.max(1e-12)),
+        ]);
+    }
+    let mixes = multi_app_workloads();
+    for name in ["W4", "W7", "W8"] {
+        let mix = mixes.iter().find(|m| m.name == name).expect("mix exists");
+        let spec = WorkloadSpec::from_mix(mix);
+        let base = run(&opts.config_multi(4), &spec);
+        let mut pcfg = opts.config_multi(4);
+        pcfg.policy = Policy::probing_ring();
+        let probing = run(&pcfg, &spec);
+        let mut lcfg = opts.config_multi(4);
+        lcfg.policy = Policy::least_tlb_spilling();
+        let least = run(&lcfg, &spec);
+        let (ps, ls) = (probing.speedup_vs(&base), least.speedup_vs(&base));
+        ratios.push(ls / ps.max(1e-12));
+        t.row(vec![
+            format!("multi:{name}"),
+            Table::f(ps),
+            Table::f(ls),
+            Table::f(ls / ps.max(1e-12)),
+        ]);
+    }
+    t.row(vec![
+        "GEOMEAN".into(),
+        String::new(),
+        String::new(),
+        Table::f(geomean(ratios.into_iter())),
+    ]);
+    t
+}
+
+/// **Fig. 26**: least-TLB combined with DWS-style page-walk stealing
+/// (paper: +6.1% over least-TLB alone in multi-application execution).
+/// DWS fair-queues the walkers across tenants, trading a little heavy-app
+/// throughput for light-app latency, so the metric — as in the paper's
+/// multi-tenancy methodology — is *weighted speedup*, not completion time.
+pub fn fig26_with_dws(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "ws-least".into(),
+        "ws-least+dws".into(),
+        "dws-gain".into(),
+    ]);
+    let mut cache = super::AloneCache::new();
+    let alone_cfg = opts.config_multi(4);
+    let mut gains = Vec::new();
+    for mix in multi_app_workloads() {
+        let spec = WorkloadSpec::from_mix(&mix);
+        let mut lcfg = opts.config_multi(4);
+        lcfg.policy = Policy::least_tlb_spilling();
+        let least = run(&lcfg, &spec);
+        let mut dcfg = opts.config_multi(4);
+        dcfg.policy = Policy::least_tlb_spilling();
+        dcfg.iommu.walker_mode = WalkerMode::Dws;
+        let dws = run(&dcfg, &spec);
+        let ws_l = super::weighted_speedup(&least, &alone_cfg, &mut cache);
+        let ws_d = super::weighted_speedup(&dws, &alone_cfg, &mut cache);
+        let gain = ws_d / ws_l.max(1e-12);
+        gains.push(gain);
+        t.row(vec![
+            mix.name.into(),
+            Table::f(ws_l),
+            Table::f(ws_d),
+            Table::f(gain),
+        ]);
+    }
+    t.row(vec![
+        "GEOMEAN".into(),
+        String::new(),
+        String::new(),
+        Table::f(geomean(gains.into_iter())),
+    ]);
+    t
+}
+
+/// **§4.3**: hardware overhead accounting of the least-TLB structures.
+/// The paper reports a 1.08 KB cuckoo filter (2048 x ~4-bit entries),
+/// 32 bits of eviction counters, and 0.19% area versus the IOMMU TLB.
+pub fn hw_overhead(_opts: &ExpOptions) -> Table {
+    // Static accounting — always uses the paper-scale geometry.
+    let cfg = crate::SystemConfig::paper(4);
+    let mut t = Table::new(vec!["structure".into(), "bits".into(), "KiB".into()]);
+    let paper_filter = filters::LocalTlbTracker::new(4, TrackerBackend::paper_default(4));
+    let our_filter = filters::LocalTlbTracker::new(
+        4,
+        TrackerBackend::Cuckoo {
+            entries_per_gpu: 1024,
+            fingerprint_bits: 8,
+        },
+    );
+    let counters = cfg.gpus as u64 * 8;
+    // IOMMU TLB entry ~ tag(24b) + frame(28b) + metadata(4b) = 56 bits.
+    let iommu_bits = cfg.iommu.tlb.entries as u64 * 56;
+    for (name, bits) in [
+        ("paper cuckoo filter (2048 x 4b)", paper_filter.storage_bits()),
+        ("our cuckoo filter (4096 x 8b)", our_filter.storage_bits()),
+        ("eviction counters", counters),
+        ("spill bits (1b per L2 entry x 4 GPUs)", 4 * cfg.gpu.l2_tlb.entries as u64),
+        ("IOMMU TLB (reference)", iommu_bits),
+    ] {
+        t.row(vec![
+            name.into(),
+            bits.to_string(),
+            format!("{:.3}", bits as f64 / 8.0 / 1024.0),
+        ]);
+    }
+    // Bit-count ratio; the paper's 0.19% figure is a CACTI *area* ratio,
+    // which amortizes the filter against the IOMMU TLB's CAM/periphery
+    // area rather than raw storage bits.
+    let overhead = (paper_filter.storage_bits() + counters) as f64 / iommu_bits as f64;
+    t.row(vec![
+        "paper-config overhead vs IOMMU TLB bits".into(),
+        String::new(),
+        Table::pct(overhead),
+    ]);
+    t
+}
+
+/// **Ablation**: Local TLB Tracker backends — the paper's 2048-entry
+/// 4-bit cuckoo filter, our 2x-sized 8-bit filter, a counting Bloom
+/// filter, and an exact (idealized) tracker — on the sharing-heavy ST
+/// workload.
+pub fn ablation_tracker(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "tracker".into(),
+        "speedup".into(),
+        "probe-hit-rate".into(),
+        "dropped-inserts".into(),
+    ]);
+    let spec = WorkloadSpec::single_app(AppKind::St, 4);
+    let base = run(&opts.config(4), &spec);
+    let backends: [(&str, TrackerBackend); 4] = [
+        ("paper cuckoo (512x4b/GPU)", TrackerBackend::paper_default(4)),
+        (
+            "sized cuckoo (1024x8b/GPU)",
+            TrackerBackend::Cuckoo {
+                entries_per_gpu: 1024,
+                fingerprint_bits: 8,
+            },
+        ),
+        (
+            "counting bloom (2048x3h/GPU)",
+            TrackerBackend::Bloom {
+                counters_per_gpu: 2048,
+                hashes: 3,
+            },
+        ),
+        ("exact (idealized)", TrackerBackend::Exact),
+    ];
+    for (name, backend) in backends {
+        let mut cfg = opts.config(4);
+        cfg.policy = Policy::least_tlb();
+        cfg.policy.tracker = Some(backend);
+        let r = run(&cfg, &spec);
+        let tr = r.tracker.expect("tracker policy records stats");
+        let probe_rate = if r.iommu.probes == 0 {
+            0.0
+        } else {
+            r.iommu.probe_hits as f64 / r.iommu.probes as f64
+        };
+        t.row(vec![
+            name.into(),
+            Table::f(r.speedup_vs(&base)),
+            Table::pct(probe_rate),
+            tr.dropped_inserts.to_string(),
+        ]);
+    }
+    t
+}
+
+/// **Ablation**: blocking vs non-blocking L1 TLBs. MGPUSim's blocking L1
+/// TLB is what makes translation latency visible to GPU performance; with
+/// hit-under-miss L1s, wavefront parallelism hides most of it and the
+/// whole problem (and least-TLB's benefit) shrinks.
+pub fn ablation_blocking_l1(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "l1-model".into(),
+        "baseline-cycles".into(),
+        "infinite-speedup".into(),
+        "least-tlb-speedup".into(),
+    ]);
+    for blocking in [true, false] {
+        let mk = |policy: Policy| {
+            let mut cfg = opts.config(4);
+            cfg.gpu.blocking_l1 = blocking;
+            cfg.policy = policy;
+            run(&cfg, &WorkloadSpec::single_app(AppKind::St, 4))
+        };
+        let base = mk(Policy::baseline());
+        let inf = mk(Policy::infinite_iommu());
+        let least = mk(Policy::least_tlb());
+        t.row(vec![
+            if blocking { "blocking (MGPUSim-like)" } else { "hit-under-miss" }.into(),
+            base.end_cycle.to_string(),
+            Table::f(inf.speedup_vs(&base)),
+            Table::f(least.speedup_vs(&base)),
+        ]);
+    }
+    t
+}
+
+/// **Ablation**: spill-receiver selection (§4.2 "where to spill") — the
+/// paper's eviction-counter minimum versus round-robin and a fixed
+/// receiver, on the mixed-intensity W4.
+pub fn ablation_receiver(opts: &ExpOptions) -> Table {
+    use crate::ReceiverPolicy;
+    let mut t = Table::new(vec![
+        "receiver-policy".into(),
+        "speedup".into(),
+        "spills".into(),
+        "remote-hit-rate".into(),
+    ]);
+    let mixes = multi_app_workloads();
+    let w4 = WorkloadSpec::from_mix(&mixes[3]);
+    let base = run(&opts.config_multi(4), &w4);
+    for (name, rp) in [
+        ("min-eviction-counter (paper)", ReceiverPolicy::MinEvictionCounter),
+        ("round-robin", ReceiverPolicy::RoundRobin),
+        ("fixed (GPU0)", ReceiverPolicy::Fixed),
+    ] {
+        let mut cfg = opts.config_multi(4);
+        cfg.policy = Policy::least_tlb_spilling();
+        cfg.policy.spill_receiver = rp;
+        let r = run(&cfg, &w4);
+        t.row(vec![
+            name.into(),
+            Table::f(r.speedup_vs(&base)),
+            r.iommu.spills.to_string(),
+            Table::pct(r.remote_hit_rate()),
+        ]);
+    }
+    t
+}
+
+/// **Fig. 11**: IOMMU TLB composition over time for W4 and W6 — how many
+/// resident entries originated from each GPU (the signal the eviction
+/// counters expose to the spill-receiver choice).
+pub fn fig11_iommu_contents(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "snapshots".into(),
+        "avg-from-gpu0".into(),
+        "avg-from-gpu1".into(),
+        "avg-from-gpu2".into(),
+        "avg-from-gpu3".into(),
+    ]);
+    let mixes = multi_app_workloads();
+    for name in ["W4", "W6"] {
+        let mix = mixes.iter().find(|m| m.name == name).expect("mix exists");
+        let mut cfg = opts.config_multi(4);
+        cfg.snapshot_interval = Some(20_000);
+        let r = run(&cfg, &WorkloadSpec::from_mix(mix));
+        let n = r.snapshots.len().max(1) as f64;
+        let mut avg = [0.0f64; 4];
+        for s in &r.snapshots {
+            for (g, &c) in s.iommu_per_origin.iter().enumerate() {
+                avg[g] += c as f64 / n;
+            }
+        }
+        let mut row = vec![
+            format!("{} ({})", mix.name, mix.category),
+            r.snapshots.len().to_string(),
+        ];
+        row.extend(avg.iter().map(|a| format!("{a:.0}")));
+        t.row(row);
+    }
+    t
+}
+
+/// **Extension (paper §4.4)**: device-aware IOMMU TLB quotas. The paper
+/// sketches device-ID-aware fairness policies as future work; this
+/// implements the simplest one — a per-GPU occupancy quota on the shared
+/// IOMMU TLB — and measures how it protects the light tenants of an LLHH
+/// mix from the heavy ones.
+pub fn ext_qos_quota(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "quota".into(),
+        "ws-proxy (sum of app IPC ratios vs no-quota)".into(),
+        "light-app-iommu-hit".into(),
+        "heavy-app-iommu-hit".into(),
+    ]);
+    let mixes = multi_app_workloads();
+    let w6 = WorkloadSpec::from_mix(mixes.iter().find(|m| m.name == "W6").unwrap());
+    let run_q = |quota: Option<u64>| {
+        let mut cfg = opts.config_multi(4);
+        cfg.policy = Policy::least_tlb_spilling();
+        cfg.policy.iommu_quota = quota;
+        run(&cfg, &w6)
+    };
+    let entries = opts.config_multi(4).iommu.tlb.entries as u64;
+    let base = run_q(None);
+    for quota in [None, Some(entries / 2), Some(entries / 4)] {
+        let r = run_q(quota);
+        let ws_proxy: f64 = r
+            .apps
+            .iter()
+            .zip(&base.apps)
+            .map(|(a, b)| a.stats.ipc() / b.stats.ipc().max(1e-12))
+            .sum();
+        // W6 = FIR, AES (light), MT, ST (heavy).
+        let light = (r.apps[0].stats.iommu_hit_rate() + r.apps[1].stats.iommu_hit_rate()) / 2.0;
+        let heavy = (r.apps[2].stats.iommu_hit_rate() + r.apps[3].stats.iommu_hit_rate()) / 2.0;
+        t.row(vec![
+            quota.map_or("none".into(), |q| q.to_string()),
+            Table::f(ws_proxy),
+            Table::pct(light),
+            Table::pct(heavy),
+        ]);
+    }
+    t
+}

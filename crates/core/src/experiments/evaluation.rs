@@ -1,0 +1,180 @@
+//! Headline evaluation experiments (paper §5.1–§5.2): Figs. 14–18.
+
+use workloads::{multi_app_workloads, single_app_kinds};
+
+use super::{geomean, run, run_single, weighted_speedup, AloneCache, ExpOptions};
+use crate::{Policy, Table, WorkloadSpec};
+
+/// **Fig. 14**: least-TLB and infinite-IOMMU speedups over the baseline,
+/// single-application execution (paper: least-TLB averages 1.24x and is
+/// comparable to infinite except for MT).
+pub fn fig14_leasttlb_single(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "app".into(),
+        "least-tlb".into(),
+        "infinite".into(),
+    ]);
+    let mut least_all = Vec::new();
+    let mut inf_all = Vec::new();
+    for kind in single_app_kinds() {
+        let base = run_single(opts, kind, Policy::baseline());
+        let least = run_single(opts, kind, Policy::least_tlb());
+        let inf = run_single(opts, kind, Policy::infinite_iommu());
+        let (ls, is) = (least.speedup_vs(&base), inf.speedup_vs(&base));
+        least_all.push(ls);
+        inf_all.push(is);
+        t.row(vec![kind.name().into(), Table::f(ls), Table::f(is)]);
+    }
+    t.row(vec![
+        "GEOMEAN".into(),
+        Table::f(geomean(least_all.into_iter())),
+        Table::f(geomean(inf_all.into_iter())),
+    ]);
+    t
+}
+
+/// **Fig. 15**: IOMMU TLB hit rate (baseline vs least-TLB) and remote L2
+/// hit rate, single-application execution (paper: +12.9% IOMMU hit, 4.7%
+/// remote on average).
+pub fn fig15_hit_rates_single(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "app".into(),
+        "base-iommu".into(),
+        "least-iommu".into(),
+        "least-remote".into(),
+        "combined-delta".into(),
+    ]);
+    let mut deltas = Vec::new();
+    let mut remotes = Vec::new();
+    for kind in single_app_kinds() {
+        let base = run_single(opts, kind, Policy::baseline());
+        let least = run_single(opts, kind, Policy::least_tlb());
+        let (b, l, r) = (
+            base.apps[0].stats.iommu_hit_rate(),
+            least.apps[0].stats.iommu_hit_rate(),
+            least.apps[0].stats.remote_hit_rate(),
+        );
+        deltas.push(l + r - b);
+        remotes.push(r);
+        t.row(vec![
+            kind.name().into(),
+            Table::pct(b),
+            Table::pct(l),
+            Table::pct(r),
+            Table::pct(l + r - b),
+        ]);
+    }
+    let n = deltas.len().max(1) as f64;
+    t.row(vec![
+        "AVG".into(),
+        String::new(),
+        String::new(),
+        Table::pct(remotes.iter().sum::<f64>() / n),
+        Table::pct(deltas.iter().sum::<f64>() / n),
+    ]);
+    t
+}
+
+/// **Fig. 16**: least-TLB (with spilling) weighted-speedup improvement per
+/// multi-application workload (paper: up to 59.1%, average 16.3%).
+pub fn fig16_leasttlb_multi(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "per-app-improvements".into(),
+        "ws-base".into(),
+        "ws-least".into(),
+        "improvement".into(),
+    ]);
+    let mut cache = AloneCache::new();
+    let alone_cfg = opts.config_multi(4);
+    let mut ratios = Vec::new();
+    for mix in multi_app_workloads() {
+        let spec = WorkloadSpec::from_mix(&mix);
+        let base = run(&opts.config_multi(4), &spec);
+        let mut cfg = opts.config_multi(4);
+        cfg.policy = Policy::least_tlb_spilling();
+        let least = run(&cfg, &spec);
+        let per_app: Vec<String> = least
+            .apps
+            .iter()
+            .zip(&base.apps)
+            .map(|(l, b)| {
+                let ratio = if b.stats.ipc() == 0.0 {
+                    0.0
+                } else {
+                    l.stats.ipc() / b.stats.ipc()
+                };
+                format!("{}={}", l.kind.name(), Table::f(ratio))
+            })
+            .collect();
+        let ws_base = weighted_speedup(&base, &alone_cfg, &mut cache);
+        let ws_least = weighted_speedup(&least, &alone_cfg, &mut cache);
+        let imp = if ws_base == 0.0 { 0.0 } else { ws_least / ws_base };
+        ratios.push(imp);
+        t.row(vec![
+            format!("{} ({})", mix.name, mix.category),
+            per_app.join(" "),
+            Table::f(ws_base),
+            Table::f(ws_least),
+            Table::f(imp),
+        ]);
+    }
+    t.row(vec![
+        "GEOMEAN".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        Table::f(geomean(ratios.into_iter())),
+    ]);
+    t
+}
+
+/// **Fig. 17**: IOMMU TLB hit rate and remote hit rate per workload,
+/// multi-application execution (paper: +7.8% IOMMU, 10% remote average).
+pub fn fig17_hit_rates_multi(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "base-iommu".into(),
+        "least-iommu".into(),
+        "least-remote".into(),
+    ]);
+    for mix in multi_app_workloads() {
+        let spec = WorkloadSpec::from_mix(&mix);
+        let base = run(&opts.config_multi(4), &spec);
+        let mut cfg = opts.config_multi(4);
+        cfg.policy = Policy::least_tlb_spilling();
+        let least = run(&cfg, &spec);
+        t.row(vec![
+            mix.name.into(),
+            Table::pct(base.iommu_hit_rate()),
+            Table::pct(least.iommu_hit_rate()),
+            Table::pct(least.remote_hit_rate()),
+        ]);
+    }
+    t
+}
+
+/// **Fig. 18**: L2 TLB hit rate per workload under spilling (paper: −3%
+/// on average, most visible in W10).
+pub fn fig18_l2_hit_multi(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "base-l2".into(),
+        "least-l2".into(),
+        "delta".into(),
+    ]);
+    for mix in multi_app_workloads() {
+        let spec = WorkloadSpec::from_mix(&mix);
+        let base = run(&opts.config_multi(4), &spec);
+        let mut cfg = opts.config_multi(4);
+        cfg.policy = Policy::least_tlb_spilling();
+        let least = run(&cfg, &spec);
+        t.row(vec![
+            mix.name.into(),
+            Table::pct(base.l2_hit_rate()),
+            Table::pct(least.l2_hit_rate()),
+            Table::pct(least.l2_hit_rate() - base.l2_hit_rate()),
+        ]);
+    }
+    t
+}

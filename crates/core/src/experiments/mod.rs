@@ -1,0 +1,252 @@
+//! Experiment harness: one runner per table/figure of the paper's
+//! evaluation (see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results).
+//!
+//! Every runner returns a [`Table`] whose rows mirror what the paper
+//! plots. Runners are pure functions of [`ExpOptions`], so the same code
+//! drives the `figures` binary, the Criterion benches (at `quick()` scale)
+//! and the integration tests.
+
+mod characterization;
+mod comparison;
+mod evaluation;
+mod sensitivity;
+
+pub use characterization::{
+    fig2_baseline_hit_rates, fig3_infinite_iommu, fig4_page_sharing, fig5_reuse_cdf_single,
+    fig6_redundancy, fig7_multiapp_baseline, fig8_reuse_cdf_multi, table3_mpki,
+};
+pub use comparison::{
+    ablation_blocking_l1, ablation_receiver, ablation_tracker, ext_qos_quota,
+    fig11_iommu_contents, fig25_vs_probing, fig26_with_dws, hw_overhead,
+};
+pub use evaluation::{
+    fig14_leasttlb_single, fig15_hit_rates_single, fig16_leasttlb_multi, fig17_hit_rates_multi,
+    fig18_l2_hit_multi,
+};
+pub use sensitivity::{
+    fig19_spill_counter, fig20_remote_latency, fig21_gpu_scaling, fig22_mix_workload,
+    fig23_local_page_tables, fig24_large_pages, sens_iommu_size,
+};
+
+use std::collections::HashMap;
+
+use workloads::AppKind;
+
+use crate::{Policy, RunResult, System, SystemConfig, Table, WorkloadSpec};
+
+/// Scale/budget options shared by all experiment runners.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Use the scaled-down system (fast tests/benches) instead of the
+    /// paper-scale system.
+    pub quick: bool,
+    /// Per-GPU instruction budget for single-application runs.
+    pub budget_single: u64,
+    /// Per-GPU instruction budget for multi-application runs.
+    pub budget_multi: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExpOptions {
+    /// Paper-scale experiments (minutes of wall time for the full suite).
+    #[must_use]
+    pub fn paper() -> Self {
+        ExpOptions {
+            quick: false,
+            budget_single: 8_000_000,
+            budget_multi: 8_000_000,
+            seed: 0x1ea5_71b5,
+        }
+    }
+
+    /// Scaled-down experiments (seconds; used by tests and benches).
+    #[must_use]
+    pub fn quick() -> Self {
+        ExpOptions {
+            quick: true,
+            budget_single: 400_000,
+            budget_multi: 400_000,
+            seed: 0x1ea5_71b5,
+        }
+    }
+
+    pub(crate) fn config(&self, gpus: usize) -> SystemConfig {
+        let mut cfg = if self.quick {
+            SystemConfig::scaled_down(gpus)
+        } else {
+            SystemConfig::paper(gpus)
+        };
+        cfg.instructions_per_gpu = self.budget_single;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    pub(crate) fn config_multi(&self, gpus: usize) -> SystemConfig {
+        let mut cfg = self.config(gpus);
+        cfg.instructions_per_gpu = self.budget_multi;
+        cfg
+    }
+}
+
+/// Runs one simulation.
+pub(crate) fn run(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunResult {
+    System::new(cfg, spec)
+        .expect("experiment configuration is valid")
+        .run()
+}
+
+/// Runs a single-application workload across all GPUs under `policy`.
+pub(crate) fn run_single(opts: &ExpOptions, kind: AppKind, policy: Policy) -> RunResult {
+    let mut cfg = opts.config(4);
+    cfg.policy = policy;
+    run(&cfg, &WorkloadSpec::single_app(kind, 4))
+}
+
+/// Cache of "app running alone on one GPU" results for weighted-speedup
+/// baselines (one per app kind and policy/system fingerprint).
+#[derive(Default)]
+pub(crate) struct AloneCache {
+    runs: HashMap<(AppKind, String), RunResult>,
+}
+
+impl AloneCache {
+    pub(crate) fn new() -> Self {
+        AloneCache::default()
+    }
+
+    /// The alone-run for `kind` on GPU 0 under `cfg` (cached).
+    pub(crate) fn get(&mut self, cfg: &SystemConfig, kind: AppKind) -> &RunResult {
+        let fingerprint = format!("{:?}|{}|{}", cfg.policy, cfg.gpus, cfg.instructions_per_gpu);
+        self.runs
+            .entry((kind, fingerprint))
+            .or_insert_with(|| run(cfg, &WorkloadSpec::alone_on(kind, 0)))
+    }
+}
+
+/// Weighted speedup of a mix run against per-app alone runs computed under
+/// `alone_cfg` (paper §3.1.2). Both the baseline mix and the least-TLB mix
+/// are normalized against the same (baseline-policy) solo executions, as
+/// in Figs. 7/16.
+pub(crate) fn weighted_speedup(
+    mix: &RunResult,
+    alone_cfg: &SystemConfig,
+    cache: &mut AloneCache,
+) -> f64 {
+    mix.apps
+        .iter()
+        .map(|a| {
+            let alone = cache.get(alone_cfg, a.kind);
+            let alone_ipc = alone.apps[0].stats.ipc();
+            if alone_ipc == 0.0 {
+                0.0
+            } else {
+                a.stats.ipc() / alone_ipc
+            }
+        })
+        .sum()
+}
+
+/// All experiment names accepted by [`run_by_name`], in DESIGN.md order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig11",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "iommu-size",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "fig25",
+    "fig26",
+    "hw-overhead",
+    "ablation-tracker",
+    "ablation-blocking-l1",
+    "ablation-receiver",
+    "ext-qos-quota",
+];
+
+/// Runs the experiment named `name` (see [`ALL_EXPERIMENTS`]).
+///
+/// # Errors
+///
+/// Returns the unknown name back as the error.
+pub fn run_by_name(name: &str, opts: &ExpOptions) -> Result<Table, String> {
+    Ok(match name {
+        "table3" => table3_mpki(opts),
+        "fig2" => fig2_baseline_hit_rates(opts),
+        "fig3" => fig3_infinite_iommu(opts),
+        "fig4" => fig4_page_sharing(opts),
+        "fig5" => fig5_reuse_cdf_single(opts),
+        "fig6" => fig6_redundancy(opts),
+        "fig7" => fig7_multiapp_baseline(opts),
+        "fig8" => fig8_reuse_cdf_multi(opts),
+        "fig11" => fig11_iommu_contents(opts),
+        "fig14" => fig14_leasttlb_single(opts),
+        "fig15" => fig15_hit_rates_single(opts),
+        "fig16" => fig16_leasttlb_multi(opts),
+        "fig17" => fig17_hit_rates_multi(opts),
+        "fig18" => fig18_l2_hit_multi(opts),
+        "fig19" => fig19_spill_counter(opts),
+        "iommu-size" => sens_iommu_size(opts),
+        "fig20" => fig20_remote_latency(opts),
+        "fig21" => fig21_gpu_scaling(opts),
+        "fig22" => fig22_mix_workload(opts),
+        "fig23" => fig23_local_page_tables(opts),
+        "fig24" => fig24_large_pages(opts),
+        "fig25" => fig25_vs_probing(opts),
+        "fig26" => fig26_with_dws(opts),
+        "hw-overhead" => hw_overhead(opts),
+        "ablation-tracker" => ablation_tracker(opts),
+        "ablation-blocking-l1" => ablation_blocking_l1(opts),
+        "ablation-receiver" => ablation_receiver(opts),
+        "ext-qos-quota" => ext_qos_quota(opts),
+        other => return Err(other.to_string()),
+    })
+}
+
+pub(crate) fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0u32), |(s, n), v| (s + v.max(1e-12).ln(), n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        (sum / f64::from(n)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        let err = run_by_name("fig99", &ExpOptions::quick()).map(|_| ()).unwrap_err();
+        assert_eq!(err, "fig99");
+    }
+
+    #[test]
+    fn hw_overhead_resolves_by_name() {
+        let t = run_by_name("hw-overhead", &ExpOptions::quick()).unwrap();
+        assert!(!t.is_empty());
+    }
+}

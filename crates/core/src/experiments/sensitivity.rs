@@ -1,0 +1,306 @@
+//! Sensitivity studies (paper §5.3–§5.4): Figs. 19–24 and the IOMMU-size
+//! study.
+
+use mgpu_types::PageSize;
+use workloads::{
+    mix_workloads, multi_app_workloads, scaling_workloads, AppKind,
+};
+
+use super::{geomean, run, weighted_speedup, AloneCache, ExpOptions};
+use crate::{Policy, SystemConfig, Table, WorkloadSpec};
+
+/// Representative single apps for the heavier sweeps (one per MPKI class).
+const SWEEP_APPS: [AppKind; 3] = [AppKind::Fft, AppKind::Pr, AppKind::St];
+
+/// **Fig. 19**: spill counter N = 1 vs N = 2 (paper: N = 2 is 3.1% worse
+/// due to the ping-pong chain effect).
+pub fn fig19_spill_counter(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "N=1".into(),
+        "N=2".into(),
+        "chain(N=1)".into(),
+        "chain(N=2)".into(),
+    ]);
+    let mut n1_all = Vec::new();
+    let mut n2_all = Vec::new();
+    for mix in multi_app_workloads() {
+        let spec = WorkloadSpec::from_mix(&mix);
+        let base = run(&opts.config_multi(4), &spec);
+        let run_n = |n: u8| {
+            let mut cfg = opts.config_multi(4);
+            cfg.policy = Policy::least_tlb_n(n);
+            run(&cfg, &spec)
+        };
+        let r1 = run_n(1);
+        let r2 = run_n(2);
+        let (s1, s2) = (r1.speedup_vs(&base), r2.speedup_vs(&base));
+        n1_all.push(s1);
+        n2_all.push(s2);
+        t.row(vec![
+            mix.name.into(),
+            Table::f(s1),
+            Table::f(s2),
+            r1.iommu.spill_chain.to_string(),
+            r2.iommu.spill_chain.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "GEOMEAN".into(),
+        Table::f(geomean(n1_all.into_iter())),
+        Table::f(geomean(n2_all.into_iter())),
+    ]);
+    t
+}
+
+/// **§5.3 (text)**: least-TLB with a 2048-entry IOMMU TLB (paper: gains
+/// shrink to 14.7% single / 10.2% multi).
+pub fn sens_iommu_size(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "config".into(),
+        "iommu-entries".into(),
+        "least-tlb-speedup".into(),
+    ]);
+    for half in [false, true] {
+        let shrink = |mut cfg: SystemConfig| {
+            if half {
+                cfg.iommu.tlb.entries /= 2;
+            }
+            cfg
+        };
+        // Single-application average over the sweep apps.
+        let mut single = Vec::new();
+        for kind in SWEEP_APPS {
+            let spec = WorkloadSpec::single_app(kind, 4);
+            let base = run(&shrink(opts.config(4)), &spec);
+            let mut cfg = shrink(opts.config(4));
+            cfg.policy = Policy::least_tlb();
+            single.push(run(&cfg, &spec).speedup_vs(&base));
+        }
+        // Multi-application: W4 as the representative mixed-MPKI workload.
+        let mixes = multi_app_workloads();
+        let w4 = WorkloadSpec::from_mix(&mixes[3]);
+        let base = run(&shrink(opts.config_multi(4)), &w4);
+        let mut cfg = shrink(opts.config_multi(4));
+        cfg.policy = Policy::least_tlb_spilling();
+        let multi = run(&cfg, &w4).speedup_vs(&base);
+        let entries = shrink(opts.config(4)).iommu.tlb.entries;
+        t.row(vec![
+            "single (FFT/PR/ST geomean)".into(),
+            entries.to_string(),
+            Table::f(geomean(single.into_iter())),
+        ]);
+        t.row(vec![
+            "multi (W4)".into(),
+            entries.to_string(),
+            Table::f(multi),
+        ]);
+    }
+    t
+}
+
+/// **Fig. 20**: sweep of the remote-GPU access latency (as a multiple of
+/// the page-walk latency) for baseline, least-TLB (racing) and the
+/// serialized probe-then-walk variant. The crossover where walking beats
+/// remote access is the paper's headline observation.
+pub fn fig20_remote_latency(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "remote-lat/walk-lat".into(),
+        "single:least".into(),
+        "single:serialized".into(),
+        "multi:least".into(),
+        "multi:serialized".into(),
+    ]);
+    let walk = 500u64;
+    let mixes = multi_app_workloads();
+    let w4 = WorkloadSpec::from_mix(&mixes[3]);
+    let st = WorkloadSpec::single_app(AppKind::St, 4);
+    let base_single = run(&opts.config(4), &st);
+    let base_multi = run(&opts.config_multi(4), &w4);
+    for mult in [1, 2, 4, 7, 10] {
+        // One-way link latency such that the remote round trip is
+        // mult/2 x walk latency.
+        let one_way = walk * mult / 4;
+        let go = |spec: &WorkloadSpec, multi: bool, serialize: bool| {
+            let mut cfg = if multi {
+                opts.config_multi(4)
+            } else {
+                opts.config(4)
+            };
+            cfg.inter_gpu_latency = one_way;
+            cfg.policy = if multi {
+                Policy::least_tlb_spilling()
+            } else {
+                Policy::least_tlb()
+            };
+            cfg.policy.serialize_remote = serialize;
+            run(&cfg, spec)
+        };
+        t.row(vec![
+            format!("{:.1}x", mult as f64 / 2.0),
+            Table::f(go(&st, false, false).speedup_vs(&base_single)),
+            Table::f(go(&st, false, true).speedup_vs(&base_single)),
+            Table::f(go(&w4, true, false).speedup_vs(&base_multi)),
+            Table::f(go(&w4, true, true).speedup_vs(&base_multi)),
+        ]);
+    }
+    t
+}
+
+/// **Fig. 21 + Table 5**: least-TLB scaling to 8 and 16 GPUs (paper:
+/// +24.1%/+22.5% single, +20.2%/+14.0% multi).
+pub fn fig21_gpu_scaling(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "config".into(),
+        "workload".into(),
+        "least-tlb-improvement".into(),
+    ]);
+    for gpus in [8usize, 16] {
+        // Single-application (sweep apps; geomean).
+        let mut single = Vec::new();
+        for kind in SWEEP_APPS {
+            let spec = WorkloadSpec::single_app(kind, gpus);
+            let base = run(&opts.config(gpus), &spec);
+            let mut cfg = opts.config(gpus);
+            cfg.policy = Policy::least_tlb();
+            single.push(run(&cfg, &spec).speedup_vs(&base));
+        }
+        t.row(vec![
+            format!("{gpus} GPUs"),
+            "single (geomean)".into(),
+            Table::f(geomean(single.into_iter())),
+        ]);
+        // Multi-application mixes of Table 5.
+        let mut cache = AloneCache::new();
+        let alone_cfg = opts.config_multi(gpus);
+        for mix in scaling_workloads(gpus) {
+            let spec = WorkloadSpec::from_mix(&mix);
+            let base = run(&opts.config_multi(gpus), &spec);
+            let mut cfg = opts.config_multi(gpus);
+            cfg.policy = Policy::least_tlb_spilling();
+            let least = run(&cfg, &spec);
+            let ws_base = weighted_speedup(&base, &alone_cfg, &mut cache);
+            let ws_least = weighted_speedup(&least, &alone_cfg, &mut cache);
+            let imp = if ws_base == 0.0 { 0.0 } else { ws_least / ws_base };
+            t.row(vec![
+                format!("{gpus} GPUs"),
+                format!("{} ({})", mix.name, mix.category),
+                Table::f(imp),
+            ]);
+        }
+    }
+    t
+}
+
+/// **Fig. 22 + Table 6**: two applications per GPU (paper: +9.8% average).
+pub fn fig22_mix_workload(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "ws-base".into(),
+        "ws-least".into(),
+        "improvement".into(),
+    ]);
+    let mut all = Vec::new();
+    for mix in mix_workloads() {
+        let gpus = mix.gpus().max(4);
+        let spec = WorkloadSpec::from_mix(&mix);
+        let base = run(&opts.config_multi(gpus), &spec);
+        let mut cfg = opts.config_multi(gpus);
+        cfg.policy = Policy::least_tlb_spilling();
+        let least = run(&cfg, &spec);
+        // Alone runs: each app alone on one GPU of the same system.
+        let mut cache = AloneCache::new();
+        let alone_cfg = opts.config_multi(gpus);
+        let ws_base = weighted_speedup(&base, &alone_cfg, &mut cache);
+        let ws_least = weighted_speedup(&least, &alone_cfg, &mut cache);
+        let imp = if ws_base == 0.0 { 0.0 } else { ws_least / ws_base };
+        all.push(imp);
+        t.row(vec![
+            format!("{} ({})", mix.name, mix.category),
+            Table::f(ws_base),
+            Table::f(ws_least),
+            Table::f(imp),
+        ]);
+    }
+    t.row(vec![
+        "GEOMEAN".into(),
+        String::new(),
+        String::new(),
+        Table::f(geomean(all.into_iter())),
+    ]);
+    t
+}
+
+/// **Fig. 23**: multi-GPU system with per-GPU local page tables — only
+/// faults reach the IOMMU (paper: least-TLB gains shrink to +2.8% single,
+/// +3.8% multi).
+pub fn fig23_local_page_tables(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec!["workload".into(), "least-tlb-speedup".into()]);
+    let mut single = Vec::new();
+    for kind in SWEEP_APPS {
+        let spec = WorkloadSpec::single_app(kind, 4);
+        let mut base_cfg = opts.config(4);
+        base_cfg.policy.local_page_tables = true;
+        let base = run(&base_cfg, &spec);
+        let mut cfg = opts.config(4);
+        cfg.policy = Policy::least_tlb();
+        cfg.policy.local_page_tables = true;
+        let sp = run(&cfg, &spec).speedup_vs(&base);
+        single.push(sp);
+        t.row(vec![format!("single:{}", kind.name()), Table::f(sp)]);
+    }
+    let mixes = multi_app_workloads();
+    for name in ["W4", "W8"] {
+        let mix = mixes.iter().find(|m| m.name == name).expect("mix exists");
+        let spec = WorkloadSpec::from_mix(mix);
+        let mut base_cfg = opts.config_multi(4);
+        base_cfg.policy.local_page_tables = true;
+        let base = run(&base_cfg, &spec);
+        let mut cfg = opts.config_multi(4);
+        cfg.policy = Policy::least_tlb_spilling();
+        cfg.policy.local_page_tables = true;
+        let sp = run(&cfg, &spec).speedup_vs(&base);
+        t.row(vec![format!("multi:{name}"), Table::f(sp)]);
+    }
+    t.row(vec![
+        "single GEOMEAN".into(),
+        Table::f(geomean(single.into_iter())),
+    ]);
+    t
+}
+
+/// **Fig. 24**: least-TLB with 2 MB pages, normalized to the 2 MB-page
+/// baseline (paper: +0.78% single, +2.3% multi — large pages already
+/// improve reach, so least-TLB adds little).
+pub fn fig24_large_pages(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec!["workload".into(), "least-tlb-speedup".into()]);
+    let big = |mut cfg: SystemConfig| {
+        cfg.page_size = PageSize::Size2M;
+        cfg
+    };
+    let mut single = Vec::new();
+    for kind in SWEEP_APPS {
+        let spec = WorkloadSpec::single_app(kind, 4);
+        let base = run(&big(opts.config(4)), &spec);
+        let mut cfg = big(opts.config(4));
+        cfg.policy = Policy::least_tlb();
+        let sp = run(&cfg, &spec).speedup_vs(&base);
+        single.push(sp);
+        t.row(vec![format!("single:{}", kind.name()), Table::f(sp)]);
+    }
+    let mixes = multi_app_workloads();
+    for name in ["W4", "W8"] {
+        let mix = mixes.iter().find(|m| m.name == name).expect("mix exists");
+        let spec = WorkloadSpec::from_mix(mix);
+        let base = run(&big(opts.config_multi(4)), &spec);
+        let mut cfg = big(opts.config_multi(4));
+        cfg.policy = Policy::least_tlb_spilling();
+        let sp = run(&cfg, &spec).speedup_vs(&base);
+        t.row(vec![format!("multi:{name}"), Table::f(sp)]);
+    }
+    t.row(vec![
+        "single GEOMEAN".into(),
+        Table::f(geomean(single.into_iter())),
+    ]);
+    t
+}

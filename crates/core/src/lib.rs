@@ -1,0 +1,51 @@
+//! **least-TLB**: sharing- and spilling-aware TLB hierarchy for multi-GPU
+//! systems — a full-system reproduction of Li, Yin, Zhang & Tang,
+//! *"Improving Address Translation in Multi-GPUs via Sharing and Spilling
+//! aware TLB Design"*, MICRO 2021.
+//!
+//! The crate assembles the substrate crates (`sim-engine`, `tlb`,
+//! `filters`, `pagetable`, `iommu`, `gcn-model`, `workloads`) into an
+//! event-driven multi-GPU system simulator and implements, as configurable
+//! policies:
+//!
+//! * the **mostly-inclusive baseline** hierarchy (paper §2.2);
+//! * **least-TLB** itself — the least-inclusive hierarchy, cuckoo-filter
+//!   Local TLB Tracker, parallel remote-probe/page-walk racing, and the
+//!   multi-application IOMMU→L2 spilling engine (paper §4);
+//! * comparison points: an infinite IOMMU TLB, an exclusive hierarchy, a
+//!   Valkyrie-style TLB-probing ring (§5.5), DWS-style page-walk stealing
+//!   (§5.6), per-GPU local page tables (§5.3), and 2 MB pages (§5.4).
+//!
+//! The [`experiments`] module regenerates every figure and table of the
+//! paper's evaluation; see `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use least_tlb::{Policy, SystemConfig, System, WorkloadSpec};
+//! use workloads::AppKind;
+//!
+//! // A scaled-down 4-GPU system running PageRank across all GPUs.
+//! let mut cfg = SystemConfig::scaled_down(4);
+//! cfg.policy = Policy::least_tlb();
+//! let spec = WorkloadSpec::single_app(AppKind::Pr, 4);
+//! let result = System::new(&cfg, &spec).unwrap().run();
+//! assert!(result.end_cycle > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiments;
+pub mod metrics;
+mod report;
+mod results;
+mod system;
+pub mod trace;
+
+pub use config::{BuildError, SystemConfig, WorkloadSpec};
+pub use report::Table;
+pub use results::{AppResult, AppRunStats, RunResult, SnapshotRecord};
+pub use system::{Inclusion, Policy, ReceiverPolicy, System};

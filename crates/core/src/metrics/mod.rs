@@ -1,0 +1,8 @@
+//! Measurement machinery: reuse distances, page-sharing analysis, TLB
+//! content snapshots.
+
+mod reuse;
+mod sharing;
+
+pub use reuse::{ReuseHistogram, ReuseTracker};
+pub use sharing::SharingSets;

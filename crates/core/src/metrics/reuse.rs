@@ -1,0 +1,406 @@
+//! Exact reuse-distance (stack-distance) measurement.
+//!
+//! The paper defines reuse distance as "the number of unique translations
+//! between two accesses to the *same translation*" (§3.1.2) and plots its
+//! CDF against the IOMMU TLB capacity (Figs. 5 and 8). We measure it
+//! exactly with the classic trick: keep each key's last-access timestamp in
+//! an order-statistic tree; the reuse distance of an access is the number
+//! of *other* keys whose last access is more recent than this key's
+//! previous access.
+
+use std::collections::HashMap;
+
+use mgpu_types::TranslationKey;
+use serde::{Deserialize, Serialize};
+
+/// Histogram of reuse distances in power-of-two buckets.
+///
+/// Bucket `k` counts distances `d` with `2^k ≤ d+1 < 2^(k+1)` (so bucket 0
+/// is distance 0, bucket 1 is distances 1–2, …). First-ever accesses are
+/// counted separately as `cold`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReuseHistogram {
+    /// Reuse counts per power-of-two bucket.
+    pub buckets: Vec<u64>,
+    /// First accesses (no reuse distance defined).
+    pub cold: u64,
+    /// Total reuses recorded.
+    pub reuses: u64,
+}
+
+impl ReuseHistogram {
+    fn bucket_of(distance: u64) -> usize {
+        (64 - (distance + 1).leading_zeros() - 1) as usize
+    }
+
+    /// Records one reuse at `distance`.
+    pub fn add(&mut self, distance: u64) {
+        let b = Self::bucket_of(distance);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.reuses += 1;
+    }
+
+    /// Fraction of reuses with distance strictly less than `capacity` —
+    /// the fraction a fully-associative LRU TLB of that capacity could
+    /// capture (the paper's Figs. 5/8 read-off).
+    #[must_use]
+    pub fn captured_by(&self, capacity: u64) -> f64 {
+        if self.reuses == 0 {
+            return 0.0;
+        }
+        // Count exactly up to the bucket containing `capacity`, assuming
+        // uniform spread within that bucket (the boundary error is at most
+        // one bucket's width).
+        let mut captured = 0.0;
+        for (k, &count) in self.buckets.iter().enumerate() {
+            let lo = (1u64 << k) - 1; // smallest distance in bucket k
+            let hi = (1u64 << (k + 1)) - 1; // one past the largest
+            if hi <= capacity {
+                captured += count as f64;
+            } else if lo < capacity {
+                let frac = (capacity - lo) as f64 / (hi - lo) as f64;
+                captured += count as f64 * frac;
+            }
+        }
+        captured / self.reuses as f64
+    }
+
+    /// CDF points `(distance_upper_bound, cumulative_fraction)` for
+    /// plotting.
+    #[must_use]
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut cum = 0u64;
+        for (k, &count) in self.buckets.iter().enumerate() {
+            cum += count;
+            let upper = (1u64 << (k + 1)) - 2;
+            out.push((upper, cum as f64 / self.reuses.max(1) as f64));
+        }
+        out
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ReuseHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.cold += other.cold;
+        self.reuses += other.reuses;
+    }
+}
+
+/// Order-statistic treap over `u64` keys (last-access timestamps).
+#[derive(Debug, Clone, Default)]
+struct OrderStatTree {
+    nodes: Vec<Node>,
+    root: Option<u32>,
+    free: Vec<u32>,
+    rng: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: u64,
+    priority: u64,
+    size: u32,
+    left: Option<u32>,
+    right: Option<u32>,
+}
+
+impl OrderStatTree {
+    fn size(&self, n: Option<u32>) -> u32 {
+        n.map_or(0, |i| self.nodes[i as usize].size)
+    }
+
+    fn update(&mut self, i: u32) {
+        let (l, r) = {
+            let n = &self.nodes[i as usize];
+            (n.left, n.right)
+        };
+        self.nodes[i as usize].size = 1 + self.size(l) + self.size(r);
+    }
+
+    fn next_priority(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.rng
+    }
+
+    fn alloc(&mut self, key: u64) -> u32 {
+        let priority = self.next_priority();
+        let node = Node {
+            key,
+            priority,
+            size: 1,
+            left: None,
+            right: None,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Splits into (< key, ≥ key).
+    fn split(&mut self, n: Option<u32>, key: u64) -> (Option<u32>, Option<u32>) {
+        let Some(i) = n else { return (None, None) };
+        if self.nodes[i as usize].key < key {
+            let right = self.nodes[i as usize].right;
+            let (a, b) = self.split(right, key);
+            self.nodes[i as usize].right = a;
+            self.update(i);
+            (Some(i), b)
+        } else {
+            let left = self.nodes[i as usize].left;
+            let (a, b) = self.split(left, key);
+            self.nodes[i as usize].left = b;
+            self.update(i);
+            (a, Some(i))
+        }
+    }
+
+    fn merge(&mut self, a: Option<u32>, b: Option<u32>) -> Option<u32> {
+        match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some(i), Some(j)) => {
+                if self.nodes[i as usize].priority > self.nodes[j as usize].priority {
+                    let r = self.nodes[i as usize].right;
+                    let m = self.merge(r, Some(j));
+                    self.nodes[i as usize].right = m;
+                    self.update(i);
+                    Some(i)
+                } else {
+                    let l = self.nodes[j as usize].left;
+                    let m = self.merge(Some(i), l);
+                    self.nodes[j as usize].left = m;
+                    self.update(j);
+                    Some(j)
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64) {
+        let node = self.alloc(key);
+        let (a, b) = self.split(self.root, key);
+        let left = self.merge(a, Some(node));
+        self.root = self.merge(left, b);
+    }
+
+    fn remove(&mut self, key: u64) {
+        let (a, bc) = self.split(self.root, key);
+        let (b, c) = self.split(bc, key + 1);
+        if let Some(i) = b {
+            debug_assert_eq!(self.nodes[i as usize].size, 1, "keys are unique");
+            self.free.push(i);
+        }
+        self.root = self.merge(a, c);
+    }
+
+    /// Number of keys strictly greater than `key`.
+    fn count_greater(&mut self, key: u64) -> u64 {
+        let (a, b) = self.split(self.root, key + 1);
+        let count = u64::from(self.size(b));
+        self.root = self.merge(a, b);
+        count
+    }
+}
+
+/// Streaming exact reuse-distance tracker.
+///
+/// # Examples
+///
+/// ```
+/// use least_tlb::metrics::ReuseTracker;
+/// use mgpu_types::{Asid, TranslationKey, VirtPage};
+///
+/// let mut t = ReuseTracker::new();
+/// let k = |v| TranslationKey::new(Asid(0), VirtPage(v));
+/// t.record(k(1));
+/// t.record(k(2));
+/// t.record(k(3));
+/// t.record(k(1)); // two unique keys (2, 3) in between
+/// let h = t.histogram();
+/// assert_eq!(h.cold, 3);
+/// assert_eq!(h.reuses, 1);
+/// assert!(h.captured_by(4) > 0.99);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReuseTracker {
+    last: HashMap<TranslationKey, u64>,
+    tree: OrderStatTree,
+    clock: u64,
+    histogram: ReuseHistogram,
+}
+
+impl ReuseTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        ReuseTracker::default()
+    }
+
+    /// Records an access to `key`, updating the histogram if this is a
+    /// reuse. Returns the reuse distance, or `None` on a first access.
+    pub fn record(&mut self, key: TranslationKey) -> Option<u64> {
+        self.clock += 1;
+        let ts = self.clock;
+        match self.last.insert(key, ts) {
+            Some(old) => {
+                let d = self.tree.count_greater(old);
+                self.tree.remove(old);
+                self.tree.insert(ts);
+                self.histogram.add(d);
+                Some(d)
+            }
+            None => {
+                self.tree.insert(ts);
+                self.histogram.cold += 1;
+                None
+            }
+        }
+    }
+
+    /// The accumulated histogram.
+    #[must_use]
+    pub fn histogram(&self) -> &ReuseHistogram {
+        &self.histogram
+    }
+
+    /// Consumes the tracker, returning the histogram.
+    #[must_use]
+    pub fn into_histogram(self) -> ReuseHistogram {
+        self.histogram
+    }
+
+    /// Distinct keys seen so far.
+    #[must_use]
+    pub fn distinct_keys(&self) -> usize {
+        self.last.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_types::{Asid, VirtPage};
+
+    fn k(v: u64) -> TranslationKey {
+        TranslationKey::new(Asid(0), VirtPage(v))
+    }
+
+    /// Naive O(n²) reference: scan back for the previous access, count
+    /// unique keys in between.
+    fn naive_distances(trace: &[u64]) -> Vec<Option<u64>> {
+        let mut out = Vec::new();
+        for (i, &x) in trace.iter().enumerate() {
+            let prev = trace[..i].iter().rposition(|&y| y == x);
+            out.push(prev.map(|p| {
+                let mut set = std::collections::HashSet::new();
+                for &y in &trace[p + 1..i] {
+                    set.insert(y);
+                }
+                set.len() as u64
+            }));
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_small_trace() {
+        let trace = vec![1, 2, 3, 1, 2, 2, 4, 1, 3, 3, 2, 1, 5, 4];
+        let expected = naive_distances(&trace);
+        let mut t = ReuseTracker::new();
+        let got: Vec<_> = trace.iter().map(|&v| t.record(k(v))).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom_trace() {
+        let mut x = 12345u64;
+        let trace: Vec<u64> = (0..600)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 40
+            })
+            .collect();
+        let expected = naive_distances(&trace);
+        let mut t = ReuseTracker::new();
+        let got: Vec<_> = trace.iter().map(|&v| t.record(k(v))).collect();
+        assert_eq!(got, expected);
+        assert_eq!(t.distinct_keys(), 40);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let mut t = ReuseTracker::new();
+        t.record(k(7));
+        assert_eq!(t.record(k(7)), Some(0));
+    }
+
+    #[test]
+    fn cyclic_sweep_distance_is_working_set() {
+        // Sweeping N pages cyclically: every reuse has distance N-1.
+        let mut t = ReuseTracker::new();
+        for _ in 0..3 {
+            for v in 0..100 {
+                t.record(k(v));
+            }
+        }
+        let h = t.histogram();
+        assert_eq!(h.cold, 100);
+        assert_eq!(h.reuses, 200);
+        // Distance 99 for every reuse: capturable by 128-entry TLB, not 64.
+        assert!(h.captured_by(128) > 0.99);
+        // (allow the one-bucket interpolation error at the boundary)
+        assert!(h.captured_by(64) < 0.05);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        assert_eq!(ReuseHistogram::bucket_of(0), 0);
+        assert_eq!(ReuseHistogram::bucket_of(1), 1);
+        assert_eq!(ReuseHistogram::bucket_of(2), 1);
+        assert_eq!(ReuseHistogram::bucket_of(3), 2);
+        assert_eq!(ReuseHistogram::bucket_of(6), 2);
+        assert_eq!(ReuseHistogram::bucket_of(7), 3);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = ReuseHistogram::default();
+        a.add(0);
+        a.cold += 1;
+        let mut b = ReuseHistogram::default();
+        b.add(100);
+        b.add(0);
+        a.merge(&b);
+        assert_eq!(a.reuses, 3);
+        assert_eq!(a.cold, 1);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let mut t = ReuseTracker::new();
+        let mut x = 5u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(48271) % 1023;
+            t.record(k(x % 60));
+        }
+        let cdf = t.histogram().cdf();
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Page-sharing analysis (paper Fig. 4): how many GPUs touch each page of
+//! an application's footprint.
+
+use std::collections::HashMap;
+
+use mgpu_types::TranslationKey;
+use serde::{Deserialize, Serialize};
+
+/// Per-application record of which GPUs touched which pages.
+///
+/// # Examples
+///
+/// ```
+/// use least_tlb::metrics::SharingSets;
+/// use mgpu_types::{Asid, TranslationKey, VirtPage};
+///
+/// let mut s = SharingSets::new(4);
+/// let k = |v| TranslationKey::new(Asid(0), VirtPage(v));
+/// s.touch(0, k(1));
+/// s.touch(1, k(1));
+/// s.touch(0, k(2));
+/// let frac = s.shared_fractions();
+/// assert!((frac[0] - 0.5).abs() < 1e-9, "page 2 is private");
+/// assert!((frac[1] - 0.5).abs() < 1e-9, "page 1 is shared by 2 GPUs");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharingSets {
+    gpus: usize,
+    /// Per page: bitmask of app-local GPUs that touched it.
+    touched: HashMap<TranslationKey, u32>,
+}
+
+impl SharingSets {
+    /// Creates a record for an app spanning `gpus` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is zero or exceeds 32.
+    #[must_use]
+    pub fn new(gpus: usize) -> Self {
+        assert!(gpus > 0 && gpus <= 32, "gpus must be in 1..=32");
+        SharingSets {
+            gpus,
+            touched: HashMap::new(),
+        }
+    }
+
+    /// Records that app-local GPU `gpu` touched `key`.
+    pub fn touch(&mut self, gpu: usize, key: TranslationKey) {
+        debug_assert!(gpu < self.gpus);
+        *self.touched.entry(key).or_insert(0) |= 1 << gpu;
+    }
+
+    /// Distinct pages touched so far.
+    #[must_use]
+    pub fn pages(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Fraction of touched pages shared by exactly 1, 2, …, `gpus` GPUs
+    /// (index 0 = private pages). This is the paper's Fig. 4 breakdown.
+    #[must_use]
+    pub fn shared_fractions(&self) -> Vec<f64> {
+        let mut counts = vec![0u64; self.gpus];
+        for mask in self.touched.values() {
+            let n = mask.count_ones() as usize;
+            counts[n - 1] += 1;
+        }
+        let total = self.touched.len().max(1) as f64;
+        counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Fraction of touched pages shared by at least two GPUs.
+    #[must_use]
+    pub fn shared_any(&self) -> f64 {
+        1.0 - self.shared_fractions().first().copied().unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_types::{Asid, VirtPage};
+
+    fn k(v: u64) -> TranslationKey {
+        TranslationKey::new(Asid(0), VirtPage(v))
+    }
+
+    #[test]
+    fn private_pages_count_as_one() {
+        let mut s = SharingSets::new(4);
+        s.touch(0, k(1));
+        s.touch(0, k(1)); // repeated touches don't double-count
+        let f = s.shared_fractions();
+        assert_eq!(f, vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(s.pages(), 1);
+        assert_eq!(s.shared_any(), 0.0);
+    }
+
+    #[test]
+    fn full_sharing_detected() {
+        let mut s = SharingSets::new(3);
+        for g in 0..3 {
+            s.touch(g, k(9));
+        }
+        assert_eq!(s.shared_fractions(), vec![0.0, 0.0, 1.0]);
+        assert!((s.shared_any() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_sharing_fractions() {
+        let mut s = SharingSets::new(2);
+        s.touch(0, k(1));
+        s.touch(1, k(2));
+        s.touch(0, k(3));
+        s.touch(1, k(3));
+        let f = s.shared_fractions();
+        assert!((f[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32")]
+    fn zero_gpus_rejected() {
+        let _ = SharingSets::new(0);
+    }
+}

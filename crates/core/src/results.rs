@@ -1,0 +1,318 @@
+//! Result records produced by a simulation run.
+
+use iommu::IommuStats;
+use filters::TrackerStats;
+use mgpu_types::GpuId;
+use serde::{Deserialize, Serialize};
+use tlb::TlbStats;
+use workloads::AppKind;
+
+use crate::metrics::ReuseHistogram;
+
+/// Per-application counters, recorded during the application's first full
+/// execution only (the paper's multi-application methodology, §3.1.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppRunStats {
+    /// Instructions issued (compute + memory).
+    pub instructions: u64,
+    /// Memory instructions issued.
+    pub mem_ops: u64,
+    /// L1 TLB lookups / hits.
+    pub l1_lookups: u64,
+    /// L1 TLB hits.
+    pub l1_hits: u64,
+    /// L2 TLB lookups / hits (attributed per app even when two apps share
+    /// a GPU).
+    pub l2_lookups: u64,
+    /// L2 TLB hits.
+    pub l2_hits: u64,
+    /// IOMMU TLB lookups on behalf of this app.
+    pub iommu_lookups: u64,
+    /// IOMMU TLB hits.
+    pub iommu_hits: u64,
+    /// Requests served by a remote GPU's L2 TLB (least-TLB sharing).
+    pub remote_hits: u64,
+    /// Page-table walks launched for this app.
+    pub walks: u64,
+    /// Page faults raised.
+    pub faults: u64,
+    /// Cycle at which the first full execution completed.
+    pub completion_cycle: Option<u64>,
+}
+
+impl AppRunStats {
+    /// L1 TLB hit rate.
+    #[must_use]
+    pub fn l1_hit_rate(&self) -> f64 {
+        ratio(self.l1_hits, self.l1_lookups)
+    }
+
+    /// L2 TLB hit rate (the paper's Fig. 2/18 metric).
+    #[must_use]
+    pub fn l2_hit_rate(&self) -> f64 {
+        ratio(self.l2_hits, self.l2_lookups)
+    }
+
+    /// IOMMU TLB hit rate (Figs. 2/15/17).
+    #[must_use]
+    pub fn iommu_hit_rate(&self) -> f64 {
+        ratio(self.iommu_hits, self.iommu_lookups)
+    }
+
+    /// Fraction of IOMMU-level requests served by a peer GPU's L2 TLB
+    /// (the "remote hit rate" of Figs. 15/17).
+    #[must_use]
+    pub fn remote_hit_rate(&self) -> f64 {
+        ratio(self.remote_hits, self.iommu_lookups)
+    }
+
+    /// L2 TLB misses per kilo-instruction — the paper's MPKI metric
+    /// (Table 3).
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            (self.l2_lookups - self.l2_hits) as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Instructions per cycle over the first full execution.
+    ///
+    /// Returns zero if the app never completed.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        match self.completion_cycle {
+            Some(c) if c > 0 => self.instructions as f64 / c as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Result record for one application instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppResult {
+    /// Which application.
+    pub kind: AppKind,
+    /// Physical GPUs it occupied.
+    pub gpus: Vec<GpuId>,
+    /// Counters from the first full execution.
+    pub stats: AppRunStats,
+    /// Reuse-distance histogram at the IOMMU (when tracking was enabled).
+    pub reuse: Option<ReuseHistogram>,
+    /// Fig. 4-style sharing fractions: index `k` = fraction of touched
+    /// pages shared by exactly `k+1` of the app's GPUs (when tracking was
+    /// enabled).
+    pub sharing: Option<Vec<f64>>,
+}
+
+/// One periodic TLB-content snapshot (Figs. 6 and 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotRecord {
+    /// Cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// Fraction of distinct L2-resident translations present in ≥ 2 GPUs'
+    /// L2 TLBs simultaneously (Fig. 6 "multi-GPU redundancy").
+    pub l2_redundant_frac: f64,
+    /// Fraction of distinct L2-resident translations also present in the
+    /// IOMMU TLB (Fig. 6 "hierarchy redundancy").
+    pub l2_in_iommu_frac: f64,
+    /// IOMMU TLB entries per originating GPU (Fig. 11).
+    pub iommu_per_origin: Vec<u64>,
+    /// IOMMU TLB entries per ASID.
+    pub iommu_per_asid: Vec<u64>,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload name ("PR", "W4", …).
+    pub workload: String,
+    /// Cycle at which the last application finished its first execution.
+    pub end_cycle: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Per-application results, in placement order.
+    pub apps: Vec<AppResult>,
+    /// IOMMU counters.
+    pub iommu: IommuStats,
+    /// IOMMU TLB hit/miss statistics (whole run, all apps; zeros under the
+    /// infinite-IOMMU policy, which bypasses the finite TLB).
+    pub iommu_tlb: TlbStats,
+    /// Final per-GPU L2 TLB statistics (whole run).
+    pub gpu_l2: Vec<TlbStats>,
+    /// Local TLB Tracker statistics (when the policy uses one).
+    pub tracker: Option<TrackerStats>,
+    /// Periodic snapshots (when enabled).
+    pub snapshots: Vec<SnapshotRecord>,
+    /// The recorded translation trace (when `record_trace` was enabled).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub trace: Option<crate::trace::TranslationTrace>,
+}
+
+impl RunResult {
+    /// Aggregate IOMMU hit rate across apps (first-execution windows).
+    #[must_use]
+    pub fn iommu_hit_rate(&self) -> f64 {
+        let (h, l) = self.apps.iter().fold((0, 0), |(h, l), a| {
+            (h + a.stats.iommu_hits, l + a.stats.iommu_lookups)
+        });
+        ratio(h, l)
+    }
+
+    /// Aggregate remote hit rate across apps.
+    #[must_use]
+    pub fn remote_hit_rate(&self) -> f64 {
+        let (h, l) = self.apps.iter().fold((0, 0), |(h, l), a| {
+            (h + a.stats.remote_hits, l + a.stats.iommu_lookups)
+        });
+        ratio(h, l)
+    }
+
+    /// Aggregate L2 hit rate across apps.
+    #[must_use]
+    pub fn l2_hit_rate(&self) -> f64 {
+        let (h, l) = self.apps.iter().fold((0, 0), |(h, l), a| {
+            (h + a.stats.l2_hits, l + a.stats.l2_lookups)
+        });
+        ratio(h, l)
+    }
+
+    /// The result for the app at placement index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn app(&self, i: usize) -> &AppResult {
+        &self.apps[i]
+    }
+
+    /// Normalized performance of this run versus `baseline`: ratio of
+    /// baseline execution time to this run's execution time (the paper's
+    /// headline metric; > 1 means faster than baseline).
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
+        if self.end_cycle == 0 {
+            0.0
+        } else {
+            baseline.end_cycle as f64 / self.end_cycle as f64
+        }
+    }
+
+    /// Weighted speedup (paper §3.1.2): `Σᵢ IPCᵢ(mix) / IPCᵢ(alone)`,
+    /// where `alone[i]` is the run of placement `i`'s app executing alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alone` does not have one entry per app.
+    #[must_use]
+    pub fn weighted_speedup(&self, alone: &[RunResult]) -> f64 {
+        assert_eq!(alone.len(), self.apps.len(), "one alone-run per app");
+        self.apps
+            .iter()
+            .zip(alone)
+            .map(|(mix, alone)| {
+                let alone_ipc = alone.apps[0].stats.ipc();
+                if alone_ipc == 0.0 {
+                    0.0
+                } else {
+                    mix.stats.ipc() / alone_ipc
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> AppRunStats {
+        AppRunStats {
+            instructions: 10_000,
+            mem_ops: 500,
+            l1_lookups: 500,
+            l1_hits: 400,
+            l2_lookups: 100,
+            l2_hits: 60,
+            iommu_lookups: 40,
+            iommu_hits: 10,
+            remote_hits: 4,
+            walks: 26,
+            faults: 0,
+            completion_cycle: Some(20_000),
+        }
+    }
+
+    #[test]
+    fn rates_compute_correctly() {
+        let s = stats();
+        assert!((s.l1_hit_rate() - 0.8).abs() < 1e-12);
+        assert!((s.l2_hit_rate() - 0.6).abs() < 1e-12);
+        assert!((s.iommu_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((s.remote_hit_rate() - 0.1).abs() < 1e-12);
+        assert!((s.mpki() - 4.0).abs() < 1e-12, "40 misses / 10k instr");
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = AppRunStats::default();
+        assert_eq!(s.l1_hit_rate(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+        assert_eq!(s.ipc(), 0.0, "incomplete app has no IPC");
+    }
+
+    fn run_with_cycles(c: u64) -> RunResult {
+        RunResult {
+            workload: "T".into(),
+            end_cycle: c,
+            events: 0,
+            apps: vec![AppResult {
+                kind: AppKind::Fir,
+                gpus: vec![GpuId(0)],
+                stats: stats(),
+                reuse: None,
+                sharing: None,
+            }],
+            iommu: IommuStats::default(),
+            iommu_tlb: TlbStats::default(),
+            gpu_l2: Vec::new(),
+            tracker: None,
+            snapshots: Vec::new(),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let fast = run_with_cycles(100);
+        let slow = run_with_cycles(200);
+        assert!((fast.speedup_vs(&slow) - 2.0).abs() < 1e-12);
+        assert!((slow.speedup_vs(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_of_identical_runs_is_app_count() {
+        let mix = run_with_cycles(100);
+        let alone = vec![run_with_cycles(100)];
+        assert!((mix.weighted_speedup(&alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_rates() {
+        let r = run_with_cycles(10);
+        assert!((r.iommu_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((r.remote_hit_rate() - 0.1).abs() < 1e-12);
+        assert!((r.l2_hit_rate() - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Counting Bloom filter — the deletable-Bloom ablation baseline for the
+//! Local TLB Tracker.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a [`CountingBloomFilter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomConfig {
+    /// Number of counters. Must be a power of two.
+    pub counters: usize,
+    /// Hash functions per item (`k`).
+    pub hashes: u8,
+    /// Counter width in bits, for hardware accounting (counters saturate at
+    /// `2^width - 1`).
+    pub counter_bits: u8,
+    /// Seed folded into the hash functions.
+    pub seed: u64,
+}
+
+impl BloomConfig {
+    /// Creates a configuration with 4-bit counters (the classic choice).
+    #[must_use]
+    pub fn new(counters: usize, hashes: u8) -> Self {
+        BloomConfig {
+            counters,
+            hashes,
+            counter_bits: 4,
+            seed: 0xb100_0de5,
+        }
+    }
+}
+
+/// A counting Bloom filter over `u64` items.
+///
+/// Unlike the cuckoo filter it never fails an insertion, but costs more bits
+/// per tracked item for the same false-positive rate — the comparison the
+/// least-TLB paper implicitly makes when choosing the cuckoo filter.
+///
+/// # Examples
+///
+/// ```
+/// use filters::{CountingBloomFilter, BloomConfig};
+///
+/// let mut f = CountingBloomFilter::new(BloomConfig::new(1024, 3));
+/// f.insert(9);
+/// assert!(f.contains(9));
+/// f.remove(9);
+/// assert!(!f.contains(9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    config: BloomConfig,
+    counters: Vec<u8>,
+    len: usize,
+}
+
+impl CountingBloomFilter {
+    /// Builds a filter from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters` is not a power of two, `hashes` is zero, or
+    /// `counter_bits` is outside `1..=8`.
+    #[must_use]
+    pub fn new(config: BloomConfig) -> Self {
+        assert!(config.counters.is_power_of_two(), "counters must be a power of two");
+        assert!(config.hashes > 0, "need at least one hash function");
+        assert!(
+            (1..=8).contains(&config.counter_bits),
+            "counter_bits must be in 1..=8"
+        );
+        CountingBloomFilter {
+            config,
+            counters: vec![0; config.counters],
+            len: 0,
+        }
+    }
+
+    /// The configuration this filter was built with.
+    #[must_use]
+    pub fn config(&self) -> &BloomConfig {
+        &self.config
+    }
+
+    /// Number of items currently accounted (inserts minus removes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no items are accounted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Hardware size in bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        self.config.counters as u64 * u64::from(self.config.counter_bits)
+    }
+
+    fn index(&self, item: u64, i: u8) -> usize {
+        let mut z = item ^ self.config.seed ^ (u64::from(i) << 56);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize & (self.config.counters - 1)
+    }
+
+    /// Inserts `item`, incrementing its `k` counters (saturating).
+    pub fn insert(&mut self, item: u64) {
+        let max = (1u16 << self.config.counter_bits) - 1;
+        for i in 0..self.config.hashes {
+            let idx = self.index(item, i);
+            if u16::from(self.counters[idx]) < max {
+                self.counters[idx] += 1;
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes `item`, decrementing its counters. Decrementing a zero
+    /// counter is ignored (it indicates a stale remove, which the tracker
+    /// layer tolerates).
+    pub fn remove(&mut self, item: u64) {
+        let mut any = false;
+        for i in 0..self.config.hashes {
+            let idx = self.index(item, i);
+            if self.counters[idx] > 0 {
+                self.counters[idx] -= 1;
+                any = true;
+            }
+        }
+        if any {
+            self.len = self.len.saturating_sub(1);
+        }
+    }
+
+    /// Whether all of `item`'s counters are non-zero.
+    #[must_use]
+    pub fn contains(&self, item: u64) -> bool {
+        (0..self.config.hashes).all(|i| self.counters[self.index(item, i)] > 0)
+    }
+
+    /// Zeroes every counter.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut f = CountingBloomFilter::new(BloomConfig::new(256, 3));
+        f.insert(1);
+        f.insert(2);
+        assert!(f.contains(1) && f.contains(2));
+        f.remove(1);
+        assert!(!f.contains(1));
+        assert!(f.contains(2));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = CountingBloomFilter::new(BloomConfig::new(4096, 4));
+        let items: Vec<u64> = (0..500).map(|i| i * 40503).collect();
+        for &i in &items {
+            f.insert(i);
+        }
+        assert!(items.iter().all(|&i| f.contains(i)));
+    }
+
+    #[test]
+    fn false_positive_rate_is_bounded() {
+        let mut f = CountingBloomFilter::new(BloomConfig::new(4096, 4));
+        for i in 0..500u64 {
+            f.insert(i.wrapping_mul(0x9e3779b97f4a7c15));
+        }
+        let fp = (0..10_000u64)
+            .map(|i| 0xabba_0000 + i)
+            .filter(|&x| f.contains(x))
+            .count();
+        assert!((fp as f64 / 10_000.0) < 0.05);
+    }
+
+    #[test]
+    fn stale_remove_is_tolerated() {
+        let mut f = CountingBloomFilter::new(BloomConfig::new(64, 2));
+        f.remove(99); // never inserted
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = CountingBloomFilter::new(BloomConfig::new(64, 2));
+        f.insert(5);
+        f.clear();
+        assert!(!f.contains(5));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let f = CountingBloomFilter::new(BloomConfig::new(1024, 3));
+        assert_eq!(f.storage_bits(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_geometry() {
+        let _ = CountingBloomFilter::new(BloomConfig::new(1000, 3));
+    }
+}

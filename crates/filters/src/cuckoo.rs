@@ -1,0 +1,356 @@
+//! Partial-key cuckoo filter (Fan et al., CoNEXT'14).
+
+use serde::{Deserialize, Serialize};
+
+/// Slots per bucket; Fan et al.'s recommended (and the paper's implied)
+/// bucket size.
+pub const BUCKET_SLOTS: usize = 4;
+
+/// Maximum displacement chain length before an insertion is declared failed.
+const MAX_KICKS: usize = 500;
+
+/// Geometry of a [`CuckooFilter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CuckooConfig {
+    /// Total slot count (`buckets × 4`). Must be a power-of-two multiple
+    /// of 4.
+    pub entries: usize,
+    /// Fingerprint width in bits (1..=16). The paper's 1.08 KB / 2048-entry
+    /// filter with ≈0.2 false-positive probability corresponds to ~4-bit
+    /// fingerprints plus metadata; the width is configurable for the
+    /// sensitivity ablation.
+    pub fingerprint_bits: u8,
+    /// Seed folded into the hash functions.
+    pub seed: u64,
+}
+
+impl CuckooConfig {
+    /// Creates a configuration.
+    #[must_use]
+    pub fn new(entries: usize, fingerprint_bits: u8) -> Self {
+        CuckooConfig {
+            entries,
+            fingerprint_bits,
+            seed: 0xc0c0_0f11,
+        }
+    }
+}
+
+/// A cuckoo filter over `u64` items (callers hash their keys to `u64`
+/// first, e.g. via `TranslationKey::as_u64`).
+///
+/// Supports insertion, membership query and deletion. Deletion of an item
+/// that was never inserted is a caller bug in exact-membership terms, but —
+/// as in the original paper — may silently remove a colliding fingerprint;
+/// the tracker layer accounts for the resulting false negatives.
+#[derive(Debug, Clone)]
+pub struct CuckooFilter {
+    config: CuckooConfig,
+    buckets: Vec<[u16; BUCKET_SLOTS]>,
+    len: usize,
+    kicked_out: u64,
+    failed_inserts: u64,
+    rng: u64,
+}
+
+impl CuckooFilter {
+    /// Builds a filter from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power-of-two multiple of 4, or
+    /// `fingerprint_bits` is outside `1..=16`.
+    #[must_use]
+    pub fn new(config: CuckooConfig) -> Self {
+        assert!(
+            config.entries >= BUCKET_SLOTS && config.entries.is_multiple_of(BUCKET_SLOTS),
+            "entries must be a multiple of {BUCKET_SLOTS}"
+        );
+        let buckets = config.entries / BUCKET_SLOTS;
+        assert!(buckets.is_power_of_two(), "bucket count must be a power of two");
+        assert!(
+            (1..=16).contains(&config.fingerprint_bits),
+            "fingerprint_bits must be in 1..=16"
+        );
+        CuckooFilter {
+            config,
+            buckets: vec![[0; BUCKET_SLOTS]; buckets],
+            len: 0,
+            kicked_out: 0,
+            failed_inserts: 0,
+            rng: config.seed | 1,
+        }
+    }
+
+    /// The configuration this filter was built with.
+    #[must_use]
+    pub fn config(&self) -> &CuckooConfig {
+        &self.config
+    }
+
+    /// Number of stored fingerprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the filter stores no fingerprints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slot capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.config.entries
+    }
+
+    /// Insertions that failed because the displacement chain exceeded the
+    /// kick limit (those items are *not* stored; subsequent queries for them
+    /// can be false negatives, which the tracker treats as misses).
+    #[must_use]
+    pub fn failed_inserts(&self) -> u64 {
+        self.failed_inserts
+    }
+
+    /// Hardware size of the filter in bits (fingerprint storage only, as in
+    /// the paper's overhead accounting).
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        self.config.entries as u64 * u64::from(self.config.fingerprint_bits)
+    }
+
+    fn mix(&self, x: u64) -> u64 {
+        let mut z = x ^ self.config.seed;
+        z = (z ^ (z >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        z = (z ^ (z >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        z ^ (z >> 33)
+    }
+
+    fn fingerprint(&self, item: u64) -> u16 {
+        let mask = (1u32 << self.config.fingerprint_bits) - 1;
+        let fp = (self.mix(item) >> 17) as u32 & mask;
+        // Zero is the empty-slot sentinel; remap to 1 as in reference
+        // implementations.
+        if fp == 0 {
+            1
+        } else {
+            fp as u16
+        }
+    }
+
+    fn index1(&self, item: u64) -> usize {
+        (self.mix(item) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn alt_index(&self, index: usize, fp: u16) -> usize {
+        // Partial-key cuckoo hashing: i2 = i1 xor hash(fp).
+        (index ^ self.mix(u64::from(fp)).wrapping_mul(0x5bd1_e995) as usize)
+            & (self.buckets.len() - 1)
+    }
+
+    /// Inserts `item`. Returns `false` if the filter could not place the
+    /// fingerprint (it is then not stored).
+    pub fn insert(&mut self, item: u64) -> bool {
+        let mut fp = self.fingerprint(item);
+        let i1 = self.index1(item);
+        let i2 = self.alt_index(i1, fp);
+        if self.place(i1, fp) || self.place(i2, fp) {
+            self.len += 1;
+            return true;
+        }
+        // Displace.
+        let mut idx = if self.next_rand() & 1 == 0 { i1 } else { i2 };
+        for _ in 0..MAX_KICKS {
+            let slot = (self.next_rand() as usize) % BUCKET_SLOTS;
+            std::mem::swap(&mut self.buckets[idx][slot], &mut fp);
+            self.kicked_out += 1;
+            idx = self.alt_index(idx, fp);
+            if self.place(idx, fp) {
+                self.len += 1;
+                return true;
+            }
+        }
+        // Give up: restore nothing (the displaced chain already mutated the
+        // table, as in real hardware); count the loss.
+        self.failed_inserts += 1;
+        false
+    }
+
+    fn place(&mut self, idx: usize, fp: u16) -> bool {
+        for slot in &mut self.buckets[idx] {
+            if *slot == 0 {
+                *slot = fp;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng
+    }
+
+    /// Whether `item`'s fingerprint is present in either candidate bucket.
+    #[must_use]
+    pub fn contains(&self, item: u64) -> bool {
+        let fp = self.fingerprint(item);
+        let i1 = self.index1(item);
+        let i2 = self.alt_index(i1, fp);
+        self.buckets[i1].contains(&fp) || self.buckets[i2].contains(&fp)
+    }
+
+    /// Removes one copy of `item`'s fingerprint. Returns whether a
+    /// fingerprint was removed.
+    pub fn remove(&mut self, item: u64) -> bool {
+        let fp = self.fingerprint(item);
+        let i1 = self.index1(item);
+        let i2 = self.alt_index(i1, fp);
+        for idx in [i1, i2] {
+            for slot in &mut self.buckets[idx] {
+                if *slot == fp {
+                    *slot = 0;
+                    self.len -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Drops every fingerprint (tracker reset on IOMMU TLB shootdown).
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            *b = [0; BUCKET_SLOTS];
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter(entries: usize) -> CuckooFilter {
+        CuckooFilter::new(CuckooConfig::new(entries, 12))
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = filter(64);
+        assert!(!f.contains(7));
+        assert!(f.insert(7));
+        assert!(f.contains(7));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn remove_clears_membership() {
+        let mut f = filter(64);
+        f.insert(7);
+        assert!(f.remove(7));
+        assert!(!f.contains(7));
+        assert!(!f.remove(7), "second remove finds nothing");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn no_false_negatives_under_half_load() {
+        let mut f = filter(1024);
+        let items: Vec<u64> = (0..400).map(|i| i * 2654435761).collect();
+        for &i in &items {
+            assert!(f.insert(i));
+        }
+        for &i in &items {
+            assert!(f.contains(i), "cuckoo filters have no false negatives");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_tracks_fingerprint_width() {
+        // 12-bit fingerprints, ~50% load: fpp ≈ 8/4096 ≈ 0.2%.
+        let mut f = filter(2048);
+        for i in 0..1024u64 {
+            f.insert(i.wrapping_mul(0x9e3779b97f4a7c15));
+        }
+        let fp = (0..20_000u64)
+            .map(|i| 0xdead_0000 + i)
+            .filter(|&x| f.contains(x))
+            .count();
+        let rate = fp as f64 / 20_000.0;
+        assert!(rate < 0.02, "fpp {rate} too high for 12-bit fingerprints");
+    }
+
+    #[test]
+    fn narrow_fingerprints_have_paperlike_fpp() {
+        // 4-bit fingerprints at ~full load give the paper's ≈0.2 regime.
+        let mut f = CuckooFilter::new(CuckooConfig::new(2048, 4));
+        for i in 0..1536u64 {
+            f.insert(i.wrapping_mul(0x9e3779b97f4a7c15));
+        }
+        let fp = (0..20_000u64)
+            .map(|i| 0xbeef_0000_0000 + i)
+            .filter(|&x| f.contains(x))
+            .count();
+        let rate = fp as f64 / 20_000.0;
+        assert!(
+            (0.05..0.6).contains(&rate),
+            "expected high-but-bounded fpp, got {rate}"
+        );
+    }
+
+    #[test]
+    fn fills_to_high_load_factor() {
+        let mut f = filter(1024);
+        let mut stored = 0;
+        for i in 0..1024u64 {
+            if f.insert(i.wrapping_mul(0x2545f4914f6cdd1d)) {
+                stored += 1;
+            }
+        }
+        assert!(
+            stored as f64 >= 0.9 * 1024.0,
+            "cuckoo should reach ≥90% load, got {stored}"
+        );
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut f = filter(64);
+        for i in 0..30 {
+            f.insert(i);
+        }
+        f.clear();
+        assert!(f.is_empty());
+        assert!((0..30).all(|i| !f.contains(i)));
+    }
+
+    #[test]
+    fn storage_bits_accounting() {
+        let f = CuckooFilter::new(CuckooConfig::new(2048, 4));
+        assert_eq!(f.storage_bits(), 8192); // 1 KB — the paper reports 1.08 KB with metadata
+        assert_eq!(f.capacity(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_buckets() {
+        let _ = CuckooFilter::new(CuckooConfig::new(12 * BUCKET_SLOTS, 8));
+    }
+
+    #[test]
+    fn duplicate_fingerprints_supported() {
+        let mut f = filter(64);
+        f.insert(5);
+        f.insert(5);
+        assert_eq!(f.len(), 2);
+        f.remove(5);
+        assert!(f.contains(5), "one copy remains");
+        f.remove(5);
+        assert!(!f.contains(5));
+    }
+}

@@ -1,0 +1,36 @@
+//! Approximate-membership filters and the least-TLB **Local TLB Tracker**.
+//!
+//! The least-TLB design (paper §4.1) places a cuckoo filter in the IOMMU to
+//! track which translations live in each GPU's L2 TLB, so a request that
+//! misses the IOMMU TLB can be forwarded to a peer GPU instead of walking the
+//! page table. This crate provides:
+//!
+//! * [`CuckooFilter`] — partial-key cuckoo hashing with deletion, after Fan
+//!   et al. (CoNEXT'14), the structure the paper uses (2048 entries, ≈1.08 KB);
+//! * [`CountingBloomFilter`] — a deletable Bloom filter, used as an ablation
+//!   baseline for the tracker;
+//! * [`LocalTlbTracker`] — the per-GPU-partitioned tracker with pluggable
+//!   backend ([`TrackerBackend`]), including an exact (idealised) backend.
+//!
+//! # Examples
+//!
+//! ```
+//! use filters::{CuckooFilter, CuckooConfig};
+//!
+//! let mut f = CuckooFilter::new(CuckooConfig::new(512, 8));
+//! f.insert(42);
+//! assert!(f.contains(42));
+//! f.remove(42);
+//! assert!(!f.contains(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bloom;
+mod cuckoo;
+mod tracker;
+
+pub use bloom::{BloomConfig, CountingBloomFilter};
+pub use cuckoo::{CuckooConfig, CuckooFilter};
+pub use tracker::{LocalTlbTracker, TrackerBackend, TrackerStats};

@@ -1,0 +1,191 @@
+//! Compute units and wavefront contexts.
+
+use std::collections::VecDeque;
+
+use mgpu_types::{Cycle, TranslationKey, WavefrontId};
+use serde::{Deserialize, Serialize};
+use tlb::{Tlb, TlbConfig};
+
+/// Where a wavefront currently is in its execute/translate/access loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WavefrontPhase {
+    /// Executing compute instructions (or waiting for the issue port).
+    Computing,
+    /// Stalled on an outstanding translation + memory access.
+    WaitingMemory,
+    /// The driving application has retired this context.
+    Finished,
+}
+
+/// One in-order wavefront context.
+///
+/// Instruction accounting lives here; what the wavefront *does* comes from
+/// the workload generator via the system simulator.
+#[derive(Debug, Clone)]
+pub struct Wavefront {
+    /// Current phase.
+    pub phase: WavefrontPhase,
+    /// Instructions retired by this context (compute + memory).
+    pub instructions: u64,
+    /// Memory instructions retired by this context.
+    pub mem_instructions: u64,
+    /// Translation key of the access in flight (while `WaitingMemory`).
+    pub pending: Option<TranslationKey>,
+}
+
+impl Wavefront {
+    /// A fresh context ready to compute.
+    #[must_use]
+    pub fn new() -> Self {
+        Wavefront {
+            phase: WavefrontPhase::Computing,
+            instructions: 0,
+            mem_instructions: 0,
+            pending: None,
+        }
+    }
+}
+
+impl Default for Wavefront {
+    fn default() -> Self {
+        Wavefront::new()
+    }
+}
+
+/// One compute unit: an issue port shared by its wavefront contexts plus a
+/// private **blocking** L1 TLB.
+///
+/// Like MGPUSim's TLB model (which the paper builds on), the L1 TLB admits
+/// a single outstanding miss: while one wavefront's translation is being
+/// resolved below the L1, every other memory operation of the CU queues
+/// behind it. This is what makes translation latency so visible to GPU
+/// performance even at modest MPKI.
+#[derive(Debug, Clone)]
+pub struct ComputeUnit {
+    /// Private fully-associative L1 TLB (16 entries in the paper).
+    pub l1_tlb: Tlb,
+    /// Wavefront contexts resident on this CU.
+    pub wavefronts: Vec<Wavefront>,
+    /// The 1-IPC issue port: the cycle at which the port next becomes free.
+    /// Compute bursts are charged by advancing this cursor, serialising
+    /// concurrent wavefronts' compute while their memory latencies overlap.
+    pub issue_free_at: Cycle,
+    /// The wavefront whose L1 TLB miss is currently outstanding, if any.
+    pub blocking_miss: Option<WavefrontId>,
+    /// Memory operations queued behind the outstanding miss.
+    pub retry_queue: VecDeque<(WavefrontId, TranslationKey)>,
+}
+
+impl ComputeUnit {
+    /// Creates a CU with `wavefronts` contexts and the given L1 TLB
+    /// geometry.
+    #[must_use]
+    pub fn new(l1_config: TlbConfig, wavefronts: usize) -> Self {
+        ComputeUnit {
+            l1_tlb: Tlb::new(l1_config),
+            wavefronts: vec![Wavefront::new(); wavefronts],
+            issue_free_at: Cycle::ZERO,
+            blocking_miss: None,
+            retry_queue: VecDeque::new(),
+        }
+    }
+
+    /// Whether the L1 TLB is blocked on an outstanding miss.
+    #[must_use]
+    pub fn is_blocked(&self) -> bool {
+        self.blocking_miss.is_some()
+    }
+
+    /// Resolves the outstanding miss for `wf` (if it is the blocker) and
+    /// returns the queued operations to replay. Resolutions for
+    /// non-blocking wavefronts (e.g. a fill that raced ahead) return an
+    /// empty queue.
+    pub fn unblock(&mut self, wf: WavefrontId) -> Vec<(WavefrontId, TranslationKey)> {
+        if self.blocking_miss == Some(wf) {
+            self.blocking_miss = None;
+            self.retry_queue.drain(..).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Charges `instrs` compute instructions starting no earlier than `now`
+    /// through the 1-IPC issue port; returns the completion time.
+    pub fn charge_compute(&mut self, now: Cycle, instrs: u64) -> Cycle {
+        let start = self.issue_free_at.max(now);
+        let done = start.after(instrs);
+        self.issue_free_at = done;
+        done
+    }
+
+    /// Whether every wavefront context has finished.
+    #[must_use]
+    pub fn all_finished(&self) -> bool {
+        self.wavefronts
+            .iter()
+            .all(|w| w.phase == WavefrontPhase::Finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb::ReplacementPolicy;
+
+    fn cu() -> ComputeUnit {
+        ComputeUnit::new(
+            TlbConfig::fully_associative(16, ReplacementPolicy::Lru),
+            4,
+        )
+    }
+
+    #[test]
+    fn issue_port_serializes_compute() {
+        let mut c = cu();
+        assert_eq!(c.charge_compute(Cycle(0), 10), Cycle(10));
+        // A second wavefront asking at cycle 5 waits for the port.
+        assert_eq!(c.charge_compute(Cycle(5), 10), Cycle(20));
+        // After an idle gap the port is immediately available.
+        assert_eq!(c.charge_compute(Cycle(100), 3), Cycle(103));
+    }
+
+    #[test]
+    fn fresh_wavefronts_compute() {
+        let c = cu();
+        assert_eq!(c.wavefronts.len(), 4);
+        assert!(c
+            .wavefronts
+            .iter()
+            .all(|w| w.phase == WavefrontPhase::Computing));
+        assert!(!c.all_finished());
+    }
+
+    #[test]
+    fn all_finished_detects_completion() {
+        let mut c = cu();
+        for w in &mut c.wavefronts {
+            w.phase = WavefrontPhase::Finished;
+        }
+        assert!(c.all_finished());
+    }
+
+    #[test]
+    fn blocking_miss_queues_and_unblocks_in_order() {
+        use mgpu_types::{Asid, TranslationKey, VirtPage};
+        let mut c = cu();
+        assert!(!c.is_blocked());
+        c.blocking_miss = Some(WavefrontId(0));
+        let k1 = TranslationKey::new(Asid(0), VirtPage(1));
+        let k2 = TranslationKey::new(Asid(0), VirtPage(2));
+        c.retry_queue.push_back((WavefrontId(1), k1));
+        c.retry_queue.push_back((WavefrontId(2), k2));
+        // A resolution for a non-blocking wavefront changes nothing.
+        assert!(c.unblock(WavefrontId(3)).is_empty());
+        assert!(c.is_blocked());
+        // The blocker's resolution releases the queue in FIFO order.
+        let replay = c.unblock(WavefrontId(0));
+        assert_eq!(replay, vec![(WavefrontId(1), k1), (WavefrontId(2), k2)]);
+        assert!(!c.is_blocked());
+        assert!(c.retry_queue.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! GPU-side timing model in the style of MGPUSim's AMD GCN GPUs.
+//!
+//! Each GPU holds 64 compute units (CUs, paper Table 2); each CU multiplexes
+//! several in-order wavefront contexts over a 1-instruction-per-cycle issue
+//! port and owns a private fully-associative L1 TLB. All CUs share a
+//! per-GPU L2 TLB fronted by MSHRs that coalesce concurrent misses to the
+//! same page. The structures here are *passive*: the system simulator (the
+//! `least-tlb` crate) owns the event loop and drives them, which keeps all
+//! cross-GPU policy — the paper's contribution — in one place.
+//!
+//! Timing approximation (documented in `DESIGN.md`): non-memory instructions
+//! retire at 1 IPC through the per-CU issue port (modelled as a monotonic
+//! cursor, so concurrent wavefronts serialize on it), while memory
+//! instructions stall their wavefront for the full translation + data
+//! round-trip. This preserves exactly the sensitivity the paper measures —
+//! translation latency stealing latency-hiding capacity from the CU.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcn_model::{Gpu, GpuConfig};
+//! use mgpu_types::{Asid, CuId, GpuId, TranslationKey, VirtPage, WavefrontId};
+//!
+//! let mut gpu = Gpu::new(GpuId(0), &GpuConfig::paper_scaled(4));
+//! let key = TranslationKey::new(Asid(0), VirtPage(9));
+//! assert!(gpu.l1_lookup(CuId(0), key).is_none());
+//! assert!(gpu.l2_lookup(key).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cu;
+mod gpu;
+mod mshr;
+
+pub use cu::{ComputeUnit, Wavefront, WavefrontPhase};
+pub use gpu::{Gpu, GpuConfig, GpuStats};
+pub use mshr::{MshrOutcome, MshrTable, Waiter};

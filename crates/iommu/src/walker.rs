@@ -1,0 +1,330 @@
+//! Page-table walker scheduling.
+//!
+//! The baseline keeps one FIFO backlog in front of the eight shared
+//! walkers. The `Dws` mode implements the fairness idea of Pratheek et
+//! al. (HPCA'21, "page walk stealing") that the paper combines with
+//! least-TLB in §5.6: per-address-space queues served round-robin, so a
+//! burst from one application cannot head-of-line-block the others, and
+//! idle capacity is "stolen" by whichever queue has work.
+
+use std::collections::VecDeque;
+
+use mgpu_types::{Asid, Cycle, GpuId, TranslationKey};
+use serde::{Deserialize, Serialize};
+
+/// Walker backlog discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkerMode {
+    /// Single FIFO backlog (the paper's baseline IOMMU).
+    Fifo,
+    /// DWS-style fair queueing: round-robin over per-ASID queues with work
+    /// stealing (§5.6 combination study).
+    Dws,
+}
+
+/// One queued walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkRequest {
+    /// Translation being walked.
+    pub key: TranslationKey,
+    /// GPU that triggered the walk (for response routing diagnostics).
+    pub requester: GpuId,
+}
+
+/// Event-driven scheduler for a fixed pool of walkers.
+///
+/// Usage: call [`submit`](Self::submit); if it returns a completion time a
+/// walker started immediately and the caller schedules the completion
+/// event. When a walk completes, call [`complete`](Self::complete) to pop
+/// the next queued request (if any) onto the freed walker; the caller
+/// computes its service time (it may depend on the levels walked) and
+/// schedules its completion.
+///
+/// # Examples
+///
+/// ```
+/// use iommu::{WalkerScheduler, WalkerMode, WalkRequest};
+/// use mgpu_types::{Asid, Cycle, GpuId, TranslationKey, VirtPage};
+///
+/// let mut s = WalkerScheduler::new(1, WalkerMode::Fifo);
+/// let r = WalkRequest { key: TranslationKey::new(Asid(0), VirtPage(1)), requester: GpuId(0) };
+/// assert_eq!(s.submit(Cycle(0), r, 500), Some(Cycle(500)));
+/// // Pool busy: second walk queues.
+/// let r2 = WalkRequest { key: TranslationKey::new(Asid(0), VirtPage(2)), requester: GpuId(0) };
+/// assert_eq!(s.submit(Cycle(0), r2, 500), None);
+/// // First completes; the queued walk starts.
+/// let started = s.complete().unwrap();
+/// assert_eq!(started.key, r2.key);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WalkerScheduler {
+    walkers: usize,
+    busy: usize,
+    mode: WalkerMode,
+    fifo: VecDeque<WalkRequest>,
+    /// Per-ASID queues (Dws mode), lazily created, served round-robin.
+    per_asid: Vec<(Asid, VecDeque<WalkRequest>)>,
+    rr_cursor: usize,
+    max_backlog: usize,
+    started: u64,
+}
+
+impl WalkerScheduler {
+    /// Creates a scheduler for `walkers` walkers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `walkers` is zero.
+    #[must_use]
+    pub fn new(walkers: usize, mode: WalkerMode) -> Self {
+        assert!(walkers > 0, "need at least one page-table walker");
+        WalkerScheduler {
+            walkers,
+            busy: 0,
+            mode,
+            fifo: VecDeque::new(),
+            per_asid: Vec::new(),
+            rr_cursor: 0,
+            max_backlog: 0,
+            started: 0,
+        }
+    }
+
+    /// Number of walkers in the pool.
+    #[must_use]
+    pub fn walkers(&self) -> usize {
+        self.walkers
+    }
+
+    /// Walks currently in service.
+    #[must_use]
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Requests waiting for a walker.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.fifo.len() + self.per_asid.iter().map(|(_, q)| q.len()).sum::<usize>()
+    }
+
+    /// Peak backlog observed.
+    #[must_use]
+    pub fn max_backlog(&self) -> usize {
+        self.max_backlog
+    }
+
+    /// Total walks started.
+    #[must_use]
+    pub fn started(&self) -> u64 {
+        self.started
+    }
+
+    /// Submits a walk needing `service` cycles. Returns the completion time
+    /// if a walker was free, or `None` if the request was queued.
+    pub fn submit(&mut self, now: Cycle, request: WalkRequest, service: u64) -> Option<Cycle> {
+        if self.busy < self.walkers {
+            self.busy += 1;
+            self.started += 1;
+            return Some(now.after(service));
+        }
+        match self.mode {
+            WalkerMode::Fifo => self.fifo.push_back(request),
+            WalkerMode::Dws => {
+                let asid = request.key.asid;
+                match self.per_asid.iter_mut().find(|(a, _)| *a == asid) {
+                    Some((_, q)) => q.push_back(request),
+                    None => {
+                        let mut q = VecDeque::new();
+                        q.push_back(request);
+                        self.per_asid.push((asid, q));
+                    }
+                }
+            }
+        }
+        self.max_backlog = self.max_backlog.max(self.backlog());
+        None
+    }
+
+    /// Reports a walk completion and, if the backlog is non-empty, starts
+    /// the next request (per discipline) on the freed walker, returning it.
+    /// The caller computes the new walk's service time and schedules its
+    /// completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with no walk in service.
+    pub fn complete(&mut self) -> Option<WalkRequest> {
+        assert!(self.busy > 0, "completion reported with no walk in service");
+        self.busy -= 1;
+        let request = match self.mode {
+            WalkerMode::Fifo => self.fifo.pop_front(),
+            WalkerMode::Dws => self.pop_round_robin(),
+        }?;
+        self.busy += 1;
+        self.started += 1;
+        Some(request)
+    }
+
+    /// Cancels a *queued* (not yet started) walk for `key`, removing the
+    /// first matching request from the backlog. In-service walks cannot be
+    /// cancelled (the walker hardware is already chasing the page table);
+    /// their results are discarded by the pending table instead. Returns
+    /// whether a queued walk was removed.
+    pub fn cancel(&mut self, key: TranslationKey) -> bool {
+        if let Some(pos) = self.fifo.iter().position(|r| r.key == key) {
+            self.fifo.remove(pos);
+            return true;
+        }
+        for (_, q) in &mut self.per_asid {
+            if let Some(pos) = q.iter().position(|r| r.key == key) {
+                q.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn pop_round_robin(&mut self) -> Option<WalkRequest> {
+        if self.per_asid.is_empty() {
+            return None;
+        }
+        let n = self.per_asid.len();
+        for i in 0..n {
+            let idx = (self.rr_cursor + i) % n;
+            if let Some(req) = self.per_asid[idx].1.pop_front() {
+                self.rr_cursor = (idx + 1) % n;
+                return Some(req);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_types::VirtPage;
+
+    fn req(asid: u16, v: u64) -> WalkRequest {
+        WalkRequest {
+            key: TranslationKey::new(Asid(asid), VirtPage(v)),
+            requester: GpuId(0),
+        }
+    }
+
+    #[test]
+    fn pool_parallelism() {
+        let mut s = WalkerScheduler::new(2, WalkerMode::Fifo);
+        assert_eq!(s.submit(Cycle(0), req(0, 1), 500), Some(Cycle(500)));
+        assert_eq!(s.submit(Cycle(0), req(0, 2), 500), Some(Cycle(500)));
+        assert_eq!(s.submit(Cycle(0), req(0, 3), 500), None);
+        assert_eq!(s.busy(), 2);
+        assert_eq!(s.backlog(), 1);
+    }
+
+    #[test]
+    fn fifo_serves_in_arrival_order() {
+        let mut s = WalkerScheduler::new(1, WalkerMode::Fifo);
+        s.submit(Cycle(0), req(0, 1), 100);
+        s.submit(Cycle(0), req(0, 2), 100);
+        s.submit(Cycle(0), req(0, 3), 100);
+        assert_eq!(s.complete().unwrap().key.vpn, VirtPage(2));
+        assert_eq!(s.complete().unwrap().key.vpn, VirtPage(3));
+        assert!(s.complete().is_none());
+        assert_eq!(s.busy(), 0);
+    }
+
+    #[test]
+    fn dws_round_robins_across_asids() {
+        let mut s = WalkerScheduler::new(1, WalkerMode::Dws);
+        s.submit(Cycle(0), req(9, 0), 100); // starts immediately
+        // ASID 1 floods; ASID 2 submits one late request.
+        for v in 1..=5 {
+            s.submit(Cycle(0), req(1, v), 100);
+        }
+        s.submit(Cycle(0), req(2, 100), 100);
+        // Round-robin: asid1, asid2, asid1, asid1...
+        assert_eq!(s.complete().unwrap().key.asid.0, 1);
+        assert_eq!(
+            s.complete().unwrap().key.asid.0,
+            2,
+            "DWS must not starve the light app"
+        );
+        assert_eq!(s.complete().unwrap().key.asid.0, 1);
+    }
+
+    #[test]
+    fn fifo_head_of_line_blocks_light_app() {
+        // The contrast case to DWS: the same arrival pattern makes the
+        // light app wait behind the entire flood.
+        let mut s = WalkerScheduler::new(1, WalkerMode::Fifo);
+        s.submit(Cycle(0), req(9, 0), 100);
+        for v in 1..=5 {
+            s.submit(Cycle(0), req(1, v), 100);
+        }
+        s.submit(Cycle(0), req(2, 100), 100);
+        let mut position = 0;
+        while let Some(r) = s.complete() {
+            if r.key.asid.0 == 2 {
+                break;
+            }
+            position += 1;
+        }
+        assert_eq!(position, 5, "FIFO serves the flood first");
+    }
+
+    #[test]
+    fn max_backlog_tracks_peak() {
+        let mut s = WalkerScheduler::new(1, WalkerMode::Fifo);
+        s.submit(Cycle(0), req(0, 1), 10);
+        s.submit(Cycle(0), req(0, 2), 10);
+        s.submit(Cycle(0), req(0, 3), 10);
+        assert_eq!(s.max_backlog(), 2);
+        assert_eq!(s.started(), 1);
+    }
+
+    #[test]
+    fn drained_pool_frees_walkers() {
+        let mut s = WalkerScheduler::new(2, WalkerMode::Dws);
+        s.submit(Cycle(0), req(0, 1), 10);
+        s.submit(Cycle(0), req(1, 2), 10);
+        assert!(s.complete().is_none());
+        assert!(s.complete().is_none());
+        assert_eq!(s.busy(), 0);
+        // Pool free again: new submission starts immediately.
+        assert_eq!(s.submit(Cycle(30), req(0, 3), 10), Some(Cycle(40)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no walk in service")]
+    fn spurious_completion_panics() {
+        let mut s = WalkerScheduler::new(1, WalkerMode::Fifo);
+        let _ = s.complete();
+    }
+
+    #[test]
+    fn cancel_removes_queued_walks_only() {
+        let mut s = WalkerScheduler::new(1, WalkerMode::Fifo);
+        s.submit(Cycle(0), req(0, 1), 100); // in service
+        s.submit(Cycle(0), req(0, 2), 100); // queued
+        // The in-service walk cannot be cancelled...
+        assert!(!s.cancel(TranslationKey::new(Asid(0), VirtPage(1))));
+        // ...but the queued one can.
+        assert!(s.cancel(TranslationKey::new(Asid(0), VirtPage(2))));
+        assert_eq!(s.backlog(), 0);
+        assert!(!s.cancel(TranslationKey::new(Asid(0), VirtPage(2))));
+        assert!(s.complete().is_none(), "queue emptied by the cancel");
+    }
+
+    #[test]
+    fn cancel_works_in_dws_queues() {
+        let mut s = WalkerScheduler::new(1, WalkerMode::Dws);
+        s.submit(Cycle(0), req(0, 1), 100);
+        s.submit(Cycle(0), req(1, 2), 100);
+        s.submit(Cycle(0), req(2, 3), 100);
+        assert!(s.cancel(TranslationKey::new(Asid(2), VirtPage(3))));
+        assert_eq!(s.backlog(), 1);
+        assert_eq!(s.complete().unwrap().key.asid.0, 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! Physical frame allocator with a fragmentation model.
+
+use std::error::Error;
+use std::fmt;
+
+use mgpu_types::PhysPage;
+
+/// Error returned when the allocator cannot satisfy a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Frames requested.
+    pub requested: usize,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "out of physical memory ({} frames requested)", self.requested)
+    }
+}
+
+impl Error for OutOfMemory {}
+
+/// Bitmap-based first-fit physical frame allocator.
+///
+/// Supports single-frame allocation, aligned contiguous runs (for 2 MB
+/// superpages: 512 naturally-aligned frames), and *fragmentation injection*
+/// — pinning scattered single frames so that contiguous runs become scarce,
+/// modelling the memory state that defeats large pages in the paper's
+/// Table 1 discussion.
+///
+/// # Examples
+///
+/// ```
+/// use pagetable::FrameAllocator;
+///
+/// let mut a = FrameAllocator::new(2048);
+/// let single = a.allocate().unwrap();
+/// let run = a.allocate_contiguous(512).unwrap();
+/// assert_eq!(run.0 % 512, 0, "superpage frames are naturally aligned");
+/// a.free(single);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    /// One bit per frame; set = allocated.
+    bitmap: Vec<u64>,
+    frames: usize,
+    allocated: usize,
+    /// Rotating scan cursor (first-fit-next) keeps allocation O(1) amortised.
+    cursor: usize,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing `frames` physical frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    #[must_use]
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "physical memory must have at least one frame");
+        FrameAllocator {
+            bitmap: vec![0; frames.div_ceil(64)],
+            frames,
+            allocated: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Total frames managed.
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Frames currently allocated.
+    #[must_use]
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Frames currently free.
+    #[must_use]
+    pub fn free_frames(&self) -> usize {
+        self.frames - self.allocated
+    }
+
+    fn is_set(&self, i: usize) -> bool {
+        self.bitmap[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn set(&mut self, i: usize) {
+        self.bitmap[i / 64] |= 1 << (i % 64);
+    }
+
+    fn clear(&mut self, i: usize) {
+        self.bitmap[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if no frame is free.
+    pub fn allocate(&mut self) -> Result<PhysPage, OutOfMemory> {
+        if self.allocated == self.frames {
+            return Err(OutOfMemory { requested: 1 });
+        }
+        for off in 0..self.frames {
+            let i = (self.cursor + off) % self.frames;
+            if !self.is_set(i) {
+                self.set(i);
+                self.allocated += 1;
+                self.cursor = (i + 1) % self.frames;
+                return Ok(PhysPage(i as u64));
+            }
+        }
+        Err(OutOfMemory { requested: 1 })
+    }
+
+    /// Allocates `count` contiguous frames naturally aligned to `count`
+    /// (which must be a power of two), returning the first frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if no aligned free run exists (possibly due
+    /// to fragmentation even when enough total frames are free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is not a power of two.
+    pub fn allocate_contiguous(&mut self, count: usize) -> Result<PhysPage, OutOfMemory> {
+        assert!(count.is_power_of_two(), "contiguous runs must be power-of-two sized");
+        if count > self.free_frames() {
+            return Err(OutOfMemory { requested: count });
+        }
+        let mut base = 0;
+        while base + count <= self.frames {
+            match (base..base + count).find(|&i| self.is_set(i)) {
+                None => {
+                    for i in base..base + count {
+                        self.set(i);
+                    }
+                    self.allocated += count;
+                    return Ok(PhysPage(base as u64));
+                }
+                // Skip past the conflict, staying aligned.
+                Some(conflict) => base = (conflict + count) / count * count,
+            }
+        }
+        Err(OutOfMemory { requested: count })
+    }
+
+    /// Frees one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free or out-of-range frames — both are simulator
+    /// bugs that must surface immediately.
+    pub fn free(&mut self, frame: PhysPage) {
+        let i = frame.0 as usize;
+        assert!(i < self.frames, "frame {frame} out of range");
+        assert!(self.is_set(i), "double free of frame {frame}");
+        self.clear(i);
+        self.allocated -= 1;
+    }
+
+    /// Frees a contiguous run previously returned by
+    /// [`allocate_contiguous`](Self::allocate_contiguous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame in the run is not currently allocated.
+    pub fn free_contiguous(&mut self, base: PhysPage, count: usize) {
+        for i in 0..count {
+            self.free(PhysPage(base.0 + i as u64));
+        }
+    }
+
+    /// Pins `count` scattered single frames chosen by a deterministic
+    /// stride, fragmenting physical memory. Returns how many were pinned.
+    /// Pinned frames are ordinary allocations that are never freed, so
+    /// subsequent [`allocate_contiguous`](Self::allocate_contiguous) calls
+    /// see a fragmented pool.
+    pub fn inject_fragmentation(&mut self, count: usize, stride: usize) -> usize {
+        let stride = stride.max(1);
+        let mut pinned = 0;
+        let mut i = stride / 2;
+        while pinned < count && i < self.frames {
+            if !self.is_set(i) {
+                self.set(i);
+                self.allocated += 1;
+                pinned += 1;
+            }
+            i += stride;
+        }
+        pinned
+    }
+
+    /// Largest free aligned run of `count` frames available right now
+    /// (diagnostic for fragmentation experiments): returns whether one
+    /// exists, without allocating.
+    #[must_use]
+    pub fn has_contiguous(&self, count: usize) -> bool {
+        assert!(count.is_power_of_two());
+        let mut base = 0;
+        while base + count <= self.frames {
+            match (base..base + count).find(|&i| self.is_set(i)) {
+                None => return true,
+                Some(conflict) => base = (conflict + count) / count * count,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_distinct_frames() {
+        let mut a = FrameAllocator::new(128);
+        let f1 = a.allocate().unwrap();
+        let f2 = a.allocate().unwrap();
+        assert_ne!(f1, f2);
+        assert_eq!(a.allocated(), 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_error() {
+        let mut a = FrameAllocator::new(2);
+        a.allocate().unwrap();
+        a.allocate().unwrap();
+        assert_eq!(a.allocate(), Err(OutOfMemory { requested: 1 }));
+    }
+
+    #[test]
+    fn free_allows_reuse() {
+        let mut a = FrameAllocator::new(1);
+        let f = a.allocate().unwrap();
+        a.free(f);
+        assert_eq!(a.allocate().unwrap(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = FrameAllocator::new(4);
+        let f = a.allocate().unwrap();
+        a.free(f);
+        a.free(f);
+    }
+
+    #[test]
+    fn contiguous_is_aligned() {
+        let mut a = FrameAllocator::new(4096);
+        a.allocate().unwrap(); // frame 0 taken
+        let run = a.allocate_contiguous(512).unwrap();
+        assert_eq!(run.0 % 512, 0);
+        assert_eq!(run.0, 512, "first aligned free run starts at 512");
+        assert_eq!(a.allocated(), 513);
+    }
+
+    #[test]
+    fn fragmentation_defeats_superpages() {
+        let mut a = FrameAllocator::new(8192);
+        // Pin one frame in every 512-frame aligned block.
+        let pinned = a.inject_fragmentation(16, 512);
+        assert_eq!(pinned, 16);
+        assert!(!a.has_contiguous(512));
+        assert!(a.allocate_contiguous(512).is_err());
+        // Plenty of single frames remain.
+        assert!(a.allocate().is_ok());
+        assert!(a.free_frames() > 8000);
+    }
+
+    #[test]
+    fn free_contiguous_releases_run() {
+        let mut a = FrameAllocator::new(1024);
+        let run = a.allocate_contiguous(256).unwrap();
+        a.free_contiguous(run, 256);
+        assert_eq!(a.allocated(), 0);
+        assert!(a.has_contiguous(256));
+    }
+
+    #[test]
+    fn contiguous_larger_than_memory_fails() {
+        let mut a = FrameAllocator::new(128);
+        assert!(a.allocate_contiguous(256).is_err());
+    }
+
+    #[test]
+    fn out_of_memory_display() {
+        let e = OutOfMemory { requested: 512 };
+        assert!(e.to_string().contains("512"));
+    }
+}

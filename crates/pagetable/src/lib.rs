@@ -1,0 +1,36 @@
+//! Page-table substrate: an x86-64-style 4-level radix page table per
+//! address space, a physical frame allocator with a fragmentation model, and
+//! the walk-latency model used by the IOMMU's page-table walkers.
+//!
+//! The paper keeps page tables centralised in CPU memory and walked by eight
+//! shared IOMMU walkers with a flat 500-cycle walk latency (Table 2); the
+//! per-GPU-local-page-table system of §5.3 reuses the same structures with a
+//! different owner. Both 4 KB pages and 2 MB superpages (§5.4) are
+//! supported, including the intra-superpage fragmentation pressure that
+//! motivates the paper's Table 1 criticism of large pages.
+//!
+//! # Examples
+//!
+//! ```
+//! use mgpu_types::{Asid, PageSize, VirtPage};
+//! use pagetable::{FrameAllocator, PageTable};
+//!
+//! let mut frames = FrameAllocator::new(1 << 20);
+//! let mut pt = PageTable::new();
+//! let frame = frames.allocate().unwrap();
+//! pt.map(VirtPage(0x42), frame, PageSize::Size4K).unwrap();
+//! let walk = pt.translate(VirtPage(0x42)).unwrap();
+//! assert_eq!(walk.frame, frame);
+//! assert_eq!(walk.levels, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod table;
+mod walker;
+
+pub use alloc::{FrameAllocator, OutOfMemory};
+pub use table::{MapError, PageTable, Walk};
+pub use walker::WalkLatency;

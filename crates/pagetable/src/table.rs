@@ -1,0 +1,350 @@
+//! 4-level radix page table (x86-64 style: 9+9+9+9 index bits over a
+//! 36-bit 4 KB virtual page number).
+
+use std::error::Error;
+use std::fmt;
+
+use mgpu_types::{PageSize, PhysPage, VirtPage};
+
+const FANOUT: usize = 512;
+const LEVELS: u32 = 4;
+
+/// Result of a successful translation walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Walk {
+    /// Physical frame of the leaf mapping. For a 2 MB mapping this is the
+    /// first 4 KB frame of the superpage.
+    pub frame: PhysPage,
+    /// Size of the leaf mapping found.
+    pub size: PageSize,
+    /// Page-table levels touched (4 for a 4 KB leaf, 3 for a 2 MB leaf) —
+    /// feeds the per-level walk-latency model.
+    pub levels: u32,
+}
+
+/// Errors from [`PageTable::map`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The virtual page is already mapped.
+    AlreadyMapped(VirtPage),
+    /// A 2 MB mapping was requested at a page number not aligned to 512.
+    Misaligned(VirtPage),
+    /// A 2 MB mapping would overlap existing 4 KB mappings (or vice versa).
+    Overlap(VirtPage),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::AlreadyMapped(p) => write!(f, "page {p} is already mapped"),
+            MapError::Misaligned(p) => write!(f, "superpage base {p} is not 512-page aligned"),
+            MapError::Overlap(p) => write!(f, "mapping at {p} overlaps an existing mapping"),
+        }
+    }
+}
+
+impl Error for MapError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pte {
+    Empty,
+    /// Interior entry pointing at the next-level node (arena index).
+    Node(u32),
+    /// Leaf mapping (4 KB at level 0 depth, 2 MB at depth 1 from bottom).
+    Leaf(PhysPage),
+}
+
+/// One address space's 4-level page table.
+///
+/// Nodes live in an internal arena; each node is a 512-entry array, so the
+/// structure mirrors the memory the IOMMU's walkers would actually touch.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    nodes: Vec<Box<[Pte; FANOUT]>>,
+    mapped_4k: u64,
+    mapped_2m: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table (root node only).
+    #[must_use]
+    pub fn new() -> Self {
+        PageTable {
+            nodes: vec![Self::empty_node()],
+            mapped_4k: 0,
+            mapped_2m: 0,
+        }
+    }
+
+    fn empty_node() -> Box<[Pte; FANOUT]> {
+        Box::new([Pte::Empty; FANOUT])
+    }
+
+    /// Count of 4 KB leaf mappings.
+    #[must_use]
+    pub fn mapped_4k(&self) -> u64 {
+        self.mapped_4k
+    }
+
+    /// Count of 2 MB leaf mappings.
+    #[must_use]
+    pub fn mapped_2m(&self) -> u64 {
+        self.mapped_2m
+    }
+
+    /// Page-table nodes allocated (root included) — proxies the table's own
+    /// memory footprint.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Index of `vpn` at `depth` levels above the leaf level.
+    fn index_at(vpn: VirtPage, depth: u32) -> usize {
+        ((vpn.0 >> (9 * depth)) & (FANOUT as u64 - 1)) as usize
+    }
+
+    /// Maps `vpn → frame` with the given page size.
+    ///
+    /// For [`PageSize::Size2M`], `vpn` is the 4 KB-granule page number of
+    /// the superpage base and must be 512-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] on double-mapping, misalignment, or overlap
+    /// with an existing mapping of the other size.
+    pub fn map(&mut self, vpn: VirtPage, frame: PhysPage, size: PageSize) -> Result<(), MapError> {
+        let leaf_depth = match size {
+            PageSize::Size4K => 0,
+            PageSize::Size2M => {
+                if !vpn.0.is_multiple_of(FANOUT as u64) {
+                    return Err(MapError::Misaligned(vpn));
+                }
+                1
+            }
+        };
+        let mut node = 0usize;
+        for depth in (leaf_depth + 1..LEVELS).rev() {
+            let idx = Self::index_at(vpn, depth);
+            match self.nodes[node][idx] {
+                Pte::Node(n) => node = n as usize,
+                Pte::Empty => {
+                    let new = self.nodes.len() as u32;
+                    self.nodes.push(Self::empty_node());
+                    self.nodes[node][idx] = Pte::Node(new);
+                    node = new as usize;
+                }
+                Pte::Leaf(_) => return Err(MapError::Overlap(vpn)),
+            }
+        }
+        let idx = Self::index_at(vpn, leaf_depth);
+        match self.nodes[node][idx] {
+            Pte::Empty => {
+                self.nodes[node][idx] = Pte::Leaf(frame);
+                match size {
+                    PageSize::Size4K => self.mapped_4k += 1,
+                    PageSize::Size2M => self.mapped_2m += 1,
+                }
+                Ok(())
+            }
+            Pte::Leaf(_) => Err(MapError::AlreadyMapped(vpn)),
+            Pte::Node(_) => Err(MapError::Overlap(vpn)),
+        }
+    }
+
+    /// Walks the table for the 4 KB-granule page `vpn`, returning the leaf
+    /// found (a 2 MB leaf covers all 512 contained 4 KB page numbers).
+    #[must_use]
+    pub fn translate(&self, vpn: VirtPage) -> Option<Walk> {
+        let mut node = 0usize;
+        let mut levels = 1;
+        for depth in (1..LEVELS).rev() {
+            let idx = Self::index_at(vpn, depth);
+            match self.nodes[node][idx] {
+                Pte::Node(n) => {
+                    node = n as usize;
+                    levels += 1;
+                }
+                Pte::Leaf(frame) => {
+                    debug_assert_eq!(depth, 1, "2MB leaves live one level above the bottom");
+                    return Some(Walk {
+                        // Offset within the superpage.
+                        frame: PhysPage(frame.0 + (vpn.0 & (FANOUT as u64 - 1))),
+                        size: PageSize::Size2M,
+                        levels,
+                    });
+                }
+                Pte::Empty => return None,
+            }
+        }
+        match self.nodes[node][Self::index_at(vpn, 0)] {
+            Pte::Leaf(frame) => Some(Walk {
+                frame,
+                size: PageSize::Size4K,
+                levels,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Removes the mapping covering `vpn`. Returns the removed leaf, or
+    /// `None` if unmapped. Interior nodes are not garbage-collected (as in
+    /// real kernels, they persist for reuse).
+    pub fn unmap(&mut self, vpn: VirtPage) -> Option<Walk> {
+        let mut node = 0usize;
+        for depth in (1..LEVELS).rev() {
+            let idx = Self::index_at(vpn, depth);
+            match self.nodes[node][idx] {
+                Pte::Node(n) => node = n as usize,
+                Pte::Leaf(frame) => {
+                    self.nodes[node][idx] = Pte::Empty;
+                    self.mapped_2m -= 1;
+                    return Some(Walk {
+                        frame,
+                        size: PageSize::Size2M,
+                        levels: LEVELS - depth,
+                    });
+                }
+                Pte::Empty => return None,
+            }
+        }
+        let idx = Self::index_at(vpn, 0);
+        match self.nodes[node][idx] {
+            Pte::Leaf(frame) => {
+                self.nodes[node][idx] = Pte::Empty;
+                self.mapped_4k -= 1;
+                Some(Walk {
+                    frame,
+                    size: PageSize::Size4K,
+                    levels: LEVELS,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        PageTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_then_translate_4k() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(0x1234), PhysPage(99), PageSize::Size4K).unwrap();
+        let w = pt.translate(VirtPage(0x1234)).unwrap();
+        assert_eq!(w.frame, PhysPage(99));
+        assert_eq!(w.size, PageSize::Size4K);
+        assert_eq!(w.levels, 4);
+        assert!(pt.translate(VirtPage(0x1235)).is_none());
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(7), PhysPage(1), PageSize::Size4K).unwrap();
+        assert_eq!(
+            pt.map(VirtPage(7), PhysPage(2), PageSize::Size4K),
+            Err(MapError::AlreadyMapped(VirtPage(7)))
+        );
+    }
+
+    #[test]
+    fn superpage_covers_512_pages() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(512), PhysPage(1024), PageSize::Size2M).unwrap();
+        let w0 = pt.translate(VirtPage(512)).unwrap();
+        assert_eq!(w0.frame, PhysPage(1024));
+        assert_eq!(w0.size, PageSize::Size2M);
+        assert_eq!(w0.levels, 3, "2MB walk touches one level fewer");
+        let w511 = pt.translate(VirtPage(512 + 511)).unwrap();
+        assert_eq!(w511.frame, PhysPage(1024 + 511));
+        assert!(pt.translate(VirtPage(511)).is_none());
+        assert!(pt.translate(VirtPage(1024)).is_none());
+    }
+
+    #[test]
+    fn misaligned_superpage_rejected() {
+        let mut pt = PageTable::new();
+        assert_eq!(
+            pt.map(VirtPage(100), PhysPage(0), PageSize::Size2M),
+            Err(MapError::Misaligned(VirtPage(100)))
+        );
+    }
+
+    #[test]
+    fn superpage_overlap_with_4k_rejected() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(512 + 3), PhysPage(7), PageSize::Size4K).unwrap();
+        assert_eq!(
+            pt.map(VirtPage(512), PhysPage(0), PageSize::Size2M),
+            Err(MapError::Overlap(VirtPage(512)))
+        );
+        // And a 4K map under an existing superpage is rejected too.
+        let mut pt2 = PageTable::new();
+        pt2.map(VirtPage(512), PhysPage(0), PageSize::Size2M).unwrap();
+        assert_eq!(
+            pt2.map(VirtPage(512 + 8), PhysPage(9), PageSize::Size4K),
+            Err(MapError::Overlap(VirtPage(512 + 8)))
+        );
+    }
+
+    #[test]
+    fn unmap_4k() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(5), PhysPage(50), PageSize::Size4K).unwrap();
+        assert_eq!(pt.mapped_4k(), 1);
+        let w = pt.unmap(VirtPage(5)).unwrap();
+        assert_eq!(w.frame, PhysPage(50));
+        assert_eq!(pt.mapped_4k(), 0);
+        assert!(pt.translate(VirtPage(5)).is_none());
+        assert!(pt.unmap(VirtPage(5)).is_none());
+    }
+
+    #[test]
+    fn unmap_2m() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(1024), PhysPage(0), PageSize::Size2M).unwrap();
+        assert_eq!(pt.mapped_2m(), 1);
+        pt.unmap(VirtPage(1024 + 17)).unwrap();
+        assert_eq!(pt.mapped_2m(), 0);
+        assert!(pt.translate(VirtPage(1024)).is_none());
+    }
+
+    #[test]
+    fn distant_pages_share_no_leaf_nodes() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(0), PhysPage(1), PageSize::Size4K).unwrap();
+        let nodes_before = pt.node_count();
+        // A page 2^27 away differs in the top-level index.
+        pt.map(VirtPage(1 << 27), PhysPage(2), PageSize::Size4K).unwrap();
+        assert_eq!(pt.node_count(), nodes_before + 3, "full new subtree");
+    }
+
+    #[test]
+    fn dense_region_reuses_nodes() {
+        let mut pt = PageTable::new();
+        for i in 0..FANOUT as u64 {
+            pt.map(VirtPage(i), PhysPage(i), PageSize::Size4K).unwrap();
+        }
+        assert_eq!(pt.node_count(), 4, "one node per level for one dense leaf region");
+        assert_eq!(pt.mapped_4k(), 512);
+    }
+
+    #[test]
+    fn map_error_display() {
+        assert!(MapError::AlreadyMapped(VirtPage(1)).to_string().contains("already"));
+        assert!(MapError::Misaligned(VirtPage(1)).to_string().contains("aligned"));
+        assert!(MapError::Overlap(VirtPage(1)).to_string().contains("overlap"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Walk-latency model for page-table walkers.
+
+use serde::{Deserialize, Serialize};
+
+/// How many cycles a page-table walk costs.
+///
+/// The paper charges a flat 500 cycles per walk (Table 2, following the
+/// methodology of Tang et al. PACT'20); the per-level model is provided for
+/// the superpage experiments, where a 2 MB walk touches one level fewer.
+///
+/// # Examples
+///
+/// ```
+/// use pagetable::WalkLatency;
+///
+/// assert_eq!(WalkLatency::Flat(500).cycles(4), 500);
+/// assert_eq!(WalkLatency::PerLevel(125).cycles(4), 500);
+/// assert_eq!(WalkLatency::PerLevel(125).cycles(3), 375);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkLatency {
+    /// Fixed cost regardless of levels touched (the paper's model).
+    Flat(u64),
+    /// Cost per page-table level touched (models pointer-chasing memory
+    /// accesses).
+    PerLevel(u64),
+}
+
+impl WalkLatency {
+    /// Cycles to complete a walk that touches `levels` levels.
+    #[must_use]
+    pub fn cycles(self, levels: u32) -> u64 {
+        match self {
+            WalkLatency::Flat(c) => c,
+            WalkLatency::PerLevel(c) => c * u64::from(levels),
+        }
+    }
+}
+
+impl Default for WalkLatency {
+    fn default() -> Self {
+        WalkLatency::Flat(500)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_ignores_levels() {
+        assert_eq!(WalkLatency::Flat(500).cycles(1), 500);
+        assert_eq!(WalkLatency::Flat(500).cycles(4), 500);
+    }
+
+    #[test]
+    fn per_level_scales() {
+        assert_eq!(WalkLatency::PerLevel(100).cycles(3), 300);
+    }
+
+    #[test]
+    fn default_matches_paper_table2() {
+        assert_eq!(WalkLatency::default(), WalkLatency::Flat(500));
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! MGPUSim (the simulator the paper builds on) is an event-driven simulator;
+//! this crate provides the equivalent substrate: a time-ordered event queue
+//! with deterministic FIFO tie-breaking, a monotonic clock, and a small
+//! server-pool helper used to model resources such as the IOMMU's eight
+//! shared page-table walkers.
+//!
+//! The queue is generic over the event payload so the system model (in the
+//! `least-tlb` crate) can define one flat event enum and keep dispatch in a
+//! single match statement — the structure that makes a simulator of this kind
+//! auditable.
+//!
+//! # Examples
+//!
+//! ```
+//! use mgpu_types::Cycle;
+//! use sim_engine::EventQueue;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Cycle(5), "late");
+//! q.schedule(Cycle(1), "early");
+//! q.schedule(Cycle(5), "late-but-second");
+//!
+//! assert_eq!(q.pop(), Some((Cycle(1), "early")));
+//! assert_eq!(q.pop(), Some((Cycle(5), "late")));
+//! assert_eq!(q.pop(), Some((Cycle(5), "late-but-second")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod server;
+
+pub use queue::EventQueue;
+pub use server::ServerPool;

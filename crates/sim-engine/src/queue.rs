@@ -1,0 +1,216 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mgpu_types::Cycle;
+
+/// A deterministic discrete-event queue.
+///
+/// Events scheduled for the same cycle are delivered in the order they were
+/// scheduled (FIFO), which — together with seeded RNGs everywhere else —
+/// makes whole-simulation runs bit-reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_types::Cycle;
+/// use sim_engine::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_after(3, "a");
+/// assert_eq!(q.now(), Cycle(0));
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (Cycle(3), "a"));
+/// assert_eq!(q.now(), Cycle(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Slot<E>>>,
+    seq: u64,
+    now: Cycle,
+    popped: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Slot<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Slot<E> {}
+impl<E> PartialOrd for Slot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Slot<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at cycle zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycle::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the most recently popped
+    /// event (zero before the first pop).
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (`at < self.now()`); a simulator that
+    /// schedules into the past has a logic bug that must not be masked.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Slot {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedules `event` `delta` cycles after the current time.
+    pub fn schedule_after(&mut self, delta: u64, event: E) {
+        self.schedule(self.now.after(delta), event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse(slot) = self.heap.pop()?;
+        debug_assert!(slot.time >= self.now, "heap violated time order");
+        self.now = slot.time;
+        self.popped += 1;
+        Some((slot.time, slot.event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(2), 2);
+        q.schedule(Cycle(7), 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(Cycle(2), 2), (Cycle(7), 3), (Cycle(10), 1)]
+        );
+    }
+
+    #[test]
+    fn fifo_within_same_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(4), ());
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycle(4));
+        assert_eq!(q.delivered(), 1);
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), "first");
+        q.pop();
+        q.schedule_after(5, "second");
+        assert_eq!(q.pop(), Some((Cycle(15), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), ());
+        q.pop();
+        q.schedule(Cycle(9), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(3), ());
+        assert_eq!(q.peek_time(), Some(Cycle(3)));
+        assert_eq!(q.now(), Cycle::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

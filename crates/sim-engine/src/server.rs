@@ -1,0 +1,157 @@
+//! A pool of identical fixed-latency servers with a FIFO backlog.
+//!
+//! Models resources like the IOMMU's eight shared page-table walkers: a
+//! request entering the pool either starts immediately on a free server or
+//! queues behind earlier requests. The pool is a pure timing calculator — it
+//! tells the caller *when* a request will complete; the caller schedules the
+//! completion event itself.
+
+use mgpu_types::Cycle;
+
+/// FIFO pool of `n` identical servers, each serving one request at a time.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_types::Cycle;
+/// use sim_engine::ServerPool;
+///
+/// // Two walkers, 500-cycle walks.
+/// let mut pool = ServerPool::new(2);
+/// assert_eq!(pool.admit(Cycle(0), 500), Cycle(500));
+/// assert_eq!(pool.admit(Cycle(0), 500), Cycle(500));
+/// // Third request queues behind the earliest-finishing walker.
+/// assert_eq!(pool.admit(Cycle(0), 500), Cycle(1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    /// Completion time of the in-flight request on each server.
+    free_at: Vec<Cycle>,
+    admitted: u64,
+    busy_cycles: u64,
+}
+
+impl ServerPool {
+    /// Creates a pool of `servers` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    #[must_use]
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a server pool needs at least one server");
+        ServerPool {
+            free_at: vec![Cycle::ZERO; servers],
+            admitted: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Number of servers in the pool.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Admits a request arriving at `now` that needs `service` cycles, and
+    /// returns its completion time. The earliest-free server is used.
+    pub fn admit(&mut self, now: Cycle, service: u64) -> Cycle {
+        let slot = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        let start = self.free_at[slot].max(now);
+        let done = start.after(service);
+        self.free_at[slot] = done;
+        self.admitted += 1;
+        self.busy_cycles += service;
+        done
+    }
+
+    /// Earliest time a newly arriving request could start service.
+    #[must_use]
+    pub fn earliest_start(&self, now: Cycle) -> Cycle {
+        self.free_at
+            .iter()
+            .min()
+            .copied()
+            .unwrap_or(Cycle::ZERO)
+            .max(now)
+    }
+
+    /// Number of requests in service or queued at time `now`.
+    #[must_use]
+    pub fn in_flight(&self, now: Cycle) -> usize {
+        self.free_at.iter().filter(|t| **t > now).count()
+    }
+
+    /// Total requests admitted over the pool's lifetime.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Total service cycles accumulated (utilisation numerator).
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serializes() {
+        let mut p = ServerPool::new(1);
+        assert_eq!(p.admit(Cycle(0), 10), Cycle(10));
+        assert_eq!(p.admit(Cycle(0), 10), Cycle(20));
+        assert_eq!(p.admit(Cycle(25), 10), Cycle(35), "idle gap respected");
+    }
+
+    #[test]
+    fn parallel_servers_overlap() {
+        let mut p = ServerPool::new(4);
+        for _ in 0..4 {
+            assert_eq!(p.admit(Cycle(0), 100), Cycle(100));
+        }
+        assert_eq!(p.admit(Cycle(0), 100), Cycle(200));
+        assert_eq!(p.servers(), 4);
+    }
+
+    #[test]
+    fn in_flight_counts_busy_servers() {
+        let mut p = ServerPool::new(2);
+        p.admit(Cycle(0), 50);
+        assert_eq!(p.in_flight(Cycle(0)), 1);
+        assert_eq!(p.in_flight(Cycle(49)), 1);
+        assert_eq!(p.in_flight(Cycle(50)), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = ServerPool::new(2);
+        p.admit(Cycle(0), 5);
+        p.admit(Cycle(0), 7);
+        assert_eq!(p.admitted(), 2);
+        assert_eq!(p.busy_cycles(), 12);
+    }
+
+    #[test]
+    fn earliest_start_accounts_for_backlog() {
+        let mut p = ServerPool::new(1);
+        p.admit(Cycle(0), 100);
+        assert_eq!(p.earliest_start(Cycle(10)), Cycle(100));
+        assert_eq!(p.earliest_start(Cycle(150)), Cycle(150));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = ServerPool::new(0);
+    }
+}

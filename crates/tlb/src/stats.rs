@@ -1,0 +1,89 @@
+//! Hit/miss statistics for one TLB.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`Tlb`](crate::Tlb).
+///
+/// # Examples
+///
+/// ```
+/// use tlb::TlbStats;
+///
+/// let s = TlbStats { lookups: 10, hits: 4, misses: 6, ..Default::default() };
+/// assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Lookups performed via [`Tlb::lookup`](crate::Tlb::lookup).
+    pub lookups: u64,
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that did not find the key.
+    pub misses: u64,
+    /// Insertions (including in-place updates).
+    pub insertions: u64,
+    /// Capacity evictions caused by insertion into a full set.
+    pub evictions: u64,
+    /// Explicit removals (`remove`, `invalidate_asid`, `flush`).
+    pub removals: u64,
+}
+
+impl TlbStats {
+    /// Hits divided by lookups; zero when no lookups happened.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Accumulates another stats block into this one (used to aggregate
+    /// per-CU L1 TLBs into a per-GPU view).
+    pub fn merge(&mut self, other: &TlbStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.removals += other.removals;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        assert_eq!(TlbStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = TlbStats {
+            lookups: 1,
+            hits: 1,
+            misses: 0,
+            insertions: 2,
+            evictions: 1,
+            removals: 3,
+        };
+        let b = TlbStats {
+            lookups: 9,
+            hits: 3,
+            misses: 6,
+            insertions: 1,
+            evictions: 0,
+            removals: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.lookups, 10);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 6);
+        assert_eq!(a.insertions, 3);
+        assert_eq!(a.evictions, 1);
+        assert_eq!(a.removals, 4);
+    }
+}

@@ -1,0 +1,300 @@
+//! The ten applications of the paper (Tables 3–4) as parameterised
+//! profiles.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// L2 TLB MPKI class (paper §3.1.2): Low < 0.1, Medium 0.1–1, High > 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MpkiClass {
+    /// MPKI below 0.1.
+    Low,
+    /// MPKI in 0.1..1.
+    Medium,
+    /// MPKI above 1.
+    High,
+}
+
+impl MpkiClass {
+    /// Classifies a measured MPKI value.
+    #[must_use]
+    pub fn of(mpki: f64) -> Self {
+        if mpki < 0.1 {
+            MpkiClass::Low
+        } else if mpki < 1.0 {
+            MpkiClass::Medium
+        } else {
+            MpkiClass::High
+        }
+    }
+
+    /// One-letter label used in workload category strings ("LLMH").
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            MpkiClass::Low => 'L',
+            MpkiClass::Medium => 'M',
+            MpkiClass::High => 'H',
+        }
+    }
+}
+
+impl fmt::Display for MpkiClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Multi-GPU page-sharing pattern (paper §3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SharingPattern {
+    /// Random accesses from each GPU; unpredictable sharing (BS, PR).
+    Random,
+    /// Overlapping footprints between neighbouring GPUs (ST, FIR, SC).
+    Adjacent,
+    /// Strict data partitioning, no inter-GPU sharing (KM, AES).
+    Partition,
+    /// Data shared between rotating GPU pairs at each step (FFT).
+    Stride,
+    /// Producer-consumer reads/writes across GPUs with heavy sharing
+    /// (MT, MM).
+    ScatterGather,
+}
+
+/// The applications of Tables 3–4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Finite Impulse Response (Hetero-Mark), adjacent, L (MPKI 0.009).
+    Fir,
+    /// KMeans (Hetero-Mark), partition, M (0.502).
+    Km,
+    /// PageRank (Hetero-Mark), random, M (0.409).
+    Pr,
+    /// AES-256 (Hetero-Mark), partition, L (0.003).
+    Aes,
+    /// Matrix Transpose (AMDAPPSDK), scatter-gather, H (2.394).
+    Mt,
+    /// Matrix Multiplication (AMDAPPSDK), scatter-gather, M (0.164).
+    Mm,
+    /// Bitonic Sort (AMDAPPSDK), random, M (0.102).
+    Bs,
+    /// Stencil 2D (SHOC), adjacent, H (1.095).
+    St,
+    /// Fast Fourier Transform (SHOC), stride, L (0.008).
+    Fft,
+    /// Simple Convolution (AMDAPPSDK), adjacent, L (0.018); used only in
+    /// multi-application workloads, as in the paper.
+    Sc,
+}
+
+impl AppKind {
+    /// All ten applications (Table 3 order, then SC).
+    pub const ALL: [AppKind; 10] = [
+        AppKind::Fir,
+        AppKind::Km,
+        AppKind::Pr,
+        AppKind::Aes,
+        AppKind::Mt,
+        AppKind::Mm,
+        AppKind::Bs,
+        AppKind::St,
+        AppKind::Fft,
+        AppKind::Sc,
+    ];
+
+    /// Short name as used in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Fir => "FIR",
+            AppKind::Km => "KM",
+            AppKind::Pr => "PR",
+            AppKind::Aes => "AES",
+            AppKind::Mt => "MT",
+            AppKind::Mm => "MM",
+            AppKind::Bs => "BS",
+            AppKind::St => "ST",
+            AppKind::Fft => "FFT",
+            AppKind::Sc => "SC",
+        }
+    }
+
+    /// The tuned synthetic profile for this application.
+    ///
+    /// Burst lengths, compute ratios and footprint structure are calibrated
+    /// so each app lands in its paper MPKI class on the paper's TLB
+    /// geometry; the calibration is asserted by integration tests.
+    #[must_use]
+    pub fn profile(self) -> AppProfile {
+        use AppKind::*;
+        use SharingPattern::*;
+        match self {
+            // Streaming filter: in/out streams with neighbour halo overlap
+            // plus a tiny hot coefficient table.
+            Fir => AppProfile::new(Fir, Adjacent, MpkiClass::Low, 24 * K, 1024, 20, 4, 300, 16, 0),
+            // Points stream over the private partition; the shared
+            // centroid table is hot.
+            Km => AppProfile::new(Km, Partition, MpkiClass::Medium, 32 * K, 128, 12, 32, 250, 4, 8),
+            // Rank-vector streams over the whole graph from every GPU plus
+            // power-law neighbour gathers (hot celebrities + cold tail).
+            Pr => AppProfile::new(Pr, Random, MpkiClass::Medium, 32 * K, 128, 21, 128, 20, 4, 16),
+            // Block cipher: partitioned streaming; sbox/key schedule is hot
+            // and accessed on almost every element.
+            Aes => AppProfile::new(Aes, Partition, MpkiClass::Low, 24 * K, 1024, 30, 16, 450, 16, 0),
+            // Transpose: sequential local reads racing scattered remote
+            // column writes, in alternating intensity phases.
+            Mt => AppProfile::new(Mt, ScatterGather, MpkiClass::High, 32 * K, 256, 19, 0, 0, 1, 24),
+            // Tiled GEMM: the broadcast B matrix (75% of footprint) is
+            // swept by every GPU with tile-level reuse.
+            Mm => AppProfile::new(Mm, ScatterGather, MpkiClass::Medium, 36 * K, 32, 15, 0, 0, 4, 12),
+            // Bitonic stages exchange with rotating partner slabs.
+            Bs => AppProfile::new(Bs, Random, MpkiClass::Medium, 32 * K, 256, 10, 0, 0, 2, 16),
+            // 2D stencil with rows finer than pages: every GPU's sweep
+            // touches shared pages; short bursts (column-ish walks).
+            St => AppProfile::new(St, Adjacent, MpkiClass::High, 48 * K, 48, 15, 0, 0, 1, 16),
+            // Butterfly stages stream the local slab and the stage
+            // partner's slab; twiddle factors are hot.
+            Fft => AppProfile::new(Fft, Stride, MpkiClass::Low, 32 * K, 512, 30, 8, 300, 16, 16),
+            // Convolution: slab streaming with halo rows; the kernel mask
+            // is hot.
+            Sc => AppProfile::new(Sc, Adjacent, MpkiClass::Low, 24 * K, 256, 28, 2, 300, 16, 0),
+        }
+    }
+
+    /// The paper's measured MPKI (Table 3), for documentation and
+    /// shape-comparison output.
+    #[must_use]
+    pub fn paper_mpki(self) -> f64 {
+        match self {
+            AppKind::Fir => 0.009,
+            AppKind::Km => 0.502,
+            AppKind::Pr => 0.409,
+            AppKind::Aes => 0.003,
+            AppKind::Mt => 2.394,
+            AppKind::Mm => 0.164,
+            AppKind::Bs => 0.102,
+            AppKind::St => 1.095,
+            AppKind::Fft => 0.008,
+            AppKind::Sc => 0.018,
+        }
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const K: u64 = 1024;
+
+/// Tunable parameters of one application's synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Which application this is.
+    pub kind: AppKind,
+    /// Multi-GPU sharing pattern.
+    pub pattern: SharingPattern,
+    /// Paper MPKI class (calibration target).
+    pub class: MpkiClass,
+    /// Footprint in 4 KB pages at paper scale.
+    pub footprint_pages: u64,
+    /// Consecutive accesses a stream makes to one page before moving on
+    /// (spatial locality / coalescing proxy), for the primary stream.
+    pub burst: u32,
+    /// Compute instructions between memory instructions.
+    pub compute_per_mem: u32,
+    /// Hot-set size in pages (coefficients, cipher tables, centroids, …);
+    /// zero disables the hot set.
+    pub hot_pages: u64,
+    /// Per-mille of operations that touch the hot set.
+    pub hot_permille: u16,
+    /// Wavefront lanes that coalesce onto one shared stream position
+    /// (workgroup-level spatial locality). Large groups model streaming
+    /// kernels whose wavefronts walk memory together; 1 models scattered
+    /// kernels where every wavefront has a private working set.
+    pub lane_group: u32,
+    /// Iteration window: pages a lane sweeps before rewinding, modelling
+    /// iterative kernels (KMeans passes, PageRank iterations, stencil time
+    /// steps) whose reuse distances the TLB hierarchy contends with. Zero
+    /// disables rewinding (pure streaming). The effective window varies
+    /// ±2x across lanes so reuse distances spread smoothly.
+    pub window: u32,
+}
+
+impl AppProfile {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        kind: AppKind,
+        pattern: SharingPattern,
+        class: MpkiClass,
+        footprint_pages: u64,
+        burst: u32,
+        compute_per_mem: u32,
+        hot_pages: u64,
+        hot_permille: u16,
+        lane_group: u32,
+        window: u32,
+    ) -> Self {
+        AppProfile {
+            kind,
+            pattern,
+            class,
+            footprint_pages,
+            burst,
+            compute_per_mem,
+            hot_pages,
+            hot_permille,
+            lane_group,
+            window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_boundaries_match_paper() {
+        assert_eq!(MpkiClass::of(0.05), MpkiClass::Low);
+        assert_eq!(MpkiClass::of(0.1), MpkiClass::Medium);
+        assert_eq!(MpkiClass::of(0.99), MpkiClass::Medium);
+        assert_eq!(MpkiClass::of(1.0), MpkiClass::High);
+    }
+
+    #[test]
+    fn paper_mpki_classes_are_consistent() {
+        for kind in AppKind::ALL {
+            assert_eq!(
+                MpkiClass::of(kind.paper_mpki()),
+                kind.profile().class,
+                "{kind} profile class must match Table 3"
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_have_large_footprints() {
+        // The paper requires footprints that fill the TLB hierarchy
+        // (4096-entry IOMMU TLB).
+        for kind in AppKind::ALL {
+            assert!(
+                kind.profile().footprint_pages > 4096 * 4,
+                "{kind} footprint too small to thrash the IOMMU TLB"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_paper_abbreviations() {
+        assert_eq!(AppKind::Mt.to_string(), "MT");
+        assert_eq!(AppKind::Fft.name(), "FFT");
+        let letters: String = [MpkiClass::Low, MpkiClass::Medium, MpkiClass::High]
+            .iter()
+            .map(|c| c.letter())
+            .collect();
+        assert_eq!(letters, "LMH");
+    }
+}

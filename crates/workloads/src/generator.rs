@@ -1,0 +1,894 @@
+//! The per-application access-stream generators.
+//!
+//! Each wavefront lane interleaves a small number of **streams** (the
+//! kernel's concurrent input/output arrays, each swept with a per-page
+//! access burst that models spatial locality and coalescing) with accesses
+//! to a **hot set** (coefficients, cipher tables, centroids — data that is
+//! resident in the L1/L2 TLBs in steady state). The stream burst lengths,
+//! hot-set size/frequency and compute ratio are what place each app in its
+//! paper MPKI class; the stream *regions* are what produce its multi-GPU
+//! sharing pattern.
+
+use mgpu_types::{Asid, VirtPage};
+use serde::{Deserialize, Serialize};
+
+use crate::{AppKind, AppProfile};
+
+/// One wavefront operation: `compute` instructions followed by one memory
+/// instruction touching `vpn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WfOp {
+    /// Compute instructions preceding the memory access.
+    pub compute: u32,
+    /// 4 KB-granule virtual page touched by the memory access.
+    pub vpn: VirtPage,
+}
+
+/// Footprint scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Paper-scale footprints (tens of thousands of pages; fills the
+    /// 4096-entry IOMMU TLB many times over).
+    Paper,
+    /// Footprints divided by 8, for fast tests and CI. TLB geometry should
+    /// be scaled alongside (see `SystemConfig::scaled_down` in `least-tlb`).
+    Small,
+}
+
+impl Scale {
+    fn apply(self, pages: u64) -> u64 {
+        match self {
+            Scale::Paper => pages,
+            Scale::Small => (pages / 8).max(64),
+        }
+    }
+}
+
+/// A half-open page range `[start, start+len)`.
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    start: u64,
+    len: u64,
+}
+
+impl Region {
+    fn slab(footprint: u64, idx: u64, of: u64) -> Region {
+        let start = footprint * idx / of;
+        let end = footprint * (idx + 1) / of;
+        Region {
+            start,
+            len: (end - start).max(1),
+        }
+    }
+
+    /// The `lane`-th of `lanes` equal sub-ranges.
+    fn subrange(self, lane: u64, lanes: u64) -> Region {
+        let start = self.start + self.len * lane / lanes;
+        let end = self.start + self.len * (lane + 1) / lanes;
+        Region {
+            start,
+            len: (end - start).max(1),
+        }
+    }
+
+    /// The last `n` pages of the region.
+    fn tail(self, n: u64) -> Region {
+        let n = n.min(self.len);
+        Region {
+            start: self.start + self.len - n,
+            len: n,
+        }
+    }
+}
+
+/// A wrapping sequential sweep over a region with per-page access bursts.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    region: Region,
+    pos: u64,
+    burst: u32,
+    left: u32,
+    cur: u64,
+}
+
+impl Stream {
+    /// Creates a stream whose sweep starts `phase`/`phases` of the way into
+    /// the region (used to stagger GPUs over a shared region).
+    fn new(region: Region, burst: u32, phase: u64, phases: u64) -> Stream {
+        Stream {
+            region,
+            pos: region.len * phase / phases.max(1) % region.len,
+            burst: burst.max(1),
+            left: 0,
+            cur: region.start,
+        }
+    }
+
+    /// Creates a stream whose sweep starts `pages` pages into the region —
+    /// a small fixed skew between GPUs sharing a region, so their sweeps
+    /// stay temporally close (concurrent sharing) without being in perfect
+    /// lockstep.
+    fn skewed(region: Region, burst: u32, pages: u64) -> Stream {
+        Stream {
+            region,
+            pos: pages % region.len,
+            burst: burst.max(1),
+            left: 0,
+            cur: region.start,
+        }
+    }
+
+    fn next_page(&mut self) -> u64 {
+        if self.left == 0 {
+            self.cur = self.region.start + self.pos;
+            self.pos = (self.pos + 1) % self.region.len;
+            self.left = self.burst;
+        }
+        self.left -= 1;
+        self.cur
+    }
+
+    fn retarget(&mut self, region: Region) {
+        self.region = region;
+        self.pos %= region.len;
+        self.left = 0;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Lane {
+    rng: u64,
+    streams: [Stream; 3],
+    n_streams: u8,
+    hot: Region,
+    /// Per-mille of operations that touch the hot set.
+    hot_permille: u16,
+    /// App-specific stage counter (FFT/BS partner rotation).
+    stage: u32,
+    /// New-page draws in the current stage.
+    stage_pages: u32,
+    /// Remaining ops in the current phase (MT read/write phases).
+    phase_ops_left: u32,
+    /// Current phase index (MT: even = read-heavy, odd = write-heavy).
+    phase: u32,
+    /// Round-robin stream cursor.
+    rr: u8,
+    /// Iteration-window cap on stream regions (0 = unbounded).
+    window: u64,
+}
+
+impl Lane {
+    fn next_rand(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng
+    }
+}
+
+/// Generator for one application instance spanning `n_gpus` GPUs.
+///
+/// GPU indices passed to [`next_op`](Self::next_op) are *app-local*
+/// (`0..n_gpus`); the system simulator maps them onto physical GPUs. See
+/// the [crate-level docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct AppWorkload {
+    profile: AppProfile,
+    asid: Asid,
+    n_gpus: usize,
+    lanes_per_gpu: usize,
+    footprint: u64,
+    lanes: Vec<Lane>,
+}
+
+/// MT alternates read-heavy and write-heavy phases of this many memory
+/// operations per lane; the interleaved-intensity behaviour is what lets
+/// W10 (MT+MT+ST+ST) still benefit from spilling in the paper (§5.2).
+const MT_PHASE_OPS: u32 = 1024;
+
+/// MT's scattered column-write burst (few accesses per remote page).
+const MT_WRITE_BURST: u32 = 12;
+
+impl AppWorkload {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_gpus` or `lanes_per_gpu` is zero.
+    #[must_use]
+    pub fn new(
+        kind: AppKind,
+        asid: Asid,
+        n_gpus: usize,
+        lanes_per_gpu: usize,
+        scale: Scale,
+        seed: u64,
+    ) -> Self {
+        assert!(n_gpus > 0, "an app must span at least one GPU");
+        assert!(lanes_per_gpu > 0, "an app needs at least one lane per GPU");
+        let profile = kind.profile();
+        let footprint = scale.apply(profile.footprint_pages);
+        let mut lanes = Vec::with_capacity(n_gpus * lanes_per_gpu);
+        for g in 0..n_gpus as u64 {
+            for l in 0..lanes_per_gpu as u64 {
+                lanes.push(Self::make_lane(
+                    &profile, footprint, n_gpus as u64, g, l, lanes_per_gpu as u64, asid, seed,
+                ));
+            }
+        }
+        AppWorkload {
+            profile,
+            asid,
+            n_gpus,
+            lanes_per_gpu,
+            footprint,
+            lanes,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_lane(
+        profile: &AppProfile,
+        footprint: u64,
+        n: u64,
+        g: u64,
+        lane: u64,
+        lanes: u64,
+        asid: Asid,
+        seed: u64,
+    ) -> Lane {
+        use AppKind::*;
+        let whole = Region {
+            start: 0,
+            len: footprint,
+        };
+        let slab = Region::slab(footprint, g, n);
+        let burst = profile.burst;
+        // Workgroup coalescing: `lane_group` consecutive lanes share one
+        // stream subrange (they walk memory together), so the per-GPU
+        // active working set is `lanes / lane_group` pages per stream.
+        let group = u64::from(profile.lane_group.max(1));
+        let raw_lane = lane;
+        let lane = lane / group;
+        let lanes = lanes.div_ceil(group);
+        // Iteration window: lanes of iterative kernels sweep a bounded
+        // window of their subrange and rewind, producing the self-reuse
+        // the TLB hierarchy contends with (KMeans passes, PageRank
+        // iterations, stencil time steps). Varies ~0.5-2x across lanes so
+        // the reuse-distance spectrum is smooth.
+        let window_cap = if profile.window == 0 {
+            0
+        } else {
+            (u64::from(profile.window) * (2 + raw_lane % 7) / 4).max(1)
+        };
+        // Partition-style apps keep a private (per-GPU) hot set; globally
+        // shared apps share one (PageRank celebrities, KMeans centroids).
+        let hot_global = matches!(profile.kind, Pr | Km);
+        let hot = if hot_global {
+            whole.tail(profile.hot_pages)
+        } else {
+            slab.tail(profile.hot_pages)
+        };
+        let zero = Stream::new(Region { start: 0, len: 1 }, 1, 0, 1);
+        // Most kernels read one array and write another: split the
+        // footprint into an input half and an output half.
+        let in_half = Region {
+            start: 0,
+            len: footprint / 2,
+        };
+        let out_half = Region {
+            start: in_half.len,
+            len: footprint - in_half.len,
+        };
+        let slab_of = |parent: Region, idx: u64| {
+            let r = Region::slab(parent.len, idx, n);
+            Region {
+                start: parent.start + r.start,
+                len: r.len,
+            }
+        };
+        let (streams, n_streams) = match profile.kind {
+            // Streaming filter / convolution: input (with neighbour halo)
+            // and output streams over separate arrays.
+            Fir | Sc => {
+                let in_slab = slab_of(in_half, g);
+                let halo = (in_slab.len / 32).max(1);
+                let start = in_slab.start.saturating_sub(halo).max(in_half.start);
+                let end = (in_slab.start + in_slab.len + halo).min(in_half.start + in_half.len);
+                let input = Region {
+                    start,
+                    len: end - start,
+                }
+                .subrange(lane, lanes);
+                let output = slab_of(out_half, g).subrange(lane, lanes);
+                (
+                    [
+                        Stream::new(input, burst, 0, 1),
+                        Stream::new(output, burst, 0, 1),
+                        zero,
+                    ],
+                    2,
+                )
+            }
+            // Cipher: private in/out streams plus the hot sbox/key pages.
+            Aes => {
+                let input = slab_of(in_half, g).subrange(lane, lanes);
+                let output = slab_of(out_half, g).subrange(lane, lanes);
+                (
+                    [
+                        Stream::new(input, burst, 0, 1),
+                        Stream::new(output, burst, 0, 1),
+                        zero,
+                    ],
+                    2,
+                )
+            }
+            // Points stream over the private partition; centroids are hot.
+            Km => {
+                let r = slab.subrange(lane, lanes);
+                ([Stream::new(r, burst, 0, 1), zero, zero], 1)
+            }
+            // Rank-vector stream over the whole graph from every GPU
+            // (staggered), plus gathers handled separately.
+            Pr => {
+                // Every GPU streams the whole rank vector, skewed a couple
+                // of pages apart: GPUs re-request pages their peers touched
+                // shortly before.
+                let r = whole.subrange(lane, lanes);
+                ([Stream::skewed(r, burst, 8 * g), zero, zero], 1)
+            }
+            // Stencil over a column-strip-partitioned grid whose rows are
+            // finer than pages: every row's pages span all GPUs' strips,
+            // and the GPUs sweep rows top-to-bottom *together*, so the
+            // same pages are requested by all GPUs close in time (this is
+            // what makes ST > 90% shared in the paper's Fig. 4).
+            St => {
+                let rin = Region {
+                    start: 0,
+                    len: footprint * 2 / 3,
+                }
+                .subrange(lane, lanes);
+                let rout = Region {
+                    start: footprint * 2 / 3,
+                    len: footprint - footprint * 2 / 3,
+                }
+                .subrange(lane, lanes);
+                (
+                    [
+                        Stream::new(rin, burst, g, 8 * n),
+                        Stream::new(rout, burst, g, 8 * n),
+                        zero,
+                    ],
+                    2,
+                )
+            }
+            // Butterfly: own slab and the (rotating) stage partner's slab.
+            Fft | Bs => {
+                let own = slab.subrange(lane, lanes);
+                let partner = Region::slab(footprint, (g + 1) % n, n).subrange(lane, lanes);
+                (
+                    [
+                        Stream::new(own, burst, 0, 1),
+                        Stream::new(partner, burst, 0, 1),
+                        zero,
+                    ],
+                    2,
+                )
+            }
+            // GEMM: broadcast B (75% of footprint, swept by every GPU,
+            // staggered), private A and C slices.
+            Mm => {
+                let broadcast = Region {
+                    start: 0,
+                    len: footprint * 3 / 4,
+                };
+                let private = Region {
+                    start: broadcast.len,
+                    len: footprint - broadcast.len,
+                };
+                let b = broadcast.subrange(lane, lanes);
+                let p = Region::slab(private.len, g, n).subrange(lane, lanes);
+                let p = Region {
+                    start: private.start + p.start,
+                    len: p.len,
+                };
+                (
+                    [
+                        // Every GPU walks B's tile columns in the same
+                        // order, slightly skewed, so B pages are shared
+                        // close in time.
+                        Stream::skewed(b, burst, 2 * g),
+                        Stream::new(p, burst, 0, 1),
+                        Stream::new(p, burst * 2, 1, 2),
+                    ],
+                    3,
+                )
+            }
+            // Transpose: sequential reads of the local slab; scattered
+            // column writes into the next GPU's slab.
+            Mt => {
+                let read = slab.subrange(lane, lanes);
+                let write = Region::slab(footprint, (g + 1) % n, n).subrange(lane, lanes);
+                (
+                    [
+                        Stream::new(read, burst, 0, 1),
+                        Stream::new(write, MT_WRITE_BURST, 0, 1),
+                        zero,
+                    ],
+                    2,
+                )
+            }
+        };
+        let mut rng = seed
+            ^ (u64::from(asid.0) << 40)
+            ^ (g << 28)
+            ^ (lane << 8)
+            ^ 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..3 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+        }
+        let mut streams = streams;
+        if window_cap > 0 {
+            for st in streams.iter_mut().take(usize::from(n_streams)) {
+                st.region.len = st.region.len.min(window_cap);
+                st.pos %= st.region.len;
+            }
+        }
+        Lane {
+            rng,
+            streams,
+            n_streams,
+            hot,
+            hot_permille: profile.hot_permille,
+            stage: 0,
+            stage_pages: 0,
+            // MT phase offset depends mostly on the GPU and ASID (so
+            // co-running MT instances interleave their intensity phases at
+            // GPU granularity) plus a little per-lane jitter.
+            phase_ops_left: ((seed ^ (u64::from(asid.0) << 3) ^ (g << 7)) % u64::from(MT_PHASE_OPS))
+                as u32
+                + (raw_lane % 8) as u32 * 16,
+            phase: 0,
+            rr: 0,
+            window: window_cap,
+        }
+    }
+
+    /// The profile driving this generator.
+    #[must_use]
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Application kind.
+    #[must_use]
+    pub fn kind(&self) -> AppKind {
+        self.profile.kind
+    }
+
+    /// Address space of this instance.
+    #[must_use]
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// GPUs this instance spans.
+    #[must_use]
+    pub fn gpus(&self) -> usize {
+        self.n_gpus
+    }
+
+    /// Lanes per GPU.
+    #[must_use]
+    pub fn lanes_per_gpu(&self) -> usize {
+        self.lanes_per_gpu
+    }
+
+    /// Footprint in 4 KB pages (after scaling).
+    #[must_use]
+    pub fn footprint_pages(&self) -> u64 {
+        self.footprint
+    }
+
+    /// Every page of the footprint, for pre-mapping into the page table.
+    pub fn pages(&self) -> impl Iterator<Item = VirtPage> {
+        (0..self.footprint).map(VirtPage)
+    }
+
+    /// Produces the next operation for app-local GPU `gpu_idx`, lane
+    /// `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_idx` or `lane` is out of range.
+    pub fn next_op(&mut self, gpu_idx: usize, lane: usize) -> WfOp {
+        assert!(gpu_idx < self.n_gpus, "gpu_idx out of range");
+        assert!(lane < self.lanes_per_gpu, "lane out of range");
+        let n = self.n_gpus as u64;
+        let footprint = self.footprint;
+        let profile = self.profile;
+        let lanes = self.lanes_per_gpu as u64;
+        let g = gpu_idx as u64;
+        let l = &mut self.lanes[gpu_idx * self.lanes_per_gpu + lane];
+
+        // Hot-set accesses (coefficients, tables, centroids, celebrities).
+        if l.hot_permille > 0 && l.hot.len > 0 {
+            let r = l.next_rand() % 1000;
+            if r < u64::from(l.hot_permille) {
+                let page = l.hot.start + l.next_rand() % l.hot.len;
+                return WfOp {
+                    compute: profile.compute_per_mem,
+                    vpn: VirtPage(page),
+                };
+            }
+        }
+
+        let page = match profile.kind {
+            AppKind::Pr => {
+                // 5% neighbour gathers: mostly hot celebrities (handled by
+                // the hot set above); 1% truly cold uniform gathers.
+                if l.next_rand().is_multiple_of(100) {
+                    l.next_rand() % footprint
+                } else {
+                    l.streams[0].next_page()
+                }
+            }
+            AppKind::Fft | AppKind::Bs => {
+                // Alternate own/partner streams; rotate the partner slab
+                // every `stage_len` new pages.
+                let stage_len = (l.streams[0].region.len * 2).max(8) as u32;
+                l.stage_pages += 1;
+                if l.stage_pages >= stage_len * profile.burst {
+                    l.stage_pages = 0;
+                    l.stage += 1;
+                    let partner = if profile.kind == AppKind::Fft && n.is_power_of_two() && n > 1 {
+                        g ^ (1 << (u64::from(l.stage) % u64::from(n.trailing_zeros())))
+                    } else if n > 1 {
+                        (g + 1 + u64::from(l.stage) % (n - 1)) % n
+                    } else {
+                        g
+                    };
+                    let group = u64::from(profile.lane_group.max(1));
+                    let mut region = Region::slab(footprint, partner % n, n)
+                        .subrange(lane as u64 / group, lanes.div_ceil(group));
+                    if l.window > 0 {
+                        region.len = region.len.min(l.window);
+                    }
+                    l.streams[1].retarget(region);
+                }
+                let s = usize::from(l.rr % 2);
+                l.rr = l.rr.wrapping_add(1);
+                l.streams[s].next_page()
+            }
+            AppKind::Mt => {
+                if l.phase_ops_left == 0 {
+                    l.phase += 1;
+                    l.phase_ops_left = MT_PHASE_OPS;
+                    if l.phase % 2 == 1 && n > 1 {
+                        // Each write phase scatters into a different peer
+                        // GPU's slab ("writes data to the other GPUs").
+                        let victim = (g + 1 + u64::from(l.phase / 2) % (n - 1)) % n;
+                        let group = u64::from(profile.lane_group.max(1));
+                        let mut region = Region::slab(footprint, victim, n)
+                            .subrange(lane as u64 / group, lanes.div_ceil(group));
+                        if l.window > 0 {
+                            region.len = region.len.min(l.window);
+                        }
+                        l.streams[1].retarget(region);
+                    }
+                }
+                l.phase_ops_left -= 1;
+                // Read-heavy phases mostly stream the local slab;
+                // write-heavy phases mostly scatter into the remote slab.
+                let heavy = l.phase as usize % 2;
+                let light = 1 - heavy;
+                let s = if l.next_rand() % 100 < 85 { heavy } else { light };
+                l.streams[s].next_page()
+            }
+            _ => {
+                let s = usize::from(l.rr % l.n_streams);
+                l.rr = l.rr.wrapping_add(1);
+                l.streams[s].next_page()
+            }
+        };
+        WfOp {
+            compute: profile.compute_per_mem,
+            vpn: VirtPage(page),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[allow(clippy::needless_range_loop)]
+    fn touched_pages(kind: AppKind, gpus: usize, ops: usize) -> Vec<HashSet<u64>> {
+        let mut app = AppWorkload::new(kind, Asid(0), gpus, 4, Scale::Small, 7);
+        let mut sets = vec![HashSet::new(); gpus];
+        for g in 0..gpus {
+            for lane in 0..4 {
+                for _ in 0..ops {
+                    let op = app.next_op(g, lane);
+                    sets[g].insert(op.vpn.0);
+                }
+            }
+        }
+        sets
+    }
+
+    #[test]
+    fn all_pages_within_footprint() {
+        for kind in AppKind::ALL {
+            let mut app = AppWorkload::new(kind, Asid(0), 4, 2, Scale::Small, 3);
+            let f = app.footprint_pages();
+            for g in 0..4 {
+                for _ in 0..5000 {
+                    let op = app.next_op(g, 0);
+                    assert!(op.vpn.0 < f, "{kind} generated page outside footprint");
+                    assert_eq!(op.compute, kind.profile().compute_per_mem);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let run = || {
+            let mut app = AppWorkload::new(AppKind::Pr, Asid(1), 4, 2, Scale::Small, 99);
+            let mut v = Vec::new();
+            for i in 0..2000 {
+                v.push(app.next_op(i % 4, i % 2).vpn);
+            }
+            v
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn partition_apps_do_not_share() {
+        let sets = touched_pages(AppKind::Aes, 4, 20_000);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                assert!(
+                    sets[a].is_disjoint(&sets[b]),
+                    "AES: GPUs {a} and {b} share pages in a partition pattern"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn km_shares_only_centroids() {
+        let sets = touched_pages(AppKind::Km, 4, 30_000);
+        let inter: HashSet<_> = sets[0].intersection(&sets[1]).collect();
+        assert!(
+            inter.len() as u64 <= AppKind::Km.profile().hot_pages,
+            "KM GPUs share more than the centroid table: {}",
+            inter.len()
+        );
+        assert!(!inter.is_empty(), "centroids are shared");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn adjacent_apps_share_halo_only() {
+        // One lane per GPU, enough ops for a full sweep of the widened slab
+        // (input burst × slab pages).
+        let mut app = AppWorkload::new(AppKind::Fir, Asid(0), 4, 1, Scale::Small, 7);
+        let burst = u64::from(AppKind::Fir.profile().burst);
+        let ops = app.footprint_pages() / 2 * burst;
+        let mut sets = vec![HashSet::new(); 4];
+        for g in 0..4 {
+            for _ in 0..ops {
+                sets[g].insert(app.next_op(g, 0).vpn.0);
+            }
+        }
+        // Neighbours overlap a little...
+        let neighbour: usize = sets[0].intersection(&sets[1]).count();
+        assert!(neighbour > 0, "FIR neighbours must share halo pages");
+        // ...but the overlap is small relative to a slab.
+        assert!(
+            neighbour < sets[0].len() / 4,
+            "halo too large: {neighbour} of {}",
+            sets[0].len()
+        );
+        // Distant GPUs share (almost) nothing.
+        let distant = sets[0].intersection(&sets[3]).count();
+        assert!(distant <= neighbour, "non-neighbours share more than neighbours");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn st_full_sweep_is_shared_by_all_gpus() {
+        // ST's short bursts make a full sweep cheap: with one lane per GPU
+        // every GPU covers the whole grid, so almost every page is shared
+        // by all four GPUs (paper Fig. 4 shows ST > 90% shared).
+        let mut app = AppWorkload::new(AppKind::St, Asid(0), 4, 1, Scale::Small, 7);
+        let f = app.footprint_pages();
+        let burst = u64::from(AppKind::St.profile().burst);
+        let ops = f * burst * 7 / 2; // two rr streams, full sweep each, margin
+        let mut sets = vec![HashSet::new(); 4];
+        for g in 0..4 {
+            for _ in 0..ops {
+                sets[g].insert(app.next_op(g, 0).vpn.0);
+            }
+        }
+        let shared_by_all = sets[0]
+            .iter()
+            .filter(|p| sets[1..].iter().all(|s| s.contains(*p)))
+            .count();
+        assert!(
+            shared_by_all as f64 > 0.8 * sets[0].len() as f64,
+            "ST: expected wide sharing, got {shared_by_all}/{}",
+            sets[0].len()
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn pr_streams_cross_slab_boundaries_and_share_celebrities() {
+        // PR's rank-vector stream is global: each GPU starts a quarter in
+        // and wraps, so partial sweeps overlap the next GPU's region; the
+        // hot celebrity pages are shared by everyone.
+        let mut app = AppWorkload::new(AppKind::Pr, Asid(0), 4, 1, Scale::Small, 7);
+        let f = app.footprint_pages();
+        let burst = u64::from(AppKind::Pr.profile().burst);
+        let ops = f * burst * 2 / 5; // ~40% of a full sweep per GPU
+        let mut sets = vec![HashSet::new(); 4];
+        for g in 0..4 {
+            for _ in 0..ops {
+                sets[g].insert(app.next_op(g, 0).vpn.0);
+            }
+        }
+        // Each GPU's sweep reaches into the next GPU's quarter.
+        for g in 0..4 {
+            let next = (g + 1) % 4;
+            let overlap = sets[g].intersection(&sets[next]).count();
+            assert!(
+                overlap > (f / 16) as usize,
+                "PR: GPU{g} and GPU{next} overlap too little ({overlap})"
+            );
+        }
+        // Celebrities (the hot tail) are shared by all four GPUs.
+        let hot = AppKind::Pr.profile().hot_pages.min(f / 4);
+        let shared_by_all = (f - hot..f)
+            .filter(|p| sets.iter().all(|s| s.contains(p)))
+            .count();
+        assert!(
+            shared_by_all as u64 > hot / 2,
+            "PR: celebrity pages should be shared ({shared_by_all}/{hot})"
+        );
+    }
+
+    #[test]
+    fn mt_writes_land_in_neighbour_slab() {
+        let sets = touched_pages(AppKind::Mt, 4, 40_000);
+        let f = AppWorkload::new(AppKind::Mt, Asid(0), 4, 4, Scale::Small, 7).footprint_pages();
+        let slab1 = (f / 4)..(f / 2);
+        let in_slab1 = sets[0].iter().filter(|p| slab1.contains(p)).count();
+        assert!(in_slab1 > 0, "MT must scatter into the next GPU's slab");
+        assert!(sets[0].intersection(&sets[1]).count() > 0);
+    }
+
+    #[test]
+    fn hot_set_dominates_low_mpki_apps() {
+        // AES: ~45% of accesses fall on its 16 hot pages.
+        let mut app = AppWorkload::new(AppKind::Aes, Asid(0), 4, 2, Scale::Small, 7);
+        let hot = AppKind::Aes.profile().hot_pages;
+        let f = app.footprint_pages();
+        let slab0_hot_start = f / 4 - hot;
+        let mut hot_hits = 0;
+        let total = 20_000;
+        for _ in 0..total {
+            let op = app.next_op(0, 0);
+            if op.vpn.0 >= slab0_hot_start && op.vpn.0 < f / 4 {
+                hot_hits += 1;
+            }
+        }
+        let frac = hot_hits as f64 / total as f64;
+        assert!(
+            (0.3..0.7).contains(&frac),
+            "AES hot fraction off: {frac}"
+        );
+    }
+
+    #[test]
+    fn streams_interleave_pages() {
+        // With two streams, consecutive ops alternate between two pages.
+        let mut app = AppWorkload::new(AppKind::St, Asid(0), 1, 1, Scale::Small, 7);
+        let pages: Vec<u64> = (0..8).map(|_| app.next_op(0, 0).vpn.0).collect();
+        let distinct: HashSet<_> = pages.iter().collect();
+        assert!(distinct.len() >= 2, "ST interleaves ≥2 streams: {pages:?}");
+    }
+
+    #[test]
+    fn bursts_revisit_pages_quickly() {
+        // Within one stream, pages repeat `burst` times before advancing.
+        let mut app = AppWorkload::new(AppKind::Km, Asid(0), 1, 1, Scale::Small, 7);
+        let mut counts: std::collections::HashMap<u64, u32> = Default::default();
+        for _ in 0..5000 {
+            *counts.entry(app.next_op(0, 0).vpn.0).or_insert(0) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(
+            max >= AppKind::Km.profile().burst / 2,
+            "KM stream pages must be revisited in bursts (max count {max})"
+        );
+    }
+
+    #[test]
+    fn mt_has_intensity_phases() {
+        // MT alternates read-heavy and write-heavy phases: the fraction of
+        // operations landing in the remote (write) slab swings between
+        // ~15% and ~85% across phase-sized windows.
+        let mut app = AppWorkload::new(AppKind::Mt, Asid(0), 2, 1, Scale::Small, 7);
+        let f = app.footprint_pages();
+        let window = 1024;
+        let mut write_frac = Vec::new();
+        for _ in 0..8 {
+            let mut writes = 0;
+            for _ in 0..window {
+                if app.next_op(0, 0).vpn.0 >= f / 2 {
+                    writes += 1;
+                }
+            }
+            write_frac.push(writes as f64 / window as f64);
+        }
+        let max = write_frac.iter().cloned().fold(0.0, f64::max);
+        let min = write_frac.iter().cloned().fold(1.0, f64::min);
+        assert!(
+            max > 0.6 && min < 0.4,
+            "MT write-slab fraction should alternate, got {write_frac:?}"
+        );
+    }
+
+    #[test]
+    fn fft_partner_rotates() {
+        let mut app = AppWorkload::new(AppKind::Fft, Asid(0), 4, 1, Scale::Small, 7);
+        let f = app.footprint_pages();
+        let burst = u64::from(AppKind::Fft.profile().burst);
+        // Run long enough for several stage rotations.
+        let ops = f / 4 * burst * 6;
+        let mut set = HashSet::new();
+        for _ in 0..ops {
+            set.insert(app.next_op(0, 0).vpn.0);
+        }
+        let slabs_touched = (0..4u64)
+            .filter(|s| {
+                let range = (f * s / 4)..(f * (s + 1) / 4);
+                set.iter().any(|p| range.contains(p))
+            })
+            .count();
+        assert!(slabs_touched >= 2, "FFT must reach partner slabs");
+    }
+
+    #[test]
+    fn single_gpu_instance_works() {
+        for kind in AppKind::ALL {
+            let mut app = AppWorkload::new(kind, Asid(3), 1, 2, Scale::Small, 11);
+            for _ in 0..1000 {
+                let op = app.next_op(0, 0);
+                assert!(op.vpn.0 < app.footprint_pages());
+            }
+        }
+    }
+
+    #[test]
+    fn pages_iterator_covers_footprint() {
+        let app = AppWorkload::new(AppKind::Aes, Asid(0), 2, 1, Scale::Small, 1);
+        let pages: Vec<_> = app.pages().collect();
+        assert_eq!(pages.len() as u64, app.footprint_pages());
+        assert_eq!(pages[0], VirtPage(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "gpu_idx out of range")]
+    fn out_of_range_gpu_panics() {
+        let mut app = AppWorkload::new(AppKind::Aes, Asid(0), 2, 1, Scale::Small, 1);
+        let _ = app.next_op(2, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic multi-GPU workload generators.
+//!
+//! The paper drives MGPUSim with OpenCL benchmarks from AMDAPPSDK,
+//! Hetero-Mark and SHOC. Those binaries (and a GCN ISA executor) are not
+//! reproducible here, so this crate substitutes *pattern-faithful synthetic
+//! generators*: each of the ten applications is reduced to the two axes the
+//! paper itself characterises applications by —
+//!
+//! 1. its **multi-GPU page-sharing pattern** (paper §3.1.2: random,
+//!    adjacent, partition, stride, scatter-gather), and
+//! 2. its **L2 TLB MPKI class** (Table 3: Low < 0.1, Medium 0.1–1,
+//!    High > 1), controlled by per-page access-burst length, compute/memory
+//!    instruction ratio, and footprint structure.
+//!
+//! A generator produces, per wavefront lane, an endless stream of
+//! [`WfOp`]s: "execute `compute` instructions, then access page `vpn`".
+//! The system simulator (crate `least-tlb`) owns instruction budgets and
+//! termination.
+//!
+//! # Examples
+//!
+//! ```
+//! use mgpu_types::Asid;
+//! use workloads::{AppKind, AppWorkload, Scale};
+//!
+//! // PageRank spanning 4 GPUs, 8 lanes each.
+//! let mut app = AppWorkload::new(AppKind::Pr, Asid(0), 4, 8, Scale::Small, 42);
+//! let op = app.next_op(0, 0);
+//! assert!(op.vpn.0 < app.footprint_pages());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+mod generator;
+mod mixes;
+
+pub use apps::{AppKind, AppProfile, MpkiClass, SharingPattern};
+pub use generator::{AppWorkload, Scale, WfOp};
+pub use mixes::{
+    mix_workloads, multi_app_workloads, scaling_workloads, single_app_kinds, MultiAppMix,
+    Placement,
+};

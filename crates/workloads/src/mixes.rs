@@ -1,0 +1,238 @@
+//! The paper's workload tables: single-app (Table 3), 4-GPU
+//! multi-application mixes W1–W10 (Table 4), 8/16-GPU mixes W11–W16
+//! (Table 5), and mixed-per-GPU workloads W17–W19 (Table 6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::AppKind;
+
+/// One application instance and the physical GPUs it occupies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The application.
+    pub app: AppKind,
+    /// Physical GPU indices the instance spans.
+    pub gpus: Vec<u8>,
+}
+
+/// A named multi-application workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiAppMix {
+    /// Paper name ("W1" … "W19").
+    pub name: &'static str,
+    /// MPKI category string ("LLMH" …).
+    pub category: &'static str,
+    /// Application placements.
+    pub placements: Vec<Placement>,
+}
+
+impl MultiAppMix {
+    fn one_per_gpu(name: &'static str, category: &'static str, apps: &[AppKind]) -> Self {
+        MultiAppMix {
+            name,
+            category,
+            placements: apps
+                .iter()
+                .enumerate()
+                .map(|(g, &app)| Placement {
+                    app,
+                    gpus: vec![g as u8],
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of physical GPUs the mix occupies.
+    #[must_use]
+    pub fn gpus(&self) -> usize {
+        usize::from(
+            self.placements
+                .iter()
+                .flat_map(|p| p.gpus.iter())
+                .max()
+                .copied()
+                .unwrap_or(0),
+        ) + 1
+    }
+}
+
+/// The nine single-application workloads of Table 3 (SC is excluded, as in
+/// the paper — it only appears in multi-application mixes).
+#[must_use]
+pub fn single_app_kinds() -> [AppKind; 9] {
+    [
+        AppKind::Fir,
+        AppKind::Km,
+        AppKind::Pr,
+        AppKind::Aes,
+        AppKind::Mt,
+        AppKind::Mm,
+        AppKind::Bs,
+        AppKind::St,
+        AppKind::Fft,
+    ]
+}
+
+/// The ten 4-GPU multi-application workloads of Table 4 (one app per GPU).
+#[must_use]
+pub fn multi_app_workloads() -> Vec<MultiAppMix> {
+    use AppKind::*;
+    vec![
+        MultiAppMix::one_per_gpu("W1", "LLLL", &[Fir, Fft, Aes, Sc]),
+        MultiAppMix::one_per_gpu("W2", "LLMM", &[Fir, Fft, Mm, Km]),
+        MultiAppMix::one_per_gpu("W3", "LLMM", &[Aes, Sc, Km, Pr]),
+        MultiAppMix::one_per_gpu("W4", "LLMH", &[Fft, Sc, Km, Mt]),
+        MultiAppMix::one_per_gpu("W5", "LLMH", &[Aes, Fir, Pr, St]),
+        MultiAppMix::one_per_gpu("W6", "LLHH", &[Fir, Aes, Mt, St]),
+        MultiAppMix::one_per_gpu("W7", "LLHH", &[Fft, Sc, Mt, St]),
+        MultiAppMix::one_per_gpu("W8", "MMMM", &[Km, Pr, Mm, Bs]),
+        MultiAppMix::one_per_gpu("W9", "MMHH", &[Mm, Km, Mt, St]),
+        MultiAppMix::one_per_gpu("W10", "HHHH", &[Mt, Mt, St, St]),
+    ]
+}
+
+/// The 8-GPU workloads W11–W15 and the 16-GPU workload W16 of Table 5.
+/// Pass `gpus = 8` or `gpus = 16` to select the matching subset.
+#[must_use]
+pub fn scaling_workloads(gpus: usize) -> Vec<MultiAppMix> {
+    use AppKind::*;
+    match gpus {
+        8 => vec![
+            MultiAppMix::one_per_gpu("W11", "LLLMMMHH", &[Aes, Fir, Sc, Pr, Mm, Km, Mt, St]),
+            MultiAppMix::one_per_gpu("W12", "LLLMMHHH", &[Fir, Fft, Sc, Mm, Km, Mt, Mt, St]),
+            MultiAppMix::one_per_gpu("W13", "LLLLMMMM", &[Fir, Fft, Sc, Aes, Km, Mm, Pr, Bs]),
+            MultiAppMix::one_per_gpu("W14", "MMMMHHHH", &[Km, Mm, Pr, Bs, Mt, Mt, St, St]),
+            MultiAppMix::one_per_gpu("W15", "LLLLHHHH", &[Fir, Fft, Sc, Aes, Mt, Mt, St, St]),
+        ],
+        16 => vec![MultiAppMix::one_per_gpu(
+            "W16",
+            "LLLLLMMMMMHHHHHH",
+            &[
+                Fir, Fft, Sc, Aes, Km, Mm, Pr, Bs, Mt, Mt, St, St, Fir, Aes, Km, Mt,
+            ],
+        )],
+        _ => Vec::new(),
+    }
+}
+
+/// The mixed-per-GPU workloads W17–W19 of Table 6: two applications share
+/// each GPU (three GPUs per workload, as listed in the paper).
+#[must_use]
+pub fn mix_workloads() -> Vec<MultiAppMix> {
+    use AppKind::*;
+    fn pairs(name: &'static str, category: &'static str, apps: [(AppKind, AppKind); 3]) -> MultiAppMix {
+        MultiAppMix {
+            name,
+            category,
+            placements: apps
+                .iter()
+                .enumerate()
+                .flat_map(|(g, &(a, b))| {
+                    [
+                        Placement {
+                            app: a,
+                            gpus: vec![g as u8],
+                        },
+                        Placement {
+                            app: b,
+                            gpus: vec![g as u8],
+                        },
+                    ]
+                })
+                .collect(),
+        }
+    }
+    vec![
+        pairs("W17", "LM,LH,MH", [(Fir, Km), (Aes, Mt), (Mm, St)]),
+        pairs("W18", "LL,MM,HH", [(Fir, Aes), (Km, Mm), (Mt, St)]),
+        pairs("W19", "LM,LH,LH", [(Sc, Km), (Fir, Mt), (Aes, St)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MpkiClass;
+
+    #[test]
+    fn table4_has_ten_workloads_of_four_apps() {
+        let mixes = multi_app_workloads();
+        assert_eq!(mixes.len(), 10);
+        for m in &mixes {
+            assert_eq!(m.placements.len(), 4, "{} must have 4 apps", m.name);
+            assert_eq!(m.gpus(), 4);
+            // One app per GPU, GPUs 0..4.
+            let mut gpus: Vec<u8> = m
+                .placements
+                .iter()
+                .flat_map(|p| p.gpus.clone())
+                .collect();
+            gpus.sort_unstable();
+            assert_eq!(gpus, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn categories_match_profile_classes() {
+        for m in multi_app_workloads() {
+            let mut letters: Vec<char> = m
+                .placements
+                .iter()
+                .map(|p| p.app.profile().class.letter())
+                .collect();
+            letters.sort_unstable();
+            let mut expected: Vec<char> = m.category.chars().collect();
+            expected.sort_unstable();
+            assert_eq!(letters, expected, "{} category mismatch", m.name);
+        }
+    }
+
+    #[test]
+    fn single_app_list_matches_table3() {
+        let kinds = single_app_kinds();
+        assert_eq!(kinds.len(), 9);
+        assert!(!kinds.contains(&AppKind::Sc), "SC is multi-app only");
+    }
+
+    #[test]
+    fn scaling_workloads_have_right_sizes() {
+        let w8 = scaling_workloads(8);
+        assert_eq!(w8.len(), 5);
+        for m in &w8 {
+            assert_eq!(m.placements.len(), 8);
+            assert_eq!(m.gpus(), 8);
+        }
+        let w16 = scaling_workloads(16);
+        assert_eq!(w16.len(), 1);
+        assert_eq!(w16[0].placements.len(), 16);
+        assert_eq!(w16[0].gpus(), 16);
+        assert!(scaling_workloads(4).is_empty());
+    }
+
+    #[test]
+    fn mix_workloads_pair_two_apps_per_gpu() {
+        let mixes = mix_workloads();
+        assert_eq!(mixes.len(), 3);
+        for m in &mixes {
+            assert_eq!(m.placements.len(), 6);
+            for g in 0..3u8 {
+                let on_gpu = m
+                    .placements
+                    .iter()
+                    .filter(|p| p.gpus.contains(&g))
+                    .count();
+                assert_eq!(on_gpu, 2, "{}: GPU {g} must host two apps", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn w10_is_all_high() {
+        let w10 = &multi_app_workloads()[9];
+        assert_eq!(w10.name, "W10");
+        assert!(w10
+            .placements
+            .iter()
+            .all(|p| p.app.profile().class == MpkiClass::High));
+    }
+}

@@ -1,0 +1,37 @@
+//! Calibration sweep: per-application MPKI, hit rates and policy
+//! speedups at paper scale — the table used while tuning the synthetic
+//! workload generators against the paper's Tables 2-3 and Figs. 2/3/14.
+//!
+//! ```text
+//! cargo run --release --example calibration_sweep [BUDGET] [APP,APP,...]
+//! ```
+
+use least_tlb::{Policy, System, SystemConfig, WorkloadSpec};
+use workloads::AppKind;
+
+fn main() {
+    let budget: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16_000_000);
+    let only: Option<String> = std::env::args().nth(2);
+    for kind in [AppKind::Aes, AppKind::Fir, AppKind::Km, AppKind::Pr, AppKind::Mm, AppKind::Bs, AppKind::Fft, AppKind::Mt, AppKind::St] {
+        if let Some(o) = &only { if !o.split(',').any(|x| x == kind.name()) { continue; } }
+        let spec = WorkloadSpec::single_app(kind, 4);
+        let mut base_cyc = 0u64;
+        for (name, pol) in [
+            ("base ", Policy::baseline()),
+            ("least", Policy::least_tlb()),
+            ("inf  ", Policy::infinite_iommu()),
+        ] {
+            let mut cfg = SystemConfig::paper(4);
+            cfg.policy = pol;
+            cfg.instructions_per_gpu = budget;
+            let r = System::new(&cfg, &spec).unwrap().run();
+            let a = &r.apps[0].stats;
+            if name.trim() == "base" { base_cyc = r.end_cycle; }
+            println!(
+                "{:4} {} sp={:.3} mpki={:6.3} l1={:.2} l2={:.2} io={:.2} rm={:.3} walks={:>7} wasted={:>6} merged={:>7} reqs={:>7} probes={:>6} end={:>8}",
+                kind.name(), name, base_cyc as f64 / r.end_cycle as f64, a.mpki(), a.l1_hit_rate(), a.l2_hit_rate(),
+                a.iommu_hit_rate(), a.remote_hit_rate(), r.iommu.walks, r.iommu.wasted_walks, r.iommu.merged, r.iommu.requests, r.iommu.probe_hits, r.end_cycle
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! TLB design-space exploration: sweep the shared IOMMU TLB size and the
+//! hierarchy policy for a sharing-heavy workload, the kind of what-if an
+//! architect would run before committing silicon.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use least_tlb::{Policy, System, SystemConfig, Table, WorkloadSpec};
+use workloads::AppKind;
+
+fn main() {
+    let spec = WorkloadSpec::single_app(AppKind::St, 4);
+    let mut table = Table::new(vec![
+        "iommu-entries".into(),
+        "policy".into(),
+        "cycles".into(),
+        "iommu-hit".into(),
+        "remote-hit".into(),
+        "walks".into(),
+        "speedup-vs-4096-baseline".into(),
+    ]);
+
+    // Reference point: the paper's 4096-entry baseline.
+    let reference = {
+        let mut cfg = SystemConfig::paper(4);
+        cfg.instructions_per_gpu = 3_000_000;
+        System::new(&cfg, &spec).expect("valid config").run()
+    };
+
+    for entries in [1024usize, 2048, 4096, 8192] {
+        for (name, policy) in [
+            ("baseline", Policy::baseline()),
+            ("exclusive", Policy::exclusive()),
+            ("least-TLB", Policy::least_tlb()),
+        ] {
+            let mut cfg = SystemConfig::paper(4);
+            cfg.instructions_per_gpu = 3_000_000;
+            cfg.iommu.tlb.entries = entries;
+            cfg.policy = policy;
+            let r = System::new(&cfg, &spec).expect("valid config").run();
+            let s = &r.apps[0].stats;
+            table.row(vec![
+                entries.to_string(),
+                name.into(),
+                r.end_cycle.to_string(),
+                Table::pct(s.iommu_hit_rate()),
+                Table::pct(s.remote_hit_rate()),
+                r.iommu.walks.to_string(),
+                Table::f(r.speedup_vs(&reference)),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("note: least-TLB at 4096 entries typically matches or beats the");
+    println!("baseline at 8192 — the victim-TLB discipline roughly doubles reach.");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a 4-GPU system, run one workload under the baseline
+//! and least-TLB policies, and print what changed.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use least_tlb::{Policy, System, SystemConfig, WorkloadSpec};
+use workloads::AppKind;
+
+fn main() {
+    // The paper's Table 2 system: 4 GPUs x 64 CUs, 16-entry L1 TLBs,
+    // 512-entry L2 TLBs, a shared 4096-entry IOMMU TLB and 8 page-table
+    // walkers. Stencil-2D is the paper's showcase sharing-heavy workload.
+    let mut cfg = SystemConfig::paper(4);
+    cfg.instructions_per_gpu = 4_000_000;
+    let spec = WorkloadSpec::single_app(AppKind::St, 4);
+
+    println!("running ST on 4 GPUs, baseline (mostly-inclusive) ...");
+    let baseline = System::new(&cfg, &spec).expect("valid config").run();
+
+    println!("running ST on 4 GPUs, least-TLB ...");
+    cfg.policy = Policy::least_tlb();
+    let least = System::new(&cfg, &spec).expect("valid config").run();
+
+    let b = &baseline.apps[0].stats;
+    let l = &least.apps[0].stats;
+    println!();
+    println!("                      baseline    least-TLB");
+    println!("execution cycles      {:>9}    {:>9}", baseline.end_cycle, least.end_cycle);
+    println!(
+        "IOMMU TLB hit rate    {:>8.1}%    {:>8.1}%",
+        b.iommu_hit_rate() * 100.0,
+        l.iommu_hit_rate() * 100.0
+    );
+    println!(
+        "remote L2 hit rate    {:>8.1}%    {:>8.1}%",
+        0.0,
+        l.remote_hit_rate() * 100.0
+    );
+    println!(
+        "page-table walks      {:>9}    {:>9}",
+        baseline.iommu.walks, least.iommu.walks
+    );
+    println!();
+    println!(
+        "least-TLB speedup: {:.2}x  (tracker probes: {}, remote hits: {})",
+        least.speedup_vs(&baseline),
+        least.iommu.probes,
+        least.iommu.probe_hits
+    );
+}

@@ -1,0 +1,67 @@
+//! Architecture-study example: characterize an application's address
+//! translation behaviour the way the paper's §3 does — reuse-distance
+//! CDFs at the IOMMU, multi-GPU page sharing, and TLB-content redundancy
+//! snapshots.
+//!
+//! ```text
+//! cargo run --release --example translation_characterization [APP]
+//! ```
+//!
+//! `APP` is one of FIR KM PR AES MT MM BS ST FFT (default: PR).
+
+use least_tlb::{System, SystemConfig, WorkloadSpec};
+use workloads::AppKind;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "PR".to_string());
+    let kind = AppKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| panic!("unknown app '{name}'"));
+
+    let mut cfg = SystemConfig::paper(4);
+    cfg.instructions_per_gpu = 4_000_000;
+    cfg.track_reuse = true;
+    cfg.track_sharing = true;
+    cfg.snapshot_interval = Some(20_000);
+
+    println!("characterizing {kind} on 4 GPUs (baseline hierarchy) ...\n");
+    let r = System::new(&cfg, &WorkloadSpec::single_app(kind, 4))
+        .expect("valid config")
+        .run();
+    let s = &r.apps[0].stats;
+
+    println!("== hit rates (paper Fig. 2) ==");
+    println!("L1 TLB  : {:5.1}%", s.l1_hit_rate() * 100.0);
+    println!("L2 TLB  : {:5.1}%", s.l2_hit_rate() * 100.0);
+    println!("IOMMU   : {:5.1}%", s.iommu_hit_rate() * 100.0);
+    println!("MPKI    : {:.3}  (paper Table 3: {:.3})", s.mpki(), kind.paper_mpki());
+
+    println!("\n== reuse distances at the IOMMU (paper Fig. 5) ==");
+    let h = r.apps[0].reuse.as_ref().expect("tracking enabled");
+    println!("cold accesses: {}, reuses: {}", h.cold, h.reuses);
+    let capacity = cfg.iommu.tlb.entries as u64;
+    for cap in [capacity / 4, capacity / 2, capacity, capacity * 2, capacity * 4] {
+        let marker = if cap == capacity { "  <- IOMMU TLB capacity" } else { "" };
+        println!(
+            "captured by {:>6}-entry TLB: {:5.1}%{}",
+            cap,
+            h.captured_by(cap) * 100.0,
+            marker
+        );
+    }
+
+    println!("\n== page sharing across GPUs (paper Fig. 4) ==");
+    let f = r.apps[0].sharing.as_ref().expect("tracking enabled");
+    for (i, frac) in f.iter().enumerate() {
+        println!("touched by exactly {} GPU(s): {:5.1}%", i + 1, frac * 100.0);
+    }
+
+    println!("\n== TLB-content redundancy snapshots (paper Fig. 6) ==");
+    let n = r.snapshots.len().max(1) as f64;
+    let dup = r.snapshots.iter().map(|x| x.l2_redundant_frac).sum::<f64>() / n;
+    let in_io = r.snapshots.iter().map(|x| x.l2_in_iommu_frac).sum::<f64>() / n;
+    println!("snapshots taken                        : {}", r.snapshots.len());
+    println!("avg L2 entries duplicated in >=2 L2s    : {:5.1}%", dup * 100.0);
+    println!("avg L2 entries also in the IOMMU TLB    : {:5.1}%", in_io * 100.0);
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the least-TLB reproduction workspace.
+//!
+//! Re-exports the workspace crates so the root-level examples and
+//! integration tests have a single dependency surface. Library users should
+//! depend on the individual crates (`least-tlb` for the system model and
+//! experiment harness, the substrate crates for the building blocks).
+
+#![forbid(unsafe_code)]
+
+pub use filters;
+pub use gcn_model;
+pub use iommu;
+pub use least_tlb;
+pub use mgpu_types;
+pub use pagetable;
+pub use sim_engine;
+pub use tlb;
+pub use workloads;

@@ -1,0 +1,95 @@
+//! Structural tests of the experiment harness at quick scale: every
+//! runner executes and produces the table shape its figure needs.
+
+use least_tlb::experiments::{run_by_name, ExpOptions, ALL_EXPERIMENTS};
+
+fn opts() -> ExpOptions {
+    let mut o = ExpOptions::quick();
+    o.budget_single = 120_000;
+    o.budget_multi = 120_000;
+    o
+}
+
+#[test]
+fn characterization_tables_have_one_row_per_app() {
+    for name in ["table3", "fig2", "fig4", "fig5"] {
+        let t = run_by_name(name, &opts()).unwrap();
+        assert!(t.len() >= 9, "{name} must cover the 9 single-app workloads");
+    }
+}
+
+#[test]
+fn fig3_and_fig14_report_per_app_speedups_plus_geomean() {
+    let t3 = run_by_name("fig3", &opts()).unwrap();
+    assert_eq!(t3.len(), 10, "9 apps + GEOMEAN");
+    let t14 = run_by_name("fig14", &opts()).unwrap();
+    assert_eq!(t14.len(), 10);
+}
+
+#[test]
+fn fig6_snapshots_both_apps() {
+    let t = run_by_name("fig6", &opts()).unwrap();
+    assert_eq!(t.len(), 2, "MM and PR rows");
+}
+
+#[test]
+fn multiapp_tables_cover_w1_to_w10() {
+    for name in ["fig7", "fig17", "fig18"] {
+        let t = run_by_name(name, &opts()).unwrap();
+        assert!(t.len() >= 10, "{name} must cover W1..W10");
+    }
+}
+
+#[test]
+fn fig8_covers_representative_mixes() {
+    let t = run_by_name("fig8", &opts()).unwrap();
+    assert_eq!(t.len(), 16, "4 mixes x 4 apps");
+}
+
+#[test]
+fn sensitivity_tables_are_nonempty() {
+    for name in ["fig19", "iommu-size", "fig20", "fig22", "fig23", "fig24"] {
+        let t = run_by_name(name, &opts()).unwrap();
+        assert!(!t.is_empty(), "{name} produced no rows");
+    }
+}
+
+#[test]
+fn comparison_tables_are_nonempty() {
+    for name in [
+        "fig25",
+        "fig26",
+        "hw-overhead",
+        "ablation-tracker",
+        "ablation-blocking-l1",
+        "ablation-receiver",
+        "ext-qos-quota",
+        "fig11",
+    ] {
+        let t = run_by_name(name, &opts()).unwrap();
+        assert!(!t.is_empty(), "{name} produced no rows");
+    }
+}
+
+#[test]
+fn gpu_scaling_covers_8_and_16() {
+    let mut o = opts();
+    o.budget_single = 60_000;
+    o.budget_multi = 60_000;
+    let t = run_by_name("fig21", &o).unwrap();
+    // 2 single rows + 5 8-GPU mixes + 1 16-GPU mix.
+    assert!(t.len() >= 8, "fig21 rows: {}", t.len());
+}
+
+#[test]
+fn every_registered_experiment_is_runnable() {
+    // Name resolution only (cheap ones actually ran above): make sure the
+    // registry and the dispatch match.
+    for name in ALL_EXPERIMENTS {
+        assert!(
+            ALL_EXPERIMENTS.contains(name),
+            "registry inconsistent for {name}"
+        );
+    }
+    assert!(run_by_name("nope", &opts()).is_err());
+}

@@ -1,0 +1,183 @@
+//! Broad combination coverage: every policy × a representative workload
+//! set runs to completion with sane statistics. Catches policy
+//! interactions (e.g. spilling × superpages, probing × faulting) that the
+//! targeted tests miss.
+
+use least_tlb::{Policy, System, SystemConfig, WorkloadSpec};
+use mgpu_types::PageSize;
+use workloads::{multi_app_workloads, AppKind};
+
+fn policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("baseline", Policy::baseline()),
+        ("least", Policy::least_tlb()),
+        ("least-spill", Policy::least_tlb_spilling()),
+        ("least-n2", Policy::least_tlb_n(2)),
+        ("infinite", Policy::infinite_iommu()),
+        ("exclusive", Policy::exclusive()),
+        ("probing", Policy::probing_ring()),
+        ("serialized", {
+            let mut p = Policy::least_tlb();
+            p.serialize_remote = true;
+            p
+        }),
+        ("local-pt", {
+            let mut p = Policy::least_tlb();
+            p.local_page_tables = true;
+            p
+        }),
+        ("qos", {
+            let mut p = Policy::least_tlb_spilling();
+            p.iommu_quota = Some(128);
+            p
+        }),
+    ]
+}
+
+fn check(name: &str, workload: &str, cfg: &SystemConfig, spec: &WorkloadSpec) {
+    let r = System::new(cfg, spec)
+        .unwrap_or_else(|e| panic!("{name}/{workload}: build failed: {e}"))
+        .run();
+    assert!(r.end_cycle > 0, "{name}/{workload}: empty run");
+    for a in &r.apps {
+        assert!(
+            a.stats.completion_cycle.is_some(),
+            "{name}/{workload}: {} never completed",
+            a.kind
+        );
+        assert!(a.stats.l1_hit_rate() <= 1.0);
+        assert!(a.stats.iommu_hit_rate() + a.stats.remote_hit_rate() <= 1.0 + 1e-9);
+    }
+    // Conservation: IOMMU requests ≥ walks that served + hits.
+    assert!(
+        r.iommu.requests >= r.iommu.merged,
+        "{name}/{workload}: merged exceeds requests"
+    );
+}
+
+#[test]
+fn every_policy_runs_single_app() {
+    for (name, policy) in policies() {
+        let mut cfg = SystemConfig::scaled_down(4);
+        cfg.instructions_per_gpu = 120_000;
+        cfg.policy = policy;
+        let spec = WorkloadSpec::single_app(AppKind::St, 4);
+        check(name, "ST", &cfg, &spec);
+    }
+}
+
+#[test]
+fn every_policy_runs_multi_app() {
+    let mixes = multi_app_workloads();
+    for (name, policy) in policies() {
+        let mut cfg = SystemConfig::scaled_down(4);
+        cfg.instructions_per_gpu = 100_000;
+        cfg.policy = policy;
+        let spec = WorkloadSpec::from_mix(&mixes[3]); // W4 (LLMH)
+        check(name, "W4", &cfg, &spec);
+    }
+}
+
+#[test]
+fn every_policy_runs_with_superpages() {
+    for (name, policy) in policies() {
+        if policy.local_page_tables {
+            continue; // superpage + local-PT is exercised separately below
+        }
+        let mut cfg = SystemConfig::scaled_down(4);
+        cfg.instructions_per_gpu = 100_000;
+        cfg.page_size = PageSize::Size2M;
+        cfg.policy = policy;
+        let spec = WorkloadSpec::single_app(AppKind::Mt, 4);
+        check(name, "MT/2MB", &cfg, &spec);
+    }
+}
+
+#[test]
+fn superpages_with_local_page_tables() {
+    let mut cfg = SystemConfig::scaled_down(4);
+    cfg.instructions_per_gpu = 100_000;
+    cfg.page_size = PageSize::Size2M;
+    cfg.policy = Policy::least_tlb();
+    cfg.policy.local_page_tables = true;
+    check(
+        "local-pt",
+        "MT/2MB",
+        &cfg,
+        &WorkloadSpec::single_app(AppKind::Mt, 4),
+    );
+}
+
+#[test]
+fn every_policy_survives_demand_faulting() {
+    for (name, policy) in policies() {
+        let mut cfg = SystemConfig::scaled_down(4);
+        cfg.instructions_per_gpu = 50_000;
+        cfg.premap = false;
+        cfg.policy = policy;
+        let spec = WorkloadSpec::single_app(AppKind::Km, 4);
+        check(name, "KM/faulting", &cfg, &spec);
+    }
+}
+
+#[test]
+fn fragmented_memory_degrades_superpage_coverage() {
+    let spec = WorkloadSpec::single_app(AppKind::Aes, 4);
+    let mk = |fragment| {
+        let mut cfg = SystemConfig::scaled_down(4);
+        cfg.instructions_per_gpu = 80_000;
+        cfg.page_size = PageSize::Size2M;
+        if fragment {
+            // Pin a frame in every 512-frame block: no superpage fits.
+            cfg.fragmentation = Some((cfg.phys_frames / 512, 512));
+        }
+        System::new(&cfg, &spec).unwrap().run()
+    };
+    let clean = mk(false);
+    let fragmented = mk(true);
+    assert!(
+        fragmented.iommu.requests > clean.iommu.requests * 4,
+        "fragmentation must defeat superpage coalescing ({} vs {})",
+        fragmented.iommu.requests,
+        clean.iommu.requests
+    );
+}
+
+#[test]
+fn constrained_link_bandwidth_slows_translation_heavy_apps() {
+    let spec = WorkloadSpec::single_app(AppKind::St, 4);
+    let mk = |occupancy| {
+        let mut cfg = SystemConfig::scaled_down(4);
+        cfg.instructions_per_gpu = 250_000;
+        cfg.link_message_cycles = occupancy;
+        System::new(&cfg, &spec).unwrap().run()
+    };
+    let unbounded = mk(None);
+    let tight = mk(Some(200));
+    assert!(
+        tight.end_cycle > unbounded.end_cycle,
+        "a 200-cycle-per-message link must congest ST ({} vs {})",
+        tight.end_cycle,
+        unbounded.end_cycle
+    );
+}
+
+#[test]
+fn page_walk_cache_shortens_walks() {
+    let spec = WorkloadSpec::single_app(AppKind::St, 4);
+    let mk = |pwc| {
+        let mut cfg = SystemConfig::scaled_down(4);
+        cfg.instructions_per_gpu = 250_000;
+        cfg.iommu.pwc = pwc;
+        System::new(&cfg, &spec).unwrap().run()
+    };
+    let without = mk(None);
+    let with = mk(Some(tlb::TlbConfig::new(64, 8, tlb::ReplacementPolicy::Lru)));
+    assert!(with.iommu.pwc_hits > 0, "ST walks must hit the PWC");
+    assert!(
+        with.end_cycle <= without.end_cycle,
+        "PWC must not slow things down ({} vs {})",
+        with.end_cycle,
+        without.end_cycle
+    );
+}

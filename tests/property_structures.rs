@@ -1,0 +1,194 @@
+//! Property-based tests (proptest) on the core data structures and their
+//! invariants, checked against simple reference models.
+
+use std::collections::{HashMap, HashSet};
+
+use mgpu_types::{Asid, PageSize, PhysPage, TranslationKey, VirtPage};
+use proptest::prelude::*;
+use tlb::{ReplacementPolicy, Tlb, TlbConfig, TlbEntry};
+
+fn key(v: u64) -> TranslationKey {
+    TranslationKey::new(Asid(0), VirtPage(v))
+}
+
+proptest! {
+    /// A fully-associative LRU TLB behaves exactly like an ordered-map LRU
+    /// reference model: same hits, same contents.
+    #[test]
+    fn tlb_matches_lru_reference(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..400)) {
+        const CAP: usize = 8;
+        let mut tlb = Tlb::new(TlbConfig::fully_associative(CAP, ReplacementPolicy::Lru));
+        // Reference: Vec kept in LRU order (front = LRU).
+        let mut reference: Vec<u64> = Vec::new();
+        for (page, is_insert) in ops {
+            if is_insert {
+                tlb.insert(key(page), TlbEntry::new(PhysPage(page)));
+                if let Some(pos) = reference.iter().position(|&p| p == page) {
+                    reference.remove(pos);
+                } else if reference.len() == CAP {
+                    reference.remove(0);
+                }
+                reference.push(page);
+            } else {
+                let hit = tlb.lookup(key(page)).is_some();
+                let ref_hit = reference.contains(&page);
+                prop_assert_eq!(hit, ref_hit, "lookup divergence on page {}", page);
+                if let Some(pos) = reference.iter().position(|&p| p == page) {
+                    reference.remove(pos);
+                    reference.push(page);
+                }
+            }
+            prop_assert_eq!(tlb.len(), reference.len());
+        }
+        let mut contents: Vec<u64> = tlb.iter().map(|(k, _)| k.vpn.0).collect();
+        contents.sort_unstable();
+        reference.sort_unstable();
+        prop_assert_eq!(contents, reference);
+    }
+
+    /// Cuckoo filters never produce false negatives while below 50% load
+    /// and with balanced insert/remove traffic.
+    #[test]
+    fn cuckoo_no_false_negatives(ops in prop::collection::vec((0u64..10_000, any::<bool>()), 1..300)) {
+        let mut filter = filters::CuckooFilter::new(filters::CuckooConfig::new(2048, 12));
+        let mut reference: HashSet<u64> = HashSet::new();
+        for (item, insert) in ops {
+            if insert && reference.len() < 900 {
+                if !reference.contains(&item) {
+                    prop_assert!(filter.insert(item), "insert failed below capacity");
+                    reference.insert(item);
+                }
+            } else if reference.remove(&item) {
+                prop_assert!(filter.remove(item), "remove of present item failed");
+            }
+            for &present in reference.iter().take(20) {
+                prop_assert!(filter.contains(present), "false negative for {}", present);
+            }
+        }
+    }
+
+    /// The reuse-distance tracker agrees with the O(n^2) textbook
+    /// definition on arbitrary traces.
+    #[test]
+    fn reuse_tracker_matches_naive(trace in prop::collection::vec(0u64..32, 1..250)) {
+        let mut tracker = least_tlb::metrics::ReuseTracker::new();
+        for (i, &page) in trace.iter().enumerate() {
+            let measured = tracker.record(key(page));
+            let expected = trace[..i].iter().rposition(|&p| p == page).map(|prev| {
+                trace[prev + 1..i].iter().collect::<HashSet<_>>().len() as u64
+            });
+            prop_assert_eq!(measured, expected, "divergence at access {}", i);
+        }
+    }
+
+    /// Page tables translate exactly what was mapped, and nothing else.
+    #[test]
+    fn page_table_roundtrip(pages in prop::collection::hash_set(0u64..100_000, 1..150)) {
+        let mut pt = pagetable::PageTable::new();
+        for (i, &vpn) in pages.iter().enumerate() {
+            pt.map(VirtPage(vpn), PhysPage(i as u64), PageSize::Size4K).unwrap();
+        }
+        let by_vpn: HashMap<u64, u64> = pages.iter().enumerate().map(|(i, &v)| (v, i as u64)).collect();
+        for &vpn in &pages {
+            let walk = pt.translate(VirtPage(vpn)).expect("mapped page translates");
+            prop_assert_eq!(walk.frame.0, by_vpn[&vpn]);
+            prop_assert_eq!(walk.levels, 4);
+        }
+        // Unmapped neighbours miss.
+        for &vpn in pages.iter().take(30) {
+            if !pages.contains(&(vpn + 1)) {
+                prop_assert!(pt.translate(VirtPage(vpn + 1)).is_none());
+            }
+        }
+    }
+
+    /// The frame allocator never double-allocates and frees restore
+    /// capacity exactly.
+    #[test]
+    fn frame_allocator_uniqueness(takes in 1usize..200, frees in prop::collection::vec(any::<prop::sample::Index>(), 0..50)) {
+        let mut alloc = pagetable::FrameAllocator::new(256);
+        let mut held = Vec::new();
+        for _ in 0..takes.min(256) {
+            held.push(alloc.allocate().unwrap());
+        }
+        let unique: HashSet<_> = held.iter().collect();
+        prop_assert_eq!(unique.len(), held.len(), "duplicate frame handed out");
+        let mut freed = HashSet::new();
+        for idx in frees {
+            let f = held[idx.index(held.len())];
+            if freed.insert(f) {
+                alloc.free(f);
+            }
+        }
+        prop_assert_eq!(alloc.allocated(), held.len() - freed.len());
+    }
+
+    /// The event queue delivers every event exactly once, in time order,
+    /// FIFO within a cycle.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..50, 1..200)) {
+        let mut q = sim_engine::EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(mgpu_types::Cycle(t), i);
+        }
+        let mut delivered = Vec::new();
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            let entry = (t.0, i);
+            if let Some(prev) = last {
+                prop_assert!(
+                    entry.0 > prev.0 || (entry.0 == prev.0 && i > prev.1),
+                    "order violated: {:?} after {:?}",
+                    entry,
+                    prev
+                );
+            }
+            last = Some(entry);
+            delivered.push(i);
+        }
+        prop_assert_eq!(delivered.len(), times.len());
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// Workload generators are pure functions of (config, seed): identical
+    /// streams for identical seeds, independent of other lanes' progress.
+    #[test]
+    fn generator_lane_independence(seed in any::<u64>(), interleave in prop::collection::vec(0usize..4, 10..100)) {
+        use workloads::{AppKind, AppWorkload, Scale};
+        // Reference: lane 0 of GPU 0 queried in isolation.
+        let mut solo = AppWorkload::new(AppKind::Bs, Asid(0), 2, 2, Scale::Small, seed);
+        let expected: Vec<_> = (0..40).map(|_| solo.next_op(0, 0).vpn).collect();
+        // Same lane interleaved with arbitrary other-lane queries.
+        let mut mixed = AppWorkload::new(AppKind::Bs, Asid(0), 2, 2, Scale::Small, seed);
+        let mut got = Vec::new();
+        let mut others = interleave.into_iter().cycle();
+        for _ in 0..40 {
+            for _ in 0..others.next().unwrap() {
+                let _ = mixed.next_op(1, 1);
+            }
+            got.push(mixed.next_op(0, 0).vpn);
+        }
+        prop_assert_eq!(got, expected);
+    }
+}
+
+/// Non-proptest cross-check: histogram capture fractions are monotone in
+/// capacity (a bigger TLB never captures fewer reuses).
+#[test]
+fn reuse_capture_is_monotone_in_capacity() {
+    let mut t = least_tlb::metrics::ReuseTracker::new();
+    let mut x = 7u64;
+    for _ in 0..5000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        t.record(key(x % 300));
+    }
+    let h = t.histogram();
+    let mut prev = 0.0;
+    for cap in [1u64, 4, 16, 64, 256, 1024, 4096] {
+        let c = h.captured_by(cap);
+        assert!(c >= prev, "capture fraction decreased at capacity {cap}");
+        prev = c;
+    }
+}
