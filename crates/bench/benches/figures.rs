@@ -22,7 +22,7 @@ fn figures(c: &mut Criterion) {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
     for name in ALL_EXPERIMENTS {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let table = run_by_name(name, &opts).expect("known experiment");
                 assert!(!table.is_empty());

@@ -81,7 +81,8 @@ fn page_table(c: &mut Criterion) {
     c.bench_function("page_table_translate_4level", |b| {
         let mut pt = PageTable::new();
         for v in 0..10_000u64 {
-            pt.map(VirtPage(v * 7), PhysPage(v), PageSize::Size4K).unwrap();
+            pt.map(VirtPage(v * 7), PhysPage(v), PageSize::Size4K)
+                .unwrap();
         }
         let mut v = 0u64;
         b.iter(|| {

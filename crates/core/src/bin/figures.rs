@@ -1,23 +1,32 @@
 //! Regenerates the paper's tables and figures as text tables.
 //!
 //! ```text
-//! figures [--quick] [--budget N] [fig14 fig16 ... | all]
+//! figures [--quick] [--budget N] [--seed N] [--jobs N] [fig14 fig16 ... | all]
 //! ```
 //!
 //! With no experiment arguments, runs everything in DESIGN.md order.
+//! `--jobs N` runs independent experiments on N worker threads; the table
+//! output on stdout is byte-identical for every `--jobs` value (runners
+//! are pure functions of their derived options), so parallelism is purely
+//! a wall-time knob. A per-runner telemetry summary (wall time,
+//! simulations, instructions, events, sim-rate) is printed to stderr at
+//! the end.
 
 use std::time::Instant;
 
-use least_tlb::experiments::{run_by_name, ExpOptions, ALL_EXPERIMENTS};
+use least_tlb::experiments::{run_suite, telemetry_table, ExpOptions, ALL_EXPERIMENTS};
 
 fn main() {
     let mut opts = ExpOptions::paper();
+    let mut jobs = 1usize;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => {
+                let seed = opts.seed;
                 opts = ExpOptions::quick();
+                opts.seed = seed;
             }
             "--budget" => {
                 let n = args
@@ -33,6 +42,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed takes a number");
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--jobs takes a worker count >= 1");
+            }
             "all" => wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             other => wanted.push(other.to_string()),
         }
@@ -40,22 +56,33 @@ fn main() {
     if wanted.is_empty() {
         wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
     }
+    if let Some(unknown) = wanted
+        .iter()
+        .find(|n| !ALL_EXPERIMENTS.contains(&n.as_str()))
+    {
+        eprintln!(
+            "unknown experiment '{unknown}'; available: {}",
+            ALL_EXPERIMENTS.join(", ")
+        );
+        std::process::exit(2);
+    }
+
     let total = Instant::now();
-    for name in &wanted {
-        let t0 = Instant::now();
-        match run_by_name(name, &opts) {
+    let outcomes = run_suite(&wanted, &opts, jobs);
+    for outcome in &outcomes {
+        match &outcome.result {
             Ok(table) => {
-                println!("==== {name} ({:.1}s) ====", t0.elapsed().as_secs_f64());
+                println!("==== {} ====", outcome.name);
                 println!("{table}");
             }
             Err(unknown) => {
-                eprintln!(
-                    "unknown experiment '{unknown}'; available: {}",
-                    ALL_EXPERIMENTS.join(", ")
-                );
+                // Unreachable after the upfront check; defensive.
+                eprintln!("unknown experiment '{unknown}'");
                 std::process::exit(2);
             }
         }
     }
-    eprintln!("total: {:.1}s", total.elapsed().as_secs_f64());
+    eprintln!("==== telemetry ({jobs} jobs) ====");
+    eprintln!("{}", telemetry_table(&outcomes));
+    eprintln!("total wall time: {:.1}s", total.elapsed().as_secs_f64());
 }

@@ -101,7 +101,10 @@ fn resolve_workload(name: &str, gpus: usize) -> WorkloadSpec {
 }
 
 fn summarize(r: &RunResult) {
-    println!("workload {:>6}: {} cycles, {} events", r.workload, r.end_cycle, r.events);
+    println!(
+        "workload {:>6}: {} cycles, {} events",
+        r.workload, r.end_cycle, r.events
+    );
     println!(
         "  IOMMU: {} requests, hit {:.1}%, remote {:.1}%, {} walks ({} wasted, {} cancelled), {} spills",
         r.iommu.requests,
@@ -123,6 +126,19 @@ fn summarize(r: &RunResult) {
             s.l1_hit_rate() * 100.0,
             s.l2_hit_rate() * 100.0,
             s.iommu_hit_rate() * 100.0,
+        );
+    }
+    if let Some(t) = &r.telemetry {
+        println!(
+            "  telemetry: {:.2}s wall, {} instr, {} events delivered \
+             ({} scheduled, queue peak {}), {:.2} Minstr/s, {:.2} Mevents/s",
+            t.wall_seconds,
+            t.instructions,
+            t.events_delivered,
+            t.events_scheduled,
+            t.queue_high_water,
+            t.sim_rate() / 1e6,
+            t.event_rate() / 1e6,
         );
     }
 }
@@ -165,7 +181,10 @@ fn main() {
 
     if args.json {
         result.trace = None;
-        println!("{}", serde_json::to_string_pretty(&result).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serializable")
+        );
     } else {
         summarize(&result);
     }

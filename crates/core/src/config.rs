@@ -288,6 +288,8 @@ mod tests {
             available: 4,
         };
         assert!(e.to_string().contains('8'));
-        assert!(BuildError::EmptyWorkload.to_string().contains("no applications"));
+        assert!(BuildError::EmptyWorkload
+            .to_string()
+            .contains("no applications"));
     }
 }

@@ -196,7 +196,11 @@ pub fn fig7_multiapp_baseline(opts: &ExpOptions) -> Table {
         let mut row = vec![format!("{} ({})", mix.name, mix.category)];
         for a in &r.apps {
             let alone = cache.get(&alone_cfg, a.kind).apps[0].stats.ipc();
-            let ratio = if alone == 0.0 { 0.0 } else { a.stats.ipc() / alone };
+            let ratio = if alone == 0.0 {
+                0.0
+            } else {
+                a.stats.ipc() / alone
+            };
             row.push(format!("{}={}", a.kind.name(), Table::f(ratio)));
         }
         row.push(Table::f(weighted_speedup(&r, &alone_cfg, &mut cache)));

@@ -124,10 +124,16 @@ pub fn hw_overhead(_opts: &ExpOptions) -> Table {
     // IOMMU TLB entry ~ tag(24b) + frame(28b) + metadata(4b) = 56 bits.
     let iommu_bits = cfg.iommu.tlb.entries as u64 * 56;
     for (name, bits) in [
-        ("paper cuckoo filter (2048 x 4b)", paper_filter.storage_bits()),
+        (
+            "paper cuckoo filter (2048 x 4b)",
+            paper_filter.storage_bits(),
+        ),
         ("our cuckoo filter (4096 x 8b)", our_filter.storage_bits()),
         ("eviction counters", counters),
-        ("spill bits (1b per L2 entry x 4 GPUs)", 4 * cfg.gpu.l2_tlb.entries as u64),
+        (
+            "spill bits (1b per L2 entry x 4 GPUs)",
+            4 * cfg.gpu.l2_tlb.entries as u64,
+        ),
         ("IOMMU TLB (reference)", iommu_bits),
     ] {
         t.row(vec![
@@ -162,7 +168,10 @@ pub fn ablation_tracker(opts: &ExpOptions) -> Table {
     let spec = WorkloadSpec::single_app(AppKind::St, 4);
     let base = run(&opts.config(4), &spec);
     let backends: [(&str, TrackerBackend); 4] = [
-        ("paper cuckoo (512x4b/GPU)", TrackerBackend::paper_default(4)),
+        (
+            "paper cuckoo (512x4b/GPU)",
+            TrackerBackend::paper_default(4),
+        ),
         (
             "sized cuckoo (1024x8b/GPU)",
             TrackerBackend::Cuckoo {
@@ -222,7 +231,12 @@ pub fn ablation_blocking_l1(opts: &ExpOptions) -> Table {
         let inf = mk(Policy::infinite_iommu());
         let least = mk(Policy::least_tlb());
         t.row(vec![
-            if blocking { "blocking (MGPUSim-like)" } else { "hit-under-miss" }.into(),
+            if blocking {
+                "blocking (MGPUSim-like)"
+            } else {
+                "hit-under-miss"
+            }
+            .into(),
             base.end_cycle.to_string(),
             Table::f(inf.speedup_vs(&base)),
             Table::f(least.speedup_vs(&base)),
@@ -246,7 +260,10 @@ pub fn ablation_receiver(opts: &ExpOptions) -> Table {
     let w4 = WorkloadSpec::from_mix(&mixes[3]);
     let base = run(&opts.config_multi(4), &w4);
     for (name, rp) in [
-        ("min-eviction-counter (paper)", ReceiverPolicy::MinEvictionCounter),
+        (
+            "min-eviction-counter (paper)",
+            ReceiverPolicy::MinEvictionCounter,
+        ),
         ("round-robin", ReceiverPolicy::RoundRobin),
         ("fixed (GPU0)", ReceiverPolicy::Fixed),
     ] {

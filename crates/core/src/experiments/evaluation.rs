@@ -9,11 +9,7 @@ use crate::{Policy, Table, WorkloadSpec};
 /// single-application execution (paper: least-TLB averages 1.24x and is
 /// comparable to infinite except for MT).
 pub fn fig14_leasttlb_single(opts: &ExpOptions) -> Table {
-    let mut t = Table::new(vec![
-        "app".into(),
-        "least-tlb".into(),
-        "infinite".into(),
-    ]);
+    let mut t = Table::new(vec!["app".into(), "least-tlb".into(), "infinite".into()]);
     let mut least_all = Vec::new();
     let mut inf_all = Vec::new();
     for kind in single_app_kinds() {
@@ -109,7 +105,11 @@ pub fn fig16_leasttlb_multi(opts: &ExpOptions) -> Table {
             .collect();
         let ws_base = weighted_speedup(&base, &alone_cfg, &mut cache);
         let ws_least = weighted_speedup(&least, &alone_cfg, &mut cache);
-        let imp = if ws_base == 0.0 { 0.0 } else { ws_least / ws_base };
+        let imp = if ws_base == 0.0 {
+            0.0
+        } else {
+            ws_least / ws_base
+        };
         ratios.push(imp);
         t.row(vec![
             format!("{} ({})", mix.name, mix.category),

@@ -1,0 +1,261 @@
+//! Parallel experiment executor.
+//!
+//! Every runner in this module's parent is a pure function of
+//! [`ExpOptions`], so independent figures/tables can run concurrently.
+//! [`run_suite`] spreads a list of runner names over a small worker pool
+//! built on `std::thread::scope` (no external crates — the build must stay
+//! offline-friendly): workers claim jobs from a shared atomic cursor, so
+//! the pool self-balances like a work-stealing deque without the deque.
+//!
+//! Determinism: outcomes are written into per-job slots and returned in
+//! input order, and each runner's options are derived by
+//! [`ExpOptions::for_runner`] — a pure function of (master seed, runner
+//! name) — so `--jobs 1` and `--jobs N` produce bit-identical tables.
+//!
+//! Telemetry: each worker thread zeroes a thread-local counter block
+//! before invoking a runner; every simulation the runner performs adds its
+//! [`RunTelemetry`](crate::RunTelemetry) into that block (see
+//! [`note_run`]), and the harness pairs the aggregate with the runner's
+//! wall time.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::{RunResult, RunTelemetry, Table};
+
+use super::{run_by_name, ExpOptions};
+
+/// Aggregated execution telemetry for one runner invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunnerTelemetry {
+    /// Wall-clock seconds the runner took (including result assembly).
+    pub wall_seconds: f64,
+    /// Simulations the runner performed.
+    pub sims: u64,
+    /// Instructions simulated across those simulations.
+    pub instructions: u64,
+    /// Events delivered across those simulations.
+    pub events: u64,
+}
+
+impl RunnerTelemetry {
+    /// Simulation rate in instructions per host second.
+    #[must_use]
+    pub fn sim_rate(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.instructions as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The outcome of one suite entry: the runner's table (or the unknown
+/// name, echoed back as the error) plus its telemetry.
+#[derive(Debug, Clone)]
+pub struct SuiteOutcome {
+    /// Runner name as passed in.
+    pub name: String,
+    /// The produced table, or the unknown name as an error.
+    pub result: Result<Table, String>,
+    /// Execution telemetry for this runner.
+    pub telemetry: RunnerTelemetry,
+}
+
+thread_local! {
+    /// Per-thread accumulator fed by [`note_run`]. A runner executes
+    /// entirely on one worker thread, so pairing reset/take around the
+    /// runner call observes exactly its simulations.
+    static COUNTERS: Cell<(u64, u64, u64)> = const { Cell::new((0, 0, 0)) };
+}
+
+/// Records one simulation's telemetry into the executing thread's
+/// accumulator. Called by the experiment plumbing for every simulation a
+/// runner performs.
+pub(crate) fn note_run(result: &RunResult) {
+    let t = result.telemetry.unwrap_or(RunTelemetry {
+        instructions: result.apps.iter().map(|a| a.stats.instructions).sum(),
+        events_delivered: result.events,
+        ..RunTelemetry::default()
+    });
+    COUNTERS.with(|c| {
+        let (sims, instr, events) = c.get();
+        c.set((
+            sims + 1,
+            instr + t.instructions,
+            events + t.events_delivered,
+        ));
+    });
+}
+
+fn take_counters() -> (u64, u64, u64) {
+    COUNTERS.with(|c| c.replace((0, 0, 0)))
+}
+
+/// Runs one suite entry, capturing telemetry around the runner call.
+fn run_one(name: &str, opts: &ExpOptions) -> SuiteOutcome {
+    let derived = opts.for_runner(name);
+    let start = Instant::now();
+    take_counters();
+    let result = run_by_name(name, &derived);
+    let (sims, instructions, events) = take_counters();
+    SuiteOutcome {
+        name: name.to_string(),
+        result,
+        telemetry: RunnerTelemetry {
+            wall_seconds: start.elapsed().as_secs_f64(),
+            sims,
+            instructions,
+            events,
+        },
+    }
+}
+
+/// Runs the named experiments over `jobs` worker threads and returns their
+/// outcomes in input order.
+///
+/// `jobs` is clamped to `1..=names.len()`. Unknown names are reported in
+/// their outcome's `result` (the suite keeps running). The produced tables
+/// are bit-identical for every `jobs` value: runners are pure functions of
+/// their derived options, and scheduling only changes *when* a runner
+/// executes, never its inputs.
+#[must_use]
+pub fn run_suite(names: &[String], opts: &ExpOptions, jobs: usize) -> Vec<SuiteOutcome> {
+    let jobs = jobs.max(1).min(names.len().max(1));
+    let slots: Vec<Mutex<Option<SuiteOutcome>>> = names.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(name) = names.get(i) else { break };
+                let outcome = run_one(name, opts);
+                *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled once the scope joins")
+        })
+        .collect()
+}
+
+/// Builds the human-readable telemetry summary table the `figures` and
+/// `simulate` binaries print at the end of a suite.
+#[must_use]
+pub fn telemetry_table(outcomes: &[SuiteOutcome]) -> Table {
+    let mut t = Table::new(vec![
+        "experiment".into(),
+        "wall_s".into(),
+        "sims".into(),
+        "instructions".into(),
+        "events".into(),
+        "Minstr/s".into(),
+    ]);
+    let mut total = RunnerTelemetry::default();
+    for o in outcomes {
+        let tel = &o.telemetry;
+        t.row(vec![
+            o.name.clone(),
+            format!("{:.2}", tel.wall_seconds),
+            tel.sims.to_string(),
+            tel.instructions.to_string(),
+            tel.events.to_string(),
+            format!("{:.2}", tel.sim_rate() / 1e6),
+        ]);
+        total.wall_seconds += tel.wall_seconds;
+        total.sims += tel.sims;
+        total.instructions += tel.instructions;
+        total.events += tel.events;
+    }
+    t.row(vec![
+        "TOTAL".into(),
+        format!("{:.2}", total.wall_seconds),
+        total.sims.to_string(),
+        total.instructions.to_string(),
+        total.events.to_string(),
+        format!("{:.2}", total.sim_rate() / 1e6),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ExpOptions {
+        let mut o = ExpOptions::quick();
+        o.budget_single = 30_000;
+        o.budget_multi = 30_000;
+        o
+    }
+
+    #[test]
+    fn unknown_names_are_reported_not_fatal() {
+        let names = vec!["fig2".to_string(), "fig99".to_string()];
+        let out = run_suite(&names, &tiny_opts(), 2);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].result.is_ok());
+        assert_eq!(out[1].result.as_ref().unwrap_err(), "fig99");
+    }
+
+    #[test]
+    fn outcomes_come_back_in_input_order() {
+        let names: Vec<String> = ["table3", "fig2", "fig19"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let out = run_suite(&names, &tiny_opts(), 3);
+        let got: Vec<&str> = out.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(got, vec!["table3", "fig2", "fig19"]);
+    }
+
+    #[test]
+    fn telemetry_is_populated_per_runner() {
+        let names = vec!["fig2".to_string()];
+        let out = run_suite(&names, &tiny_opts(), 1);
+        let tel = &out[0].telemetry;
+        assert!(tel.sims > 0, "fig2 simulates at least one run");
+        assert!(tel.instructions > 0);
+        assert!(tel.events > 0);
+        assert!(tel.wall_seconds > 0.0);
+        assert!(tel.sim_rate() > 0.0);
+    }
+
+    #[test]
+    fn jobs_values_produce_identical_tables() {
+        let names: Vec<String> = ["fig2", "table3", "fig19"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let serial = run_suite(&names, &tiny_opts(), 1);
+        let parallel = run_suite(&names, &tiny_opts(), 3);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.result.as_ref().unwrap().to_string(),
+                p.result.as_ref().unwrap().to_string(),
+                "{} diverged between --jobs 1 and --jobs 3",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn summary_table_has_one_row_per_runner_plus_total() {
+        let names = vec!["fig2".to_string()];
+        let out = run_suite(&names, &tiny_opts(), 1);
+        let t = telemetry_table(&out);
+        assert_eq!(t.len(), 2, "one runner row + TOTAL");
+        let s = t.to_string();
+        assert!(s.contains("fig2"));
+        assert!(s.contains("TOTAL"));
+    }
+}

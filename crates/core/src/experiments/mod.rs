@@ -10,15 +10,18 @@
 mod characterization;
 mod comparison;
 mod evaluation;
+mod exec;
 mod sensitivity;
+
+pub use exec::{run_suite, telemetry_table, RunnerTelemetry, SuiteOutcome};
 
 pub use characterization::{
     fig2_baseline_hit_rates, fig3_infinite_iommu, fig4_page_sharing, fig5_reuse_cdf_single,
     fig6_redundancy, fig7_multiapp_baseline, fig8_reuse_cdf_multi, table3_mpki,
 };
 pub use comparison::{
-    ablation_blocking_l1, ablation_receiver, ablation_tracker, ext_qos_quota,
-    fig11_iommu_contents, fig25_vs_probing, fig26_with_dws, hw_overhead,
+    ablation_blocking_l1, ablation_receiver, ablation_tracker, ext_qos_quota, fig11_iommu_contents,
+    fig25_vs_probing, fig26_with_dws, hw_overhead,
 };
 pub use evaluation::{
     fig14_leasttlb_single, fig15_hit_rates_single, fig16_leasttlb_multi, fig17_hit_rates_multi,
@@ -88,13 +91,46 @@ impl ExpOptions {
         cfg.instructions_per_gpu = self.budget_multi;
         cfg
     }
+
+    /// Derives the options a suite run hands to the runner named `name`:
+    /// identical scale/budgets, but a per-runner seed mixed from the
+    /// master seed and the runner's name (FNV-1a + splitmix64).
+    ///
+    /// The derivation is a pure function of `(self.seed, name)`, so it is
+    /// independent of scheduling — serial and parallel suite executions
+    /// hand every runner exactly the same options, which is what makes
+    /// `--jobs N` bit-identical to `--jobs 1`. Decorrelating runners'
+    /// random streams also means no two runners ever share a workload
+    /// stream, mirroring how independent simulator configurations are
+    /// launched in large design-space sweeps.
+    #[must_use]
+    pub fn for_runner(&self, name: &str) -> ExpOptions {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut mixed = self.seed ^ hash;
+        // splitmix64 finalizer
+        mixed = mixed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mixed = (mixed ^ (mixed >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        mixed = (mixed ^ (mixed >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        mixed ^= mixed >> 31;
+        ExpOptions {
+            seed: mixed,
+            ..*self
+        }
+    }
 }
 
-/// Runs one simulation.
+/// Runs one simulation, recording its telemetry into the executing
+/// suite worker's accumulator (see [`exec::note_run`]).
 pub(crate) fn run(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunResult {
-    System::new(cfg, spec)
+    let result = System::new(cfg, spec)
         .expect("experiment configuration is valid")
-        .run()
+        .run();
+    exec::note_run(&result);
+    result
 }
 
 /// Runs a single-application workload across all GPUs under `policy`.
@@ -240,8 +276,31 @@ mod tests {
 
     #[test]
     fn unknown_experiment_is_an_error() {
-        let err = run_by_name("fig99", &ExpOptions::quick()).map(|_| ()).unwrap_err();
+        let err = run_by_name("fig99", &ExpOptions::quick())
+            .map(|_| ())
+            .unwrap_err();
         assert_eq!(err, "fig99");
+    }
+
+    #[test]
+    fn runner_seed_derivation_is_deterministic_and_distinct() {
+        let opts = ExpOptions::quick();
+        let a = opts.for_runner("fig2");
+        let b = opts.for_runner("fig2");
+        let c = opts.for_runner("fig3");
+        assert_eq!(a.seed, b.seed, "same name derives the same seed");
+        assert_ne!(a.seed, c.seed, "different names decorrelate");
+        assert_eq!(a.quick, opts.quick);
+        assert_eq!(a.budget_single, opts.budget_single);
+        let other = ExpOptions {
+            seed: opts.seed + 1,
+            ..opts
+        };
+        assert_ne!(
+            other.for_runner("fig2").seed,
+            a.seed,
+            "master seed still matters"
+        );
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! study.
 
 use mgpu_types::PageSize;
-use workloads::{
-    mix_workloads, multi_app_workloads, scaling_workloads, AppKind,
-};
+use workloads::{mix_workloads, multi_app_workloads, scaling_workloads, AppKind};
 
 use super::{geomean, run, weighted_speedup, AloneCache, ExpOptions};
 use crate::{Policy, SystemConfig, Table, WorkloadSpec};
@@ -181,7 +179,11 @@ pub fn fig21_gpu_scaling(opts: &ExpOptions) -> Table {
             let least = run(&cfg, &spec);
             let ws_base = weighted_speedup(&base, &alone_cfg, &mut cache);
             let ws_least = weighted_speedup(&least, &alone_cfg, &mut cache);
-            let imp = if ws_base == 0.0 { 0.0 } else { ws_least / ws_base };
+            let imp = if ws_base == 0.0 {
+                0.0
+            } else {
+                ws_least / ws_base
+            };
             t.row(vec![
                 format!("{gpus} GPUs"),
                 format!("{} ({})", mix.name, mix.category),
@@ -213,7 +215,11 @@ pub fn fig22_mix_workload(opts: &ExpOptions) -> Table {
         let alone_cfg = opts.config_multi(gpus);
         let ws_base = weighted_speedup(&base, &alone_cfg, &mut cache);
         let ws_least = weighted_speedup(&least, &alone_cfg, &mut cache);
-        let imp = if ws_base == 0.0 { 0.0 } else { ws_least / ws_base };
+        let imp = if ws_base == 0.0 {
+            0.0
+        } else {
+            ws_least / ws_base
+        };
         all.push(imp);
         t.row(vec![
             format!("{} ({})", mix.name, mix.category),

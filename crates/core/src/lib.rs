@@ -47,5 +47,5 @@ pub mod trace;
 
 pub use config::{BuildError, SystemConfig, WorkloadSpec};
 pub use report::Table;
-pub use results::{AppResult, AppRunStats, RunResult, SnapshotRecord};
+pub use results::{AppResult, AppRunStats, RunResult, RunTelemetry, SnapshotRecord};
 pub use system::{Inclusion, Policy, ReceiverPolicy, System};

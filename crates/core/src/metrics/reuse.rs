@@ -127,7 +127,10 @@ impl OrderStatTree {
     }
 
     fn next_priority(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.rng
     }
 

@@ -1,7 +1,7 @@
 //! Result records produced by a simulation run.
 
-use iommu::IommuStats;
 use filters::TrackerStats;
+use iommu::IommuStats;
 use mgpu_types::GpuId;
 use serde::{Deserialize, Serialize};
 use tlb::TlbStats;
@@ -131,6 +131,57 @@ pub struct SnapshotRecord {
     pub iommu_per_asid: Vec<u64>,
 }
 
+/// Execution telemetry for one simulation run: how fast the simulator
+/// itself ran, as opposed to what it simulated. Machine-readable in the
+/// JSON output (`telemetry` block) and aggregated per experiment runner by
+/// the parallel harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunTelemetry {
+    /// Host wall-clock seconds the run took.
+    pub wall_seconds: f64,
+    /// Instructions simulated (all apps, first-execution windows).
+    pub instructions: u64,
+    /// Discrete events delivered by the engine.
+    pub events_delivered: u64,
+    /// Discrete events scheduled over the run (delivered + abandoned).
+    pub events_scheduled: u64,
+    /// Peak pending-event count (engine memory high-water mark).
+    pub queue_high_water: u64,
+}
+
+impl RunTelemetry {
+    /// Simulation rate in instructions per host second (zero for an
+    /// instantaneous run).
+    #[must_use]
+    pub fn sim_rate(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.instructions as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Event-processing rate in events per host second.
+    #[must_use]
+    pub fn event_rate(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events_delivered as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulates another run's telemetry into this one (wall times and
+    /// counters add; rates are recomputed from the sums).
+    pub fn absorb(&mut self, other: &RunTelemetry) {
+        self.wall_seconds += other.wall_seconds;
+        self.instructions += other.instructions;
+        self.events_delivered += other.events_delivered;
+        self.events_scheduled += other.events_scheduled;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+    }
+}
+
 /// Everything a simulation run produces.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
@@ -156,6 +207,10 @@ pub struct RunResult {
     /// The recorded translation trace (when `record_trace` was enabled).
     #[serde(skip_serializing_if = "Option::is_none", default)]
     pub trace: Option<crate::trace::TranslationTrace>,
+    /// Host-side execution telemetry (wall time, sim rate). `None` only
+    /// for hand-assembled results; every simulated run fills it in.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl RunResult {
@@ -290,6 +345,7 @@ mod tests {
             tracker: None,
             snapshots: Vec::new(),
             trace: None,
+            telemetry: None,
         }
     }
 
@@ -306,6 +362,35 @@ mod tests {
         let mix = run_with_cycles(100);
         let alone = vec![run_with_cycles(100)];
         assert!((mix.weighted_speedup(&alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_rates_and_absorb() {
+        let mut t = RunTelemetry {
+            wall_seconds: 2.0,
+            instructions: 1_000_000,
+            events_delivered: 500_000,
+            events_scheduled: 600_000,
+            queue_high_water: 128,
+        };
+        assert!((t.sim_rate() - 500_000.0).abs() < 1e-9);
+        assert!((t.event_rate() - 250_000.0).abs() < 1e-9);
+        assert_eq!(
+            RunTelemetry::default().sim_rate(),
+            0.0,
+            "zero wall time is safe"
+        );
+        let other = RunTelemetry {
+            wall_seconds: 1.0,
+            instructions: 500_000,
+            events_delivered: 100_000,
+            events_scheduled: 100_000,
+            queue_high_water: 256,
+        };
+        t.absorb(&other);
+        assert_eq!(t.instructions, 1_500_000);
+        assert_eq!(t.queue_high_water, 256, "high water takes the max");
+        assert!((t.sim_rate() - 500_000.0).abs() < 1e-9);
     }
 
     #[test]

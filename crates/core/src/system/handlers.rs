@@ -95,8 +95,7 @@ impl System {
                 }
             }
         }
-        let done =
-            self.gpus[gpu.index()].cus[usize::from(cu)].charge_compute(t, instructions);
+        let done = self.gpus[gpu.index()].cus[usize::from(cu)].charge_compute(t, instructions);
         self.queue.schedule(done, Event::WfMem { gpu, cu, wf, key });
     }
 
@@ -125,8 +124,7 @@ impl System {
             );
         } else {
             if blocking {
-                self.gpus[gpu.index()].cus[usize::from(cu)].blocking_miss =
-                    Some(WavefrontId(wf));
+                self.gpus[gpu.index()].cus[usize::from(cu)].blocking_miss = Some(WavefrontId(wf));
             }
             self.queue.schedule(
                 t.after(l1_latency + self.cfg.gpu.l2_latency),
@@ -210,7 +208,11 @@ impl System {
             let n = self.cfg.gpus;
             let left = GpuId(((g + n - 1) % n) as u8);
             let right = GpuId(((g + 1) % n) as u8);
-            let targets = if left == right { vec![left] } else { vec![left, right] };
+            let targets = if left == right {
+                vec![left]
+            } else {
+                vec![left, right]
+            };
             self.ring_pending.insert(
                 (gpu, key),
                 RingState {
@@ -344,7 +346,14 @@ impl System {
         }
     }
 
-    fn launch_walk(&mut self, t: Cycle, gpu: GpuId, key: TranslationKey, recording: bool, idx: usize) {
+    fn launch_walk(
+        &mut self,
+        t: Cycle,
+        gpu: GpuId,
+        key: TranslationKey,
+        recording: bool,
+        idx: usize,
+    ) {
         if self.cfg.policy.uses_pending() {
             self.iommu.pending.mark_walk(key);
         }
@@ -577,7 +586,14 @@ impl System {
         }
     }
 
-    fn l2_eviction(&mut self, t: Cycle, gpu: GpuId, vkey: TranslationKey, ventry: TlbEntry, depth: u32) {
+    fn l2_eviction(
+        &mut self,
+        t: Cycle,
+        gpu: GpuId,
+        vkey: TranslationKey,
+        ventry: TlbEntry,
+        depth: u32,
+    ) {
         if let Some(tracker) = &mut self.tracker {
             tracker.remove(gpu, vkey);
         }

@@ -16,7 +16,7 @@ use workloads::AppWorkload;
 
 use crate::config::{BuildError, SystemConfig, WorkloadSpec};
 use crate::metrics::{ReuseTracker, SharingSets};
-use crate::results::{AppResult, AppRunStats, RunResult, SnapshotRecord};
+use crate::results::{AppResult, AppRunStats, RunResult, RunTelemetry, SnapshotRecord};
 
 /// Inclusion relationship between the GPU L2 TLBs and the IOMMU TLB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -451,7 +451,10 @@ impl System {
             }
         }
 
-        let tracker = cfg.policy.tracker.map(|b| LocalTlbTracker::new(cfg.gpus, b));
+        let tracker = cfg
+            .policy
+            .tracker
+            .map(|b| LocalTlbTracker::new(cfg.gpus, b));
         let gpus: Vec<Gpu> = (0..cfg.gpus)
             .map(|g| Gpu::new(GpuId(g as u8), &cfg.gpu))
             .collect();
@@ -567,7 +570,9 @@ impl System {
         match cfg.page_size {
             PageSize::Size4K => {
                 for vpn in 0..footprint {
-                    let frame = frames.allocate().map_err(|_| BuildError::OutOfPhysicalMemory)?;
+                    let frame = frames
+                        .allocate()
+                        .map_err(|_| BuildError::OutOfPhysicalMemory)?;
                     table
                         .map(VirtPage(vpn), frame, PageSize::Size4K)
                         .expect("fresh table has no conflicting mappings");
@@ -588,7 +593,9 @@ impl System {
                             continue;
                         }
                     }
-                    let frame = frames.allocate().map_err(|_| BuildError::OutOfPhysicalMemory)?;
+                    let frame = frames
+                        .allocate()
+                        .map_err(|_| BuildError::OutOfPhysicalMemory)?;
                     table
                         .map(VirtPage(vpn), frame, PageSize::Size4K)
                         .expect("fresh table has no conflicting mappings");
@@ -660,6 +667,7 @@ impl System {
     /// Panics if the event budget (`cfg.max_events`) is exhausted — that
     /// indicates a scheduling bug, not a long workload.
     pub fn run(mut self) -> RunResult {
+        let wall_start = std::time::Instant::now();
         while let Some((t, ev)) = self.queue.pop() {
             self.dispatch(t, ev);
             if self.completed == self.apps.len() {
@@ -670,16 +678,37 @@ impl System {
                 "event budget exhausted: simulation is not converging"
             );
         }
-        self.collect()
+        let wall = wall_start.elapsed().as_secs_f64();
+        self.finish_with_wall_time(wall)
     }
 
     /// Assembles the result record without running (scripted flows: build
     /// with [`new_scripted`](Self::new_scripted), drive with
     /// [`inject_translation`](Self::inject_translation) +
-    /// [`drain`](Self::drain), then call this).
+    /// [`drain`](Self::drain), then call this). The telemetry block is
+    /// present but carries zero wall time; callers that timed the scripted
+    /// phase themselves use
+    /// [`finish_with_wall_time`](Self::finish_with_wall_time).
     #[must_use]
     pub fn finish(self) -> RunResult {
-        self.collect()
+        self.finish_with_wall_time(0.0)
+    }
+
+    /// Like [`finish`](Self::finish), recording `wall_seconds` as the
+    /// host time the caller measured for the run.
+    #[must_use]
+    pub fn finish_with_wall_time(self, wall_seconds: f64) -> RunResult {
+        let events_scheduled = self.queue.scheduled();
+        let queue_high_water = self.queue.high_water() as u64;
+        let mut result = self.collect();
+        result.telemetry = Some(RunTelemetry {
+            wall_seconds,
+            instructions: result.apps.iter().map(|a| a.stats.instructions).sum(),
+            events_delivered: result.events,
+            events_scheduled,
+            queue_high_water,
+        });
+        result
     }
 
     fn collect(self) -> RunResult {
@@ -716,6 +745,7 @@ impl System {
             } else {
                 None
             },
+            telemetry: None,
         }
     }
 

@@ -85,12 +85,13 @@ impl TranslationTrace {
     /// Returns [`BuildError`] if `cfg` cannot host the trace's workload
     /// spec.
     pub fn replay(&self, cfg: &SystemConfig) -> Result<RunResult, BuildError> {
+        let wall_start = std::time::Instant::now();
         let mut sys = System::new_scripted(cfg, &self.spec)?;
         for e in &self.entries {
             sys.inject_translation(GpuId(e.gpu), Asid(e.asid), VirtPage(e.vpn), Cycle(e.cycle));
         }
         sys.drain();
-        Ok(sys.finish())
+        Ok(sys.finish_with_wall_time(wall_start.elapsed().as_secs_f64()))
     }
 
     /// Number of recorded requests.

@@ -63,7 +63,10 @@ impl CountingBloomFilter {
     /// `counter_bits` is outside `1..=8`.
     #[must_use]
     pub fn new(config: BloomConfig) -> Self {
-        assert!(config.counters.is_power_of_two(), "counters must be a power of two");
+        assert!(
+            config.counters.is_power_of_two(),
+            "counters must be a power of two"
+        );
         assert!(config.hashes > 0, "need at least one hash function");
         assert!(
             (1..=8).contains(&config.counter_bits),

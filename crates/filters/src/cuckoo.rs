@@ -67,7 +67,10 @@ impl CuckooFilter {
             "entries must be a multiple of {BUCKET_SLOTS}"
         );
         let buckets = config.entries / BUCKET_SLOTS;
-        assert!(buckets.is_power_of_two(), "bucket count must be a power of two");
+        assert!(
+            buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
         assert!(
             (1..=16).contains(&config.fingerprint_bits),
             "fingerprint_bits must be in 1..=16"

@@ -285,13 +285,20 @@ mod tests {
         for v in 0..100 {
             t.insert(GpuId(0), key(v));
         }
-        let found = (0..100).filter(|&v| t.query(key(v), GpuId(1)).is_some()).count();
+        let found = (0..100)
+            .filter(|&v| t.query(key(v), GpuId(1)).is_some())
+            .count();
         assert_eq!(found, 100, "no false negatives below capacity");
         for v in 0..100 {
             t.remove(GpuId(0), key(v));
         }
-        let found_after = (0..100).filter(|&v| t.query(key(v), GpuId(1)).is_some()).count();
-        assert!(found_after <= 2, "removals take effect (fp collisions aside)");
+        let found_after = (0..100)
+            .filter(|&v| t.query(key(v), GpuId(1)).is_some())
+            .count();
+        assert!(
+            found_after <= 2,
+            "removals take effect (fp collisions aside)"
+        );
     }
 
     #[test]

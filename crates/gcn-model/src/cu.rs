@@ -133,10 +133,7 @@ mod tests {
     use tlb::ReplacementPolicy;
 
     fn cu() -> ComputeUnit {
-        ComputeUnit::new(
-            TlbConfig::fully_associative(16, ReplacementPolicy::Lru),
-            4,
-        )
+        ComputeUnit::new(TlbConfig::fully_associative(16, ReplacementPolicy::Lru), 4)
     }
 
     #[test]

@@ -114,7 +114,9 @@ impl Gpu {
     /// Installs a translation into `cu`'s L1 TLB (evictions are silent:
     /// L1↔L2 is mostly-inclusive in both the baseline and least-TLB).
     pub fn l1_fill(&mut self, cu: CuId, key: TranslationKey, frame: PhysPage) {
-        self.cus[cu.index()].l1_tlb.insert(key, TlbEntry::new(frame));
+        self.cus[cu.index()]
+            .l1_tlb
+            .insert(key, TlbEntry::new(frame));
     }
 
     /// L2 TLB lookup (records stats; refreshes recency).
@@ -158,10 +160,7 @@ impl Gpu {
     /// Total wavefront contexts on this GPU.
     #[must_use]
     pub fn lanes(&self) -> usize {
-        self.cus
-            .iter()
-            .map(|c| c.wavefronts.len())
-            .sum()
+        self.cus.iter().map(|c| c.wavefronts.len()).sum()
     }
 }
 

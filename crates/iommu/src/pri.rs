@@ -103,7 +103,11 @@ impl PriBatcher {
     pub fn dispatch_at(&self) -> Option<Cycle> {
         let oldest = self.queue.first()?;
         if self.queue.len() >= self.config.batch_size {
-            Some(oldest.queued_at.max(self.queue.last().expect("non-empty").queued_at))
+            Some(
+                oldest
+                    .queued_at
+                    .max(self.queue.last().expect("non-empty").queued_at),
+            )
         } else {
             Some(oldest.queued_at.after(self.config.batch_timeout))
         }

@@ -239,7 +239,7 @@ mod tests {
     fn dws_round_robins_across_asids() {
         let mut s = WalkerScheduler::new(1, WalkerMode::Dws);
         s.submit(Cycle(0), req(9, 0), 100); // starts immediately
-        // ASID 1 floods; ASID 2 submits one late request.
+                                            // ASID 1 floods; ASID 2 submits one late request.
         for v in 1..=5 {
             s.submit(Cycle(0), req(1, v), 100);
         }
@@ -308,7 +308,7 @@ mod tests {
         let mut s = WalkerScheduler::new(1, WalkerMode::Fifo);
         s.submit(Cycle(0), req(0, 1), 100); // in service
         s.submit(Cycle(0), req(0, 2), 100); // queued
-        // The in-service walk cannot be cancelled...
+                                            // The in-service walk cannot be cancelled...
         assert!(!s.cancel(TranslationKey::new(Asid(0), VirtPage(1))));
         // ...but the queued one can.
         assert!(s.cancel(TranslationKey::new(Asid(0), VirtPage(2))));

@@ -14,7 +14,11 @@ pub struct OutOfMemory {
 
 impl fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "out of physical memory ({} frames requested)", self.requested)
+        write!(
+            f,
+            "out of physical memory ({} frames requested)",
+            self.requested
+        )
     }
 }
 
@@ -129,7 +133,10 @@ impl FrameAllocator {
     ///
     /// Panics if `count` is not a power of two.
     pub fn allocate_contiguous(&mut self, count: usize) -> Result<PhysPage, OutOfMemory> {
-        assert!(count.is_power_of_two(), "contiguous runs must be power-of-two sized");
+        assert!(
+            count.is_power_of_two(),
+            "contiguous runs must be power-of-two sized"
+        );
         if count > self.free_frames() {
             return Err(OutOfMemory { requested: count });
         }

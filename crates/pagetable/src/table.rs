@@ -241,7 +241,8 @@ mod tests {
     #[test]
     fn map_then_translate_4k() {
         let mut pt = PageTable::new();
-        pt.map(VirtPage(0x1234), PhysPage(99), PageSize::Size4K).unwrap();
+        pt.map(VirtPage(0x1234), PhysPage(99), PageSize::Size4K)
+            .unwrap();
         let w = pt.translate(VirtPage(0x1234)).unwrap();
         assert_eq!(w.frame, PhysPage(99));
         assert_eq!(w.size, PageSize::Size4K);
@@ -262,7 +263,8 @@ mod tests {
     #[test]
     fn superpage_covers_512_pages() {
         let mut pt = PageTable::new();
-        pt.map(VirtPage(512), PhysPage(1024), PageSize::Size2M).unwrap();
+        pt.map(VirtPage(512), PhysPage(1024), PageSize::Size2M)
+            .unwrap();
         let w0 = pt.translate(VirtPage(512)).unwrap();
         assert_eq!(w0.frame, PhysPage(1024));
         assert_eq!(w0.size, PageSize::Size2M);
@@ -285,14 +287,16 @@ mod tests {
     #[test]
     fn superpage_overlap_with_4k_rejected() {
         let mut pt = PageTable::new();
-        pt.map(VirtPage(512 + 3), PhysPage(7), PageSize::Size4K).unwrap();
+        pt.map(VirtPage(512 + 3), PhysPage(7), PageSize::Size4K)
+            .unwrap();
         assert_eq!(
             pt.map(VirtPage(512), PhysPage(0), PageSize::Size2M),
             Err(MapError::Overlap(VirtPage(512)))
         );
         // And a 4K map under an existing superpage is rejected too.
         let mut pt2 = PageTable::new();
-        pt2.map(VirtPage(512), PhysPage(0), PageSize::Size2M).unwrap();
+        pt2.map(VirtPage(512), PhysPage(0), PageSize::Size2M)
+            .unwrap();
         assert_eq!(
             pt2.map(VirtPage(512 + 8), PhysPage(9), PageSize::Size4K),
             Err(MapError::Overlap(VirtPage(512 + 8)))
@@ -314,7 +318,8 @@ mod tests {
     #[test]
     fn unmap_2m() {
         let mut pt = PageTable::new();
-        pt.map(VirtPage(1024), PhysPage(0), PageSize::Size2M).unwrap();
+        pt.map(VirtPage(1024), PhysPage(0), PageSize::Size2M)
+            .unwrap();
         assert_eq!(pt.mapped_2m(), 1);
         pt.unmap(VirtPage(1024 + 17)).unwrap();
         assert_eq!(pt.mapped_2m(), 0);
@@ -327,7 +332,8 @@ mod tests {
         pt.map(VirtPage(0), PhysPage(1), PageSize::Size4K).unwrap();
         let nodes_before = pt.node_count();
         // A page 2^27 away differs in the top-level index.
-        pt.map(VirtPage(1 << 27), PhysPage(2), PageSize::Size4K).unwrap();
+        pt.map(VirtPage(1 << 27), PhysPage(2), PageSize::Size4K)
+            .unwrap();
         assert_eq!(pt.node_count(), nodes_before + 3, "full new subtree");
     }
 
@@ -337,14 +343,24 @@ mod tests {
         for i in 0..FANOUT as u64 {
             pt.map(VirtPage(i), PhysPage(i), PageSize::Size4K).unwrap();
         }
-        assert_eq!(pt.node_count(), 4, "one node per level for one dense leaf region");
+        assert_eq!(
+            pt.node_count(),
+            4,
+            "one node per level for one dense leaf region"
+        );
         assert_eq!(pt.mapped_4k(), 512);
     }
 
     #[test]
     fn map_error_display() {
-        assert!(MapError::AlreadyMapped(VirtPage(1)).to_string().contains("already"));
-        assert!(MapError::Misaligned(VirtPage(1)).to_string().contains("aligned"));
-        assert!(MapError::Overlap(VirtPage(1)).to_string().contains("overlap"));
+        assert!(MapError::AlreadyMapped(VirtPage(1))
+            .to_string()
+            .contains("already"));
+        assert!(MapError::Misaligned(VirtPage(1))
+            .to_string()
+            .contains("aligned"));
+        assert!(MapError::Overlap(VirtPage(1))
+            .to_string()
+            .contains("overlap"));
     }
 }

@@ -1,0 +1,458 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! The real `serde_derive` lives on crates.io and cannot be fetched in the
+//! network-restricted environments this repository must build in, so this
+//! crate re-implements the two derives against the facade's much smaller
+//! data model (`serde::Value`). No `syn`/`quote`: the item is parsed
+//! directly from the `proc_macro` token stream, which is sufficient because
+//! the derives only need field/variant *names* and arities, never types
+//! (missing-field handling is dispatched through the `Deserialize::missing`
+//! trait hook instead of compile-time `Option` detection).
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * structs with named fields (including `#[serde(skip_serializing_if =
+//!   "Option::is_none", default)]`, honoured as "omit when null");
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * enums with unit, tuple and struct variants, in serde's externally
+//!   tagged representation (`"Variant"`, `{"Variant": ...}`).
+//!
+//! Generics and `where` clauses are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    /// `#[serde(skip_serializing_if = ...)]` was present: omit the member
+    /// when it serializes to null.
+    skip_if_null: bool,
+}
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    item: Item,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skips any `#[...]` attributes at the cursor, returning their stringified
+/// bodies (so callers can look for `serde(...)` field options).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Vec<String>) {
+    let mut attrs = Vec::new();
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                attrs.push(g.stream().to_string());
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, attrs)
+}
+
+/// Skips a `pub` / `pub(...)` visibility qualifier at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Consumes type tokens until a comma at angle-bracket depth zero, returning
+/// the index of that comma (or `tokens.len()`).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses the body of a brace group as named fields.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, attrs) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found `{other}`"),
+        }
+        i = skip_type(&tokens, i);
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+        let skip_if_null = attrs
+            .iter()
+            .any(|a| a.starts_with("serde") && a.contains("skip_serializing_if"));
+        fields.push(Field { name, skip_if_null });
+    }
+    fields
+}
+
+/// Counts the fields of a paren group (tuple struct / tuple variant body).
+fn parse_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _attrs) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(&tokens, i);
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _attrs) = skip_attrs(&tokens, i);
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, _attrs) = skip_attrs(&tokens, 0);
+    let mut i = skip_vis(&tokens, i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("the vendored serde derive does not support generic types ({name})");
+        }
+    }
+    let item = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct(Fields::Unit),
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    };
+    Input { name, item }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.item {
+        Item::Struct(Fields::Named(fields)) => {
+            let mut s = String::from(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let fname = &f.name;
+                if f.skip_if_null {
+                    s.push_str(&format!(
+                        "{{ let __v = ::serde::Serialize::to_value(&self.{fname});\n\
+                         if !__v.is_null() {{ __obj.push((\"{fname}\".to_string(), __v)); }} }}\n"
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "__obj.push((\"{fname}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{fname})));\n"
+                    ));
+                }
+            }
+            s.push_str("::serde::Value::Object(__obj)");
+            s
+        }
+        Item::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Item::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Item::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(vec![(\
+                         \"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let members: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            members.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Generates the member initializers for a named-field body read from the
+/// object bound to `__obj`.
+fn named_field_inits(type_ctx: &str, fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            format!(
+                "{fname}: match ::serde::Value::lookup(__obj, \"{fname}\") {{\n\
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                 ::std::option::Option::None => \
+                 ::serde::Deserialize::missing(\"{type_ctx}.{fname}\")?,\n}},\n"
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.item {
+        Item::Struct(Fields::Named(fields)) => {
+            let inits = named_field_inits(name, fields);
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected an object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Item::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Item::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "let __arr = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected an array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected {n} elements for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Item::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Item::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected an array for {name}::{vname}\"))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::msg(\"expected {n} elements for {name}::{vname}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let ctx = format!("{name}::{vname}");
+                        let inits = named_field_inits(&ctx, fields);
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected an object for {name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(&format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(&format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n}}\n}}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected a string or single-key object for {name}\")),\n}}"
+            )
+        }
+    };
+    // `__value` is unused for unit structs; bind it through `_` glue.
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         let _ = &__value;\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,442 @@
+//! A vendored, offline stand-in for the `serde` crate.
+//!
+//! The real serde cannot be fetched in the network-restricted environments
+//! this repository must build in (see README "Offline builds"), and the
+//! workspace only ever serializes plain data records to JSON. This facade
+//! therefore replaces serde's zero-copy visitor architecture with the
+//! simplest thing that supports every call site: types convert to and from
+//! a concrete JSON-shaped [`Value`] tree, and `#[derive(Serialize,
+//! Deserialize)]` (from the sibling `serde_derive` crate) generates those
+//! conversions in serde's externally-tagged representation, so the JSON
+//! written by this facade matches what upstream serde_json would emit.
+//!
+//! If registry access ever returns, swapping the workspace dependency back
+//! to crates.io serde requires no source changes outside `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree — the facade's entire data model.
+///
+/// Object members keep insertion order (struct field order), so serialized
+/// output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (only produced for values below zero).
+    I64(i64),
+    /// Non-negative integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object members, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up a member of an object by key (first match).
+    #[must_use]
+    pub fn lookup<'a>(members: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn msg(m: &str) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the facade's [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the facade's [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct member is absent from the input object.
+    ///
+    /// Types with a natural "absent" state override this (`Option<T>`
+    /// yields `None`); everything else reports a missing-field error.
+    /// `context` is `Type.field` for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a missing-field [`Error`] by default.
+    fn missing(context: &str) -> Result<Self, Error> {
+        Err(Error(format!("missing field {context}")))
+    }
+}
+
+// -- primitive impls --------------------------------------------------------
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match *value {
+                    Value::U64(n) => n,
+                    _ => return Err(Error::msg(concat!("expected an unsigned ", stringify!($t)))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let n = u64::from_value(value)?;
+        usize::try_from(n).map_err(|_| Error(format!("{n} out of range for usize")))
+    }
+}
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v < 0 { Value::I64(v) } else { Value::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n: i64 = match *value {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| Error(format!("{n} out of range for i64")))?,
+                    _ => return Err(Error::msg(concat!("expected a signed ", stringify!($t)))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            Value::Null // JSON has no NaN/inf; match serde_json's lossy path
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            _ => Err(Error::msg("expected a number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::msg("expected a boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected a string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// -- container impls --------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing(_context: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::msg("expected an array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let arr = value
+            .as_array()
+            .ok_or_else(|| Error::msg("expected a pair"))?;
+        if arr.len() != 2 {
+            return Err(Error::msg("expected exactly 2 elements"));
+        }
+        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let arr = value
+            .as_array()
+            .ok_or_else(|| Error::msg("expected a triple"))?;
+        if arr.len() != 3 {
+            return Err(Error::msg("expected exactly 3 elements"));
+        }
+        Ok((
+            A::from_value(&arr[0])?,
+            B::from_value(&arr[1])?,
+            C::from_value(&arr[2])?,
+        ))
+    }
+}
+
+/// Maps serialize as arrays of `[key, value]` pairs (keys here are rarely
+/// strings), sorted by the key's serialized form for determinism.
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+            .collect();
+        pairs.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Array(pairs)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::msg("expected an array of pairs"))?
+            .iter()
+            .map(<(K, V)>::from_value)
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_defaults_to_none() {
+        assert_eq!(<Option<u64>>::missing("T.f").unwrap(), None);
+        assert!(u64::missing("T.f").is_err());
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<u64> = Vec::from_value(&vec![1u64, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let pair = <(usize, usize)>::from_value(&(3usize, 9usize).to_value()).unwrap();
+        assert_eq!(pair, (3, 9));
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert!(f64::NAN.to_value().is_null());
+        assert_eq!(1.5f64.to_value(), Value::F64(1.5));
+    }
+}

@@ -30,6 +30,7 @@ pub struct EventQueue<E> {
     seq: u64,
     now: Cycle,
     popped: u64,
+    high_water: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -65,6 +66,7 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: Cycle::ZERO,
             popped: 0,
+            high_water: 0,
         }
     }
 
@@ -79,6 +81,22 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn delivered(&self) -> u64 {
         self.popped
+    }
+
+    /// Number of events scheduled over the queue's lifetime (delivered or
+    /// still pending). Together with [`delivered`](Self::delivered) and
+    /// [`high_water`](Self::high_water) this is the engine-level telemetry
+    /// the experiment harness reports per run.
+    #[must_use]
+    pub fn scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Peak number of simultaneously pending events (queue memory
+    /// high-water mark).
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Number of events still pending.
@@ -112,6 +130,7 @@ impl<E> EventQueue<E> {
             seq,
             event,
         }));
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Schedules `event` `delta` cycles after the current time.
@@ -152,10 +171,7 @@ mod tests {
         q.schedule(Cycle(2), 2);
         q.schedule(Cycle(7), 3);
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
-        assert_eq!(
-            order,
-            vec![(Cycle(2), 2), (Cycle(7), 3), (Cycle(10), 1)]
-        );
+        assert_eq!(order, vec![(Cycle(2), 2), (Cycle(7), 3), (Cycle(10), 1)]);
     }
 
     #[test]
@@ -194,6 +210,26 @@ mod tests {
         q.schedule(Cycle(10), ());
         q.pop();
         q.schedule(Cycle(9), ());
+    }
+
+    #[test]
+    fn telemetry_counters_track_schedule_and_peak() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(1), 1);
+        q.schedule(Cycle(2), 2);
+        q.schedule(Cycle(3), 3);
+        assert_eq!(q.scheduled(), 3);
+        assert_eq!(q.high_water(), 3);
+        q.pop();
+        q.pop();
+        q.schedule(Cycle(4), 4);
+        assert_eq!(q.scheduled(), 4, "scheduled counts lifetime total");
+        assert_eq!(
+            q.high_water(),
+            3,
+            "high-water mark is a peak, not current len"
+        );
+        assert_eq!(q.delivered(), 2);
     }
 
     #[test]

@@ -377,7 +377,10 @@ impl Tlb {
     pub fn touch(&mut self, key: TranslationKey) -> bool {
         self.tick += 1;
         if let Some((si, wi)) = self.find(key) {
-            self.sets[si][wi].as_mut().expect("found slot is valid").last_used = self.tick;
+            self.sets[si][wi]
+                .as_mut()
+                .expect("found slot is valid")
+                .last_used = self.tick;
             true
         } else {
             false
@@ -450,7 +453,10 @@ mod tests {
     }
 
     fn tiny_fa(entries: usize) -> Tlb {
-        Tlb::new(TlbConfig::fully_associative(entries, ReplacementPolicy::Lru))
+        Tlb::new(TlbConfig::fully_associative(
+            entries,
+            ReplacementPolicy::Lru,
+        ))
     }
 
     #[test]
@@ -607,7 +613,11 @@ mod tests {
         let lookups_before = t.stats().lookups;
         assert!(t.touch(key(1)));
         assert!(!t.touch(key(99)));
-        assert_eq!(t.stats().lookups, lookups_before, "touch records no lookups");
+        assert_eq!(
+            t.stats().lookups,
+            lookups_before,
+            "touch records no lookups"
+        );
         // key 2 is now LRU thanks to the touch.
         let victim = t.insert(key(3), TlbEntry::new(PhysPage(3))).unwrap();
         assert_eq!(victim.0, key(2));

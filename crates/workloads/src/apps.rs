@@ -132,22 +132,88 @@ impl AppKind {
         match self {
             // Streaming filter: in/out streams with neighbour halo overlap
             // plus a tiny hot coefficient table.
-            Fir => AppProfile::new(Fir, Adjacent, MpkiClass::Low, 24 * K, 1024, 20, 4, 300, 16, 0),
+            Fir => AppProfile::new(
+                Fir,
+                Adjacent,
+                MpkiClass::Low,
+                24 * K,
+                1024,
+                20,
+                4,
+                300,
+                16,
+                0,
+            ),
             // Points stream over the private partition; the shared
             // centroid table is hot.
-            Km => AppProfile::new(Km, Partition, MpkiClass::Medium, 32 * K, 128, 12, 32, 250, 4, 8),
+            Km => AppProfile::new(
+                Km,
+                Partition,
+                MpkiClass::Medium,
+                32 * K,
+                128,
+                12,
+                32,
+                250,
+                4,
+                8,
+            ),
             // Rank-vector streams over the whole graph from every GPU plus
             // power-law neighbour gathers (hot celebrities + cold tail).
-            Pr => AppProfile::new(Pr, Random, MpkiClass::Medium, 32 * K, 128, 21, 128, 20, 4, 16),
+            Pr => AppProfile::new(
+                Pr,
+                Random,
+                MpkiClass::Medium,
+                32 * K,
+                128,
+                21,
+                128,
+                20,
+                4,
+                16,
+            ),
             // Block cipher: partitioned streaming; sbox/key schedule is hot
             // and accessed on almost every element.
-            Aes => AppProfile::new(Aes, Partition, MpkiClass::Low, 24 * K, 1024, 30, 16, 450, 16, 0),
+            Aes => AppProfile::new(
+                Aes,
+                Partition,
+                MpkiClass::Low,
+                24 * K,
+                1024,
+                30,
+                16,
+                450,
+                16,
+                0,
+            ),
             // Transpose: sequential local reads racing scattered remote
             // column writes, in alternating intensity phases.
-            Mt => AppProfile::new(Mt, ScatterGather, MpkiClass::High, 32 * K, 256, 19, 0, 0, 1, 24),
+            Mt => AppProfile::new(
+                Mt,
+                ScatterGather,
+                MpkiClass::High,
+                32 * K,
+                256,
+                19,
+                0,
+                0,
+                1,
+                24,
+            ),
             // Tiled GEMM: the broadcast B matrix (75% of footprint) is
             // swept by every GPU with tile-level reuse.
-            Mm => AppProfile::new(Mm, ScatterGather, MpkiClass::Medium, 36 * K, 32, 15, 0, 0, 4, 12),
+            Mm => AppProfile::new(
+                Mm,
+                ScatterGather,
+                MpkiClass::Medium,
+                36 * K,
+                32,
+                15,
+                0,
+                0,
+                4,
+                12,
+            ),
             // Bitonic stages exchange with rotating partner slabs.
             Bs => AppProfile::new(Bs, Random, MpkiClass::Medium, 32 * K, 256, 10, 0, 0, 2, 16),
             // 2D stencil with rows finer than pages: every GPU's sweep

@@ -212,7 +212,14 @@ impl AppWorkload {
         for g in 0..n_gpus as u64 {
             for l in 0..lanes_per_gpu as u64 {
                 lanes.push(Self::make_lane(
-                    &profile, footprint, n_gpus as u64, g, l, lanes_per_gpu as u64, asid, seed,
+                    &profile,
+                    footprint,
+                    n_gpus as u64,
+                    g,
+                    l,
+                    lanes_per_gpu as u64,
+                    asid,
+                    seed,
                 ));
             }
         }
@@ -419,11 +426,8 @@ impl AppWorkload {
                 )
             }
         };
-        let mut rng = seed
-            ^ (u64::from(asid.0) << 40)
-            ^ (g << 28)
-            ^ (lane << 8)
-            ^ 0x9e37_79b9_7f4a_7c15;
+        let mut rng =
+            seed ^ (u64::from(asid.0) << 40) ^ (g << 28) ^ (lane << 8) ^ 0x9e37_79b9_7f4a_7c15;
         for _ in 0..3 {
             rng ^= rng << 13;
             rng ^= rng >> 7;
@@ -584,7 +588,11 @@ impl AppWorkload {
                 // write-heavy phases mostly scatter into the remote slab.
                 let heavy = l.phase as usize % 2;
                 let light = 1 - heavy;
-                let s = if l.next_rand() % 100 < 85 { heavy } else { light };
+                let s = if l.next_rand() % 100 < 85 {
+                    heavy
+                } else {
+                    light
+                };
                 l.streams[s].next_page()
             }
             _ => {
@@ -698,7 +706,10 @@ mod tests {
         );
         // Distant GPUs share (almost) nothing.
         let distant = sets[0].intersection(&sets[3]).count();
-        assert!(distant <= neighbour, "non-neighbours share more than neighbours");
+        assert!(
+            distant <= neighbour,
+            "non-neighbours share more than neighbours"
+        );
     }
 
     #[test]
@@ -790,10 +801,7 @@ mod tests {
             }
         }
         let frac = hot_hits as f64 / total as f64;
-        assert!(
-            (0.3..0.7).contains(&frac),
-            "AES hot fraction off: {frac}"
-        );
+        assert!((0.3..0.7).contains(&frac), "AES hot fraction off: {frac}");
     }
 
     #[test]

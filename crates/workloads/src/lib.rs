@@ -39,6 +39,5 @@ mod mixes;
 pub use apps::{AppKind, AppProfile, MpkiClass, SharingPattern};
 pub use generator::{AppWorkload, Scale, WfOp};
 pub use mixes::{
-    mix_workloads, multi_app_workloads, scaling_workloads, single_app_kinds, MultiAppMix,
-    Placement,
+    mix_workloads, multi_app_workloads, scaling_workloads, single_app_kinds, MultiAppMix, Placement,
 };

@@ -16,7 +16,10 @@ pub struct Placement {
 }
 
 /// A named multi-application workload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` names cannot be deserialized (the
+/// paper's mix tables are compiled in, never parsed back).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct MultiAppMix {
     /// Paper name ("W1" … "W19").
     pub name: &'static str,
@@ -120,7 +123,11 @@ pub fn scaling_workloads(gpus: usize) -> Vec<MultiAppMix> {
 #[must_use]
 pub fn mix_workloads() -> Vec<MultiAppMix> {
     use AppKind::*;
-    fn pairs(name: &'static str, category: &'static str, apps: [(AppKind, AppKind); 3]) -> MultiAppMix {
+    fn pairs(
+        name: &'static str,
+        category: &'static str,
+        apps: [(AppKind, AppKind); 3],
+    ) -> MultiAppMix {
         MultiAppMix {
             name,
             category,
@@ -162,11 +169,7 @@ mod tests {
             assert_eq!(m.placements.len(), 4, "{} must have 4 apps", m.name);
             assert_eq!(m.gpus(), 4);
             // One app per GPU, GPUs 0..4.
-            let mut gpus: Vec<u8> = m
-                .placements
-                .iter()
-                .flat_map(|p| p.gpus.clone())
-                .collect();
+            let mut gpus: Vec<u8> = m.placements.iter().flat_map(|p| p.gpus.clone()).collect();
             gpus.sort_unstable();
             assert_eq!(gpus, vec![0, 1, 2, 3]);
         }
@@ -216,11 +219,7 @@ mod tests {
         for m in &mixes {
             assert_eq!(m.placements.len(), 6);
             for g in 0..3u8 {
-                let on_gpu = m
-                    .placements
-                    .iter()
-                    .filter(|p| p.gpus.contains(&g))
-                    .count();
+                let on_gpu = m.placements.iter().filter(|p| p.gpus.contains(&g)).count();
                 assert_eq!(on_gpu, 2, "{}: GPU {g} must host two apps", m.name);
             }
         }

@@ -10,10 +10,27 @@ use least_tlb::{Policy, System, SystemConfig, WorkloadSpec};
 use workloads::AppKind;
 
 fn main() {
-    let budget: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16_000_000);
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16_000_000);
     let only: Option<String> = std::env::args().nth(2);
-    for kind in [AppKind::Aes, AppKind::Fir, AppKind::Km, AppKind::Pr, AppKind::Mm, AppKind::Bs, AppKind::Fft, AppKind::Mt, AppKind::St] {
-        if let Some(o) = &only { if !o.split(',').any(|x| x == kind.name()) { continue; } }
+    for kind in [
+        AppKind::Aes,
+        AppKind::Fir,
+        AppKind::Km,
+        AppKind::Pr,
+        AppKind::Mm,
+        AppKind::Bs,
+        AppKind::Fft,
+        AppKind::Mt,
+        AppKind::St,
+    ] {
+        if let Some(o) = &only {
+            if !o.split(',').any(|x| x == kind.name()) {
+                continue;
+            }
+        }
         let spec = WorkloadSpec::single_app(kind, 4);
         let mut base_cyc = 0u64;
         for (name, pol) in [
@@ -26,7 +43,9 @@ fn main() {
             cfg.instructions_per_gpu = budget;
             let r = System::new(&cfg, &spec).unwrap().run();
             let a = &r.apps[0].stats;
-            if name.trim() == "base" { base_cyc = r.end_cycle; }
+            if name.trim() == "base" {
+                base_cyc = r.end_cycle;
+            }
             println!(
                 "{:4} {} sp={:.3} mpki={:6.3} l1={:.2} l2={:.2} io={:.2} rm={:.3} walks={:>7} wasted={:>6} merged={:>7} reqs={:>7} probes={:>6} end={:>8}",
                 kind.name(), name, base_cyc as f64 / r.end_cycle as f64, a.mpki(), a.l1_hit_rate(), a.l2_hit_rate(),

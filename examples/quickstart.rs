@@ -27,7 +27,10 @@ fn main() {
     let l = &least.apps[0].stats;
     println!();
     println!("                      baseline    least-TLB");
-    println!("execution cycles      {:>9}    {:>9}", baseline.end_cycle, least.end_cycle);
+    println!(
+        "execution cycles      {:>9}    {:>9}",
+        baseline.end_cycle, least.end_cycle
+    );
     println!(
         "IOMMU TLB hit rate    {:>8.1}%    {:>8.1}%",
         b.iommu_hit_rate() * 100.0,

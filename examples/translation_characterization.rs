@@ -35,14 +35,28 @@ fn main() {
     println!("L1 TLB  : {:5.1}%", s.l1_hit_rate() * 100.0);
     println!("L2 TLB  : {:5.1}%", s.l2_hit_rate() * 100.0);
     println!("IOMMU   : {:5.1}%", s.iommu_hit_rate() * 100.0);
-    println!("MPKI    : {:.3}  (paper Table 3: {:.3})", s.mpki(), kind.paper_mpki());
+    println!(
+        "MPKI    : {:.3}  (paper Table 3: {:.3})",
+        s.mpki(),
+        kind.paper_mpki()
+    );
 
     println!("\n== reuse distances at the IOMMU (paper Fig. 5) ==");
     let h = r.apps[0].reuse.as_ref().expect("tracking enabled");
     println!("cold accesses: {}, reuses: {}", h.cold, h.reuses);
     let capacity = cfg.iommu.tlb.entries as u64;
-    for cap in [capacity / 4, capacity / 2, capacity, capacity * 2, capacity * 4] {
-        let marker = if cap == capacity { "  <- IOMMU TLB capacity" } else { "" };
+    for cap in [
+        capacity / 4,
+        capacity / 2,
+        capacity,
+        capacity * 2,
+        capacity * 4,
+    ] {
+        let marker = if cap == capacity {
+            "  <- IOMMU TLB capacity"
+        } else {
+            ""
+        };
         println!(
             "captured by {:>6}-entry TLB: {:5.1}%{}",
             cap,
@@ -61,7 +75,16 @@ fn main() {
     let n = r.snapshots.len().max(1) as f64;
     let dup = r.snapshots.iter().map(|x| x.l2_redundant_frac).sum::<f64>() / n;
     let in_io = r.snapshots.iter().map(|x| x.l2_in_iommu_frac).sum::<f64>() / n;
-    println!("snapshots taken                        : {}", r.snapshots.len());
-    println!("avg L2 entries duplicated in >=2 L2s    : {:5.1}%", dup * 100.0);
-    println!("avg L2 entries also in the IOMMU TLB    : {:5.1}%", in_io * 100.0);
+    println!(
+        "snapshots taken                        : {}",
+        r.snapshots.len()
+    );
+    println!(
+        "avg L2 entries duplicated in >=2 L2s    : {:5.1}%",
+        dup * 100.0
+    );
+    println!(
+        "avg L2 entries also in the IOMMU TLB    : {:5.1}%",
+        in_io * 100.0
+    );
 }

@@ -1,0 +1,80 @@
+//! Parallel-executor determinism: `run_suite` must produce bit-identical
+//! tables no matter how many worker threads execute the runners. This is
+//! the contract the `figures --jobs N` flag relies on — parallelism is a
+//! wall-time knob only, never a results knob.
+
+use least_tlb::experiments::{run_suite, telemetry_table, ExpOptions};
+
+fn opts() -> ExpOptions {
+    let mut o = ExpOptions::quick();
+    o.budget_single = 60_000;
+    o.budget_multi = 60_000;
+    o
+}
+
+fn suite() -> Vec<String> {
+    // A mix of single-app, multi-app and sweep runners, out of
+    // DESIGN.md order on purpose: output order must follow input order.
+    ["fig19", "fig2", "table3", "fig7", "fig14"]
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+fn rendered(outcomes: &[least_tlb::experiments::SuiteOutcome]) -> Vec<(String, String)> {
+    outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.name.clone(),
+                o.result.as_ref().expect("runner succeeds").to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn jobs_1_and_jobs_4_tables_are_identical() {
+    let names = suite();
+    let serial = run_suite(&names, &opts(), 1);
+    let parallel = run_suite(&names, &opts(), 4);
+    assert_eq!(
+        rendered(&serial),
+        rendered(&parallel),
+        "tables must be bit-identical across --jobs values"
+    );
+}
+
+#[test]
+fn oversubscribed_jobs_are_clamped_and_still_deterministic() {
+    let names = suite();
+    let serial = run_suite(&names, &opts(), 1);
+    let wild = run_suite(&names, &opts(), 64);
+    assert_eq!(rendered(&serial), rendered(&wild));
+}
+
+#[test]
+fn repeated_parallel_runs_agree_with_each_other() {
+    let names = suite();
+    let a = run_suite(&names, &opts(), 4);
+    let b = run_suite(&names, &opts(), 4);
+    assert_eq!(rendered(&a), rendered(&b));
+}
+
+#[test]
+fn telemetry_accounts_for_every_runner() {
+    let names = suite();
+    let out = run_suite(&names, &opts(), 4);
+    for o in &out {
+        assert!(o.telemetry.sims > 0, "{} recorded no simulations", o.name);
+        assert!(
+            o.telemetry.instructions > 0,
+            "{} recorded no instructions",
+            o.name
+        );
+    }
+    let table = telemetry_table(&out).to_string();
+    for name in &names {
+        assert!(table.contains(name.as_str()), "summary is missing {name}");
+    }
+}

@@ -172,7 +172,11 @@ fn page_walk_cache_shortens_walks() {
         System::new(&cfg, &spec).unwrap().run()
     };
     let without = mk(None);
-    let with = mk(Some(tlb::TlbConfig::new(64, 8, tlb::ReplacementPolicy::Lru)));
+    let with = mk(Some(tlb::TlbConfig::new(
+        64,
+        8,
+        tlb::ReplacementPolicy::Lru,
+    )));
     assert!(with.iommu.pwc_hits > 0, "ST walks must hit the PWC");
     assert!(
         with.end_cycle <= without.end_cycle,

@@ -116,12 +116,11 @@ fn serialized_probe_misses_fall_back_to_the_walk() {
     sys.inject_translation(GpuId(0), Asid(0), VirtPage(5), t);
     sys.drain();
     // Whether served remotely or by the fallback walk, GPU0 holds page 5.
-    assert!(
-        sys.gpu(0)
-            .l2_tlb
-            .probe(TranslationKey::new(Asid(0), VirtPage(5)))
-            .is_some()
-    );
+    assert!(sys
+        .gpu(0)
+        .l2_tlb
+        .probe(TranslationKey::new(Asid(0), VirtPage(5)))
+        .is_some());
     // And at least one of {probe hit, walk} happened.
     assert!(sys.iommu().stats.probe_hits + sys.iommu().stats.walks >= 2);
 }
@@ -142,7 +141,8 @@ fn qos_quota_caps_per_gpu_iommu_occupancy() {
         t = sys.drain().after(10);
     }
     assert_eq!(
-        sys.iommu().eviction_counters[0], 2,
+        sys.iommu().eviction_counters[0],
+        2,
         "quota caps GPU0's IOMMU TLB occupancy"
     );
     assert_eq!(sys.iommu().tlb.len(), 2);

@@ -1,21 +1,65 @@
-//! Property-based tests (proptest) on the core data structures and their
+//! Randomized property tests on the core data structures and their
 //! invariants, checked against simple reference models.
+//!
+//! Previously written with `proptest`; now driven by a deterministic
+//! splitmix64 case generator so the suite builds with no registry
+//! dependencies (see README "Offline builds"). Every property runs over
+//! `CASES` generated inputs from fixed seeds, so failures reproduce
+//! exactly.
 
 use std::collections::{HashMap, HashSet};
 
 use mgpu_types::{Asid, PageSize, PhysPage, TranslationKey, VirtPage};
-use proptest::prelude::*;
 use tlb::{ReplacementPolicy, Tlb, TlbConfig, TlbEntry};
+
+/// Cases per property; each case draws a fresh operation sequence.
+const CASES: u64 = 64;
+
+/// Deterministic splitmix64 stream (same mixing constants the simulator's
+/// own seeded RNGs use).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// A length in `[lo, hi)`.
+    fn len(&mut self, lo: u64, hi: u64) -> usize {
+        (lo + self.below(hi - lo)) as usize
+    }
+}
 
 fn key(v: u64) -> TranslationKey {
     TranslationKey::new(Asid(0), VirtPage(v))
 }
 
-proptest! {
-    /// A fully-associative LRU TLB behaves exactly like an ordered-map LRU
-    /// reference model: same hits, same contents.
-    #[test]
-    fn tlb_matches_lru_reference(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..400)) {
+/// A fully-associative LRU TLB behaves exactly like an ordered-list LRU
+/// reference model: same hits, same contents.
+#[test]
+fn tlb_matches_lru_reference() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x71b5_0000 + case);
+        let ops: Vec<(u64, bool)> = (0..g.len(1, 400))
+            .map(|_| (g.below(64), g.bool()))
+            .collect();
         const CAP: usize = 8;
         let mut tlb = Tlb::new(TlbConfig::fully_associative(CAP, ReplacementPolicy::Lru));
         // Reference: Vec kept in LRU order (front = LRU).
@@ -32,101 +76,145 @@ proptest! {
             } else {
                 let hit = tlb.lookup(key(page)).is_some();
                 let ref_hit = reference.contains(&page);
-                prop_assert_eq!(hit, ref_hit, "lookup divergence on page {}", page);
+                assert_eq!(
+                    hit, ref_hit,
+                    "case {case}: lookup divergence on page {page}"
+                );
                 if let Some(pos) = reference.iter().position(|&p| p == page) {
                     reference.remove(pos);
                     reference.push(page);
                 }
             }
-            prop_assert_eq!(tlb.len(), reference.len());
+            assert_eq!(tlb.len(), reference.len(), "case {case}");
         }
         let mut contents: Vec<u64> = tlb.iter().map(|(k, _)| k.vpn.0).collect();
         contents.sort_unstable();
         reference.sort_unstable();
-        prop_assert_eq!(contents, reference);
+        assert_eq!(contents, reference, "case {case}");
     }
+}
 
-    /// Cuckoo filters never produce false negatives while below 50% load
-    /// and with balanced insert/remove traffic.
-    #[test]
-    fn cuckoo_no_false_negatives(ops in prop::collection::vec((0u64..10_000, any::<bool>()), 1..300)) {
+/// Cuckoo filters never produce false negatives while below 50% load and
+/// with balanced insert/remove traffic.
+#[test]
+fn cuckoo_no_false_negatives() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0xc0c0_0000 + case);
+        let ops: Vec<(u64, bool)> = (0..g.len(1, 300))
+            .map(|_| (g.below(10_000), g.bool()))
+            .collect();
         let mut filter = filters::CuckooFilter::new(filters::CuckooConfig::new(2048, 12));
         let mut reference: HashSet<u64> = HashSet::new();
         for (item, insert) in ops {
             if insert && reference.len() < 900 {
                 if !reference.contains(&item) {
-                    prop_assert!(filter.insert(item), "insert failed below capacity");
+                    assert!(
+                        filter.insert(item),
+                        "case {case}: insert failed below capacity"
+                    );
                     reference.insert(item);
                 }
             } else if reference.remove(&item) {
-                prop_assert!(filter.remove(item), "remove of present item failed");
+                assert!(
+                    filter.remove(item),
+                    "case {case}: remove of present item failed"
+                );
             }
             for &present in reference.iter().take(20) {
-                prop_assert!(filter.contains(present), "false negative for {}", present);
+                assert!(
+                    filter.contains(present),
+                    "case {case}: false negative for {present}"
+                );
             }
         }
     }
+}
 
-    /// The reuse-distance tracker agrees with the O(n^2) textbook
-    /// definition on arbitrary traces.
-    #[test]
-    fn reuse_tracker_matches_naive(trace in prop::collection::vec(0u64..32, 1..250)) {
+/// The reuse-distance tracker agrees with the O(n^2) textbook definition
+/// on arbitrary traces.
+#[test]
+fn reuse_tracker_matches_naive() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x4e05_0000 + case);
+        let trace: Vec<u64> = (0..g.len(1, 250)).map(|_| g.below(32)).collect();
         let mut tracker = least_tlb::metrics::ReuseTracker::new();
         for (i, &page) in trace.iter().enumerate() {
             let measured = tracker.record(key(page));
-            let expected = trace[..i].iter().rposition(|&p| p == page).map(|prev| {
-                trace[prev + 1..i].iter().collect::<HashSet<_>>().len() as u64
-            });
-            prop_assert_eq!(measured, expected, "divergence at access {}", i);
+            let expected = trace[..i]
+                .iter()
+                .rposition(|&p| p == page)
+                .map(|prev| trace[prev + 1..i].iter().collect::<HashSet<_>>().len() as u64);
+            assert_eq!(measured, expected, "case {case}: divergence at access {i}");
         }
     }
+}
 
-    /// Page tables translate exactly what was mapped, and nothing else.
-    #[test]
-    fn page_table_roundtrip(pages in prop::collection::hash_set(0u64..100_000, 1..150)) {
+/// Page tables translate exactly what was mapped, and nothing else.
+#[test]
+fn page_table_roundtrip() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x9a6e_0000 + case);
+        let pages: HashSet<u64> = (0..g.len(1, 150)).map(|_| g.below(100_000)).collect();
         let mut pt = pagetable::PageTable::new();
         for (i, &vpn) in pages.iter().enumerate() {
-            pt.map(VirtPage(vpn), PhysPage(i as u64), PageSize::Size4K).unwrap();
+            pt.map(VirtPage(vpn), PhysPage(i as u64), PageSize::Size4K)
+                .unwrap();
         }
-        let by_vpn: HashMap<u64, u64> = pages.iter().enumerate().map(|(i, &v)| (v, i as u64)).collect();
+        let by_vpn: HashMap<u64, u64> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u64))
+            .collect();
         for &vpn in &pages {
             let walk = pt.translate(VirtPage(vpn)).expect("mapped page translates");
-            prop_assert_eq!(walk.frame.0, by_vpn[&vpn]);
-            prop_assert_eq!(walk.levels, 4);
+            assert_eq!(walk.frame.0, by_vpn[&vpn], "case {case}");
+            assert_eq!(walk.levels, 4, "case {case}");
         }
         // Unmapped neighbours miss.
         for &vpn in pages.iter().take(30) {
             if !pages.contains(&(vpn + 1)) {
-                prop_assert!(pt.translate(VirtPage(vpn + 1)).is_none());
+                assert!(pt.translate(VirtPage(vpn + 1)).is_none(), "case {case}");
             }
         }
     }
+}
 
-    /// The frame allocator never double-allocates and frees restore
-    /// capacity exactly.
-    #[test]
-    fn frame_allocator_uniqueness(takes in 1usize..200, frees in prop::collection::vec(any::<prop::sample::Index>(), 0..50)) {
+/// The frame allocator never double-allocates and frees restore capacity
+/// exactly.
+#[test]
+fn frame_allocator_uniqueness() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0xf4a3_0000 + case);
+        let takes = g.len(1, 200);
         let mut alloc = pagetable::FrameAllocator::new(256);
         let mut held = Vec::new();
         for _ in 0..takes.min(256) {
             held.push(alloc.allocate().unwrap());
         }
         let unique: HashSet<_> = held.iter().collect();
-        prop_assert_eq!(unique.len(), held.len(), "duplicate frame handed out");
+        assert_eq!(
+            unique.len(),
+            held.len(),
+            "case {case}: duplicate frame handed out"
+        );
         let mut freed = HashSet::new();
-        for idx in frees {
-            let f = held[idx.index(held.len())];
+        for _ in 0..g.len(0, 50) {
+            let f = held[g.below(held.len() as u64) as usize];
             if freed.insert(f) {
                 alloc.free(f);
             }
         }
-        prop_assert_eq!(alloc.allocated(), held.len() - freed.len());
+        assert_eq!(alloc.allocated(), held.len() - freed.len(), "case {case}");
     }
+}
 
-    /// The event queue delivers every event exactly once, in time order,
-    /// FIFO within a cycle.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u64..50, 1..200)) {
+/// The event queue delivers every event exactly once, in time order, FIFO
+/// within a cycle.
+#[test]
+fn event_queue_total_order() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0xe0e0_0000 + case);
+        let times: Vec<u64> = (0..g.len(1, 200)).map(|_| g.below(50)).collect();
         let mut q = sim_engine::EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(mgpu_types::Cycle(t), i);
@@ -136,26 +224,29 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             let entry = (t.0, i);
             if let Some(prev) = last {
-                prop_assert!(
+                assert!(
                     entry.0 > prev.0 || (entry.0 == prev.0 && i > prev.1),
-                    "order violated: {:?} after {:?}",
-                    entry,
-                    prev
+                    "case {case}: order violated: {entry:?} after {prev:?}"
                 );
             }
             last = Some(entry);
             delivered.push(i);
         }
-        prop_assert_eq!(delivered.len(), times.len());
+        assert_eq!(delivered.len(), times.len(), "case {case}");
         let mut sorted = delivered.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..times.len()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..times.len()).collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    /// Workload generators are pure functions of (config, seed): identical
-    /// streams for identical seeds, independent of other lanes' progress.
-    #[test]
-    fn generator_lane_independence(seed in any::<u64>(), interleave in prop::collection::vec(0usize..4, 10..100)) {
+/// Workload generators are pure functions of (config, seed): identical
+/// streams for identical seeds, independent of other lanes' progress.
+#[test]
+fn generator_lane_independence() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x1a4e_0000 + case);
+        let seed = g.next();
+        let interleave: Vec<usize> = (0..g.len(10, 100)).map(|_| g.below(4) as usize).collect();
         use workloads::{AppKind, AppWorkload, Scale};
         // Reference: lane 0 of GPU 0 queried in isolation.
         let mut solo = AppWorkload::new(AppKind::Bs, Asid(0), 2, 2, Scale::Small, seed);
@@ -170,11 +261,11 @@ proptest! {
             }
             got.push(mixed.next_op(0, 0).vpn);
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
 }
 
-/// Non-proptest cross-check: histogram capture fractions are monotone in
+/// Non-random cross-check: histogram capture fractions are monotone in
 /// capacity (a bigger TLB never captures fewer reuses).
 #[test]
 fn reuse_capture_is_monotone_in_capacity() {

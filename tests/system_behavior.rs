@@ -54,7 +54,9 @@ fn different_seeds_differ() {
 fn every_app_completes_its_budget() {
     for mix in &multi_app_workloads()[..3] {
         let cfg = quick_cfg();
-        let r = System::new(&cfg, &WorkloadSpec::from_mix(mix)).unwrap().run();
+        let r = System::new(&cfg, &WorkloadSpec::from_mix(mix))
+            .unwrap()
+            .run();
         for a in &r.apps {
             assert!(
                 a.stats.completion_cycle.is_some(),
@@ -107,7 +109,10 @@ fn least_tlb_produces_remote_hits_on_sharing_apps() {
         .unwrap()
         .run();
     assert!(r.iommu.probes > 0, "tracker must trigger probes");
-    assert!(r.iommu.probe_hits > 0, "ST sharing must produce remote hits");
+    assert!(
+        r.iommu.probe_hits > 0,
+        "ST sharing must produce remote hits"
+    );
 }
 
 #[test]
@@ -214,7 +219,10 @@ fn exclusive_hierarchy_runs_clean() {
         .unwrap()
         .run();
     assert!(r.end_cycle > 0);
-    assert!(r.iommu_tlb.insertions > 0, "victims must reach the IOMMU TLB");
+    assert!(
+        r.iommu_tlb.insertions > 0,
+        "victims must reach the IOMMU TLB"
+    );
 }
 
 #[test]

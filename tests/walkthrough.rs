@@ -52,7 +52,10 @@ fn fig10_single_application_walkthrough() {
     for g in 0..4 {
         assert_eq!(l2_keys(&sys, g), vec![1 + g as u64], "initial L2 of GPU{g}");
     }
-    assert!(iommu_keys(&sys).is_empty(), "least-inclusive: IOMMU starts empty");
+    assert!(
+        iommu_keys(&sys).is_empty(),
+        "least-inclusive: IOMMU starts empty"
+    );
 
     // Step 1: GPU0 requests 0x5. 0x1 is evicted from GPU0's L2 and becomes
     // an IOMMU TLB victim entry (paper: IOMMU = {0x1}).
@@ -68,7 +71,11 @@ fn fig10_single_application_walkthrough() {
     sys.inject_translation(GpuId(1), Asid(0), VirtPage(1), t);
     sys.drain();
     assert_eq!(l2_keys(&sys, 1), vec![1]);
-    assert_eq!(iommu_keys(&sys), vec![2], "0x1 moved out, 0x2 victim-inserted");
+    assert_eq!(
+        iommu_keys(&sys),
+        vec![2],
+        "0x1 moved out, 0x2 victim-inserted"
+    );
     let hits_after_step2 = sys.iommu().tlb.stats().hits;
     assert!(hits_after_step2 >= 1, "step 2 is an IOMMU TLB hit");
 
@@ -162,7 +169,11 @@ fn fig13_spilling_mechanics() {
     feed(&mut sys, 0, &[0x15], &mut t);
     assert!(sys.iommu().stats.spills >= 1, "overflow must spill");
     let received: u64 = (0..4).map(|g| sys.gpu(g).stats.spills_received).sum();
-    assert_eq!(received, sys.iommu().stats.spills, "every spill has a receiver");
+    assert_eq!(
+        received,
+        sys.iommu().stats.spills,
+        "every spill has a receiver"
+    );
     // Zero-credit (already-spilled) entries never re-enter the IOMMU TLB.
     assert!(
         sys.iommu().tlb.iter().all(|(_, e)| e.spill_credits > 0),
@@ -178,7 +189,11 @@ fn fig13_spilling_mechanics() {
         .expect("first spill victim is resident somewhere");
     assert_ne!(holder, 0, "spills go to another GPU's L2");
     assert_eq!(
-        sys.gpu(holder).l2_tlb.probe(spilled_key).unwrap().spill_credits,
+        sys.gpu(holder)
+            .l2_tlb
+            .probe(spilled_key)
+            .unwrap()
+            .spill_credits,
         0,
         "spill bit cleared (N=1 consumed)"
     );
@@ -225,12 +240,8 @@ fn spill_credits_decrement_per_hop() {
     sys.drain();
     assert!(sys.iommu().stats.spills > 0);
     // With N=2, the spilled entries carry one remaining credit.
-    let any_spilled_with_credit = (0..4).any(|g| {
-        sys.gpu(g)
-            .l2_tlb
-            .iter()
-            .any(|(_, e)| e.spill_credits == 1)
-    });
+    let any_spilled_with_credit =
+        (0..4).any(|g| sys.gpu(g).l2_tlb.iter().any(|(_, e)| e.spill_credits == 1));
     assert!(
         any_spilled_with_credit,
         "N=2 spills must retain one recirculation credit"
