@@ -148,6 +148,18 @@ pub fn run_suite(names: &[String], opts: &ExpOptions, jobs: usize) -> Vec<SuiteO
         .collect()
 }
 
+/// Formats a runner's simulation rate for the summary table. A runner
+/// whose wall time rounds to 0.00 s (sub-5 ms: nothing simulated, or too
+/// fast to time) has no meaningful rate — dividing by it yields garbage
+/// (up to ±inf), so the cell shows a dash instead.
+fn rate_cell(tel: &RunnerTelemetry) -> String {
+    if tel.wall_seconds < 0.005 {
+        "—".into()
+    } else {
+        format!("{:.2}", tel.sim_rate() / 1e6)
+    }
+}
+
 /// Builds the human-readable telemetry summary table the `figures` and
 /// `simulate` binaries print at the end of a suite.
 #[must_use]
@@ -169,7 +181,7 @@ pub fn telemetry_table(outcomes: &[SuiteOutcome]) -> Table {
             tel.sims.to_string(),
             tel.instructions.to_string(),
             tel.events.to_string(),
-            format!("{:.2}", tel.sim_rate() / 1e6),
+            rate_cell(tel),
         ]);
         total.wall_seconds += tel.wall_seconds;
         total.sims += tel.sims;
@@ -182,7 +194,7 @@ pub fn telemetry_table(outcomes: &[SuiteOutcome]) -> Table {
         total.sims.to_string(),
         total.instructions.to_string(),
         total.events.to_string(),
-        format!("{:.2}", total.sim_rate() / 1e6),
+        rate_cell(&total),
     ]);
     t
 }
@@ -246,6 +258,34 @@ mod tests {
                 s.name
             );
         }
+    }
+
+    #[test]
+    fn zero_wall_time_shows_dash_not_nan() {
+        let outcome = SuiteOutcome {
+            name: "instant".into(),
+            result: Err("instant".into()),
+            telemetry: RunnerTelemetry {
+                wall_seconds: 0.0,
+                sims: 0,
+                instructions: 1_000_000,
+                events: 0,
+            },
+        };
+        let s = telemetry_table(&[outcome]).to_string();
+        assert!(s.contains('—'), "instantaneous runner rate renders as —");
+        assert!(!s.contains("NaN") && !s.contains("inf"), "no NaN/inf cells");
+    }
+
+    #[test]
+    fn tiny_wall_time_is_treated_as_instantaneous() {
+        let tel = RunnerTelemetry {
+            wall_seconds: 1e-9,
+            sims: 1,
+            instructions: 5,
+            events: 5,
+        };
+        assert_eq!(rate_cell(&tel), "—", "sub-5ms wall rounds to 0.00");
     }
 
     #[test]

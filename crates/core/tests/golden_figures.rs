@@ -1,0 +1,118 @@
+//! Golden snapshot tests: the `figures` binary's table output for a
+//! fixed seed and budget is committed under `tests/golden/` and must
+//! never drift silently. Refresh intentionally with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p least-tlb --test golden_figures
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The snapshotted experiments: one small runner per experiment family
+/// (characterization, comparison, evaluation), matching the determinism
+/// CI job's selection.
+const EXPERIMENTS: [&str; 3] = ["fig2", "table3", "fig19"];
+const BUDGET: &str = "30000";
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Runs `figures --quick --budget 30000 fig2 table3 fig19` and splits
+/// the stdout into one table per experiment.
+fn render_tables() -> BTreeMap<String, String> {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["--quick", "--budget", BUDGET])
+        .args(EXPERIMENTS)
+        .output()
+        .expect("figures binary runs");
+    assert!(
+        out.status.success(),
+        "figures exited with {}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("figures output is UTF-8");
+
+    let mut tables = BTreeMap::new();
+    let mut name: Option<String> = None;
+    let mut body = String::new();
+    for line in stdout.lines() {
+        if let Some(header) = line
+            .strip_prefix("==== ")
+            .and_then(|l| l.strip_suffix(" ===="))
+        {
+            if let Some(prev) = name.replace(header.to_string()) {
+                tables.insert(prev, std::mem::take(&mut body));
+            }
+        } else if name.is_some() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    if let Some(prev) = name {
+        tables.insert(prev, body);
+    }
+    tables
+}
+
+#[test]
+fn figures_match_golden_snapshots() {
+    let tables = render_tables();
+    let mut expected: Vec<String> = EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
+    expected.sort();
+    assert_eq!(
+        tables.keys().cloned().collect::<Vec<_>>(),
+        expected,
+        "figures did not emit exactly the requested tables"
+    );
+
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("golden dir");
+    }
+    let mut mismatches = Vec::new();
+    for (name, rendered) in &tables {
+        let path = dir.join(format!("{name}.txt"));
+        if update {
+            std::fs::write(&path, rendered).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )
+        });
+        if golden != *rendered {
+            mismatches.push(format!(
+                "{name}: output drifted from {}\n--- golden ---\n{golden}\n--- current ---\n{rendered}",
+                path.display()
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden snapshot drift (rerun with UPDATE_GOLDEN=1 if intended):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// The snapshot must be scheduling-independent: `--jobs 4` produces the
+/// same stdout as the sequential run the goldens were captured from.
+#[test]
+fn figures_stdout_is_jobs_independent() {
+    let run = |jobs: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+            .args(["--quick", "--budget", BUDGET, "--jobs", jobs])
+            .args(EXPERIMENTS)
+            .output()
+            .expect("figures binary runs");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).expect("UTF-8")
+    };
+    assert_eq!(run("1"), run("4"), "--jobs changed the table output");
+}

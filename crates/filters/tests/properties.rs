@@ -1,0 +1,194 @@
+//! Randomized properties for the filter structures, driven by the same
+//! splitmix64 recurrence the workload generators use (no external RNG).
+
+use filters::{
+    BloomConfig, CountingBloomFilter, CuckooConfig, CuckooFilter, LocalTlbTracker, TrackerBackend,
+};
+use mgpu_types::{Asid, GpuId, TranslationKey, VirtPage};
+
+struct Gen(u64);
+
+impl Gen {
+    #[allow(clippy::should_implement_trait)]
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn key(raw: u64) -> TranslationKey {
+    TranslationKey::new(Asid((raw >> 48) as u16 & 3), VirtPage(raw & 0xff_ffff))
+}
+
+/// A counting Bloom filter has no false negatives, and after removing
+/// everything it returns to the all-clear state.
+#[test]
+fn bloom_no_false_negatives_and_clean_removal() {
+    let mut g = Gen(0xb100);
+    let mut bloom = CountingBloomFilter::new(BloomConfig::new(2048, 3));
+    let items: Vec<u64> = (0..256).map(|_| g.next()).collect();
+    for &it in &items {
+        bloom.insert(it);
+    }
+    for &it in &items {
+        assert!(bloom.contains(it), "false negative on {it:#x}");
+    }
+    for &it in &items {
+        bloom.remove(it);
+    }
+    let probes: Vec<u64> = (0..4096).map(|_| g.next()).collect();
+    for &p in &probes {
+        assert!(!bloom.contains(p), "residue after full removal: {p:#x}");
+    }
+}
+
+/// The empirical false-positive rate of a 3-hash counting Bloom filter
+/// at this load must stay within a loose multiple of the analytic bound
+/// `(1 - e^{-kn/m})^k` — catches hashing or sizing regressions without
+/// being seed-brittle.
+#[test]
+fn bloom_false_positive_rate_is_bounded() {
+    let mut g = Gen(0xb10f);
+    let (m, k, n) = (4096usize, 3u8, 512usize);
+    let mut bloom = CountingBloomFilter::new(BloomConfig::new(m, k));
+    let mut inserted = std::collections::HashSet::new();
+    while inserted.len() < n {
+        let it = g.next();
+        bloom.insert(it);
+        inserted.insert(it);
+    }
+    let trials = 20_000u64;
+    let mut fp = 0u64;
+    for _ in 0..trials {
+        let probe = g.next();
+        if !inserted.contains(&probe) && bloom.contains(probe) {
+            fp += 1;
+        }
+    }
+    let rate = fp as f64 / trials as f64;
+    let kf = f64::from(k);
+    let analytic = (1.0 - (-kf * n as f64 / m as f64).exp()).powf(kf);
+    assert!(
+        rate <= analytic * 3.0 + 0.01,
+        "bloom FPR {rate:.4} far above analytic bound {analytic:.4}"
+    );
+}
+
+/// A cuckoo filter never false-negatives on successfully inserted items,
+/// and its fingerprint collision rate stays near the analytic `~2b/2^f`
+/// bound at moderate load.
+#[test]
+fn cuckoo_no_false_negatives_and_bounded_fpr() {
+    let mut g = Gen(0xc0c0);
+    let mut cuckoo = CuckooFilter::new(CuckooConfig::new(1024, 8));
+    let mut held = Vec::new();
+    for _ in 0..512 {
+        let it = g.next();
+        if cuckoo.insert(it) {
+            held.push(it);
+        }
+    }
+    assert!(held.len() >= 500, "cuckoo rejected too many at 50% load");
+    for &it in &held {
+        assert!(cuckoo.contains(it), "false negative on {it:#x}");
+    }
+
+    let held_set: std::collections::HashSet<u64> = held.iter().copied().collect();
+    let trials = 20_000u64;
+    let mut fp = 0u64;
+    for _ in 0..trials {
+        let probe = g.next();
+        if !held_set.contains(&probe) && cuckoo.contains(probe) {
+            fp += 1;
+        }
+    }
+    let rate = fp as f64 / trials as f64;
+    // 8-bit fingerprints, 4-way buckets, two candidate buckets: ~ 8/256.
+    assert!(rate <= 0.10, "cuckoo FPR {rate:.4} above 10%");
+}
+
+/// Removing an item leaves the remaining set intact (no over-deletion of
+/// a colliding fingerprint's witness).
+#[test]
+fn cuckoo_remove_round_trip() {
+    let mut g = Gen(0xc0de);
+    let mut cuckoo = CuckooFilter::new(CuckooConfig::new(512, 12));
+    let items: Vec<u64> = (0..200).map(|_| g.next()).collect();
+    let held: Vec<u64> = items
+        .iter()
+        .copied()
+        .filter(|&it| cuckoo.insert(it))
+        .collect();
+    for (i, &it) in held.iter().enumerate() {
+        assert!(cuckoo.remove(it), "remove lost {it:#x}");
+        for &rest in &held[i + 1..] {
+            assert!(cuckoo.contains(rest), "removing {it:#x} dropped {rest:#x}");
+        }
+    }
+    assert!(cuckoo.is_empty());
+}
+
+/// All three tracker backends agree with a reference map on every query
+/// in a random insert/remove/query workload, modulo each backend's
+/// documented approximation (bloom/cuckoo may false-positive, never
+/// false-negative; exact is exact).
+#[test]
+fn tracker_backends_agree_with_reference() {
+    let backends = [
+        TrackerBackend::Exact,
+        TrackerBackend::Cuckoo {
+            entries_per_gpu: 1024,
+            fingerprint_bits: 12,
+        },
+        TrackerBackend::Bloom {
+            counters_per_gpu: 4096,
+            hashes: 3,
+        },
+    ];
+    for backend in backends {
+        let gpus = 4usize;
+        let mut tracker = LocalTlbTracker::new(gpus, backend);
+        let mut reference: Vec<std::collections::HashSet<TranslationKey>> =
+            vec![std::collections::HashSet::new(); gpus];
+        let mut g = Gen(0x7ac2);
+        for _ in 0..4000 {
+            let k = key(g.next());
+            let gpu = GpuId((g.next() % gpus as u64) as u8);
+            match g.next() % 3 {
+                0 => {
+                    tracker.insert(gpu, k);
+                    reference[gpu.index()].insert(k);
+                }
+                1 => {
+                    if reference[gpu.index()].remove(&k) {
+                        tracker.remove(gpu, k);
+                    }
+                }
+                _ => {
+                    let got = tracker.query(k, gpu);
+                    let want = reference
+                        .iter()
+                        .enumerate()
+                        .find(|(i, set)| *i != gpu.index() && set.contains(&k))
+                        .map(|(i, _)| GpuId(u8::try_from(i).unwrap()));
+                    match (got, want) {
+                        // Probabilistic backends may claim a holder that
+                        // isn't one (false positive), never miss a real
+                        // lowest-numbered holder...
+                        (None, Some(w)) => {
+                            panic!("{backend:?}: false negative for {k:?} (holder {w:?})")
+                        }
+                        // ...and the exact backend must match exactly.
+                        (g2, w) if matches!(backend, TrackerBackend::Exact) => {
+                            assert_eq!(g2, w, "exact tracker disagrees on {k:?}")
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}

@@ -67,6 +67,7 @@ pub struct PriBatcher {
     queue: Vec<Fault>,
     batches_dispatched: u64,
     faults_seen: u64,
+    faults_dispatched: u64,
 }
 
 impl PriBatcher {
@@ -78,6 +79,7 @@ impl PriBatcher {
             queue: Vec::new(),
             batches_dispatched: 0,
             faults_seen: 0,
+            faults_dispatched: 0,
         }
     }
 
@@ -95,6 +97,8 @@ impl PriBatcher {
             requester,
             queued_at: now,
         });
+        #[cfg(feature = "check")]
+        self.check_conservation();
     }
 
     /// When the current batch should be dispatched: immediately if full,
@@ -120,7 +124,11 @@ impl PriBatcher {
         if n > 0 {
             self.batches_dispatched += 1;
         }
-        self.queue.drain(..n).collect()
+        self.faults_dispatched += n as u64;
+        let batch = self.queue.drain(..n).collect();
+        #[cfg(feature = "check")]
+        self.check_conservation();
+        batch
     }
 
     /// Faults still queued.
@@ -139,6 +147,30 @@ impl PriBatcher {
     #[must_use]
     pub fn faults_seen(&self) -> u64 {
         self.faults_seen
+    }
+
+    /// Total faults handed out via [`take_batch`](Self::take_batch).
+    #[must_use]
+    pub fn faults_dispatched(&self) -> u64 {
+        self.faults_dispatched
+    }
+
+    /// PRI request conservation: every fault ever queued is either still
+    /// queued or was dispatched in some batch — none invented, none lost.
+    /// Called after every push/take under the `check` feature; always
+    /// available for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conservation law is violated.
+    pub fn check_conservation(&self) {
+        assert!(
+            self.faults_seen == self.faults_dispatched + self.queue.len() as u64,
+            "PRI conservation violated: seen {} != dispatched {} + queued {}",
+            self.faults_seen,
+            self.faults_dispatched,
+            self.queue.len()
+        );
     }
 }
 
@@ -186,6 +218,21 @@ mod tests {
         assert_eq!(p.take_batch(Cycle(9)).len(), 2);
         assert_eq!(p.batches_dispatched(), 1);
         assert_eq!(p.faults_seen(), 2);
+    }
+
+    #[test]
+    fn conservation_holds_across_partial_batches() {
+        let mut p = batcher(3, 100);
+        for v in 0..7 {
+            p.push(key(v), GpuId(0), Cycle(v));
+            p.check_conservation();
+        }
+        while !p.take_batch(Cycle(1000)).is_empty() {
+            p.check_conservation();
+        }
+        assert_eq!(p.faults_dispatched(), 7);
+        assert_eq!(p.faults_seen(), 7);
+        assert_eq!(p.queued(), 0);
     }
 
     #[test]

@@ -148,6 +148,8 @@ impl FrameAllocator {
                         self.set(i);
                     }
                     self.allocated += count;
+                    #[cfg(feature = "check")]
+                    self.check_consistency();
                     return Ok(PhysPage(base as u64));
                 }
                 // Skip past the conflict, staying aligned.
@@ -169,6 +171,8 @@ impl FrameAllocator {
         assert!(self.is_set(i), "double free of frame {frame}");
         self.clear(i);
         self.allocated -= 1;
+        #[cfg(feature = "check")]
+        self.check_consistency();
     }
 
     /// Frees a contiguous run previously returned by
@@ -201,6 +205,37 @@ impl FrameAllocator {
             i += stride;
         }
         pinned
+    }
+
+    /// Validates bitmap consistency: the `allocated` counter must equal the
+    /// bitmap population count, and no bit past `frames` may be set. Called
+    /// per-op on free/contiguous paths under the `check` feature; always
+    /// available for tests and the sim-check harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter and bitmap disagree.
+    pub fn check_consistency(&self) {
+        let mut popcount = 0usize;
+        for (w, bits) in self.bitmap.iter().enumerate() {
+            let valid = if (w + 1) * 64 <= self.frames {
+                u64::MAX
+            } else {
+                let tail = self.frames - w * 64;
+                assert!(
+                    bits >> tail == 0,
+                    "allocator bitmap has bits set past frame {}",
+                    self.frames
+                );
+                (1u64 << tail) - 1
+            };
+            popcount += (bits & valid).count_ones() as usize;
+        }
+        assert!(
+            popcount == self.allocated,
+            "allocated counter {} disagrees with bitmap popcount {popcount}",
+            self.allocated
+        );
     }
 
     /// Largest free aligned run of `count` frames available right now
@@ -294,6 +329,22 @@ mod tests {
     fn contiguous_larger_than_memory_fails() {
         let mut a = FrameAllocator::new(128);
         assert!(a.allocate_contiguous(256).is_err());
+    }
+
+    #[test]
+    fn consistency_check_tracks_bitmap() {
+        let mut a = FrameAllocator::new(70); // ragged tail word
+        a.check_consistency();
+        let mut held = Vec::new();
+        for _ in 0..70 {
+            held.push(a.allocate().unwrap());
+            a.check_consistency();
+        }
+        for f in held {
+            a.free(f);
+            a.check_consistency();
+        }
+        assert_eq!(a.allocated(), 0);
     }
 
     #[test]

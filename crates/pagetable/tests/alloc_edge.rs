@@ -1,0 +1,159 @@
+//! Edge-case tests for [`FrameAllocator`] beyond the in-module unit
+//! tests: huge-page runs against memory boundaries, non-word-aligned
+//! pool sizes, exhaustion/recovery cycles, and long randomized
+//! alloc/free churn with per-step consistency checks.
+
+use mgpu_types::PhysPage;
+use pagetable::{FrameAllocator, OutOfMemory};
+
+struct Gen(u64);
+
+impl Gen {
+    #[allow(clippy::should_implement_trait)]
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A 2 MB run (512 frames) that exactly fills the pool: the run must end
+/// flush against the last frame, and a second request must fail cleanly.
+#[test]
+fn huge_run_flush_against_memory_end() {
+    let mut alloc = FrameAllocator::new(512);
+    let base = alloc.allocate_contiguous(512).expect("pool-sized run");
+    assert_eq!(base.0, 0);
+    assert_eq!(alloc.free_frames(), 0);
+    assert_eq!(
+        alloc.allocate_contiguous(512),
+        Err(OutOfMemory { requested: 512 })
+    );
+    assert_eq!(alloc.allocate(), Err(OutOfMemory { requested: 1 }));
+    alloc.free_contiguous(base, 512);
+    assert_eq!(alloc.free_frames(), 512);
+    alloc.check_consistency();
+}
+
+/// With a pool that is not a multiple of the run size, the tail frames
+/// can never host an aligned huge run — only the aligned prefix can.
+#[test]
+fn huge_run_respects_alignment_at_the_tail() {
+    // 640 frames: one aligned 512-run at 0, then 128 tail frames.
+    let mut alloc = FrameAllocator::new(640);
+    let first = alloc.allocate_contiguous(512).expect("first run");
+    assert_eq!(first.0, 0);
+    // The 128 tail frames cannot host another 512-run...
+    assert!(alloc.allocate_contiguous(512).is_err());
+    assert!(!alloc.has_contiguous(512));
+    // ...but exactly one aligned 128-run fits there.
+    let tail = alloc.allocate_contiguous(128).expect("tail run");
+    assert_eq!(tail.0, 512);
+    assert_eq!(tail.0 % 128, 0);
+    assert_eq!(alloc.free_frames(), 0);
+}
+
+/// A single pinned frame straddling the only aligned slot defeats a huge
+/// allocation even with ample free memory; freeing it restores the run.
+#[test]
+fn one_pinned_frame_blocks_and_unblocks_a_huge_run() {
+    let mut alloc = FrameAllocator::new(512);
+    let pin = alloc.allocate().expect("pin one frame");
+    assert_eq!(alloc.free_frames(), 511);
+    assert!(alloc.allocate_contiguous(512).is_err());
+    assert!(!alloc.has_contiguous(512));
+    alloc.free(pin);
+    let run = alloc.allocate_contiguous(512).expect("run after unpin");
+    assert_eq!(run.0, 0);
+}
+
+/// Pools whose size is not a multiple of 64 exercise the bitmap's
+/// partial last word: fill, exhaust, free everything, refill.
+#[test]
+fn non_word_multiple_pool_exhausts_and_recovers() {
+    for frames in [1usize, 63, 65, 100] {
+        let mut alloc = FrameAllocator::new(frames);
+        let mut held = Vec::new();
+        for _ in 0..frames {
+            held.push(alloc.allocate().expect("fill"));
+        }
+        assert_eq!(alloc.allocated(), frames);
+        assert!(alloc.allocate().is_err(), "pool of {frames} over-allocated");
+        alloc.check_consistency();
+        // Distinctness across the whole pool.
+        let mut sorted: Vec<u64> = held.iter().map(|p| p.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), frames, "duplicate frame in pool of {frames}");
+        for f in held {
+            alloc.free(f);
+        }
+        assert_eq!(alloc.free_frames(), frames);
+        assert!(alloc.allocate().is_ok());
+    }
+}
+
+/// Repeated exhaust → free-all cycles must not leak: the allocator
+/// serves the full pool every cycle, regardless of cursor position.
+#[test]
+fn exhaustion_free_cycles_do_not_leak() {
+    let mut alloc = FrameAllocator::new(96);
+    for cycle in 0..10 {
+        let held: Vec<_> = (0..96).map(|_| alloc.allocate().expect("fill")).collect();
+        assert!(alloc.allocate().is_err(), "cycle {cycle} over-allocated");
+        for f in held {
+            alloc.free(f);
+        }
+        assert_eq!(alloc.allocated(), 0, "cycle {cycle} leaked");
+        alloc.check_consistency();
+    }
+}
+
+/// Mixed 4K / huge churn against a reference set, with the allocator's
+/// own consistency check run every step.
+#[test]
+fn randomized_churn_stays_consistent() {
+    let mut g = Gen(0xa110c);
+    let mut alloc = FrameAllocator::new(1024);
+    let mut singles: Vec<u64> = Vec::new();
+    let mut runs: Vec<(u64, usize)> = Vec::new();
+    for _ in 0..3000 {
+        match g.next() % 4 {
+            0 => {
+                if let Ok(p) = alloc.allocate() {
+                    assert!(!singles.contains(&p.0), "frame {p:?} double-handed");
+                    assert!(
+                        !runs.iter().any(|&(b, c)| (b..b + c as u64).contains(&p.0)),
+                        "frame {p:?} overlaps a held run"
+                    );
+                    singles.push(p.0);
+                }
+            }
+            1 => {
+                let count = 1usize << (g.next() % 5); // 1..=16 frames
+                if let Ok(p) = alloc.allocate_contiguous(count) {
+                    assert_eq!(p.0 % count as u64, 0, "run {p:?} misaligned");
+                    runs.push((p.0, count));
+                }
+            }
+            2 => {
+                if !singles.is_empty() {
+                    let i = (g.next() % singles.len() as u64) as usize;
+                    alloc.free(PhysPage(singles.swap_remove(i)));
+                }
+            }
+            _ => {
+                if !runs.is_empty() {
+                    let i = (g.next() % runs.len() as u64) as usize;
+                    let (b, c) = runs.swap_remove(i);
+                    alloc.free_contiguous(PhysPage(b), c);
+                }
+            }
+        }
+        alloc.check_consistency();
+        let held = singles.len() + runs.iter().map(|&(_, c)| c).sum::<usize>();
+        assert_eq!(alloc.allocated(), held, "allocated count drifted");
+    }
+}

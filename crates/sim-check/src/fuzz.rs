@@ -1,0 +1,399 @@
+//! Config fuzzer: random policy/geometry/workload combinations replayed
+//! through the differential oracle, with delta-debugging shrinking and a
+//! JSON repro format.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use least_tlb::{Inclusion, Policy, ReceiverPolicy, SystemConfig, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use tlb::{ReplacementPolicy, TlbConfig};
+use workloads::{single_app_kinds, Placement};
+
+use crate::mirror::{app_footprints, MirrorBug};
+use crate::oracle::{run_serial_with_bug, OracleReport};
+use crate::{Access, Gen};
+
+/// One fuzz case: a flat, JSON-serializable encoding of a configuration
+/// plus a scripted access sequence. Every field is interpreted modulo its
+/// valid range (see [`FuzzCase::sanitized`]), so *any* mutation — by the
+/// generator or the shrinker — yields a runnable case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuzzCase {
+    /// GPU count (clamped to 1..=4).
+    pub gpus: u8,
+    /// Placement mode: 0 = one app on all GPUs, 1 = one app per GPU,
+    /// 2 = two apps co-resident on all GPUs.
+    pub mode: u8,
+    /// First app kind (index into `single_app_kinds()`).
+    pub kind_a: u8,
+    /// Second app kind (modes 1 and 2).
+    pub kind_b: u8,
+    /// Inclusion: 0 = mostly-inclusive, 1 = least-inclusive, 2 = exclusive.
+    pub inclusion: u8,
+    /// Tracker: 0 = none, 1 = small cuckoo, 2 = exact, 3 = counting bloom.
+    pub tracker: u8,
+    /// Enable IOMMU→L2 spilling.
+    pub spilling: bool,
+    /// Spill credits (0..=3).
+    pub spill_credits: u8,
+    /// Infinite IOMMU TLB limit study (forces tracker off).
+    pub infinite: bool,
+    /// Valkyrie-style ring probing (forces tracker off).
+    pub ring: bool,
+    /// Per-GPU local page tables.
+    pub local_pt: bool,
+    /// Serialize the remote probe before the walk.
+    pub serialize_remote: bool,
+    /// Spill receiver: 0 = min-counter, 1 = round-robin, 2 = fixed.
+    pub receiver: u8,
+    /// IOMMU quota: 0 = none, else `quota - 1` entries.
+    pub quota: u8,
+    /// Enable a small page-walk cache.
+    pub pwc: bool,
+    /// L2 geometry: entries = `16 << (l2_entries % 4)`.
+    pub l2_entries: u8,
+    /// L2 associativity selector (ways = a power of two ≤ entries).
+    pub l2_ways: u8,
+    /// L2 replacement: 0 = LRU, 1 = FIFO, 2 = random.
+    pub replacement: u8,
+    /// IOMMU TLB geometry: entries = `64 << (iommu_entries % 4)`.
+    pub iommu_entries: u8,
+    /// IOMMU associativity selector.
+    pub iommu_ways: u8,
+    /// GPU↔GPU latency (`1 + inter_gpu % 300`).
+    pub inter_gpu: u16,
+    /// GPU↔IOMMU latency (`1 + gpu_iommu % 300`).
+    pub gpu_iommu: u16,
+    /// Flat walk latency (`1 + walk % 600`).
+    pub walk: u16,
+    /// Workload seed.
+    pub seed: u64,
+    /// The scripted access sequence (VPNs are folded into the app's
+    /// footprint at run time).
+    pub entries: Vec<Access>,
+}
+
+fn pow2_ways(entries: usize, selector: u8) -> usize {
+    let max_log = entries.trailing_zeros() as u8;
+    1 << (selector % (max_log + 1))
+}
+
+impl FuzzCase {
+    /// Normalizes the case so every mutation stays runnable: clamps the
+    /// GPU count, drops the tracker for the policies that exclude it, and
+    /// folds placement mode 1 away on single-GPU systems.
+    #[must_use]
+    pub fn sanitized(mut self) -> Self {
+        self.gpus = self.gpus.clamp(1, 4);
+        self.mode %= 3;
+        if self.gpus < 2 {
+            self.mode = 0;
+        }
+        if self.infinite || self.ring {
+            self.tracker = 0;
+        }
+        self
+    }
+
+    /// Expands the case into a simulator configuration and workload spec.
+    #[must_use]
+    pub fn to_config(&self) -> (SystemConfig, WorkloadSpec) {
+        let case = self.clone().sanitized();
+        let gpus = usize::from(case.gpus);
+        let kinds = single_app_kinds();
+        let kind = |i: u8| kinds[usize::from(i) % kinds.len()];
+        let all: Vec<u8> = (0..case.gpus).collect();
+        let placements = match case.mode {
+            0 => vec![Placement {
+                app: kind(case.kind_a),
+                gpus: all,
+            }],
+            1 => vec![
+                Placement {
+                    app: kind(case.kind_a),
+                    gpus: vec![0],
+                },
+                Placement {
+                    app: kind(case.kind_b),
+                    gpus: vec![1 % case.gpus],
+                },
+            ],
+            _ => vec![
+                Placement {
+                    app: kind(case.kind_a),
+                    gpus: all.clone(),
+                },
+                Placement {
+                    app: kind(case.kind_b),
+                    gpus: all,
+                },
+            ],
+        };
+        let spec = WorkloadSpec {
+            placements,
+            name: "fuzz".into(),
+        };
+
+        let replacement = match case.replacement % 3 {
+            0 => ReplacementPolicy::Lru,
+            1 => ReplacementPolicy::Fifo,
+            _ => ReplacementPolicy::Random,
+        };
+        let l2_entries = 16usize << (case.l2_entries % 4);
+        let iommu_entries = 64usize << (case.iommu_entries % 4);
+
+        let mut cfg = SystemConfig::scaled_down(gpus);
+        cfg.seed = case.seed;
+        cfg.gpu.l2_tlb =
+            TlbConfig::new(l2_entries, pow2_ways(l2_entries, case.l2_ways), replacement);
+        cfg.iommu.tlb = TlbConfig::new(
+            iommu_entries,
+            pow2_ways(iommu_entries, case.iommu_ways),
+            replacement,
+        );
+        cfg.iommu.walk_latency = pagetable_walk(1 + u64::from(case.walk) % 600);
+        cfg.iommu.pwc = case
+            .pwc
+            .then(|| TlbConfig::new(16, 4, ReplacementPolicy::Lru));
+        cfg.inter_gpu_latency = 1 + u64::from(case.inter_gpu) % 300;
+        cfg.gpu_iommu_latency = 1 + u64::from(case.gpu_iommu) % 300;
+
+        let tracker = match case.tracker % 4 {
+            0 => None,
+            1 => Some(filters::TrackerBackend::Cuckoo {
+                entries_per_gpu: 64,
+                fingerprint_bits: 4,
+            }),
+            2 => Some(filters::TrackerBackend::Exact),
+            _ => Some(filters::TrackerBackend::Bloom {
+                counters_per_gpu: 128,
+                hashes: 3,
+            }),
+        };
+        cfg.policy = Policy {
+            inclusion: match case.inclusion % 3 {
+                0 => Inclusion::MostlyInclusive,
+                1 => Inclusion::LeastInclusive,
+                _ => Inclusion::Exclusive,
+            },
+            tracker,
+            spilling: case.spilling,
+            spill_credits: case.spill_credits % 4,
+            infinite_iommu: case.infinite,
+            probing_ring: case.ring,
+            local_page_tables: case.local_pt,
+            serialize_remote: case.serialize_remote,
+            spill_receiver: match case.receiver % 3 {
+                0 => ReceiverPolicy::MinEvictionCounter,
+                1 => ReceiverPolicy::RoundRobin,
+                _ => ReceiverPolicy::Fixed,
+            },
+            iommu_quota: (case.quota > 0).then(|| u64::from(case.quota) - 1),
+        };
+        (cfg, spec)
+    }
+}
+
+fn pagetable_walk(cycles: u64) -> pagetable::WalkLatency {
+    pagetable::WalkLatency::Flat(cycles)
+}
+
+/// Draws a random case. Accesses mix a hot set (~1/8 of the footprint)
+/// with cold sweeps so hits, misses, evictions and spills all occur.
+pub fn generate(g: &mut Gen) -> FuzzCase {
+    let n_entries = g.len(30, 160);
+    let napps = 2u16;
+    let mut case = FuzzCase {
+        gpus: 1 + g.below(4) as u8,
+        mode: g.below(3) as u8,
+        kind_a: g.below(16) as u8,
+        kind_b: g.below(16) as u8,
+        inclusion: g.below(3) as u8,
+        tracker: g.below(4) as u8,
+        spilling: g.bool(),
+        spill_credits: g.below(4) as u8,
+        infinite: g.below(8) == 0,
+        ring: g.below(8) == 0,
+        local_pt: g.below(8) == 0,
+        serialize_remote: g.bool(),
+        receiver: g.below(3) as u8,
+        quota: g.below(24) as u8,
+        pwc: g.below(4) == 0,
+        l2_entries: g.below(16) as u8,
+        l2_ways: g.below(16) as u8,
+        replacement: g.below(3) as u8,
+        iommu_entries: g.below(16) as u8,
+        iommu_ways: g.below(16) as u8,
+        inter_gpu: g.below(1 << 16) as u16,
+        gpu_iommu: g.below(1 << 16) as u16,
+        walk: g.below(1 << 16) as u16,
+        seed: g.next(),
+        entries: Vec::new(),
+    };
+    let gpus = u64::from(case.gpus.clamp(1, 4));
+    for _ in 0..n_entries {
+        // Raw VPN over a hot/cold split; folded into the app footprint by
+        // the runner.
+        let hot = g.below(3) != 0;
+        let vpn = if hot { g.below(64) } else { g.below(1 << 20) };
+        case.entries.push(Access {
+            gpu: g.below(gpus) as u8,
+            asid: (g.below(u64::from(napps))) as u16,
+            vpn,
+        });
+    }
+    case.sanitized()
+}
+
+/// Clamps the case's raw accesses onto the actual app placements and
+/// footprints of its expanded configuration.
+#[must_use]
+pub fn concrete_accesses(case: &FuzzCase, cfg: &SystemConfig, spec: &WorkloadSpec) -> Vec<Access> {
+    let footprints = app_footprints(cfg, spec);
+    case.entries
+        .iter()
+        .map(|a| {
+            let asid = u16::try_from(usize::from(a.asid) % spec.placements.len())
+                .expect("app count fits u16");
+            let gpus = &spec.placements[usize::from(asid)].gpus;
+            let gpu = gpus[usize::from(a.gpu) % gpus.len()];
+            // Fold hot VPNs into a small window, cold ones across the
+            // whole footprint.
+            let f = footprints[usize::from(asid)].max(1);
+            Access {
+                gpu,
+                asid,
+                vpn: a.vpn % f,
+            }
+        })
+        .collect()
+}
+
+/// Runs one case through the oracle (optionally with a seeded mirror
+/// bug), converting panics from either side into violations.
+///
+/// # Errors
+///
+/// Returns a description of the divergence or panic.
+pub fn run_case_with_bug(case: &FuzzCase, bug: MirrorBug) -> Result<OracleReport, String> {
+    let (cfg, spec) = case.to_config();
+    let accesses = concrete_accesses(case, &cfg, &spec);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_serial_with_bug(&cfg, &spec, &accesses, bug)
+    }));
+    match outcome {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(d)) => Err(d.to_string()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic".into());
+            Err(format!("panic during replay: {msg}"))
+        }
+    }
+}
+
+/// Runs one case through the faithful oracle.
+///
+/// # Errors
+///
+/// Returns a description of the divergence or panic.
+pub fn run_case(case: &FuzzCase) -> Result<OracleReport, String> {
+    run_case_with_bug(case, MirrorBug::None)
+}
+
+/// Delta-debugging shrinker: repeatedly removes chunks of the access
+/// sequence (halving the chunk size down to single accesses), then tries
+/// turning off policy features, keeping every simplification under which
+/// `failing` still returns true. Deterministic: no randomness, so the
+/// same failing case always shrinks to the same repro.
+pub fn shrink(case: &FuzzCase, failing: impl Fn(&FuzzCase) -> bool) -> FuzzCase {
+    let mut best = case.clone();
+    // ddmin over the access sequence.
+    let mut chunk = (best.entries.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut i = 0;
+        while i < best.entries.len() {
+            let mut candidate = best.clone();
+            let end = (i + chunk).min(candidate.entries.len());
+            candidate.entries.drain(i..end);
+            if !candidate.entries.is_empty() && failing(&candidate) {
+                best = candidate; // keep the cut; retry at the same index
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    // Feature simplification: try switching each toggle to its simplest
+    // value.
+    let simplifications: Vec<fn(&mut FuzzCase)> = vec![
+        |c| c.spilling = false,
+        |c| c.pwc = false,
+        |c| c.local_pt = false,
+        |c| c.serialize_remote = false,
+        |c| c.quota = 0,
+        |c| c.ring = false,
+        |c| c.infinite = false,
+        |c| c.tracker = 0,
+        |c| c.replacement = 0,
+        |c| c.mode = 0,
+        |c| c.inclusion = 0,
+    ];
+    for simplify in simplifications {
+        let mut candidate = best.clone();
+        simplify(&mut candidate);
+        let candidate = candidate.sanitized();
+        if candidate != best && failing(&candidate) {
+            best = candidate;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_cases_are_sane() {
+        let mut g = Gen::new(0xfeed);
+        for _ in 0..50 {
+            let case = generate(&mut g);
+            assert!((1..=4).contains(&case.gpus));
+            assert!(!(case.infinite && case.tracker != 0));
+            assert!(!(case.ring && case.tracker != 0));
+            assert!(!case.entries.is_empty());
+            let (cfg, spec) = case.to_config();
+            assert!(cfg.gpus >= 1);
+            assert!(!spec.placements.is_empty());
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_case() {
+        let mut g = Gen::new(0xabcd);
+        let case = generate(&mut g);
+        let json = serde_json::to_string(&case).expect("serializes");
+        let back: FuzzCase = serde_json::from_str(&json).expect("parses");
+        assert_eq!(case, back);
+    }
+
+    #[test]
+    fn concrete_accesses_stay_in_bounds() {
+        let mut g = Gen::new(0x5eed);
+        let case = generate(&mut g);
+        let (cfg, spec) = case.to_config();
+        let footprints = app_footprints(&cfg, &spec);
+        for a in concrete_accesses(&case, &cfg, &spec) {
+            assert!(usize::from(a.gpu) < cfg.gpus);
+            assert!(usize::from(a.asid) < spec.placements.len());
+            assert!(a.vpn < footprints[usize::from(a.asid)]);
+        }
+    }
+}

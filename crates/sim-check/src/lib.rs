@@ -1,0 +1,111 @@
+//! Correctness harness for the least-TLB simulator.
+//!
+//! Three complementary checks live here, all independent of the figures
+//! the repo reproduces:
+//!
+//! - **Differential oracle** ([`oracle`]): replays a translation-request
+//!   trace through the full event-driven [`least_tlb::System`] *and*
+//!   through [`mirror::Mirror`] — an independent, time-free transcription
+//!   of the policy layer — and asserts that every TLB's statistics,
+//!   resident keys, eviction counters and per-app counters agree after
+//!   every single request.
+//! - **Metamorphic properties** (`tests/metamorphic.rs`): relations that
+//!   must hold between *pairs* of runs (growing an LRU TLB never loses
+//!   hits; permuting the experiment registry never changes a runner's
+//!   table).
+//! - **Config fuzzer** ([`fuzz`] + the `fuzz-sim` binary): random
+//!   policy/geometry/workload combinations driven through the oracle,
+//!   with delta-debugging shrinking and a JSON repro file on failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+pub mod fuzz;
+pub mod mirror;
+pub mod oracle;
+
+pub use fuzz::{run_case, shrink, FuzzCase};
+pub use mirror::{Mirror, MirrorBug};
+pub use oracle::{run_serial, run_serial_with_bug, Divergence, OracleReport};
+
+/// One scripted translation request: `gpu` asks for `(asid, vpn)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Requesting GPU.
+    pub gpu: u8,
+    /// Address space.
+    pub asid: u16,
+    /// 4 KB-granule virtual page.
+    pub vpn: u64,
+}
+
+/// Deterministic splitmix64 generator (same recurrence as the repo's
+/// property tests and workload generators — no external RNG crates).
+#[derive(Debug, Clone)]
+pub struct Gen(u64);
+
+impl Gen {
+    /// Seeds the generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    /// Next raw 64-bit value.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    /// Uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// Uniform length in `lo..=hi`.
+    pub fn len(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_is_deterministic() {
+        let mut a = Gen::new(7);
+        let mut b = Gen::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut g = Gen::new(3);
+        for _ in 0..1000 {
+            assert!(g.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn len_stays_in_range() {
+        let mut g = Gen::new(11);
+        for _ in 0..1000 {
+            let l = g.len(3, 9);
+            assert!((3..=9).contains(&l));
+        }
+    }
+}

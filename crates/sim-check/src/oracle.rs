@@ -1,0 +1,236 @@
+//! The differential oracle: serial replay through the event-driven
+//! simulator and the sequential [`Mirror`], with full state comparison
+//! after every request.
+
+use std::fmt;
+
+use least_tlb::{System, SystemConfig, WorkloadSpec};
+use mgpu_types::{Asid, Cycle, GpuId, VirtPage};
+
+use crate::mirror::{Mirror, MirrorBug};
+use crate::Access;
+
+/// A detected disagreement between the simulator and the mirror.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the access after which the states disagreed (or
+    /// `accesses.len()` for end-of-run app-stat disagreements).
+    pub step: usize,
+    /// What disagreed, with both sides rendered.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "divergence after access #{}: {}", self.step, self.detail)
+    }
+}
+
+/// Aggregate counters from a passing oracle run, so callers can assert
+/// the replay actually exercised the paths it claims to cover.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Accesses replayed.
+    pub steps: usize,
+    /// Total L2 TLB hits across apps.
+    pub l2_hits: u64,
+    /// Page-table walks performed.
+    pub walks: u64,
+    /// Requests served from a peer GPU's L2.
+    pub remote_hits: u64,
+    /// IOMMU→L2 spills performed.
+    pub spills: u64,
+    /// Evictions across the GPU L2 TLBs.
+    pub l2_evictions: u64,
+    /// Evictions from the IOMMU TLB.
+    pub iommu_evictions: u64,
+}
+
+fn diff<T: PartialEq + fmt::Debug>(
+    step: usize,
+    what: &str,
+    sim: &T,
+    mir: &T,
+) -> Result<(), Divergence> {
+    if sim == mir {
+        Ok(())
+    } else {
+        Err(Divergence {
+            step,
+            detail: format!("{what}: simulator {sim:?} != mirror {mir:?}"),
+        })
+    }
+}
+
+/// Compares every observable structure of `sys` against `m`.
+fn compare(sys: &System, m: &Mirror, gpus: usize, step: usize) -> Result<(), Divergence> {
+    for g in 0..gpus {
+        let gpu = sys.gpu(g);
+        diff(step, &format!("gpu{g} stats"), &gpu.stats, m.gpu_stats(g))?;
+        diff(
+            step,
+            &format!("gpu{g} L2 TLB stats"),
+            gpu.l2_tlb.stats(),
+            m.l2(g).stats(),
+        )?;
+        // Identically-configured TLBs fed the same op sequence iterate in
+        // the same deterministic order, so direct Vec equality also
+        // checks set placement.
+        diff(
+            step,
+            &format!("gpu{g} L2 resident keys"),
+            &gpu.l2_tlb.resident_keys(),
+            &m.l2(g).resident_keys(),
+        )?;
+    }
+    let io = sys.iommu();
+    diff(step, "IOMMU stats", &io.stats, m.iommu_stats())?;
+    diff(
+        step,
+        "IOMMU TLB stats",
+        io.tlb.stats(),
+        m.iommu_tlb().stats(),
+    )?;
+    diff(
+        step,
+        "IOMMU resident keys",
+        &io.tlb.resident_keys(),
+        &m.iommu_tlb().resident_keys(),
+    )?;
+    diff(
+        step,
+        "eviction counters",
+        &io.eviction_counters.as_slice(),
+        &m.eviction_counters(),
+    )?;
+    match (&io.pwc, m.pwc()) {
+        (Some(sim), Some(mir)) => {
+            diff(step, "PWC stats", sim.stats(), mir.stats())?;
+            diff(
+                step,
+                "PWC resident keys",
+                &sim.resident_keys(),
+                &mir.resident_keys(),
+            )?;
+        }
+        (None, None) => {}
+        (sim, mir) => {
+            return Err(Divergence {
+                step,
+                detail: format!(
+                    "PWC presence: simulator {:?} != mirror {:?}",
+                    sim.is_some(),
+                    mir.is_some()
+                ),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Serial replay with a deliberately seeded mirror bug — the test harness
+/// for proving the oracle catches divergences. With [`MirrorBug::None`]
+/// this is the oracle proper.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+///
+/// # Panics
+///
+/// Panics if `cfg`/`spec` fail to build, or if one of the simulator's own
+/// invariant checks (`System::check_invariants`, `Tlb::check_structure`)
+/// fails mid-replay.
+pub fn run_serial_with_bug(
+    cfg: &SystemConfig,
+    spec: &WorkloadSpec,
+    accesses: &[Access],
+    bug: MirrorBug,
+) -> Result<OracleReport, Divergence> {
+    let mut sys = System::new_scripted(cfg, spec).expect("oracle config must build");
+    let mut m = Mirror::new(cfg, spec, bug);
+    let mut now = Cycle(0);
+    for (i, a) in accesses.iter().enumerate() {
+        sys.inject_translation(GpuId(a.gpu), Asid(a.asid), VirtPage(a.vpn), now);
+        now = sys.drain();
+        m.process(GpuId(a.gpu), Asid(a.asid), VirtPage(a.vpn));
+        compare(&sys, &m, cfg.gpus, i)?;
+        sys.check_invariants();
+    }
+    for g in 0..cfg.gpus {
+        sys.gpu(g).l2_tlb.check_structure();
+    }
+    sys.iommu().tlb.check_structure();
+
+    let mut report = OracleReport {
+        steps: accesses.len(),
+        spills: sys.iommu().stats.spills,
+        iommu_evictions: sys.iommu().tlb.stats().evictions,
+        ..OracleReport::default()
+    };
+    for g in 0..cfg.gpus {
+        report.l2_evictions += sys.gpu(g).l2_tlb.stats().evictions;
+    }
+    let napps = spec.placements.len();
+    let result = sys.finish();
+    for (i, app) in result.apps.iter().enumerate().take(napps) {
+        let mir = m.app(i);
+        let step = accesses.len();
+        diff(
+            step,
+            &format!("app{i} l2_lookups"),
+            &app.stats.l2_lookups,
+            &mir.l2_lookups,
+        )?;
+        diff(
+            step,
+            &format!("app{i} l2_hits"),
+            &app.stats.l2_hits,
+            &mir.l2_hits,
+        )?;
+        diff(
+            step,
+            &format!("app{i} iommu_lookups"),
+            &app.stats.iommu_lookups,
+            &mir.iommu_lookups,
+        )?;
+        diff(
+            step,
+            &format!("app{i} iommu_hits"),
+            &app.stats.iommu_hits,
+            &mir.iommu_hits,
+        )?;
+        diff(step, &format!("app{i} walks"), &app.stats.walks, &mir.walks)?;
+        diff(
+            step,
+            &format!("app{i} faults"),
+            &app.stats.faults,
+            &mir.faults,
+        )?;
+        diff(
+            step,
+            &format!("app{i} remote_hits"),
+            &app.stats.remote_hits,
+            &mir.remote_hits,
+        )?;
+        report.l2_hits += app.stats.l2_hits;
+        report.walks += app.stats.walks;
+        report.remote_hits += app.stats.remote_hits;
+    }
+    Ok(report)
+}
+
+/// The differential oracle: serial replay of `accesses` through both the
+/// event-driven simulator and the sequential mirror.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found (a passing oracle returns the
+/// coverage report).
+pub fn run_serial(
+    cfg: &SystemConfig,
+    spec: &WorkloadSpec,
+    accesses: &[Access],
+) -> Result<OracleReport, Divergence> {
+    run_serial_with_bug(cfg, spec, accesses, MirrorBug::None)
+}

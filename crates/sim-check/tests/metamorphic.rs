@@ -1,0 +1,113 @@
+//! Metamorphic properties: relations that must hold between *pairs* of
+//! runs, without knowing any single run's correct answer.
+
+use least_tlb::experiments::{run_suite, ExpOptions};
+use least_tlb::{Policy, SystemConfig, WorkloadSpec};
+use mgpu_types::{Asid, PhysPage, TranslationKey, VirtPage};
+use sim_check::mirror::app_footprints;
+use sim_check::{run_serial, Access, Gen};
+use tlb::{ReplacementPolicy, Tlb, TlbConfig, TlbEntry};
+use workloads::AppKind;
+
+/// LRU stack inclusion: a fully-associative LRU TLB of capacity `2c`
+/// holds a superset of what capacity `c` holds at every point of any
+/// reference stream, so the hit count never decreases as capacity grows.
+#[test]
+fn lru_stack_inclusion_hits_monotone_in_capacity() {
+    for seed in [1u64, 42, 0xdead] {
+        let mut g = Gen::new(seed);
+        let stream: Vec<u64> = (0..4000)
+            .map(|_| {
+                if g.below(4) != 0 {
+                    g.below(48)
+                } else {
+                    g.below(4096)
+                }
+            })
+            .collect();
+        let mut prev_hits = 0u64;
+        for cap in [8usize, 16, 32, 64, 128] {
+            let mut tlb = Tlb::new(TlbConfig::new(cap, cap, ReplacementPolicy::Lru));
+            for &vpn in &stream {
+                let key = TranslationKey::new(Asid(0), VirtPage(vpn));
+                if tlb.lookup(key).is_none() {
+                    tlb.insert(key, TlbEntry::new(PhysPage(vpn)));
+                }
+            }
+            let hits = tlb.stats().hits;
+            assert!(
+                hits >= prev_hits,
+                "LRU capacity {cap} lost hits: {hits} < {prev_hits} (seed {seed})"
+            );
+            prev_hits = hits;
+        }
+        // The property must be non-vacuous: the largest TLB actually hits.
+        assert!(prev_hits > 0, "stream never hit (seed {seed})");
+    }
+}
+
+/// The same stream through the full system: growing the L2 TLB (LRU)
+/// never reduces total L2 hits, and the oracle stays green at every size.
+#[test]
+fn system_l2_hits_monotone_in_capacity() {
+    let spec = WorkloadSpec::single_app(AppKind::Fir, 2);
+    let mut prev_hits = 0u64;
+    for cap in [32usize, 64, 128, 256] {
+        let mut cfg = SystemConfig::scaled_down(2);
+        cfg.policy = Policy::baseline();
+        cfg.gpu.l2_tlb = TlbConfig::new(cap, cap, ReplacementPolicy::Lru);
+        let footprint = app_footprints(&cfg, &spec)[0];
+        let mut g = Gen::new(99);
+        let accesses: Vec<Access> = (0..400)
+            .map(|_| Access {
+                gpu: (g.below(2)) as u8,
+                asid: 0,
+                vpn: if g.below(3) != 0 {
+                    g.below(64)
+                } else {
+                    g.below(footprint)
+                },
+            })
+            .collect();
+        let report = run_serial(&cfg, &spec, &accesses)
+            .unwrap_or_else(|d| panic!("oracle diverged at L2 capacity {cap}: {d}"));
+        assert!(
+            report.l2_hits >= prev_hits,
+            "L2 capacity {cap} lost hits: {} < {prev_hits}",
+            report.l2_hits
+        );
+        prev_hits = report.l2_hits;
+    }
+    assert!(prev_hits > 0);
+}
+
+fn tiny_opts() -> ExpOptions {
+    let mut o = ExpOptions::quick();
+    o.budget_single = 30_000;
+    o.budget_multi = 30_000;
+    o
+}
+
+/// Registry-order invariance: permuting the experiment list (and the
+/// worker count) changes *when* each runner executes, never its table.
+#[test]
+fn run_suite_is_permutation_invariant() {
+    let forward: Vec<String> = ["fig2", "table3", "fig19"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let reversed: Vec<String> = forward.iter().rev().cloned().collect();
+
+    let a = run_suite(&forward, &tiny_opts(), 1);
+    let b = run_suite(&reversed, &tiny_opts(), 2);
+
+    for out_a in &a {
+        let out_b = b
+            .iter()
+            .find(|o| o.name == out_a.name)
+            .expect("runner present in both orders");
+        let ta = out_a.result.as_ref().expect("runner succeeded").to_string();
+        let tb = out_b.result.as_ref().expect("runner succeeded").to_string();
+        assert_eq!(ta, tb, "runner {} depends on registry order", out_a.name);
+    }
+}

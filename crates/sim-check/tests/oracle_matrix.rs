@@ -1,0 +1,196 @@
+//! Differential-oracle matrix: every workload kind crossed with every
+//! named policy, plus policy variants the named constructors don't
+//! cover, plus trace-replay determinism.
+
+use least_tlb::{Policy, ReceiverPolicy, System, SystemConfig, WorkloadSpec};
+use sim_check::mirror::app_footprints;
+use sim_check::{run_serial, Access, Gen};
+use tlb::{ReplacementPolicy, TlbConfig};
+use workloads::{single_app_kinds, AppKind, Placement};
+
+/// Scripted accesses over the spec's placements: a hot window (~64
+/// pages) mixed with cold sweeps across the full footprint, cycling
+/// through each app's GPUs.
+fn accesses_for(cfg: &SystemConfig, spec: &WorkloadSpec, n: usize, seed: u64) -> Vec<Access> {
+    let footprints = app_footprints(cfg, spec);
+    let mut g = Gen::new(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let asid = g.below(spec.placements.len() as u64) as usize;
+        let gpus = &spec.placements[asid].gpus;
+        let gpu = gpus[g.below(gpus.len() as u64) as usize];
+        let f = footprints[asid].max(1);
+        let vpn = if g.below(3) != 0 {
+            g.below(64.min(f))
+        } else {
+            g.below(f)
+        };
+        out.push(Access {
+            gpu,
+            asid: asid as u16,
+            vpn,
+        });
+    }
+    out
+}
+
+fn check(mut cfg: SystemConfig, spec: &WorkloadSpec, seed: u64) -> sim_check::OracleReport {
+    // Tighten the TLBs so 250 accesses see evictions, spills and victim
+    // traffic, not just cold misses into roomy arrays.
+    cfg.gpu.l2_tlb = TlbConfig::new(64, 4, ReplacementPolicy::Lru);
+    cfg.iommu.tlb = TlbConfig::new(128, 4, ReplacementPolicy::Lru);
+    let accesses = accesses_for(&cfg, spec, 250, seed);
+    run_serial(&cfg, spec, &accesses).unwrap_or_else(|d| {
+        panic!("{} (policy on workload {})", d, spec.name);
+    })
+}
+
+#[test]
+fn oracle_matrix_kinds_by_policies() {
+    let policies: [(&str, Policy); 6] = [
+        ("baseline", Policy::baseline()),
+        ("least_tlb", Policy::least_tlb()),
+        ("least_tlb_spilling", Policy::least_tlb_spilling()),
+        ("infinite_iommu", Policy::infinite_iommu()),
+        ("exclusive", Policy::exclusive()),
+        ("probing_ring", Policy::probing_ring()),
+    ];
+    let mut totals = sim_check::OracleReport::default();
+    for (pi, (name, policy)) in policies.iter().enumerate() {
+        for (ki, kind) in single_app_kinds().into_iter().enumerate() {
+            let mut cfg = SystemConfig::scaled_down(2);
+            cfg.policy = *policy;
+            let spec = WorkloadSpec::single_app(kind, 2);
+            let seed = 0xace0_0000 + (pi as u64) * 100 + ki as u64;
+            let r = check(cfg, &spec, seed);
+            totals.l2_hits += r.l2_hits;
+            totals.walks += r.walks;
+            totals.remote_hits += r.remote_hits;
+            totals.spills += r.spills;
+            totals.l2_evictions += r.l2_evictions;
+            totals.iommu_evictions += r.iommu_evictions;
+            let _ = name;
+        }
+    }
+    // The matrix must actually exercise the interesting paths, not just
+    // stream cold misses.
+    assert!(totals.l2_hits > 0, "matrix never hit in L2");
+    assert!(totals.walks > 0, "matrix never walked");
+    assert!(totals.remote_hits > 0, "matrix never hit remotely");
+    assert!(totals.spills > 0, "matrix never spilled");
+    assert!(totals.l2_evictions > 0, "matrix never evicted from L2");
+    assert!(
+        totals.iommu_evictions > 0,
+        "matrix never evicted from IOMMU"
+    );
+}
+
+#[test]
+fn oracle_policy_variants() {
+    // Variants the named constructors don't reach: quotas, serialized
+    // probes, page-walk caches, local page tables, alternative spill
+    // receivers, FIFO/random replacement and a two-app mix.
+    let mut variants: Vec<(&str, Policy)> = vec![
+        ("least_tlb_n2", Policy::least_tlb_n(2)),
+        ("quota", {
+            let mut p = Policy::least_tlb();
+            p.iommu_quota = Some(48);
+            p
+        }),
+        ("serialize_remote", {
+            let mut p = Policy::least_tlb();
+            p.serialize_remote = true;
+            p
+        }),
+        ("local_pt", {
+            let mut p = Policy::least_tlb_spilling();
+            p.local_page_tables = true;
+            p
+        }),
+        ("spill_rr", {
+            let mut p = Policy::least_tlb_spilling();
+            p.spill_receiver = ReceiverPolicy::RoundRobin;
+            p
+        }),
+        ("spill_fixed", {
+            let mut p = Policy::least_tlb_spilling();
+            p.spill_receiver = ReceiverPolicy::Fixed;
+            p.spill_credits = 3;
+            p
+        }),
+    ];
+    for (i, (name, policy)) in variants.drain(..).enumerate() {
+        let mut cfg = SystemConfig::scaled_down(2);
+        cfg.policy = policy;
+        if name == "serialize_remote" || name == "local_pt" {
+            cfg.iommu.pwc = Some(TlbConfig::new(16, 4, ReplacementPolicy::Lru));
+        }
+        let spec = WorkloadSpec::single_app(AppKind::Pr, 2);
+        check(cfg, &spec, 0xbead_0000 + i as u64);
+    }
+
+    // Two apps sharing both GPUs — per-app attribution must still match.
+    let mut cfg = SystemConfig::scaled_down(2);
+    cfg.policy = Policy::least_tlb_spilling();
+    let spec = WorkloadSpec {
+        placements: vec![
+            Placement {
+                app: AppKind::Km,
+                gpus: vec![0, 1],
+            },
+            Placement {
+                app: AppKind::Bs,
+                gpus: vec![0, 1],
+            },
+        ],
+        name: "Km+Bs".into(),
+    };
+    check(cfg, &spec, 0xbead_1000);
+
+    // FIFO and random replacement through the full policy stack.
+    for (i, repl) in [ReplacementPolicy::Fifo, ReplacementPolicy::Random]
+        .into_iter()
+        .enumerate()
+    {
+        let mut cfg = SystemConfig::scaled_down(2);
+        cfg.policy = Policy::least_tlb_spilling();
+        cfg.gpu.l2_tlb = TlbConfig::new(64, 4, repl);
+        cfg.iommu.tlb = TlbConfig::new(128, 4, repl);
+        let spec = WorkloadSpec::single_app(AppKind::St, 2);
+        let accesses = accesses_for(&cfg, &spec, 250, 0xbead_2000 + i as u64);
+        run_serial(&cfg, &spec, &accesses).unwrap_or_else(|d| panic!("{d} ({repl:?})"));
+    }
+}
+
+#[test]
+fn oracle_four_gpus() {
+    for policy in [Policy::least_tlb_spilling(), Policy::probing_ring()] {
+        let mut cfg = SystemConfig::scaled_down(4);
+        cfg.policy = policy;
+        let spec = WorkloadSpec::single_app(AppKind::Mt, 4);
+        check(cfg, &spec, 0x4444);
+    }
+}
+
+/// Oracle B: a full timed run's recorded trace replays to the identical
+/// result, twice, and obeys request conservation.
+#[test]
+fn trace_replay_is_deterministic_and_conservative() {
+    let mut cfg = SystemConfig::scaled_down(2);
+    cfg.instructions_per_gpu = 30_000;
+    cfg.record_trace = true;
+    cfg.policy = Policy::least_tlb_spilling();
+    let spec = WorkloadSpec::single_app(AppKind::St, 2);
+    let result = System::new(&cfg, &spec).expect("config builds").run();
+    let trace = result.trace.as_ref().expect("trace recorded");
+    assert!(!trace.is_empty());
+
+    let a = trace.replay(&cfg).expect("first replay");
+    let b = trace.replay(&cfg).expect("second replay");
+    for i in 0..spec.placements.len() {
+        assert_eq!(a.apps[i].stats, b.apps[i].stats, "replay not deterministic");
+    }
+    // Conservation: every traced request performs exactly one L2 lookup.
+    let total: u64 = a.apps.iter().map(|ap| ap.stats.l2_lookups).sum();
+    assert_eq!(total, trace.len() as u64, "L2 lookups != trace length");
+}

@@ -1,0 +1,141 @@
+//! Sabotage suite: seed a deliberately broken mirror, prove the oracle
+//! catches the divergence, and prove the shrinker reduces the failing
+//! case to a smaller repro that still fails — the acceptance test for
+//! the whole harness.
+
+use sim_check::fuzz::{run_case_with_bug, shrink, FuzzCase};
+use sim_check::mirror::MirrorBug;
+use sim_check::{run_case, Access};
+
+/// A quiet single-GPU baseline case with a 16-entry fully-associative
+/// LRU L2. `entries` are filled in per test.
+fn base_case() -> FuzzCase {
+    FuzzCase {
+        gpus: 1,
+        mode: 0,
+        kind_a: 0,
+        kind_b: 0,
+        inclusion: 0,
+        tracker: 0,
+        spilling: false,
+        spill_credits: 0,
+        infinite: false,
+        ring: false,
+        local_pt: false,
+        serialize_remote: false,
+        receiver: 0,
+        quota: 0,
+        pwc: false,
+        l2_entries: 0,    // 16 entries
+        l2_ways: 4,       // fully associative
+        replacement: 0,   // LRU
+        iommu_entries: 0, // 64 entries
+        iommu_ways: 6,    // fully associative
+        inter_gpu: 10,
+        gpu_iommu: 10,
+        walk: 100,
+        seed: 7,
+        entries: Vec::new(),
+    }
+}
+
+fn at(vpn: u64) -> Access {
+    Access {
+        gpu: 0,
+        asid: 0,
+        vpn,
+    }
+}
+
+/// Fill a 16-entry L2, refresh page 0 (moves it to MRU under LRU but not
+/// under FIFO), then force one eviction. LRU evicts page 1, FIFO evicts
+/// page 0 — resident keys diverge immediately. Droppable hit accesses
+/// are interleaved so the shrinker has fat to trim.
+fn fifo_sensitive_case() -> FuzzCase {
+    let mut case = base_case();
+    for vpn in 0..16 {
+        case.entries.push(at(vpn));
+        case.entries.push(at(vpn)); // droppable duplicate hit
+    }
+    case.entries.push(at(0)); // the LRU-refresh FIFO ignores
+    for vpn in 16..24 {
+        case.entries.push(at(vpn)); // evictions
+        case.entries.push(at(vpn)); // droppable duplicate hit
+    }
+    case
+}
+
+/// Under least-inclusive inclusion an IOMMU hit removes the entry and
+/// decrements its origin's eviction counter; the seeded bug skips the
+/// decrement. Trigger: walk fills page 100 into IOMMU + L2, sixteen other
+/// pages evict it from the small L2, then a re-access hits the IOMMU.
+fn victim_sensitive_case() -> FuzzCase {
+    let mut case = base_case();
+    case.inclusion = 1; // least-inclusive: IOMMU hit takes the victim path
+    case.spill_credits = 1; // L2 victims re-enter the IOMMU (Algorithm 1)
+    case.entries.push(at(100));
+    for vpn in 0..16 {
+        case.entries.push(at(vpn));
+    }
+    case.entries.push(at(100));
+    case
+}
+
+#[test]
+fn oracle_catches_fifo_l2_bug_and_shrinks_it() {
+    let case = fifo_sensitive_case();
+    // The clean mirror agrees with the simulator on this exact input...
+    run_case(&case).expect("clean mirror must pass the sabotage input");
+    // ...and the sabotaged one is caught.
+    let err = run_case_with_bug(&case, MirrorBug::FifoL2)
+        .expect_err("FIFO-L2 mirror bug must be detected");
+    assert!(
+        err.contains("L2") || err.contains("l2"),
+        "divergence should implicate the L2: {err}"
+    );
+
+    let shrunk = shrink(&case, |c| run_case_with_bug(c, MirrorBug::FifoL2).is_err());
+    assert!(
+        shrunk.entries.len() < case.entries.len(),
+        "shrinker removed nothing: {} accesses",
+        shrunk.entries.len()
+    );
+    run_case_with_bug(&shrunk, MirrorBug::FifoL2)
+        .expect_err("shrunk case must still trigger the bug");
+    run_case(&shrunk).expect("shrunk case must still pass a clean mirror");
+}
+
+#[test]
+fn oracle_catches_victim_count_bug() {
+    let case = victim_sensitive_case();
+    run_case(&case).expect("clean mirror must pass the sabotage input");
+    let err = run_case_with_bug(&case, MirrorBug::SkipVictimCountRemove)
+        .expect_err("skipped eviction-counter decrement must be detected");
+    assert!(
+        err.contains("eviction counters"),
+        "divergence should implicate the eviction counters: {err}"
+    );
+
+    let shrunk = shrink(&case, |c| {
+        run_case_with_bug(c, MirrorBug::SkipVictimCountRemove).is_err()
+    });
+    assert!(shrunk.entries.len() <= case.entries.len());
+    run_case_with_bug(&shrunk, MirrorBug::SkipVictimCountRemove)
+        .expect_err("shrunk case must still trigger the bug");
+}
+
+#[test]
+fn repro_json_round_trips_through_a_file() {
+    let case = fifo_sensitive_case();
+    let json = serde_json::to_string_pretty(&case).expect("serializes");
+    let path = std::env::temp_dir().join("sim-check-sabotage-repro.json");
+    std::fs::write(&path, &json).expect("writes repro");
+    let back: FuzzCase =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("reads repro"))
+            .expect("parses repro");
+    assert_eq!(case, back);
+    std::fs::remove_file(&path).ok();
+    // The round-tripped case reproduces the same verdicts.
+    run_case(&back).expect("clean mirror passes the round-tripped case");
+    run_case_with_bug(&back, MirrorBug::FifoL2).expect_err("bug still caught after round trip");
+}

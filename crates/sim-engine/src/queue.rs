@@ -139,9 +139,17 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, and in release builds with the `check` feature,
+    /// panics if the heap would deliver an event before the current time
+    /// (time-monotonicity invariant).
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
         let Reverse(slot) = self.heap.pop()?;
-        debug_assert!(slot.time >= self.now, "heap violated time order");
+        if cfg!(any(debug_assertions, feature = "check")) {
+            assert!(slot.time >= self.now, "heap violated time order");
+        }
         self.now = slot.time;
         self.popped += 1;
         Some((slot.time, slot.event))

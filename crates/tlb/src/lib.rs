@@ -278,6 +278,16 @@ impl Tlb {
         key: TranslationKey,
         entry: TlbEntry,
     ) -> Option<(TranslationKey, TlbEntry)> {
+        let victim = self.insert_inner(key, entry);
+        self.check_home_set(key);
+        victim
+    }
+
+    fn insert_inner(
+        &mut self,
+        key: TranslationKey,
+        entry: TlbEntry,
+    ) -> Option<(TranslationKey, TlbEntry)> {
         self.tick += 1;
         self.stats.insertions += 1;
         let si = self.set_index(key);
@@ -393,6 +403,7 @@ impl Tlb {
         let slot = self.sets[si][wi].take().expect("found slot is valid");
         self.len -= 1;
         self.stats.removals += 1;
+        self.check_home_set(key);
         Some(slot.entry)
     }
 
@@ -440,6 +451,63 @@ impl Tlb {
     #[must_use]
     pub fn resident_keys(&self) -> Vec<TranslationKey> {
         self.iter().map(|(k, _)| k).collect()
+    }
+
+    /// Validates the structural invariants of one set: every resident key
+    /// hashes to this set, and no key appears in two ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn check_set(&self, si: usize) {
+        let set = &self.sets[si];
+        assert!(set.len() == self.config.ways, "set {si}: way count drifted");
+        for (wi, slot) in set.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            assert!(
+                self.set_index(slot.key) == si,
+                "set {si} way {wi}: key {:?} belongs to set {}",
+                slot.key,
+                self.set_index(slot.key)
+            );
+            for other in set.iter().take(wi).flatten() {
+                assert!(
+                    other.key != slot.key,
+                    "set {si}: duplicate key {:?}",
+                    slot.key
+                );
+            }
+        }
+    }
+
+    /// Validates the whole structure: per-set invariants ([`Self::check_set`])
+    /// plus `len` matching the occupied-slot count. Cheap enough for tests
+    /// and the `check`-feature harness, too slow for per-op release use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn check_structure(&self) {
+        let mut occupied = 0;
+        for si in 0..self.sets.len() {
+            self.check_set(si);
+            occupied += self.sets[si].iter().flatten().count();
+        }
+        assert!(
+            occupied == self.len,
+            "len {} disagrees with occupied slots {occupied}",
+            self.len
+        );
+    }
+
+    /// Per-op invariant hook: validates only the set `key` maps to. Compiled
+    /// to nothing unless the `check` feature is enabled.
+    #[inline]
+    fn check_home_set(&self, key: TranslationKey) {
+        #[cfg(feature = "check")]
+        self.check_set(self.set_index(key));
+        #[cfg(not(feature = "check"))]
+        let _ = key;
     }
 }
 
@@ -630,6 +698,18 @@ mod tests {
             .with_spill_credits(1);
         assert_eq!(e.origin, GpuId(2));
         assert_eq!(e.spill_credits, 1);
+    }
+
+    #[test]
+    fn structure_checks_pass_under_churn() {
+        let mut t = Tlb::new(TlbConfig::new(16, 4, ReplacementPolicy::Lru));
+        for v in 0..200u64 {
+            t.insert(key(v % 37), TlbEntry::new(PhysPage(v)));
+            if v % 3 == 0 {
+                t.remove(key((v * 7) % 37));
+            }
+            t.check_structure();
+        }
     }
 
     #[test]
