@@ -27,7 +27,7 @@ fn figures(c: &mut Criterion) {
                 let table = run_by_name(name, &opts).expect("known experiment");
                 assert!(!table.is_empty());
                 table
-            })
+            });
         });
     }
     group.finish();

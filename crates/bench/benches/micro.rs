@@ -21,7 +21,7 @@ fn tlb_ops(c: &mut Criterion) {
         b.iter(|| {
             v = (v + 17) % 512;
             black_box(t.lookup(key(v)))
-        })
+        });
     });
     group.bench_function("insert_evict_512x16", |b| {
         let mut t = Tlb::new(TlbConfig::new(512, 16, ReplacementPolicy::Lru));
@@ -29,7 +29,7 @@ fn tlb_ops(c: &mut Criterion) {
         b.iter(|| {
             v += 1;
             black_box(t.insert(key(v), TlbEntry::new(PhysPage(v))))
-        })
+        });
     });
     group.finish();
 }
@@ -45,7 +45,7 @@ fn cuckoo_ops(c: &mut Criterion) {
             f.insert(v);
             f.remove(v.saturating_sub(900));
             black_box(f.contains(v / 2))
-        })
+        });
     });
     group.finish();
 }
@@ -58,7 +58,7 @@ fn reuse_tracker(c: &mut Criterion) {
         b.iter(|| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             black_box(t.record(key(x % 32_768)))
-        })
+        });
     });
 }
 
@@ -72,7 +72,7 @@ fn event_queue(c: &mut Criterion) {
             q.schedule(Cycle(t + 500), t);
             q.schedule(Cycle(t + 10), t);
             black_box(q.pop())
-        })
+        });
     });
 }
 
@@ -88,7 +88,7 @@ fn page_table(c: &mut Criterion) {
         b.iter(|| {
             v = (v + 13) % 10_000;
             black_box(pt.translate(VirtPage(v * 7)))
-        })
+        });
     });
 }
 
@@ -102,7 +102,7 @@ fn workload_gen(c: &mut Criterion) {
             b.iter(|| {
                 i += 1;
                 black_box(app.next_op(i % 4, i % 64))
-            })
+            });
         });
     }
     group.finish();

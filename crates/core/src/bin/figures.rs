@@ -16,6 +16,27 @@ use std::time::Instant;
 
 use least_tlb::experiments::{run_suite, telemetry_table, ExpOptions, ALL_EXPERIMENTS};
 
+/// Reports a usage error without a panic backtrace and exits with the
+/// conventional usage-error code.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("figures: {msg}");
+    eprintln!("usage: figures [--quick] [--budget N] [--seed N] [--jobs N] [experiments... | all]");
+    std::process::exit(2);
+}
+
+/// The next argument parsed as `T`, or a usage error naming the flag and
+/// what it accepts.
+fn parsed_value<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+    expected: &str,
+) -> T {
+    match args.next().map(|s| s.parse::<T>()) {
+        Some(Ok(v)) => v,
+        _ => usage_error(&format!("{flag} takes {expected}")),
+    }
+}
+
 fn main() {
     let mut opts = ExpOptions::paper();
     let mut jobs = 1usize;
@@ -29,32 +50,32 @@ fn main() {
                 opts.seed = seed;
             }
             "--budget" => {
-                let n = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--budget takes an instruction count");
+                let n = parsed_value(
+                    &mut args,
+                    "--budget",
+                    "an instruction count, e.g. --budget 2000000",
+                );
                 opts.budget_single = n;
                 opts.budget_multi = n;
             }
             "--seed" => {
-                opts.seed = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed takes a number");
+                opts.seed = parsed_value(&mut args, "--seed", "a 64-bit seed, e.g. --seed 42");
             }
             "--jobs" => {
-                jobs = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .expect("--jobs takes a worker count >= 1");
+                jobs = parsed_value(&mut args, "--jobs", "a worker count >= 1, e.g. --jobs 4");
+                if jobs < 1 {
+                    usage_error("--jobs takes a worker count >= 1, e.g. --jobs 4");
+                }
             }
-            "all" => wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "all" => wanted.extend(ALL_EXPERIMENTS.iter().map(std::string::ToString::to_string)),
+            other if other.starts_with('-') => usage_error(&format!(
+                "unknown flag '{other}'; accepted flags are --quick, --budget N, --seed N, --jobs N"
+            )),
             other => wanted.push(other.to_string()),
         }
     }
     if wanted.is_empty() {
-        wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+        wanted.extend(ALL_EXPERIMENTS.iter().map(std::string::ToString::to_string));
     }
     if let Some(unknown) = wanted
         .iter()

@@ -19,6 +19,18 @@ use least_tlb::{Policy, RunResult, System, SystemConfig, WorkloadSpec};
 use mgpu_types::PageSize;
 use workloads::{mix_workloads, multi_app_workloads, scaling_workloads, AppKind};
 
+/// Reports a usage error without a panic backtrace and exits with the
+/// conventional usage-error code.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("simulate: {msg}");
+    eprintln!(
+        "usage: simulate [--workload NAME] [--policy NAME] [--gpus N] [--budget N] \
+         [--seed N] [--quick] [--page-size 4k|2m] [--json] \
+         [--record-trace FILE] [--replay-trace FILE]"
+    );
+    std::process::exit(2);
+}
+
 struct Args {
     workload: String,
     policy: String,
@@ -47,25 +59,44 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} takes a value"));
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{flag} takes a value")))
+        };
         match flag.as_str() {
             "--workload" => a.workload = val(),
             "--policy" => a.policy = val(),
-            "--gpus" => a.gpus = val().parse().expect("--gpus N"),
-            "--budget" => a.budget = val().parse().expect("--budget N"),
-            "--seed" => a.seed = val().parse().expect("--seed N"),
+            "--gpus" => {
+                a.gpus = val()
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--gpus takes a GPU count, e.g. --gpus 4"));
+            }
+            "--budget" => {
+                a.budget = val().parse().unwrap_or_else(|_| {
+                    usage_error("--budget takes an instruction count, e.g. --budget 4000000")
+                });
+            }
+            "--seed" => {
+                a.seed = val()
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed takes a 64-bit seed, e.g. --seed 42"));
+            }
             "--quick" => a.quick = true,
             "--page-size" => {
                 a.page_size = match val().to_ascii_lowercase().as_str() {
                     "4k" => PageSize::Size4K,
                     "2m" => PageSize::Size2M,
-                    other => panic!("unknown page size '{other}' (4k|2m)"),
+                    other => usage_error(&format!("--page-size accepts 4k or 2m, got '{other}'")),
                 }
             }
             "--json" => a.json = true,
             "--record-trace" => a.record_trace = Some(val()),
             "--replay-trace" => a.replay_trace = Some(val()),
-            other => panic!("unknown flag '{other}'"),
+            other => usage_error(&format!(
+                "unknown flag '{other}'; accepted flags are --workload, --policy, \
+                 --gpus, --budget, --seed, --quick, --page-size, --json, \
+                 --record-trace, --replay-trace"
+            )),
         }
     }
     a
@@ -79,7 +110,10 @@ fn resolve_policy(name: &str) -> Policy {
         "infinite" => Policy::infinite_iommu(),
         "probing" => Policy::probing_ring(),
         "exclusive" => Policy::exclusive(),
-        other => panic!("unknown policy '{other}'"),
+        other => usage_error(&format!(
+            "--policy accepts baseline, least, least-spill, infinite, probing, \
+             exclusive; got '{other}'"
+        )),
     }
 }
 
@@ -96,8 +130,15 @@ fn resolve_workload(name: &str, gpus: usize) -> WorkloadSpec {
         .chain(scaling_workloads(16).iter())
         .chain(mix_workloads().iter())
         .find(|m| m.name.eq_ignore_ascii_case(name))
-        .map(WorkloadSpec::from_mix)
-        .unwrap_or_else(|| panic!("unknown workload '{name}' (app name or W1..W19)"))
+        .map_or_else(
+            || {
+                usage_error(&format!(
+                    "--workload accepts an application name or a mix name W1..W19; \
+                 got '{name}'"
+                ))
+            },
+            WorkloadSpec::from_mix,
+        )
 }
 
 fn summarize(r: &RunResult) {

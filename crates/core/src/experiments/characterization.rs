@@ -2,7 +2,7 @@
 
 use workloads::{multi_app_workloads, single_app_kinds, MpkiClass};
 
-use super::{run, run_single, weighted_speedup, AloneCache, ExpOptions};
+use super::{mix_named, run, run_single, weighted_speedup, AloneCache, ExpOptions};
 use crate::{Policy, Table, WorkloadSpec};
 
 /// **Table 3**: per-application L2 TLB MPKI and class, baseline execution.
@@ -223,7 +223,7 @@ pub fn fig8_reuse_cdf_multi(opts: &ExpOptions) -> Table {
     ]);
     let mixes = multi_app_workloads();
     for name in ["W1", "W5", "W6", "W9"] {
-        let mix = mixes.iter().find(|m| m.name == name).expect("mix exists");
+        let mix = mix_named(&mixes, name);
         let mut cfg = opts.config_multi(4);
         cfg.track_reuse = true;
         let r = run(&cfg, &WorkloadSpec::from_mix(mix));

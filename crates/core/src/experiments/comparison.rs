@@ -5,7 +5,7 @@ use filters::TrackerBackend;
 use iommu::WalkerMode;
 use workloads::{multi_app_workloads, single_app_kinds, AppKind};
 
-use super::{geomean, run, run_single, ExpOptions};
+use super::{geomean, mix_named, run, run_single, ExpOptions};
 use crate::{Policy, Table, WorkloadSpec};
 
 /// **Fig. 25**: least-TLB versus a Valkyrie-style TLB-probing ring
@@ -34,7 +34,7 @@ pub fn fig25_vs_probing(opts: &ExpOptions) -> Table {
     }
     let mixes = multi_app_workloads();
     for name in ["W4", "W7", "W8"] {
-        let mix = mixes.iter().find(|m| m.name == name).expect("mix exists");
+        let mix = mix_named(&mixes, name);
         let spec = WorkloadSpec::from_mix(mix);
         let base = run(&opts.config_multi(4), &spec);
         let mut pcfg = opts.config_multi(4);
@@ -193,6 +193,7 @@ pub fn ablation_tracker(opts: &ExpOptions) -> Table {
         cfg.policy = Policy::least_tlb();
         cfg.policy.tracker = Some(backend);
         let r = run(&cfg, &spec);
+        // sim-lint: allow(panic, reason = "this loop only runs tracker-equipped policies, which always record tracker stats")
         let tr = r.tracker.expect("tracker policy records stats");
         let probe_rate = if r.iommu.probes == 0 {
             0.0
@@ -295,7 +296,7 @@ pub fn fig11_iommu_contents(opts: &ExpOptions) -> Table {
     ]);
     let mixes = multi_app_workloads();
     for name in ["W4", "W6"] {
-        let mix = mixes.iter().find(|m| m.name == name).expect("mix exists");
+        let mix = mix_named(&mixes, name);
         let mut cfg = opts.config_multi(4);
         cfg.snapshot_interval = Some(20_000);
         let r = run(&cfg, &WorkloadSpec::from_mix(mix));
@@ -329,7 +330,7 @@ pub fn ext_qos_quota(opts: &ExpOptions) -> Table {
         "heavy-app-iommu-hit".into(),
     ]);
     let mixes = multi_app_workloads();
-    let w6 = WorkloadSpec::from_mix(mixes.iter().find(|m| m.name == "W6").unwrap());
+    let w6 = WorkloadSpec::from_mix(mix_named(&mixes, "W6"));
     let run_q = |quota: Option<u64>| {
         let mut cfg = opts.config_multi(4);
         cfg.policy = Policy::least_tlb_spilling();

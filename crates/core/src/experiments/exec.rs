@@ -21,6 +21,7 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+// sim-lint: allow(nondet, reason = "wall-clock telemetry only; never feeds simulation state or output ordering")
 use std::time::Instant;
 
 use crate::{RunResult, RunTelemetry, Table};
@@ -133,7 +134,11 @@ pub fn run_suite(names: &[String], opts: &ExpOptions, jobs: usize) -> Vec<SuiteO
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(name) = names.get(i) else { break };
                 let outcome = run_one(name, opts);
-                *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                // A poisoning panic in another worker already aborts the
+                // suite; recover the guard rather than double-panic.
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
             });
         }
     });
@@ -142,7 +147,8 @@ pub fn run_suite(names: &[String], opts: &ExpOptions, jobs: usize) -> Vec<SuiteO
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // sim-lint: allow(panic, reason = "the thread scope joins before this point, so every slot was filled; an empty one is a scheduler bug")
                 .expect("every slot filled once the scope joins")
         })
         .collect()

@@ -32,9 +32,8 @@ pub use sensitivity::{
     fig23_local_page_tables, fig24_large_pages, sens_iommu_size,
 };
 
-use std::collections::HashMap;
-
-use workloads::AppKind;
+use mgpu_types::DetMap;
+use workloads::{AppKind, MultiAppMix};
 
 use crate::{Policy, RunResult, System, SystemConfig, Table, WorkloadSpec};
 
@@ -127,6 +126,7 @@ impl ExpOptions {
 /// suite worker's accumulator (see [`exec::note_run`]).
 pub(crate) fn run(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunResult {
     let result = System::new(cfg, spec)
+        // sim-lint: allow(panic, reason = "experiment specs are workspace constants validated by tier-1 tests; a build failure here is a programming error")
         .expect("experiment configuration is valid")
         .run();
     exec::note_run(&result);
@@ -140,11 +140,25 @@ pub(crate) fn run_single(opts: &ExpOptions, kind: AppKind, policy: Policy) -> Ru
     run(&cfg, &WorkloadSpec::single_app(kind, 4))
 }
 
+/// Looks up a mix by name in the static workload table.
+///
+/// # Panics
+///
+/// Panics if `name` is not a defined mix — experiment tables only reference
+/// names from the static table, so a miss is a typo in this crate.
+pub(crate) fn mix_named<'a>(mixes: &'a [MultiAppMix], name: &str) -> &'a MultiAppMix {
+    mixes
+        .iter()
+        .find(|m| m.name == name)
+        // sim-lint: allow(panic, reason = "experiment tables reference only statically-defined mix names; a miss is a typo caught by tier-1 tests")
+        .expect("mix name present in the static workload table")
+}
+
 /// Cache of "app running alone on one GPU" results for weighted-speedup
 /// baselines (one per app kind and policy/system fingerprint).
 #[derive(Default)]
 pub(crate) struct AloneCache {
-    runs: HashMap<(AppKind, String), RunResult>,
+    runs: DetMap<(AppKind, String), RunResult>,
 }
 
 impl AloneCache {

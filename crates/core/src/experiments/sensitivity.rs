@@ -4,7 +4,7 @@
 use mgpu_types::PageSize;
 use workloads::{mix_workloads, multi_app_workloads, scaling_workloads, AppKind};
 
-use super::{geomean, run, weighted_speedup, AloneCache, ExpOptions};
+use super::{geomean, mix_named, run, weighted_speedup, AloneCache, ExpOptions};
 use crate::{Policy, SystemConfig, Table, WorkloadSpec};
 
 /// Representative single apps for the heavier sweeps (one per MPKI class).
@@ -257,7 +257,7 @@ pub fn fig23_local_page_tables(opts: &ExpOptions) -> Table {
     }
     let mixes = multi_app_workloads();
     for name in ["W4", "W8"] {
-        let mix = mixes.iter().find(|m| m.name == name).expect("mix exists");
+        let mix = mix_named(&mixes, name);
         let spec = WorkloadSpec::from_mix(mix);
         let mut base_cfg = opts.config_multi(4);
         base_cfg.policy.local_page_tables = true;
@@ -296,7 +296,7 @@ pub fn fig24_large_pages(opts: &ExpOptions) -> Table {
     }
     let mixes = multi_app_workloads();
     for name in ["W4", "W8"] {
-        let mix = mixes.iter().find(|m| m.name == name).expect("mix exists");
+        let mix = mix_named(&mixes, name);
         let spec = WorkloadSpec::from_mix(mix);
         let base = run(&big(opts.config_multi(4)), &spec);
         let mut cfg = big(opts.config_multi(4));

@@ -8,7 +8,7 @@
 //! of *other* keys whose last access is more recent than this key's
 //! previous access.
 
-use std::collections::HashMap;
+use mgpu_types::DetMap;
 
 use mgpu_types::TranslationKey;
 use serde::{Deserialize, Serialize};
@@ -202,7 +202,9 @@ impl OrderStatTree {
         let (a, bc) = self.split(self.root, key);
         let (b, c) = self.split(bc, key + 1);
         if let Some(i) = b {
-            debug_assert_eq!(self.nodes[i as usize].size, 1, "keys are unique");
+            if cfg!(any(debug_assertions, feature = "check")) {
+                assert_eq!(self.nodes[i as usize].size, 1, "keys are unique");
+            }
             self.free.push(i);
         }
         self.root = self.merge(a, c);
@@ -238,7 +240,7 @@ impl OrderStatTree {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReuseTracker {
-    last: HashMap<TranslationKey, u64>,
+    last: DetMap<TranslationKey, u64>,
     tree: OrderStatTree,
     clock: u64,
     histogram: ReuseHistogram,
@@ -307,7 +309,7 @@ mod tests {
         for (i, &x) in trace.iter().enumerate() {
             let prev = trace[..i].iter().rposition(|&y| y == x);
             out.push(prev.map(|p| {
-                let mut set = std::collections::HashSet::new();
+                let mut set = mgpu_types::DetSet::new();
                 for &y in &trace[p + 1..i] {
                     set.insert(y);
                 }

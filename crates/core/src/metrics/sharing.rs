@@ -1,9 +1,7 @@
 //! Page-sharing analysis (paper Fig. 4): how many GPUs touch each page of
 //! an application's footprint.
 
-use std::collections::HashMap;
-
-use mgpu_types::TranslationKey;
+use mgpu_types::{DetMap, TranslationKey};
 use serde::{Deserialize, Serialize};
 
 /// Per-application record of which GPUs touched which pages.
@@ -27,7 +25,7 @@ use serde::{Deserialize, Serialize};
 pub struct SharingSets {
     gpus: usize,
     /// Per page: bitmask of app-local GPUs that touched it.
-    touched: HashMap<TranslationKey, u32>,
+    touched: DetMap<TranslationKey, u32>,
 }
 
 impl SharingSets {
@@ -41,13 +39,15 @@ impl SharingSets {
         assert!(gpus > 0 && gpus <= 32, "gpus must be in 1..=32");
         SharingSets {
             gpus,
-            touched: HashMap::new(),
+            touched: DetMap::new(),
         }
     }
 
     /// Records that app-local GPU `gpu` touched `key`.
     pub fn touch(&mut self, gpu: usize, key: TranslationKey) {
-        debug_assert!(gpu < self.gpus);
+        if cfg!(any(debug_assertions, feature = "check")) {
+            assert!(gpu < self.gpus, "app-local gpu index out of range");
+        }
         *self.touched.entry(key).or_insert(0) |= 1 << gpu;
     }
 

@@ -271,6 +271,7 @@ impl RunResult {
     /// Panics if `alone` does not have one entry per app.
     #[must_use]
     pub fn weighted_speedup(&self, alone: &[RunResult]) -> f64 {
+        // sim-lint: allow(hygiene, reason = "documented API precondition on a cold reporting path; a mismatched table would silently zip-truncate")
         assert_eq!(alone.len(), self.apps.len(), "one alone-run per app");
         self.apps
             .iter()

@@ -3,11 +3,9 @@
 //! spilling), and the auxiliary paths (ring probing, local page tables,
 //! PRI faulting, snapshots).
 
-use std::collections::HashMap;
-
 use gcn_model::{MshrOutcome, Waiter};
 use iommu::WalkRequest;
-use mgpu_types::{CuId, Cycle, GpuId, PhysPage, TranslationKey, WavefrontId};
+use mgpu_types::{CuId, Cycle, DetMap, GpuId, PhysPage, TranslationKey, WavefrontId};
 use tlb::TlbEntry;
 
 use super::{Event, Inclusion, RingState, System};
@@ -96,10 +94,11 @@ impl System {
             }
         }
         let done = self.gpus[gpu.index()].cus[usize::from(cu)].charge_compute(t, instructions);
-        self.queue.schedule(done, Event::WfMem { gpu, cu, wf, key });
+        self.queue
+            .schedule_no_earlier(done, Event::WfMem { gpu, cu, wf, key });
     }
 
-    fn on_wf_mem(&mut self, t: Cycle, gpu: GpuId, cu: u16, wf: u16, key: TranslationKey) {
+    fn on_wf_mem(&mut self, _t: Cycle, gpu: GpuId, cu: u16, wf: u16, key: TranslationKey) {
         // Blocking L1 TLB (as in MGPUSim): while one miss is outstanding,
         // every other memory operation of the CU queues behind it.
         let blocking = self.cfg.gpu.blocking_l1;
@@ -118,16 +117,16 @@ impl System {
             if recording {
                 self.apps[idx].stats.l1_hits += 1;
             }
-            self.queue.schedule(
-                t.after(l1_latency + self.cfg.gpu.data_latency),
+            self.queue.schedule_after(
+                l1_latency + self.cfg.gpu.data_latency,
                 Event::WfNext { gpu, cu, wf },
             );
         } else {
             if blocking {
                 self.gpus[gpu.index()].cus[usize::from(cu)].blocking_miss = Some(WavefrontId(wf));
             }
-            self.queue.schedule(
-                t.after(l1_latency + self.cfg.gpu.l2_latency),
+            self.queue.schedule_after(
+                l1_latency + self.cfg.gpu.l2_latency,
                 Event::L2Access { gpu, cu, wf, key },
             );
         }
@@ -135,11 +134,11 @@ impl System {
 
     /// The blocking L1 miss of `(gpu, cu, wf)` resolved: release and replay
     /// any queued memory operations.
-    fn unblock_l1(&mut self, t: Cycle, gpu: GpuId, cu: u16, wf: u16) {
+    fn unblock_l1(&mut self, _t: Cycle, gpu: GpuId, cu: u16, wf: u16) {
         let replay = self.gpus[gpu.index()].cus[usize::from(cu)].unblock(WavefrontId(wf));
         for (qwf, qkey) in replay {
-            self.queue.schedule(
-                t,
+            self.queue.schedule_after(
+                0,
                 Event::WfMem {
                     gpu,
                     cu,
@@ -170,10 +169,8 @@ impl System {
             }
             self.gpus[gpu.index()].l1_fill(CuId(cu), key, entry.frame);
             self.unblock_l1(t, gpu, cu, wf);
-            self.queue.schedule(
-                t.after(self.cfg.gpu.data_latency),
-                Event::WfNext { gpu, cu, wf },
-            );
+            self.queue
+                .schedule_after(self.cfg.gpu.data_latency, Event::WfNext { gpu, cu, wf });
             return;
         }
         let waiter = Waiter {
@@ -188,6 +185,7 @@ impl System {
         if self.cfg.policy.local_page_tables && self.local_pt[g].contains(&key) {
             let walk = self
                 .walk_key(key)
+                // sim-lint: allow(panic, reason = "local_pt membership implies a mapping; divergence is a state-machine bug")
                 .expect("locally-resident translations are mapped");
             let service = self.cfg.iommu.walk_latency.cycles(walk.levels);
             let req = WalkRequest {
@@ -195,7 +193,7 @@ impl System {
                 requester: gpu,
             };
             if let Some(done) = self.gpu_walkers[g].submit(t, req, service) {
-                self.queue.schedule(
+                self.queue.schedule_no_earlier(
                     done,
                     Event::LocalPtwDone {
                         gpu,
@@ -221,8 +219,8 @@ impl System {
                 },
             );
             for target in targets {
-                self.queue.schedule(
-                    t.after(self.cfg.inter_gpu_latency),
+                self.queue.schedule_after(
+                    self.cfg.inter_gpu_latency,
                     Event::RingProbe {
                         target,
                         origin: gpu,
@@ -232,7 +230,7 @@ impl System {
             }
         } else {
             let depart = self.link_depart(gpu, t, Direction::Up);
-            self.queue.schedule(
+            self.queue.schedule_no_earlier(
                 depart.after(self.cfg.gpu_iommu_latency),
                 Event::IommuArrive { gpu, key },
             );
@@ -283,10 +281,11 @@ impl System {
                 }
                 let frame = self
                     .walk_key(key)
+                    // sim-lint: allow(panic, reason = "infinite_seen membership implies a mapping; divergence is a state-machine bug")
                     .expect("infinite-TLB entries are mapped")
                     .frame;
                 let depart = self.link_depart(gpu, t.after(tlb_latency), Direction::Down);
-                self.queue.schedule(
+                self.queue.schedule_no_earlier(
                     depart.after(self.cfg.gpu_iommu_latency),
                     Event::Fill { gpu, key, frame },
                 );
@@ -308,7 +307,7 @@ impl System {
                     self.iommu.count_remove(entry.origin);
                 }
                 let depart = self.link_depart(gpu, t.after(tlb_latency), Direction::Down);
-                self.queue.schedule(
+                self.queue.schedule_no_earlier(
                     depart.after(self.cfg.gpu_iommu_latency),
                     Event::Fill {
                         gpu,
@@ -329,8 +328,8 @@ impl System {
                             self.iommu.stats.probes += 1;
                             self.iommu.pending.mark_probe(key);
                             probe_sent = true;
-                            self.queue.schedule(
-                                t.after(tlb_latency + self.cfg.inter_gpu_latency),
+                            self.queue.schedule_after(
+                                tlb_latency + self.cfg.inter_gpu_latency,
                                 Event::ProbeArrive { target, key },
                             );
                         }
@@ -369,7 +368,7 @@ impl System {
                     requester: gpu,
                 };
                 if let Some(done) = self.iommu.walkers.submit(t, req, service) {
-                    self.queue.schedule(
+                    self.queue.schedule_no_earlier(
                         done,
                         Event::PtwDone {
                             key,
@@ -386,7 +385,10 @@ impl System {
                 }
                 self.iommu.pri.push(key, gpu, t);
                 if let Some(d) = self.iommu.pri.dispatch_at() {
-                    self.queue.schedule(d.max(t), Event::PriDispatch);
+                    // `t` may already be ahead of `now` (launch_walk is
+                    // entered post-TLB-lookup); keep the dispatch no
+                    // earlier than the push that queued the fault.
+                    self.queue.schedule_no_earlier(d.max(t), Event::PriDispatch);
                 }
             }
         }
@@ -423,10 +425,11 @@ impl System {
         if let Some(req) = self.iommu.walkers.complete() {
             let walk = self
                 .walk_key(req.key)
+                // sim-lint: allow(panic, reason = "walker backlog only holds mapped keys (faults take the PRI path); divergence is a state-machine bug")
                 .expect("queued walks target mapped pages");
             let service = self.walk_service(req.key, walk.levels);
-            self.queue.schedule(
-                t.after(service),
+            self.queue.schedule_after(
+                service,
                 Event::PtwDone {
                     key: req.key,
                     frame: walk.frame,
@@ -467,7 +470,7 @@ impl System {
         // (paper Algorithm 1 lines 12-14).
         for &gpu in waiters {
             let depart = self.link_depart(gpu, t, Direction::Down);
-            self.queue.schedule(
+            self.queue.schedule_no_earlier(
                 depart.after(self.cfg.gpu_iommu_latency),
                 Event::Fill { gpu, key, frame },
             );
@@ -493,6 +496,7 @@ impl System {
             }
             return;
         };
+        // sim-lint: allow(panic, reason = "probe_result returns Some only when called with hit=true; divergence is a state-machine bug")
         let entry = hit.expect("probe_result only serves on a hit");
         self.iommu.stats.probe_hits += 1;
         // The probe won: a still-queued parallel walk is useless — cancel
@@ -518,8 +522,8 @@ impl System {
         }
         let lat = self.cfg.gpu.l2_latency + self.cfg.inter_gpu_latency;
         for gpu in waiters {
-            self.queue.schedule(
-                t.after(lat),
+            self.queue.schedule_after(
+                lat,
                 Event::Fill {
                     gpu,
                     key,
@@ -542,8 +546,8 @@ impl System {
         for w in waiters {
             self.gpus[gpu.index()].l1_fill(w.cu, key, frame);
             self.unblock_l1(t, gpu, w.cu.0, w.wf.0);
-            self.queue.schedule(
-                t.after(self.cfg.gpu.data_latency),
+            self.queue.schedule_after(
+                self.cfg.gpu.data_latency,
                 Event::WfNext {
                     gpu,
                     cu: w.cu.0,
@@ -685,17 +689,17 @@ impl System {
     // Ring probing (§5.5 comparison policy)
     // ------------------------------------------------------------------
 
-    fn on_ring_probe(&mut self, t: Cycle, target: GpuId, origin: GpuId, key: TranslationKey) {
+    fn on_ring_probe(&mut self, _t: Cycle, target: GpuId, origin: GpuId, key: TranslationKey) {
         let hit = self.gpus[target.index()].remote_probe(key).map(|e| e.frame);
-        self.queue.schedule(
-            t.after(self.cfg.gpu.l2_latency + self.cfg.inter_gpu_latency),
+        self.queue.schedule_after(
+            self.cfg.gpu.l2_latency + self.cfg.inter_gpu_latency,
             Event::RingResult { origin, key, hit },
         );
     }
 
     fn on_ring_result(
         &mut self,
-        t: Cycle,
+        _t: Cycle,
         origin: GpuId,
         key: TranslationKey,
         hit: Option<PhysPage>,
@@ -721,8 +725,8 @@ impl System {
             if self.apps[idx].recording {
                 self.apps[idx].stats.remote_hits += 1;
             }
-            self.queue.schedule(
-                t,
+            self.queue.schedule_after(
+                0,
                 Event::Fill {
                     gpu: origin,
                     key,
@@ -733,8 +737,8 @@ impl System {
         // Both neighbours missed: only now does the request go to the
         // IOMMU — the serialization penalty the paper identifies in §5.5.
         if finished && !served {
-            self.queue.schedule(
-                t.after(self.cfg.gpu_iommu_latency),
+            self.queue.schedule_after(
+                self.cfg.gpu_iommu_latency,
                 Event::IommuArrive { gpu: origin, key },
             );
         }
@@ -744,15 +748,17 @@ impl System {
     // Local page tables (§5.3 system) and PRI faulting
     // ------------------------------------------------------------------
 
-    fn on_local_ptw_done(&mut self, t: Cycle, gpu: GpuId, key: TranslationKey, frame: PhysPage) {
-        self.queue.schedule(t, Event::Fill { gpu, key, frame });
+    fn on_local_ptw_done(&mut self, _t: Cycle, gpu: GpuId, key: TranslationKey, frame: PhysPage) {
+        self.queue
+            .schedule_after(0, Event::Fill { gpu, key, frame });
         if let Some(req) = self.gpu_walkers[gpu.index()].complete() {
             let walk = self
                 .walk_key(req.key)
+                // sim-lint: allow(panic, reason = "local-walker backlog only holds mapped keys; divergence is a state-machine bug")
                 .expect("queued local walks target mapped pages");
             let service = self.cfg.iommu.walk_latency.cycles(walk.levels);
-            self.queue.schedule(
-                t.after(service),
+            self.queue.schedule_after(
+                service,
                 Event::LocalPtwDone {
                     gpu,
                     key: req.key,
@@ -779,15 +785,17 @@ impl System {
                     let frame = self
                         .frames
                         .allocate()
+                        // sim-lint: allow(panic, reason = "System::new rejects footprints larger than physical memory; exhaustion mid-run is a config bug the simulator cannot recover from")
                         .expect("physical memory exhausted during fault handling");
                     self.tables[usize::from(fault.key.asid.0)]
                         .map(fault.key.vpn, frame, mgpu_types::PageSize::Size4K)
+                        // sim-lint: allow(panic, reason = "walk_key returned None for this key on this path; a mapping conflict is a state-machine bug")
                         .expect("faulting page is unmapped");
                     frame
                 }
             };
-            self.queue.schedule(
-                t.after(latency),
+            self.queue.schedule_after(
+                latency,
                 Event::FaultDone {
                     key: fault.key,
                     frame,
@@ -796,7 +804,7 @@ impl System {
             );
         }
         if let Some(next) = self.iommu.pri.dispatch_at() {
-            self.queue.schedule(next.max(t), Event::PriDispatch);
+            self.queue.schedule_no_earlier(next, Event::PriDispatch);
         }
     }
 
@@ -805,7 +813,7 @@ impl System {
     // ------------------------------------------------------------------
 
     fn on_snapshot(&mut self, t: Cycle) {
-        let mut copies: HashMap<TranslationKey, u32> = HashMap::new();
+        let mut copies: DetMap<TranslationKey, u32> = DetMap::new();
         for gpu in &self.gpus {
             for (key, _) in gpu.l2_tlb.iter() {
                 *copies.entry(key).or_insert(0) += 1;
@@ -831,7 +839,7 @@ impl System {
             iommu_per_asid: per_asid,
         });
         if let Some(interval) = self.cfg.snapshot_interval {
-            self.queue.schedule(t.after(interval), Event::Snapshot);
+            self.queue.schedule_after(interval, Event::Snapshot);
         }
     }
 }

@@ -3,12 +3,12 @@
 
 mod handlers;
 
-use std::collections::{HashMap, HashSet};
-
 use filters::{LocalTlbTracker, TrackerBackend};
 use gcn_model::Gpu;
 use iommu::{Iommu, WalkerScheduler};
-use mgpu_types::{Asid, Cycle, GpuId, PageSize, PhysPage, TranslationKey, VirtPage};
+use mgpu_types::{
+    Asid, Cycle, DetMap, DetSet, GpuId, PageSize, PhysPage, TranslationKey, VirtPage,
+};
 use pagetable::{FrameAllocator, PageTable, Walk};
 use serde::{Deserialize, Serialize};
 use sim_engine::{EventQueue, ServerPool};
@@ -300,16 +300,16 @@ pub struct System {
     pub(crate) frames: FrameAllocator,
     pub(crate) tables: Vec<PageTable>,
     /// Superpage-mapped 2 MB page numbers per ASID (2 MB-page runs).
-    pub(crate) superpages: Vec<HashSet<VirtPage>>,
+    pub(crate) superpages: Vec<DetSet<VirtPage>>,
     pub(crate) apps: Vec<AppInstance>,
     /// Per GPU, per lane (cu × wavefronts_per_cu + wf): the owning app.
     pub(crate) lane_owner: Vec<Vec<Option<LaneOwner>>>,
     /// Infinite-IOMMU policy membership set.
-    pub(crate) infinite_seen: HashSet<TranslationKey>,
+    pub(crate) infinite_seen: DetSet<TranslationKey>,
     /// In-flight ring probes (§5.5 policy).
-    pub(crate) ring_pending: HashMap<(GpuId, TranslationKey), RingState>,
+    pub(crate) ring_pending: DetMap<(GpuId, TranslationKey), RingState>,
     /// Per-GPU local page-table presence (§5.3 system).
-    pub(crate) local_pt: Vec<HashSet<TranslationKey>>,
+    pub(crate) local_pt: Vec<DetSet<TranslationKey>>,
     /// Per-GPU local walkers (§5.3 system).
     pub(crate) gpu_walkers: Vec<WalkerScheduler>,
     /// Per-app reuse-distance trackers (when enabled).
@@ -411,6 +411,7 @@ impl System {
                 let slot = tenants
                     .iter()
                     .position(|&a| a == app_idx)
+                    // sim-lint: allow(panic, reason = "per_gpu_apps was built from these placements lines above; absence is a construction bug")
                     .expect("app is a tenant of its own GPU");
                 let share = wpc / tenants.len();
                 for cu in 0..cfg.gpu.cus {
@@ -437,8 +438,8 @@ impl System {
             return Err(BuildError::OutOfPhysicalMemory);
         }
         let mut tables: Vec<PageTable> = (0..apps.len()).map(|_| PageTable::new()).collect();
-        let mut superpages: Vec<HashSet<VirtPage>> =
-            (0..apps.len()).map(|_| HashSet::new()).collect();
+        let mut superpages: Vec<DetSet<VirtPage>> =
+            (0..apps.len()).map(|_| DetSet::new()).collect();
         if cfg.premap {
             for (i, app) in apps.iter().enumerate() {
                 Self::map_footprint(
@@ -483,9 +484,9 @@ impl System {
             superpages,
             apps,
             lane_owner,
-            infinite_seen: HashSet::new(),
-            ring_pending: HashMap::new(),
-            local_pt: vec![HashSet::new(); cfg.gpus],
+            infinite_seen: DetSet::new(),
+            ring_pending: DetMap::new(),
+            local_pt: vec![DetSet::new(); cfg.gpus],
             gpu_walkers: (0..cfg.gpus)
                 .map(|_| WalkerScheduler::new(cfg.iommu.walkers, cfg.iommu.walker_mode))
                 .collect(),
@@ -526,10 +527,11 @@ impl System {
 
     /// Schedules a translation request for `(asid, vpn)` from `gpu`,
     /// entering the hierarchy at the L2 TLB (as an L1 miss would) at time
-    /// `at`. Scripted-mode only, but also usable mid-run from tests.
+    /// `at` (clamped to the current time if already past). Scripted-mode
+    /// only, but also usable mid-run from tests.
     pub fn inject_translation(&mut self, gpu: GpuId, asid: Asid, vpn: VirtPage, at: Cycle) {
         let key = self.fold_key(asid, vpn);
-        self.queue.schedule(
+        self.queue.schedule_no_earlier(
             at,
             Event::L2Access {
                 gpu,
@@ -552,6 +554,7 @@ impl System {
     pub fn drain(&mut self) -> Cycle {
         while let Some((t, ev)) = self.queue.pop() {
             self.dispatch(t, ev);
+            // sim-lint: allow(hygiene, reason = "liveness guard: must fire in release builds too, or a scheduling bug hangs the harness")
             assert!(
                 self.queue.delivered() <= self.cfg.max_events,
                 "event budget exhausted while draining"
@@ -564,7 +567,7 @@ impl System {
         cfg: &SystemConfig,
         frames: &mut FrameAllocator,
         table: &mut PageTable,
-        superpages: &mut HashSet<VirtPage>,
+        superpages: &mut DetSet<VirtPage>,
         footprint: u64,
     ) -> Result<(), BuildError> {
         match cfg.page_size {
@@ -575,6 +578,7 @@ impl System {
                         .map_err(|_| BuildError::OutOfPhysicalMemory)?;
                     table
                         .map(VirtPage(vpn), frame, PageSize::Size4K)
+                        // sim-lint: allow(panic, reason = "tables are freshly built in this loop; a conflict is a construction bug")
                         .expect("fresh table has no conflicting mappings");
                 }
             }
@@ -587,6 +591,7 @@ impl System {
                         if let Ok(base) = frames.allocate_contiguous(512) {
                             table
                                 .map(VirtPage(vpn), base, PageSize::Size2M)
+                                // sim-lint: allow(panic, reason = "tables are freshly built in this loop; a conflict is a construction bug")
                                 .expect("fresh table has no conflicting mappings");
                             superpages.insert(VirtPage(vpn >> 9));
                             vpn += 512;
@@ -598,6 +603,7 @@ impl System {
                         .map_err(|_| BuildError::OutOfPhysicalMemory)?;
                     table
                         .map(VirtPage(vpn), frame, PageSize::Size4K)
+                        // sim-lint: allow(panic, reason = "tables are freshly built in this loop; a conflict is a construction bug")
                         .expect("fresh table has no conflicting mappings");
                     vpn += 1;
                 }
@@ -614,8 +620,8 @@ impl System {
                 for wf in 0..wpc {
                     if self.lane_owner[g][cu * wpc + wf].is_some() {
                         // Stagger lane start-up to decorrelate first bursts.
-                        self.queue.schedule(
-                            Cycle(stagger % 197),
+                        self.queue.schedule_after(
+                            stagger % 197,
                             Event::WfNext {
                                 gpu: GpuId(g as u8),
                                 cu: cu as u16,
@@ -628,7 +634,7 @@ impl System {
             }
         }
         if let Some(interval) = self.cfg.snapshot_interval {
-            self.queue.schedule(Cycle(interval), Event::Snapshot);
+            self.queue.schedule_after(interval, Event::Snapshot);
         }
     }
 
@@ -667,12 +673,14 @@ impl System {
     /// Panics if the event budget (`cfg.max_events`) is exhausted — that
     /// indicates a scheduling bug, not a long workload.
     pub fn run(mut self) -> RunResult {
+        // sim-lint: allow(nondet, reason = "wall-clock telemetry only; never feeds simulation state or output ordering")
         let wall_start = std::time::Instant::now();
         while let Some((t, ev)) = self.queue.pop() {
             self.dispatch(t, ev);
             if self.completed == self.apps.len() {
                 break;
             }
+            // sim-lint: allow(hygiene, reason = "liveness guard: must fire in release builds too, or a scheduling bug hangs the harness")
             assert!(
                 self.queue.delivered() <= self.cfg.max_events,
                 "event budget exhausted: simulation is not converging"
@@ -804,6 +812,7 @@ impl System {
         for (_, e) in self.iommu.tlb.iter() {
             counts[e.origin.index()] += 1;
         }
+        // sim-lint: allow(hygiene, reason = "check_invariants is a test-facing checker whose whole contract is to panic on violation")
         assert_eq!(
             counts, self.iommu.eviction_counters,
             "eviction counters diverged from IOMMU TLB contents"
@@ -814,6 +823,7 @@ impl System {
         {
             for (g, gpu) in self.gpus.iter().enumerate() {
                 for (key, _) in gpu.l2_tlb.iter() {
+                    // sim-lint: allow(hygiene, reason = "check_invariants is a test-facing checker whose whole contract is to panic on violation")
                     assert!(
                         tracker.peek(GpuId(g as u8), key),
                         "L2-resident {key} missing from tracker partition {g}"

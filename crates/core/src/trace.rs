@@ -85,6 +85,7 @@ impl TranslationTrace {
     /// Returns [`BuildError`] if `cfg` cannot host the trace's workload
     /// spec.
     pub fn replay(&self, cfg: &SystemConfig) -> Result<RunResult, BuildError> {
+        // sim-lint: allow(nondet, reason = "wall-clock telemetry only; never feeds simulation state or output ordering")
         let wall_start = std::time::Instant::now();
         let mut sys = System::new_scripted(cfg, &self.spec)?;
         for e in &self.entries {

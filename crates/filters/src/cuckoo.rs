@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 /// Slots per bucket; Fan et al.'s recommended (and the paper's implied)
 /// bucket size.
-pub const BUCKET_SLOTS: usize = 4;
+pub(crate) const BUCKET_SLOTS: usize = 4;
 
 /// Maximum displacement chain length before an insertion is declared failed.
 const MAX_KICKS: usize = 500;

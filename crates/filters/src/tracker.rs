@@ -4,9 +4,7 @@
 //! that GPU's L2 TLB. The IOMMU queries the tracker in parallel with its own
 //! TLB; a positive in partition *x* forwards the request to GPU *x*.
 
-use std::collections::HashSet;
-
-use mgpu_types::{GpuId, TranslationKey};
+use mgpu_types::{DetSet, GpuId, TranslationKey};
 use serde::{Deserialize, Serialize};
 
 use crate::{BloomConfig, CountingBloomFilter, CuckooConfig, CuckooFilter};
@@ -66,7 +64,7 @@ pub struct TrackerStats {
 enum Partition {
     Cuckoo(CuckooFilter),
     Bloom(CountingBloomFilter),
-    Exact(HashSet<TranslationKey>),
+    Exact(DetSet<TranslationKey>),
 }
 
 impl std::fmt::Debug for Partition {
@@ -182,7 +180,7 @@ impl LocalTlbTracker {
                     cfg.seed ^= g as u64;
                     Partition::Bloom(CountingBloomFilter::new(cfg))
                 }
-                TrackerBackend::Exact => Partition::Exact(HashSet::new()),
+                TrackerBackend::Exact => Partition::Exact(DetSet::new()),
             })
             .collect();
         LocalTlbTracker {

@@ -183,7 +183,7 @@ fn tracker_backends_agree_with_reference() {
                         }
                         // ...and the exact backend must match exactly.
                         (g2, w) if matches!(backend, TrackerBackend::Exact) => {
-                            assert_eq!(g2, w, "exact tracker disagrees on {k:?}")
+                            assert_eq!(g2, w, "exact tracker disagrees on {k:?}");
                         }
                         _ => {}
                     }

@@ -1,8 +1,6 @@
 //! Miss-status holding registers for the per-GPU L2 TLB.
 
-use std::collections::HashMap;
-
-use mgpu_types::{CuId, TranslationKey, WavefrontId};
+use mgpu_types::{CuId, DetMap, TranslationKey, WavefrontId};
 
 /// A wavefront waiting on an outstanding translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +43,7 @@ pub enum MshrOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrTable {
-    pending: HashMap<TranslationKey, Vec<Waiter>>,
+    pending: DetMap<TranslationKey, Vec<Waiter>>,
     capacity: usize,
     peak: usize,
     merges: u64,
@@ -62,7 +60,7 @@ impl MshrTable {
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         MshrTable {
-            pending: HashMap::new(),
+            pending: DetMap::new(),
             capacity,
             peak: 0,
             merges: 0,
@@ -83,17 +81,13 @@ impl MshrTable {
 
     /// Registers `waiter` as waiting on `key`.
     pub fn register(&mut self, key: TranslationKey, waiter: Waiter) -> MshrOutcome {
-        let entry = self.pending.entry(key);
-        let outcome = match entry {
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                o.get_mut().push(waiter);
-                self.merges += 1;
-                MshrOutcome::Secondary
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(vec![waiter]);
-                MshrOutcome::Primary
-            }
+        let outcome = if let Some(waiters) = self.pending.get_mut(&key) {
+            waiters.push(waiter);
+            self.merges += 1;
+            MshrOutcome::Secondary
+        } else {
+            self.pending.insert(key, vec![waiter]);
+            MshrOutcome::Primary
         };
         self.peak = self.peak.max(self.pending.len());
         outcome

@@ -110,6 +110,7 @@ impl PriBatcher {
             Some(
                 oldest
                     .queued_at
+                    // sim-lint: allow(panic, reason = "first()? above already proved the queue is non-empty")
                     .max(self.queue.last().expect("non-empty").queued_at),
             )
         } else {
@@ -164,6 +165,7 @@ impl PriBatcher {
     ///
     /// Panics if the conservation law is violated.
     pub fn check_conservation(&self) {
+        // sim-lint: allow(hygiene, reason = "test-facing checker whose whole contract is to panic on violation")
         assert!(
             self.faults_seen == self.faults_dispatched + self.queue.len() as u64,
             "PRI conservation violated: seen {} != dispatched {} + queued {}",

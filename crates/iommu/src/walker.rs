@@ -155,6 +155,7 @@ impl WalkerScheduler {
     ///
     /// Panics if called with no walk in service.
     pub fn complete(&mut self) -> Option<WalkRequest> {
+        // sim-lint: allow(hygiene, reason = "documented API contract: a completion with no walk in service is an engine bug that must abort release runs too")
         assert!(self.busy > 0, "completion reported with no walk in service");
         self.busy -= 1;
         let request = match self.mode {

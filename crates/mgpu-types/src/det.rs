@@ -1,0 +1,373 @@
+//! Deterministic replacements for the std hash containers.
+//!
+//! Simulation state must never live in `HashMap`/`HashSet`: their iteration
+//! order depends on `RandomState`'s per-process seed, so any code path that
+//! walks such a container — directly, via `Debug`, or through
+//! serialization — silently breaks the bit-reproducibility guarantee the
+//! experiment harness is built on (identical output across `--jobs` values
+//! and across processes). [`DetMap`] and [`DetSet`] wrap the B-tree
+//! containers instead: key-ordered iteration, no hasher, no seed. The
+//! `sim-lint` tool enforces their use across every simulation-state crate.
+//!
+//! The wrappers expose only the API surface the simulator uses; extend
+//! them here rather than falling back to the std hash types.
+//!
+//! # Examples
+//!
+//! ```
+//! use mgpu_types::DetMap;
+//!
+//! let mut m: DetMap<u64, &str> = DetMap::new();
+//! m.insert(3, "c");
+//! m.insert(1, "a");
+//! // Iteration order is the key order, independent of insertion order.
+//! let keys: Vec<u64> = m.keys().copied().collect();
+//! assert_eq!(keys, vec![1, 3]);
+//! ```
+
+use std::collections::{btree_map, btree_set, BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// A deterministic map: [`BTreeMap`] with the std-map API subset the
+/// simulator uses. Iteration order is the key order, which makes every
+/// traversal reproducible across runs, processes and `--jobs` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetMap<K, V> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> DetMap<K, V> {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        DetMap {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the map holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Inserts `value` under `key`, returning the displaced value if the
+    /// key was already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.inner.get(key)
+    }
+
+    /// Mutable access to the value stored under `key`, if any.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.inner.get_mut(key)
+    }
+
+    /// Removes and returns the value stored under `key`, if any.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.inner.remove(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// In-place entry API (delegates to [`BTreeMap::entry`]).
+    pub fn entry(&mut self, key: K) -> btree_map::Entry<'_, K, V> {
+        self.inner.entry(key)
+    }
+
+    /// Key-ordered iterator over `(key, value)` pairs.
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.inner.iter()
+    }
+
+    /// Key-ordered iterator over the keys.
+    pub fn keys(&self) -> btree_map::Keys<'_, K, V> {
+        self.inner.keys()
+    }
+
+    /// Key-ordered iterator over the values.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.inner.values()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<K: Ord, V> Default for DetMap<K, V> {
+    fn default() -> Self {
+        DetMap::new()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        DetMap {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for DetMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<K: Ord, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+/// Maps serialize as key-ordered arrays of `[key, value]` pairs — already
+/// sorted, so the output is deterministic without a post-sort.
+impl<K: Serialize, V: Serialize> Serialize for DetMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.inner
+                .iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for DetMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::msg("expected an array of pairs"))?
+            .iter()
+            .map(<(K, V)>::from_value)
+            .collect()
+    }
+}
+
+/// A deterministic set: [`BTreeSet`] with the std-set API subset the
+/// simulator uses. Iteration order is the element order.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_types::DetSet;
+///
+/// let mut s: DetSet<u64> = DetSet::new();
+/// assert!(s.insert(2));
+/// assert!(!s.insert(2), "duplicate insert reports false");
+/// assert!(s.contains(&2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetSet<T> {
+    inner: BTreeSet<T>,
+}
+
+impl<T: Ord> DetSet<T> {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        DetSet {
+            inner: BTreeSet::new(),
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Inserts `value`; returns `false` if it was already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.inner.insert(value)
+    }
+
+    /// Whether `value` is present.
+    pub fn contains(&self, value: &T) -> bool {
+        self.inner.contains(value)
+    }
+
+    /// Removes `value`; returns whether it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        self.inner.remove(value)
+    }
+
+    /// Element-ordered iterator.
+    pub fn iter(&self) -> btree_set::Iter<'_, T> {
+        self.inner.iter()
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<T: Ord> Default for DetSet<T> {
+    fn default() -> Self {
+        DetSet::new()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        DetSet {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T: Ord> Extend<T> for DetSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a DetSet<T> {
+    type Item = &'a T;
+    type IntoIter = btree_set::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<T: Ord> IntoIterator for DetSet<T> {
+    type Item = T;
+    type IntoIter = btree_set::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<T: Serialize> Serialize for DetSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.inner.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for DetSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::msg("expected an array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_iteration_is_key_ordered_regardless_of_insertion() {
+        let mut a: DetMap<u64, u64> = DetMap::new();
+        for k in [5, 1, 9, 3] {
+            a.insert(k, k * 10);
+        }
+        let mut b: DetMap<u64, u64> = DetMap::new();
+        for k in [9, 3, 5, 1] {
+            b.insert(k, k * 10);
+        }
+        let ka: Vec<_> = a.iter().collect();
+        let kb: Vec<_> = b.iter().collect();
+        assert_eq!(ka, kb, "iteration order is insertion-independent");
+        assert_eq!(a.keys().copied().collect::<Vec<_>>(), vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m = DetMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(1, "b"), Some("a"));
+        assert_eq!(m.get(&1), Some(&"b"));
+        assert!(m.contains_key(&1));
+        *m.entry(2).or_insert("z") = "c";
+        m.entry(2).or_insert("y");
+        assert_eq!(m.get(&2), Some(&"c"));
+        assert_eq!(m.get_mut(&2).map(|v| std::mem::replace(v, "d")), Some("c"));
+        assert_eq!(m.remove(&2), Some("d"));
+        assert_eq!(m.remove(&2), None);
+        assert_eq!(m.len(), 1);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn map_collects_and_extends() {
+        let mut m: DetMap<u32, u32> = [(2, 20), (1, 10)].into_iter().collect();
+        m.extend([(3, 30)]);
+        let pairs: Vec<(u32, u32)> = (&m).into_iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+        let owned: Vec<(u32, u32)> = m.into_iter().collect();
+        assert_eq!(owned, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn set_basic_operations() {
+        let mut s = DetSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(4));
+        assert!(!s.insert(4));
+        assert!(s.contains(&4));
+        s.extend([2, 6]);
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![2, 4, 6]);
+        assert!(s.remove(&4));
+        assert!(!s.remove(&4));
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_collects_in_order() {
+        let s: DetSet<u8> = [3, 1, 2, 1].into_iter().collect();
+        assert_eq!((&s).into_iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_sorted() {
+        let m: DetMap<u64, u64> = [(9, 90), (1, 10)].into_iter().collect();
+        let v = m.to_value();
+        let back = DetMap::<u64, u64>::from_value(&v).unwrap();
+        assert_eq!(back, m);
+        let s: DetSet<u64> = [7, 2].into_iter().collect();
+        let back = DetSet::<u64>::from_value(&s.to_value()).unwrap();
+        assert_eq!(back, s);
+    }
+}

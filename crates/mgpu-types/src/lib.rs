@@ -21,6 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod det;
+
+pub use det::{DetMap, DetSet};
+
 use std::fmt;
 
 use serde::{Deserialize, Serialize};

@@ -133,6 +133,7 @@ impl FrameAllocator {
     ///
     /// Panics if `count` is not a power of two.
     pub fn allocate_contiguous(&mut self, count: usize) -> Result<PhysPage, OutOfMemory> {
+        // sim-lint: allow(hygiene, reason = "documented API precondition; alignment math below silently corrupts on non-power-of-two sizes")
         assert!(
             count.is_power_of_two(),
             "contiguous runs must be power-of-two sized"
@@ -167,7 +168,9 @@ impl FrameAllocator {
     /// bugs that must surface immediately.
     pub fn free(&mut self, frame: PhysPage) {
         let i = frame.0 as usize;
+        // sim-lint: allow(hygiene, reason = "documented API contract: out-of-range frees must abort release runs too")
         assert!(i < self.frames, "frame {frame} out of range");
+        // sim-lint: allow(hygiene, reason = "documented API contract: double frees corrupt the allocator and must abort release runs too")
         assert!(self.is_set(i), "double free of frame {frame}");
         self.clear(i);
         self.allocated -= 1;
@@ -222,6 +225,7 @@ impl FrameAllocator {
                 u64::MAX
             } else {
                 let tail = self.frames - w * 64;
+                // sim-lint: allow(hygiene, reason = "test-facing checker whose whole contract is to panic on violation")
                 assert!(
                     bits >> tail == 0,
                     "allocator bitmap has bits set past frame {}",
@@ -231,6 +235,7 @@ impl FrameAllocator {
             };
             popcount += (bits & valid).count_ones() as usize;
         }
+        // sim-lint: allow(hygiene, reason = "test-facing checker whose whole contract is to panic on violation")
         assert!(
             popcount == self.allocated,
             "allocated counter {} disagrees with bitmap popcount {popcount}",
@@ -243,6 +248,7 @@ impl FrameAllocator {
     /// exists, without allocating.
     #[must_use]
     pub fn has_contiguous(&self, count: usize) -> bool {
+        // sim-lint: allow(hygiene, reason = "API precondition on a cold diagnostic path; mirrors allocate_contiguous")
         assert!(count.is_power_of_two());
         let mut base = 0;
         while base + count <= self.frames {

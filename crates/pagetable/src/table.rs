@@ -170,7 +170,9 @@ impl PageTable {
                     levels += 1;
                 }
                 Pte::Leaf(frame) => {
-                    debug_assert_eq!(depth, 1, "2MB leaves live one level above the bottom");
+                    if cfg!(any(debug_assertions, feature = "check")) {
+                        assert_eq!(depth, 1, "2MB leaves live one level above the bottom");
+                    }
                     return Some(Walk {
                         // Offset within the superpage.
                         frame: PhysPage(frame.0 + (vpn.0 & (FANOUT as u64 - 1))),

@@ -36,12 +36,12 @@ fn parse_args() -> Result<Args, String> {
             "--cases" => {
                 args.cases = value("--cases")?
                     .parse()
-                    .map_err(|e| format!("--cases: {e}"))?
+                    .map_err(|e| format!("--cases: {e}"))?;
             }
             "--seed" => {
                 args.seed = value("--seed")?
                     .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),

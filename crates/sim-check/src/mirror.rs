@@ -29,13 +29,11 @@
 //! a serial request, never any post-arrival relative order, so the mirror
 //! ignores it.
 
-use std::collections::HashSet;
-
 use filters::LocalTlbTracker;
 use gcn_model::GpuStats;
 use iommu::IommuStats;
 use least_tlb::{Inclusion, ReceiverPolicy, SystemConfig, WorkloadSpec};
-use mgpu_types::{Asid, GpuId, PageSize, PhysPage, TranslationKey, VirtPage};
+use mgpu_types::{Asid, DetSet, GpuId, PageSize, PhysPage, TranslationKey, VirtPage};
 use tlb::{Tlb, TlbEntry};
 use workloads::AppWorkload;
 
@@ -126,8 +124,8 @@ pub struct Mirror {
     tracker: Option<LocalTlbTracker>,
     eviction_counters: Vec<u64>,
     spill_rr: usize,
-    infinite_seen: HashSet<TranslationKey>,
-    local_pt: Vec<HashSet<TranslationKey>>,
+    infinite_seen: DetSet<TranslationKey>,
+    local_pt: Vec<DetSet<TranslationKey>>,
     gpu_stats: Vec<GpuStats>,
     iommu_stats: IommuStats,
     apps: Vec<MirrorAppStats>,
@@ -177,8 +175,8 @@ impl Mirror {
                 .map(|b| LocalTlbTracker::new(cfg.gpus, b)),
             eviction_counters: vec![0; cfg.gpus],
             spill_rr: 0,
-            infinite_seen: HashSet::new(),
-            local_pt: vec![HashSet::new(); cfg.gpus],
+            infinite_seen: DetSet::new(),
+            local_pt: vec![DetSet::new(); cfg.gpus],
             gpu_stats: vec![GpuStats::default(); cfg.gpus],
             iommu_stats: IommuStats::default(),
             apps: vec![MirrorAppStats::default(); spec.placements.len()],

@@ -1,0 +1,93 @@
+//! Regression tests for the DetMap/DetSet container migration of the
+//! simulator's keyed state (IOMMU pending-walk table, GCN MSHRs, system
+//! bookkeeping). The differential oracle checks *per-request* statistics
+//! against an independent mirror, so any behavioural drift introduced by
+//! swapping the hash containers for ordered ones shows up as a divergence
+//! at the exact request index.
+
+use least_tlb::{Policy, System, SystemConfig, WorkloadSpec};
+use sim_check::{run_serial, Access, Gen};
+use tlb::{ReplacementPolicy, TlbConfig};
+use workloads::AppKind;
+
+/// A merge-storm access script: all GPUs hammer a handful of pages so the
+/// pending-walk table and MSHRs see constant same-key registrations
+/// (primary + many secondaries) and same-cycle races — the exact paths
+/// whose bookkeeping moved from HashMap to DetMap.
+fn merge_storm(gpus: u8, pages: u64, n: usize, seed: u64) -> Vec<Access> {
+    let mut g = Gen::new(seed);
+    (0..n)
+        .map(|_| Access {
+            gpu: g.below(gpus as u64) as u8,
+            asid: 0,
+            vpn: g.below(pages),
+        })
+        .collect()
+}
+
+fn storm_config(policy: Policy) -> SystemConfig {
+    let mut cfg = SystemConfig::scaled_down(4);
+    cfg.policy = policy;
+    // Tiny TLBs force misses (and therefore walks and merges) even on a
+    // four-page footprint.
+    cfg.gpu.l1_tlb = TlbConfig::new(4, 2, ReplacementPolicy::Lru);
+    cfg.gpu.l2_tlb = TlbConfig::new(8, 2, ReplacementPolicy::Lru);
+    cfg.iommu.tlb = TlbConfig::new(16, 2, ReplacementPolicy::Lru);
+    cfg
+}
+
+#[test]
+fn pending_and_mshr_merge_storm_matches_oracle() {
+    for (pi, policy) in [
+        Policy::baseline(),
+        Policy::least_tlb(),
+        Policy::least_tlb_spilling(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let cfg = storm_config(policy);
+        let spec = WorkloadSpec::single_app(AppKind::St, 4);
+        let accesses = merge_storm(4, 4, 400, 0xdead_0000 + pi as u64);
+        let report = run_serial(&cfg, &spec, &accesses)
+            .unwrap_or_else(|d| panic!("policy #{pi} diverged after migration: {d}"));
+        // A storm that never walks would not exercise the pending table.
+        assert!(report.walks > 0, "policy #{pi}: storm produced no walks");
+    }
+}
+
+#[test]
+fn wide_footprint_storm_matches_oracle() {
+    // Same-key pressure plus capacity pressure: enough distinct pages to
+    // evict, spill, and keep multiple keys pending at once.
+    let cfg = storm_config(Policy::least_tlb_spilling());
+    let spec = WorkloadSpec::single_app(AppKind::St, 4);
+    let accesses = merge_storm(4, 64, 600, 0xbeef_cafe);
+    let report = run_serial(&cfg, &spec, &accesses)
+        .unwrap_or_else(|d| panic!("wide storm diverged after migration: {d}"));
+    assert!(report.l2_evictions > 0, "storm never evicted from L2");
+}
+
+/// The full event-driven system must produce byte-identical results run
+/// over run on a merge-heavy workload: the migrated containers iterate in
+/// key order, so no output can depend on process-specific hash seeds.
+#[test]
+fn merge_heavy_run_is_bit_reproducible() {
+    let mut cfg = SystemConfig::scaled_down(4);
+    cfg.policy = Policy::least_tlb_spilling();
+    cfg.instructions_per_gpu = 30_000;
+    let spec = WorkloadSpec::single_app(AppKind::St, 4);
+    let run = || {
+        let mut result = System::new(&cfg, &spec).expect("config valid").run();
+        // Wall-clock telemetry is the one legitimately nondeterministic
+        // field; everything else must be bit-stable.
+        result.telemetry = None;
+        serde_json::to_string(&result).expect("serializable")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "same config produced different RunResult JSON"
+    );
+}

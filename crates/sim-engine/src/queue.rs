@@ -118,6 +118,7 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is in the past (`at < self.now()`); a simulator that
     /// schedules into the past has a logic bug that must not be masked.
     pub fn schedule(&mut self, at: Cycle, event: E) {
+        // sim-lint: allow(hygiene, reason = "documented API contract: past-time scheduling is a logic bug that must abort release runs too")
         assert!(
             at >= self.now,
             "event scheduled in the past: at={at}, now={}",
@@ -136,6 +137,19 @@ impl<E> EventQueue<E> {
     /// Schedules `event` `delta` cycles after the current time.
     pub fn schedule_after(&mut self, delta: u64, event: E) {
         self.schedule(self.now.after(delta), event);
+    }
+
+    /// Schedules `event` at `at`, clamped to the current time: an `at` in
+    /// the past becomes "now". This is the now-relative API for callers
+    /// holding an absolute timestamp computed by a resource model (a
+    /// walker's free time, a link's next departure slot) that is already
+    /// in flight and therefore never meaningfully earlier than the
+    /// present; unlike [`schedule`](Self::schedule) it cannot panic, and
+    /// unlike raw absolute-time arithmetic it cannot schedule into the
+    /// past. `sim-lint`'s event-discipline rule steers simulation crates
+    /// to this method and [`schedule_after`](Self::schedule_after).
+    pub fn schedule_no_earlier(&mut self, at: Cycle, event: E) {
+        self.schedule(at.max(self.now), event);
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
@@ -209,6 +223,17 @@ mod tests {
         q.pop();
         q.schedule_after(5, "second");
         assert_eq!(q.pop(), Some((Cycle(15), "second")));
+    }
+
+    #[test]
+    fn schedule_no_earlier_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), "first");
+        q.pop();
+        q.schedule_no_earlier(Cycle(4), "stale");
+        q.schedule_no_earlier(Cycle(12), "future");
+        assert_eq!(q.pop(), Some((Cycle(10), "stale")), "past clamps to now");
+        assert_eq!(q.pop(), Some((Cycle(12), "future")));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Workspace walking and the crate/directory policy table.
+//!
+//! Policy summary (see DESIGN.md "Static analysis" for the rationale):
+//! - vendored facade crates (`serde`, `serde-derive`, `serde-json`,
+//!   `criterion`) are third-party-shaped code and are skipped entirely;
+//! - `sim-lint` itself is skipped (its fixtures and tests contain
+//!   deliberately-bad snippets), as is the `bench` measurement harness;
+//! - `sim-check` is a test oracle that asserts by design: only the
+//!   `nondet` and `event` rules apply there;
+//! - `sim-engine` defines the event queue, so the `event` rule (which
+//!   bans raw `.schedule(` *callers*) is off inside it;
+//! - binaries (`src/bin/`), `tests/`, `benches/`, `examples/` and any
+//!   directory named `fixtures` are exempt: they are driver/test code
+//!   where panicking on bad input or asserting freely is correct.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::FilePolicy;
+
+/// Crates that are vendored third-party facades, or the lint tool itself.
+const SKIP_CRATES: &[&str] = &[
+    "serde",
+    "serde-derive",
+    "serde-json",
+    "criterion",
+    "sim-lint",
+    "bench",
+];
+
+/// Directory names whose contents are never linted.
+const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "bin", "fixtures", "target"];
+
+/// A source file plus the rule families that apply to it.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub path: PathBuf,
+    pub policy: FilePolicy,
+}
+
+/// Enumerate every lintable `.rs` file under the workspace `root`,
+/// tagged with its policy. Deterministic order (sorted paths).
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{} has no crates/ directory; pass the workspace root",
+                root.display()
+            ),
+        ));
+    }
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        if SKIP_CRATES.contains(&name.as_str()) {
+            continue;
+        }
+        let policy = crate_policy(&name);
+        collect_rs(&dir.join("src"), policy, &mut out)?;
+    }
+    // The root package: its src/ holds the re-export facade; its tests/ and
+    // examples/ are exempt driver code (excluded by not walking them).
+    collect_rs(&root.join("src"), FilePolicy::ALL, &mut out)?;
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+fn crate_policy(name: &str) -> FilePolicy {
+    match name {
+        // Differential oracle: re-asserting simulator invariants is its job,
+        // but it must still be deterministic and event-disciplined.
+        "sim-check" => FilePolicy {
+            nondet: true,
+            event: true,
+            panic: false,
+            hygiene: false,
+            index: false,
+        },
+        // Defining crate of the schedule API; its own internals may call
+        // the raw primitive.
+        "sim-engine" => FilePolicy {
+            event: false,
+            ..FilePolicy::ALL
+        },
+        _ => FilePolicy::ALL,
+    }
+}
+
+fn collect_rs(dir: &Path, policy: FilePolicy, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let dname = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&dname) {
+                continue;
+            }
+            collect_rs(&p, policy, out)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(SourceFile { path: p, policy });
+        }
+    }
+    Ok(())
+}

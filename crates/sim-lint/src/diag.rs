@@ -1,0 +1,90 @@
+//! Diagnostic types shared by the rule matchers and the CLI.
+
+use std::fmt;
+
+/// How strongly a finding gates the build.
+///
+/// `Error` always fails the run; `Warning` fails it under `--deny warnings`
+/// (the CI configuration); `Info` is advisory output only and never gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The rule families sim-lint enforces. `Directive` covers problems with
+/// suppression comments themselves (malformed, missing reason, unused) and
+/// is not itself suppressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    Nondet,
+    Panic,
+    Hygiene,
+    Event,
+    Index,
+    Directive,
+}
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Nondet => "nondet",
+            Rule::Panic => "panic",
+            Rule::Hygiene => "hygiene",
+            Rule::Event => "event",
+            Rule::Index => "index",
+            Rule::Directive => "directive",
+        }
+    }
+
+    /// Parse a rule name as written in an `allow(...)` directive. The
+    /// `directive` rule is deliberately not parseable: suppressing the
+    /// suppression checker would defeat the reason requirement.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "nondet" => Some(Rule::Nondet),
+            "panic" => Some(Rule::Panic),
+            "hygiene" => Some(Rule::Hygiene),
+            "event" => Some(Rule::Event),
+            "index" => Some(Rule::Index),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, addressed to a file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}] {}",
+            self.file, self.line, self.severity, self.rule, self.message
+        )
+    }
+}

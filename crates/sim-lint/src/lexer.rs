@@ -1,0 +1,378 @@
+//! A minimal Rust lexer.
+//!
+//! It has just enough fidelity to find identifiers, punctuation and comments
+//! with correct line numbers, while never mistaking string contents, char
+//! literals or doc text for code. It is deliberately *not* a full grammar:
+//! the rule matchers in [`crate::rules`] work on small token neighbourhoods,
+//! so the lexer only has to get tokenisation boundaries right.
+//!
+//! Handled corner cases:
+//! - nested block comments (`/* /* */ */`),
+//! - string escapes (`"\""`), multi-line strings,
+//! - raw strings (`r"…"`, `r#"…"#`, any hash depth) and byte strings,
+//! - char literals vs. lifetimes (`'a'` vs. `&'a str`),
+//! - numeric literals including `0x…`, underscores and float dots
+//!   (without swallowing the `..` of a range expression).
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (multi-char operators arrive as a
+    /// sequence of these, e.g. `::` is two `Punct(':')`).
+    Punct(char),
+    /// String / char / byte / numeric literal, raw text with quotes.
+    Lit(String),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub line: u32,
+    pub tok: Tok,
+}
+
+/// A comment (line or block), with its starting line and full raw text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one source file: code tokens and comments are kept
+/// in separate streams so comments never interfere with rule matching, yet
+/// stay addressable for suppression parsing.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The line of the first token at or after `line`, i.e. the code line a
+    /// standalone suppression comment applies to. A trailing comment shares
+    /// its line with the code it annotates, so the same formula covers both
+    /// placements.
+    pub fn first_token_line_at_or_after(&self, line: u32) -> Option<u32> {
+        // Tokens are emitted in source order, so a linear scan from the
+        // partition point would work; files are small enough that a plain
+        // scan is fine.
+        self.tokens.iter().map(|t| t.line).find(|&l| l >= line)
+    }
+}
+
+/// Lex `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Raw / byte string prefixes must be checked before plain idents,
+        // because `r` and `b` are letter characters.
+        if c == 'r' || c == 'b' {
+            if let Some((open_quote, hashes)) = raw_string_open(&b, i) {
+                let start = i;
+                let start_line = line;
+                i = open_quote + 1;
+                // Scan for `"` followed by `hashes` hash marks.
+                'raw: while i < n {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                        continue;
+                    }
+                    if b[i] == '"' {
+                        let mut j = i + 1;
+                        let mut seen = 0usize;
+                        while j < n && b[j] == '#' && seen < hashes {
+                            j += 1;
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            i = j;
+                            break 'raw;
+                        }
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line: start_line,
+                    tok: Tok::Lit(b[start..i.min(n)].iter().collect()),
+                });
+                continue;
+            }
+            if c == 'b' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') {
+                // Byte string / byte char: lex the quoted part below by
+                // skipping the `b` prefix; the literal text keeps it.
+                let quote = b[i + 1];
+                let start = i;
+                let start_line = line;
+                i += 2;
+                consume_quoted(&b, &mut i, &mut line, quote);
+                out.tokens.push(Token {
+                    line: start_line,
+                    tok: Tok::Lit(b[start..i.min(n)].iter().collect()),
+                });
+                continue;
+            }
+        }
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            consume_quoted(&b, &mut i, &mut line, '"');
+            out.tokens.push(Token {
+                line: start_line,
+                tok: Tok::Lit(b[start..i.min(n)].iter().collect()),
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime (`'a`) iff an identifier follows and the char after
+            // that identifier-start is not a closing quote.
+            let is_lifetime = i + 1 < n
+                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                && !(i + 2 < n && b[i + 2] == '\'');
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Lit(b[start..i].iter().collect()),
+                });
+            } else {
+                let start = i;
+                let start_line = line;
+                i += 1;
+                consume_quoted(&b, &mut i, &mut line, '\'');
+                out.tokens.push(Token {
+                    line: start_line,
+                    tok: Tok::Lit(b[start..i.min(n)].iter().collect()),
+                });
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n {
+                let d = b[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.'
+                    && i + 1 < n
+                    && b[i + 1].is_ascii_digit()
+                    && (i == start || b[i - 1] != '.')
+                {
+                    // Float dot, but not the first dot of a `0..9` range.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                line,
+                tok: Tok::Lit(b[start..i].iter().collect()),
+            });
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                line,
+                tok: Tok::Ident(b[start..i].iter().collect()),
+            });
+            continue;
+        }
+        out.tokens.push(Token {
+            line,
+            tok: Tok::Punct(c),
+        });
+        i += 1;
+    }
+    out
+}
+
+/// If position `i` starts a raw (byte) string — `r"`, `r#…#"`, `br"`,
+/// `br#…#"` — return `(index_of_opening_quote, hash_count)`.
+fn raw_string_open(b: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == '"' {
+        Some((j, hashes))
+    } else {
+        None
+    }
+}
+
+/// Advance `*i` past the closing `quote`, honouring backslash escapes and
+/// counting newlines into `*line`. `*i` must point just past the opening
+/// quote on entry; it points just past the closing quote on exit.
+fn consume_quoted(b: &[char], i: &mut usize, line: &mut u32, quote: char) {
+    let n = b.len();
+    while *i < n {
+        match b[*i] {
+            '\\' => *i += 2,
+            '\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            c if c == quote => {
+                *i += 1;
+                return;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_idents() {
+        let src = r##"let x = "HashMap inside a string"; let y = r#"unwrap() "quoted" here"#;"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap" || s == "unwrap"));
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let src = "a\n/* one /* two */ still */\nb";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 1);
+        let lines: Vec<u32> = lx.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 3]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lx = lex(src);
+        let lits: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lit(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec!["'a", "'a", "'x'"]);
+    }
+
+    #[test]
+    fn range_dots_are_punct_not_float() {
+        let src = "for i in 0..10 {}";
+        let lx = lex(src);
+        let puncts: Vec<char> = lx
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts.iter().filter(|&&c| c == '.').count(), 2);
+    }
+
+    #[test]
+    fn trailing_comment_targets_same_line() {
+        let src = "let a = 1; // sim-lint: allow(x, reason = \"y\")\nlet b = 2;";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 1);
+        assert_eq!(
+            lx.first_token_line_at_or_after(lx.comments[0].line),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn standalone_comment_targets_next_code_line() {
+        let src = "let a = 1;\n// sim-lint: allow(x, reason = \"y\")\n\nlet b = 2;";
+        let lx = lex(src);
+        assert_eq!(
+            lx.first_token_line_at_or_after(lx.comments[0].line),
+            Some(4)
+        );
+    }
+}

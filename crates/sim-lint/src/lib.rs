@@ -1,0 +1,202 @@
+//! sim-lint: the workspace's custom static-analysis pass.
+//!
+//! Enforces the project rules that `rustc`/`clippy` cannot express:
+//!
+//! - **nondet** — no hash-ordered containers, wall-clock time, thread
+//!   identity or raw-pointer values in simulation-state code (the paper's
+//!   figures must be bit-identical across runs and `--jobs` values);
+//! - **panic** — no `unwrap`/`expect`/`panic!`-family calls in library
+//!   crates without a documented justification;
+//! - **hygiene** — asserts on hot paths must use the check-gated idiom
+//!   (`if cfg!(any(debug_assertions, feature = "check"))`) so release runs
+//!   stay assert-free but `--features check` can re-arm them;
+//! - **event** — raw `EventQueue::schedule(at)` is reserved for the engine;
+//!   models use `schedule_after`/`schedule_no_earlier`;
+//! - **index** — advisory note on slice indexing (never gates).
+//!
+//! Findings can be suppressed per line with
+//! `// sim-lint: allow(<rule>, reason = "...")` — a non-empty reason is
+//! mandatory, and unused suppressions are themselves flagged.
+//!
+//! The tool is entirely self-contained (hand-written lexer, no
+//! dependencies) so it builds and runs offline, in CI, with nothing but
+//! the workspace checkout.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use std::path::Path;
+
+use diag::{Diagnostic, Rule, Severity};
+use rules::FilePolicy;
+
+/// Lint one source file: lex, scan context, run rules, apply suppressions,
+/// and validate the suppressions themselves.
+pub fn lint_source(file: &str, src: &str, policy: &FilePolicy) -> Vec<Diagnostic> {
+    let lx = lexer::lex(src);
+    let cx = scan::scan(&lx);
+    let raw = rules::check_tokens(file, &lx, &cx, policy);
+    let allows = scan::parse_allows(&lx);
+
+    let mut used = vec![false; allows.len()];
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        let suppressed = allows.iter().enumerate().any(|(j, a)| {
+            let hit = !a.malformed
+                && Rule::from_name(&a.rule) == Some(d.rule)
+                && a.target_line == Some(d.line);
+            if hit {
+                used[j] = true;
+            }
+            hit
+        });
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for (j, a) in allows.iter().enumerate() {
+        let mut directive = |severity: Severity, message: String| {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: a.line,
+                rule: Rule::Directive,
+                severity,
+                message,
+            });
+        };
+        if a.malformed {
+            directive(
+                Severity::Error,
+                "malformed sim-lint directive; expected \
+                 `sim-lint: allow(<rule>, reason = \"...\")`"
+                    .to_string(),
+            );
+        } else if Rule::from_name(&a.rule).is_none() {
+            directive(
+                Severity::Error,
+                format!(
+                    "unknown rule `{}` in allow; rules are nondet, panic, hygiene, \
+                     event, index",
+                    a.rule
+                ),
+            );
+        } else if !a.has_reason {
+            directive(
+                Severity::Error,
+                format!(
+                    "allow({}) without a reason; write \
+                     `sim-lint: allow({}, reason = \"why this is sound\")`",
+                    a.rule, a.rule
+                ),
+            );
+        } else if !used[j] {
+            directive(
+                Severity::Warning,
+                format!(
+                    "unused allow({}): no {} finding on its target line — remove it",
+                    a.rule, a.rule
+                ),
+            );
+        }
+    }
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+/// Lint the whole workspace rooted at `root`. Returns all findings in
+/// deterministic (path, line) order. Unreadable or non-UTF-8 files produce
+/// a `directive` error rather than being skipped silently.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let files = config::collect_workspace(root)?;
+    let mut out = Vec::new();
+    for f in files {
+        let name = f
+            .path
+            .strip_prefix(root)
+            .unwrap_or(&f.path)
+            .display()
+            .to_string();
+        match std::fs::read_to_string(&f.path) {
+            Ok(src) => out.extend(lint_source(&name, &src, &f.policy)),
+            Err(e) => out.push(Diagnostic {
+                file: name,
+                line: 0,
+                rule: Rule::Directive,
+                severity: Severity::Error,
+                message: format!("unreadable source file: {e}"),
+            }),
+        }
+    }
+    Ok(out)
+}
+
+/// The gating outcome for a set of findings under a `--deny warnings`
+/// setting: `(errors, warnings, infos)` counts.
+pub fn tally(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut e = 0;
+    let mut w = 0;
+    let mut i = 0;
+    for d in diags {
+        match d.severity {
+            Severity::Error => e += 1,
+            Severity::Warning => w += 1,
+            Severity::Info => i += 1,
+        }
+    }
+    (e, w, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_suppresses_and_is_marked_used() {
+        let src = "fn f() { x.unwrap(); } // sim-lint: allow(panic, reason = \"test invariant\")";
+        assert!(lint_source("t.rs", src, &FilePolicy::ALL).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_above_suppresses() {
+        let src =
+            "// sim-lint: allow(nondet, reason = \"telemetry only\")\nuse std::time::Instant;";
+        assert!(lint_source("t.rs", src, &FilePolicy::ALL).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let src = "// sim-lint: allow(panic)\nfn f() { x.unwrap(); }";
+        let diags = lint_source("t.rs", src, &FilePolicy::ALL);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::Directive);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("without a reason"));
+    }
+
+    #[test]
+    fn unused_allow_is_a_warning() {
+        let src = "// sim-lint: allow(panic, reason = \"nothing here\")\nlet x = 1;";
+        let diags = lint_source("t.rs", src, &FilePolicy::ALL);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::Directive);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src =
+            "// sim-lint: allow(panic, reason = \"wrong rule\")\nuse std::collections::HashMap;";
+        let diags = lint_source("t.rs", src, &FilePolicy::ALL);
+        // The nondet finding survives and the panic allow is unused.
+        assert!(diags.iter().any(|d| d.rule == Rule::Nondet));
+        assert!(diags.iter().any(|d| d.rule == Rule::Directive));
+    }
+
+    #[test]
+    fn directive_rule_is_not_suppressible() {
+        assert!(Rule::from_name("directive").is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! CLI entry point. Usage:
+//!
+//! ```text
+//! cargo run -p sim-lint -- [--root <path>] [--deny warnings] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 gated findings, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sim_lint::diag::Severity;
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("sim-lint: {msg}");
+    eprintln!("usage: sim-lint [--root <path>] [--deny warnings] [--quiet]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_warnings = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                other => {
+                    return usage_error(&format!(
+                        "--deny takes exactly one value, `warnings`; got {}",
+                        other.map_or_else(|| "nothing".to_string(), |o| format!("`{o}`"))
+                    ));
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage_error("--root requires a path to the workspace root"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "sim-lint: workspace static analysis (nondet, panic, hygiene, event, index)"
+                );
+                println!("usage: sim-lint [--root <path>] [--deny warnings] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                return usage_error(&format!(
+                    "unknown flag `{other}`; accepted flags are --root <path>, \
+                     --deny warnings, --quiet"
+                ));
+            }
+        }
+    }
+
+    let diags = match sim_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => return usage_error(&format!("cannot walk workspace at {}: {e}", root.display())),
+    };
+
+    if !quiet {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+    let (errors, warnings, infos) = sim_lint::tally(&diags);
+    println!("sim-lint: {errors} error(s), {warnings} warning(s), {infos} info note(s)");
+
+    let gated = errors > 0 || (deny_warnings && warnings > 0);
+    if gated {
+        // Re-show what gated even in quiet mode, so CI logs are actionable.
+        if quiet {
+            for d in diags.iter().filter(|d| {
+                d.severity == Severity::Error || (deny_warnings && d.severity == Severity::Warning)
+            }) {
+                eprintln!("{d}");
+            }
+        }
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,299 @@
+//! The rule matchers. Each rule walks the token stream with small
+//! neighbourhood patterns; the [`Context`] masks carry the semantic
+//! exemptions (test code, check gates, constructors).
+
+use crate::diag::{Diagnostic, Rule, Severity};
+use crate::lexer::{Lexed, Tok};
+use crate::scan::Context;
+
+/// Which rule families apply to a given file. Built by [`crate::config`]
+/// from the crate/directory policy table.
+#[derive(Debug, Clone, Copy)]
+pub struct FilePolicy {
+    pub nondet: bool,
+    pub panic: bool,
+    pub hygiene: bool,
+    pub event: bool,
+    pub index: bool,
+}
+
+impl FilePolicy {
+    pub const ALL: FilePolicy = FilePolicy {
+        nondet: true,
+        panic: true,
+        hygiene: true,
+        event: true,
+        index: true,
+    };
+}
+
+fn ident(lx: &Lexed, i: usize) -> Option<&str> {
+    match lx.tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(lx: &Lexed, i: usize, c: char) -> bool {
+    matches!(lx.tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// `i` and `i+1` form a `::` path separator.
+fn path_sep(lx: &Lexed, i: usize) -> bool {
+    punct(lx, i, ':') && punct(lx, i + 1, ':')
+}
+
+/// Run every enabled rule over one lexed file and collect raw findings
+/// (suppressions are applied by the caller).
+pub fn check_tokens(file: &str, lx: &Lexed, cx: &Context, p: &FilePolicy) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = lx.tokens.len();
+    let mut emit = |i: usize, rule: Rule, severity: Severity, message: String| {
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line: lx.tokens[i].line,
+            rule,
+            severity,
+            message,
+        });
+    };
+
+    for i in 0..n {
+        let in_test = cx.test[i];
+        let Some(id) = ident(lx, i) else {
+            // Index rule keys off punctuation; everything else needs an
+            // ident at `i`.
+            if p.index && !in_test && punct(lx, i, '[') && i > 0 {
+                let indexee = matches!(
+                    lx.tokens[i - 1].tok,
+                    Tok::Ident(_) | Tok::Punct(']') | Tok::Punct(')')
+                );
+                // `#[attr]` and `![...]` openings follow `#`/`!`, never an
+                // ident/`]`/`)`, so the indexee test already excludes them.
+                if indexee {
+                    emit(
+                        i,
+                        Rule::Index,
+                        Severity::Info,
+                        "slice indexing can panic; consider get()/get_mut() or a \
+                         check-gated bounds assert on the hot path"
+                            .to_string(),
+                    );
+                }
+            }
+            continue;
+        };
+
+        // --- nondet ---------------------------------------------------
+        if p.nondet && !in_test {
+            match id {
+                "HashMap" | "HashSet" => emit(
+                    i,
+                    Rule::Nondet,
+                    Severity::Error,
+                    format!(
+                        "std::collections::{id} iterates in hash order, which varies \
+                         between processes; use mgpu_types::{} for simulation state",
+                        if id == "HashMap" { "DetMap" } else { "DetSet" }
+                    ),
+                ),
+                "RandomState" | "DefaultHasher" => emit(
+                    i,
+                    Rule::Nondet,
+                    Severity::Error,
+                    format!(
+                        "{id} is seeded per-process; simulation state must hash deterministically"
+                    ),
+                ),
+                "std" if path_sep(lx, i + 1) && ident(lx, i + 3) == Some("time") => emit(
+                    i,
+                    Rule::Nondet,
+                    Severity::Error,
+                    "wall-clock time must not reach simulation state; model time \
+                     lives in sim_engine::Cycle"
+                        .to_string(),
+                ),
+                "thread" if path_sep(lx, i + 1) && ident(lx, i + 3) == Some("current") => emit(
+                    i,
+                    Rule::Nondet,
+                    Severity::Error,
+                    "thread identity is nondeterministic across runs; derive ordering \
+                     from simulation state instead"
+                        .to_string(),
+                ),
+                "as" if punct(lx, i + 1, '*')
+                    && matches!(ident(lx, i + 2), Some("const" | "mut")) =>
+                {
+                    emit(
+                        i,
+                        Rule::Nondet,
+                        Severity::Warning,
+                        "raw-pointer casts expose nondeterministic address values; \
+                         never let them feed keys or ordering"
+                            .to_string(),
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        // --- panic ----------------------------------------------------
+        if p.panic && !in_test {
+            let is_method = i > 0 && punct(lx, i - 1, '.') && punct(lx, i + 1, '(');
+            if is_method && (id == "unwrap" || id == "expect") {
+                emit(
+                    i,
+                    Rule::Panic,
+                    Severity::Warning,
+                    format!(
+                        ".{id}() aborts the simulation on failure; return a Result, \
+                         or allow with the documented invariant as the reason"
+                    ),
+                );
+            }
+            if punct(lx, i + 1, '!')
+                && matches!(id, "panic" | "unreachable" | "todo" | "unimplemented")
+            {
+                emit(
+                    i,
+                    Rule::Panic,
+                    Severity::Warning,
+                    format!(
+                        "{id}! in library code aborts the simulation; prefer an error \
+                         path, or allow with the invariant that makes it unreachable"
+                    ),
+                );
+            }
+        }
+
+        // --- hygiene --------------------------------------------------
+        if p.hygiene && !in_test && punct(lx, i + 1, '!') {
+            match id {
+                "assert" | "assert_eq" | "assert_ne" if !cx.gated[i] && !cx.ctor[i] => emit(
+                    i,
+                    Rule::Hygiene,
+                    Severity::Warning,
+                    format!(
+                        "bare {id}! on a simulation path: gate it behind \
+                         `if cfg!(any(debug_assertions, feature = \"check\"))` so \
+                         release runs stay assert-free, or allow with a reason"
+                    ),
+                ),
+                "debug_assert" | "debug_assert_eq" | "debug_assert_ne" => emit(
+                    i,
+                    Rule::Hygiene,
+                    Severity::Warning,
+                    format!(
+                        "{id}! vanishes in release builds, so `--features check` \
+                         cannot turn it on; use the check-gated assert idiom instead"
+                    ),
+                ),
+                _ => {}
+            }
+        }
+
+        // --- event ----------------------------------------------------
+        if p.event
+            && !in_test
+            && id == "schedule"
+            && i > 0
+            && punct(lx, i - 1, '.')
+            && punct(lx, i + 1, '(')
+        {
+            emit(
+                i,
+                Rule::Event,
+                Severity::Error,
+                "raw .schedule(at) panics on past timestamps; use schedule_after \
+                 for relative delays or schedule_no_earlier for absolute resource \
+                 timestamps"
+                    .to_string(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::scan;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let lx = lex(src);
+        let cx = scan(&lx);
+        check_tokens("t.rs", &lx, &cx, &FilePolicy::ALL)
+    }
+
+    fn rules_hit(src: &str) -> Vec<(Rule, u32)> {
+        run(src).into_iter().map(|d| (d.rule, d.line)).collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_outside_tests_only() {
+        let live = "use std::collections::HashMap;\nstruct S { m: HashMap<u8, u8> }";
+        assert_eq!(rules_hit(live), vec![(Rule::Nondet, 1), (Rule::Nondet, 2)]);
+        let test = "#[cfg(test)]\nmod tests { use std::collections::HashMap; }";
+        assert!(rules_hit(test).is_empty());
+    }
+
+    #[test]
+    fn std_time_path_flagged_once_per_site() {
+        let src = "use std::time::Instant;\nfn f() { let t = other::time::now(); }";
+        assert_eq!(rules_hit(src), vec![(Rule::Nondet, 1)]);
+    }
+
+    #[test]
+    fn unwrap_and_macros_flagged() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); }";
+        let hits = rules_hit(src);
+        assert_eq!(hits.iter().filter(|(r, _)| *r == Rule::Panic).count(), 3);
+    }
+
+    #[test]
+    fn unwrap_named_fn_not_flagged() {
+        // A fn *named* unwrap (no preceding dot) is not a panic site.
+        let src = "fn unwrap(x: u8) -> u8 { x }";
+        assert!(rules_hit(src).iter().all(|(r, _)| *r != Rule::Panic));
+    }
+
+    #[test]
+    fn gated_and_ctor_asserts_pass_bare_asserts_fail() {
+        let gated =
+            r#"fn f() { if cfg!(any(debug_assertions, feature = "check")) { assert!(x); } }"#;
+        assert!(rules_hit(gated).is_empty());
+        let ctor = "fn new(x: u8) { assert!(x < 4); }";
+        assert!(rules_hit(ctor).is_empty());
+        let bare = "fn step(x: u8) { assert!(x < 4); }";
+        assert_eq!(rules_hit(bare), vec![(Rule::Hygiene, 1)]);
+    }
+
+    #[test]
+    fn debug_assert_always_flagged_in_lib_code() {
+        let src = "fn step() { debug_assert!(ok); }";
+        assert_eq!(rules_hit(src), vec![(Rule::Hygiene, 1)]);
+    }
+
+    #[test]
+    fn schedule_method_flagged_but_variants_pass() {
+        let src = "fn f(q: &mut Q) { q.schedule(t, e); q.schedule_after(3, e); q.schedule_no_earlier(t, e); }";
+        assert_eq!(rules_hit(src), vec![(Rule::Event, 1)]);
+    }
+
+    #[test]
+    fn indexing_is_info_and_attrs_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f(v: &[u8]) -> u8 { v[0] }";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::Index);
+        assert_eq!(diags[0].severity, Severity::Info);
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn banned_names_inside_strings_do_not_match() {
+        let src = "fn f() { let s = \"HashMap .unwrap() .schedule( assert!\"; }";
+        assert!(run(src).is_empty());
+    }
+}

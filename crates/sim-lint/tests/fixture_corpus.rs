@@ -1,0 +1,136 @@
+//! Fixture-corpus tests: every rule catches its seeded violations at the
+//! right file:line, clean snippets pass, and suppression directives behave
+//! as documented.
+
+use std::path::Path;
+
+use sim_lint::diag::{Diagnostic, Rule, Severity};
+use sim_lint::lint_source;
+use sim_lint::rules::FilePolicy;
+
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    lint_source(name, &src, &FilePolicy::ALL)
+}
+
+/// `(rule, line)` pairs of all findings at or above Warning severity.
+fn gating(diags: &[Diagnostic]) -> Vec<(Rule, u32)> {
+    diags
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn nondet_fixture_is_caught_at_each_line() {
+    let diags = lint_fixture("nondet_bad.rs");
+    assert_eq!(
+        gating(&diags),
+        vec![
+            (Rule::Nondet, 4),  // use ... HashMap
+            (Rule::Nondet, 5),  // use ... HashSet
+            (Rule::Nondet, 6),  // use std::time::Instant
+            (Rule::Nondet, 9),  // HashMap field
+            (Rule::Nondet, 10), // HashSet field
+            (Rule::Nondet, 18), // std::thread::current()
+            (Rule::Nondet, 22), // as *const (warning)
+        ]
+    );
+    // Everything except the raw-pointer cast is a hard error.
+    assert!(diags
+        .iter()
+        .filter(|d| d.line != 22)
+        .all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn panic_fixture_is_caught_at_each_line() {
+    let diags = lint_fixture("panic_bad.rs");
+    assert_eq!(
+        gating(&diags),
+        vec![
+            (Rule::Panic, 5),  // .unwrap()
+            (Rule::Panic, 9),  // .expect()
+            (Rule::Panic, 14), // panic!
+            (Rule::Panic, 17), // todo!
+            (Rule::Panic, 18), // unimplemented!
+            (Rule::Panic, 19), // unreachable!
+        ]
+    );
+}
+
+#[test]
+fn hygiene_fixture_flags_bare_asserts_only() {
+    let diags = lint_fixture("hygiene_bad.rs");
+    assert_eq!(
+        gating(&diags),
+        vec![
+            (Rule::Hygiene, 5), // bare assert! on a sim path
+            (Rule::Hygiene, 6), // debug_assert!
+        ]
+    );
+    // The check-gated assert (line 11), the constructor assert (line 16)
+    // and the #[cfg(test)] assert_eq (line 24) are all accepted.
+}
+
+#[test]
+fn event_fixture_flags_raw_schedule_only() {
+    let diags = lint_fixture("event_bad.rs");
+    assert_eq!(gating(&diags), vec![(Rule::Event, 5)]);
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let diags = lint_fixture("clean.rs");
+    assert!(
+        diags.iter().all(|d| d.severity == Severity::Info),
+        "clean fixture produced gating findings: {diags:?}"
+    );
+}
+
+#[test]
+fn allow_with_reason_suppresses_standalone_and_trailing() {
+    let diags = lint_fixture("allow_cases.rs");
+    // Lines 6 (standalone-above) and 25 (trailing) are suppressed.
+    assert!(
+        !diags.iter().any(|d| d.line == 6 || d.line == 25),
+        "suppressed findings resurfaced: {diags:?}"
+    );
+}
+
+#[test]
+fn allow_without_reason_is_rejected() {
+    let diags = lint_fixture("allow_cases.rs");
+    let d = diags
+        .iter()
+        .find(|d| d.line == 10 && d.rule == Rule::Directive)
+        .expect("missing-reason directive error");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("without a reason"));
+}
+
+#[test]
+fn unused_allow_is_warned() {
+    let diags = lint_fixture("allow_cases.rs");
+    let d = diags
+        .iter()
+        .find(|d| d.line == 15 && d.rule == Rule::Directive)
+        .expect("unused-allow warning");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("unused"));
+}
+
+#[test]
+fn unknown_rule_in_allow_is_rejected_and_does_not_suppress() {
+    let diags = lint_fixture("allow_cases.rs");
+    assert!(diags
+        .iter()
+        .any(|d| d.line == 20 && d.rule == Rule::Directive && d.severity == Severity::Error));
+    // The unwrap under the bogus allow still fires.
+    assert!(diags.iter().any(|d| d.line == 21 && d.rule == Rule::Panic));
+}

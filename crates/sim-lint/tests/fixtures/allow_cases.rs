@@ -1,0 +1,26 @@
+//! Fixture: suppression-directive handling. Findings are asserted by exact
+//! line in ../fixture_corpus.rs — keep line numbers stable when editing.
+
+pub fn suppressed(x: Option<u8>) -> u8 {
+    // sim-lint: allow(panic, reason = "fixture: documented invariant")
+    x.unwrap()
+}
+
+pub fn missing_reason(x: Option<u8>) -> u8 {
+    // sim-lint: allow(panic)
+    x.unwrap()
+}
+
+pub fn unused() -> u8 {
+    // sim-lint: allow(panic, reason = "nothing to suppress here")
+    7
+}
+
+pub fn unknown_rule(x: Option<u8>) -> u8 {
+    // sim-lint: allow(bogus_rule, reason = "no such rule")
+    x.unwrap()
+}
+
+pub fn trailing(x: Option<u8>) -> u8 {
+    x.unwrap() // sim-lint: allow(panic, reason = "fixture: trailing placement")
+}

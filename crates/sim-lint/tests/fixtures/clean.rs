@@ -1,0 +1,31 @@
+//! Fixture: a file that is clean under every rule — deterministic
+//! containers, check-gated asserts, constructor validation, no panics.
+
+use mgpu_types::DetMap;
+
+pub struct Tracker {
+    seen: DetMap<u64, u64>,
+    cap: usize,
+}
+
+impl Tracker {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "constructor validation is accepted style");
+        Tracker {
+            seen: DetMap::new(),
+            cap,
+        }
+    }
+
+    pub fn note(&mut self, key: u64) -> Result<u64, String> {
+        if cfg!(any(debug_assertions, feature = "check")) {
+            assert!(self.seen.len() <= self.cap, "capacity invariant");
+        }
+        let count = self.seen.entry(key).or_insert(0);
+        *count += 1;
+        self.seen
+            .get(&key)
+            .copied()
+            .ok_or_else(|| format!("key {key} vanished"))
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: event-discipline violations. Findings are asserted by exact
+//! line in ../fixture_corpus.rs — keep line numbers stable when editing.
+
+pub fn drive(queue: &mut EventQueue, at: u64) {
+    queue.schedule(at, 7);
+    queue.schedule_after(10, 7);
+    queue.schedule_no_earlier(at, 7);
+}

@@ -1,0 +1,26 @@
+//! Fixture: feature-hygiene violations next to the accepted idioms.
+//! Findings are asserted by exact line in ../fixture_corpus.rs.
+
+pub fn step(queue_len: usize, cap: usize) {
+    assert!(queue_len <= cap, "overflow");
+    debug_assert!(cap > 0);
+}
+
+pub fn gated_step(queue_len: usize, cap: usize) {
+    if cfg!(any(debug_assertions, feature = "check")) {
+        assert!(queue_len <= cap, "overflow");
+    }
+}
+
+pub fn new(cap: usize) -> usize {
+    assert!(cap.is_power_of_two(), "upfront validation is constructor style");
+    cap
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_freely() {
+        assert_eq!(1 + 1, 2);
+    }
+}

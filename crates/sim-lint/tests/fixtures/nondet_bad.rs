@@ -1,0 +1,23 @@
+//! Fixture: nondet violations. Findings are asserted by exact line in
+//! ../fixture_corpus.rs — keep line numbers stable when editing.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+
+pub struct State {
+    pub map: HashMap<u64, u64>,
+    pub set: HashSet<u64>,
+}
+
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+pub fn tid() -> std::thread::ThreadId {
+    std::thread::current().id()
+}
+
+pub fn addr(x: &u64) -> usize {
+    x as *const u64 as usize
+}

@@ -1,0 +1,22 @@
+//! Fixture: panic-surface violations. Findings are asserted by exact line
+//! in ../fixture_corpus.rs — keep line numbers stable when editing.
+
+pub fn f(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn g(x: Option<u8>) -> u8 {
+    x.expect("present")
+}
+
+pub fn h(x: u8) -> u8 {
+    if x > 250 {
+        panic!("too big");
+    }
+    match x {
+        0 => todo!(),
+        1 => unimplemented!(),
+        2 => unreachable!(),
+        _ => x,
+    }
+}

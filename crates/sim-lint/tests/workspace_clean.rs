@@ -1,0 +1,61 @@
+//! Self-run test: the workspace itself must be clean under
+//! `sim-lint --deny warnings`. This is the same gate CI applies, so a
+//! regression fails `cargo test` locally before it ever reaches CI.
+
+use std::path::Path;
+
+use sim_lint::diag::Severity;
+
+#[test]
+fn workspace_has_no_errors_or_warnings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("sim-lint lives two levels below the workspace root");
+    let diags = sim_lint::lint_workspace(root).expect("workspace walk succeeds");
+    let gating: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .collect();
+    assert!(
+        gating.is_empty(),
+        "sim-lint found gating diagnostics:\n{}",
+        gating
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_walk_covers_the_simulation_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let files = sim_lint::config::collect_workspace(root).expect("walk succeeds");
+    let seen = |fragment: &str| {
+        files
+            .iter()
+            .any(|f| f.path.to_string_lossy().contains(fragment))
+    };
+    // Simulation-state crates must be walked...
+    for covered in [
+        "crates/tlb",
+        "crates/iommu",
+        "crates/gcn-model",
+        "crates/core",
+    ] {
+        assert!(seen(covered), "{covered} missing from the walk");
+    }
+    // ...while vendored facades, the tool itself and driver code must not be.
+    for skipped in [
+        "crates/serde",
+        "crates/criterion",
+        "crates/sim-lint",
+        "src/bin",
+    ] {
+        assert!(!seen(skipped), "{skipped} should be exempt from the walk");
+    }
+}

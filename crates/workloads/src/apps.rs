@@ -63,7 +63,7 @@ pub enum SharingPattern {
 }
 
 /// The applications of Tables 3–4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AppKind {
     /// Finite Impulse Response (Hetero-Mark), adjacent, L (MPKI 0.009).
     Fir,

@@ -506,10 +506,14 @@ impl AppWorkload {
     ///
     /// # Panics
     ///
-    /// Panics if `gpu_idx` or `lane` is out of range.
+    /// In debug builds, and in release builds with the `check` feature,
+    /// panics if `gpu_idx` or `lane` is out of range (release builds
+    /// without `check` panic on the lane-array index below instead).
     pub fn next_op(&mut self, gpu_idx: usize, lane: usize) -> WfOp {
-        assert!(gpu_idx < self.n_gpus, "gpu_idx out of range");
-        assert!(lane < self.lanes_per_gpu, "lane out of range");
+        if cfg!(any(debug_assertions, feature = "check")) {
+            assert!(gpu_idx < self.n_gpus, "gpu_idx out of range");
+            assert!(lane < self.lanes_per_gpu, "lane out of range");
+        }
         let n = self.n_gpus as u64;
         let footprint = self.footprint;
         let profile = self.profile;

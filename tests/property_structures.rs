@@ -55,12 +55,12 @@ fn key(v: u64) -> TranslationKey {
 /// reference model: same hits, same contents.
 #[test]
 fn tlb_matches_lru_reference() {
+    const CAP: usize = 8;
     for case in 0..CASES {
         let mut g = Gen::new(0x71b5_0000 + case);
         let ops: Vec<(u64, bool)> = (0..g.len(1, 400))
             .map(|_| (g.below(64), g.bool()))
             .collect();
-        const CAP: usize = 8;
         let mut tlb = Tlb::new(TlbConfig::fully_associative(CAP, ReplacementPolicy::Lru));
         // Reference: Vec kept in LRU order (front = LRU).
         let mut reference: Vec<u64> = Vec::new();
@@ -243,11 +243,11 @@ fn event_queue_total_order() {
 /// streams for identical seeds, independent of other lanes' progress.
 #[test]
 fn generator_lane_independence() {
+    use workloads::{AppKind, AppWorkload, Scale};
     for case in 0..CASES {
         let mut g = Gen::new(0x1a4e_0000 + case);
         let seed = g.next();
         let interleave: Vec<usize> = (0..g.len(10, 100)).map(|_| g.below(4) as usize).collect();
-        use workloads::{AppKind, AppWorkload, Scale};
         // Reference: lane 0 of GPU 0 queried in isolation.
         let mut solo = AppWorkload::new(AppKind::Bs, Asid(0), 2, 2, Scale::Small, seed);
         let expected: Vec<_> = (0..40).map(|_| solo.next_op(0, 0).vpn).collect();
