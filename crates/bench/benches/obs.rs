@@ -1,0 +1,85 @@
+//! Microbenchmarks of the observability layer: histogram `record`,
+//! counter increment, and span open/stamp/close — the operations that sit
+//! on the simulator's per-request path when instrumentation is on — plus
+//! an enabled-vs-disabled quick-simulation pair guarding the zero-cost
+//! disabled path. Representative numbers are recorded in `BENCH_obs.json`
+//! at the repository root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use least_tlb::{System, SystemConfig, WorkloadSpec};
+use obs::{LaneSpan, Registry};
+use workloads::AppKind;
+
+fn histogram_record(c: &mut Criterion) {
+    let mut r = Registry::new();
+    let h = r.hist("bench.latency");
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    c.bench_function("obs_hist_record", |b| {
+        b.iter(|| {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            r.record(h, black_box(x >> 40));
+        });
+    });
+}
+
+fn counter_inc(c: &mut Criterion) {
+    let mut r = Registry::new();
+    let id = r.counter("bench.hops");
+    c.bench_function("obs_counter_inc", |b| {
+        b.iter(|| r.inc(black_box(id)));
+    });
+}
+
+fn span_open_close(c: &mut Criterion) {
+    let mut r = Registry::new();
+    let total = r.hist("bench.span.total");
+    let mut t = 0u64;
+    c.bench_function("obs_span_open_close", |b| {
+        b.iter(|| {
+            t += 3;
+            let mut s = LaneSpan::open(t);
+            s.stamp_l1(t + 2);
+            s.stamp_l2(t + 9);
+            let seg = s.segments(t + 120);
+            r.record(total, seg.total);
+            black_box(seg)
+        });
+    });
+}
+
+/// The guard for the zero-cost disabled path: the same scaled-down
+/// simulation with the metrics registry off and on. The disabled side is
+/// the configuration every figure/test runs with by default, so any gap
+/// that opens here is hot-loop overhead leaking past the `Option` gate.
+fn sim_toggle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_toggle");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for (label, metrics) in [("quick_sim_disabled", false), ("quick_sim_enabled", true)] {
+        group.bench_function(label, |b| {
+            let mut cfg = SystemConfig::scaled_down(2);
+            cfg.instructions_per_gpu = 50_000;
+            cfg.obs.metrics = metrics;
+            let spec = WorkloadSpec::single_app(AppKind::Pr, 2);
+            b.iter(|| {
+                let r = System::new(&cfg, &spec).expect("bench config builds").run();
+                assert!(r.end_cycle > 0);
+                r.end_cycle
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    histogram_record,
+    counter_inc,
+    span_open_close,
+    sim_toggle
+);
+criterion_main!(benches);

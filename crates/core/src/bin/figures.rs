@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures as text tables.
 //!
 //! ```text
-//! figures [--quick] [--budget N] [--seed N] [--jobs N] [fig14 fig16 ... | all]
+//! figures [--quick] [--budget N] [--seed N] [--jobs N]
+//!         [--breakdown] [--metrics-json FILE] [fig14 fig16 ... | all]
 //! ```
 //!
 //! With no experiment arguments, runs everything in DESIGN.md order.
@@ -11,6 +12,13 @@
 //! a wall-time knob. A per-runner telemetry summary (wall time,
 //! simulations, instructions, events, sim-rate) is printed to stderr at
 //! the end.
+//!
+//! `--breakdown` turns on the observability layer and prints each
+//! runner's per-app translation-latency breakdown to stderr;
+//! `--metrics-json FILE` writes the suite's merged metrics snapshot
+//! (schema in `EXPERIMENTS.md`). Both outputs are byte-identical across
+//! `--jobs` values: per-runner snapshots merge commutatively and are
+//! combined in input order.
 
 use std::time::Instant;
 
@@ -20,7 +28,10 @@ use least_tlb::experiments::{run_suite, telemetry_table, ExpOptions, ALL_EXPERIM
 /// conventional usage-error code.
 fn usage_error(msg: &str) -> ! {
     eprintln!("figures: {msg}");
-    eprintln!("usage: figures [--quick] [--budget N] [--seed N] [--jobs N] [experiments... | all]");
+    eprintln!(
+        "usage: figures [--quick] [--budget N] [--seed N] [--jobs N] \
+         [--breakdown] [--metrics-json FILE] [experiments... | all]"
+    );
     std::process::exit(2);
 }
 
@@ -40,6 +51,8 @@ fn parsed_value<T: std::str::FromStr>(
 fn main() {
     let mut opts = ExpOptions::paper();
     let mut jobs = 1usize;
+    let mut breakdown = false;
+    let mut metrics_json: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,9 +80,16 @@ fn main() {
                     usage_error("--jobs takes a worker count >= 1, e.g. --jobs 4");
                 }
             }
+            "--breakdown" => breakdown = true,
+            "--metrics-json" => {
+                metrics_json = Some(args.next().unwrap_or_else(|| {
+                    usage_error("--metrics-json takes an output path, e.g. --metrics-json m.json")
+                }));
+            }
             "all" => wanted.extend(ALL_EXPERIMENTS.iter().map(std::string::ToString::to_string)),
             other if other.starts_with('-') => usage_error(&format!(
-                "unknown flag '{other}'; accepted flags are --quick, --budget N, --seed N, --jobs N"
+                "unknown flag '{other}'; accepted flags are --quick, --budget N, --seed N, \
+                 --jobs N, --breakdown, --metrics-json FILE"
             )),
             other => wanted.push(other.to_string()),
         }
@@ -88,6 +108,8 @@ fn main() {
         std::process::exit(2);
     }
 
+    opts.metrics = breakdown || metrics_json.is_some();
+
     let total = Instant::now();
     let outcomes = run_suite(&wanted, &opts, jobs);
     for outcome in &outcomes {
@@ -102,6 +124,24 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if breakdown {
+        for outcome in &outcomes {
+            if outcome.metrics.is_empty() {
+                continue;
+            }
+            eprintln!("==== breakdown: {} (cycles) ====", outcome.name);
+            eprintln!("{}", least_tlb::latency_breakdown(&outcome.metrics));
+        }
+    }
+    if let Some(path) = &metrics_json {
+        let mut merged = obs::MetricsSnapshot::default();
+        for outcome in &outcomes {
+            merged.absorb(&outcome.metrics);
+        }
+        let json = serde_json::to_string_pretty(&merged).expect("serializable");
+        std::fs::write(path, json).expect("metrics file writes");
+        eprintln!("wrote merged metrics snapshot to {path}");
     }
     eprintln!("==== telemetry ({jobs} jobs) ====");
     eprintln!("{}", telemetry_table(&outcomes));

@@ -5,17 +5,25 @@
 //!           infinite|probing|exclusive] [--gpus N] [--budget N] [--seed N]
 //!           [--quick] [--page-size 4k|2m] [--json]
 //!           [--record-trace FILE] [--replay-trace FILE]
+//!           [--breakdown] [--metrics-json FILE]
+//!           [--trace-out FILE] [--trace-sample N]
 //! ```
 //!
 //! Prints a human-readable summary, or the full [`RunResult`] as JSON with
 //! `--json`. `--record-trace` dumps the L2-level request stream for later
 //! `--replay-trace` runs (trace-driven policy comparison).
+//!
+//! Observability: `--breakdown` adds the per-app translation-latency
+//! breakdown to the summary, `--metrics-json FILE` writes the full metrics
+//! snapshot (schema in `EXPERIMENTS.md`), and `--trace-out FILE` writes a
+//! Chrome trace-event file loadable at <https://ui.perfetto.dev>
+//! (`--trace-sample N` keeps every Nth span).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use least_tlb::trace::TranslationTrace;
-use least_tlb::{Policy, RunResult, System, SystemConfig, WorkloadSpec};
+use least_tlb::{latency_breakdown, Policy, RunResult, System, SystemConfig, WorkloadSpec};
 use mgpu_types::PageSize;
 use workloads::{mix_workloads, multi_app_workloads, scaling_workloads, AppKind};
 
@@ -26,7 +34,8 @@ fn usage_error(msg: &str) -> ! {
     eprintln!(
         "usage: simulate [--workload NAME] [--policy NAME] [--gpus N] [--budget N] \
          [--seed N] [--quick] [--page-size 4k|2m] [--json] \
-         [--record-trace FILE] [--replay-trace FILE]"
+         [--record-trace FILE] [--replay-trace FILE] [--breakdown] \
+         [--metrics-json FILE] [--trace-out FILE] [--trace-sample N]"
     );
     std::process::exit(2);
 }
@@ -42,6 +51,10 @@ struct Args {
     json: bool,
     record_trace: Option<String>,
     replay_trace: Option<String>,
+    breakdown: bool,
+    metrics_json: Option<String>,
+    trace_out: Option<String>,
+    trace_sample: u64,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +69,10 @@ fn parse_args() -> Args {
         json: false,
         record_trace: None,
         replay_trace: None,
+        breakdown: false,
+        metrics_json: None,
+        trace_out: None,
+        trace_sample: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -92,10 +109,19 @@ fn parse_args() -> Args {
             "--json" => a.json = true,
             "--record-trace" => a.record_trace = Some(val()),
             "--replay-trace" => a.replay_trace = Some(val()),
+            "--breakdown" => a.breakdown = true,
+            "--metrics-json" => a.metrics_json = Some(val()),
+            "--trace-out" => a.trace_out = Some(val()),
+            "--trace-sample" => {
+                a.trace_sample = val().parse().unwrap_or_else(|_| {
+                    usage_error("--trace-sample takes a span count, e.g. --trace-sample 16")
+                });
+            }
             other => usage_error(&format!(
                 "unknown flag '{other}'; accepted flags are --workload, --policy, \
                  --gpus, --budget, --seed, --quick, --page-size, --json, \
-                 --record-trace, --replay-trace"
+                 --record-trace, --replay-trace, --breakdown, --metrics-json, \
+                 --trace-out, --trace-sample"
             )),
         }
     }
@@ -182,6 +208,12 @@ fn summarize(r: &RunResult) {
             t.event_rate() / 1e6,
         );
     }
+    if let Some(m) = &r.metrics {
+        if !m.is_empty() {
+            println!("  translation-latency breakdown (cycles):");
+            println!("{}", latency_breakdown(m));
+        }
+    }
 }
 
 fn main() {
@@ -196,6 +228,9 @@ fn main() {
     cfg.seed = args.seed;
     cfg.page_size = args.page_size;
     cfg.record_trace = args.record_trace.is_some();
+    cfg.obs.metrics = args.breakdown || args.metrics_json.is_some();
+    cfg.obs.trace = args.trace_out.is_some();
+    cfg.obs.trace_sample = args.trace_sample;
 
     let mut result = if let Some(path) = &args.replay_trace {
         let file = File::open(path).expect("trace file opens");
@@ -218,6 +253,22 @@ fn main() {
         let file = File::create(path).expect("trace file creates");
         trace.write_to(BufWriter::new(file)).expect("trace writes");
         eprintln!("recorded {} requests to {path}", trace.len());
+    }
+
+    if let Some(path) = &args.trace_out {
+        let events = result
+            .trace_events
+            .take()
+            .expect("trace events were collected");
+        std::fs::write(path, events).expect("trace-event file writes");
+        eprintln!("wrote Chrome trace events to {path} (load at https://ui.perfetto.dev)");
+    }
+
+    if let Some(path) = &args.metrics_json {
+        let metrics = result.metrics.as_ref().expect("metrics were collected");
+        let json = serde_json::to_string_pretty(metrics).expect("serializable");
+        std::fs::write(path, json).expect("metrics file writes");
+        eprintln!("wrote metrics snapshot to {path}");
     }
 
     if args.json {

@@ -62,6 +62,9 @@ pub struct SystemConfig {
     pub snapshot_interval: Option<u64>,
     /// Hard event-count ceiling (guards against scheduling bugs).
     pub max_events: u64,
+    /// Observability switches (metrics registry, lifecycle spans, trace
+    /// export); all off by default, with a zero-cost disabled path.
+    pub obs: obs::ObsConfig,
     /// Master seed; every run with the same seed and config is
     /// bit-identical.
     pub seed: u64,
@@ -90,6 +93,7 @@ impl SystemConfig {
             record_trace: false,
             snapshot_interval: None,
             max_events: 3_000_000_000,
+            obs: obs::ObsConfig::default(),
             seed: 0x1ea5_71b5,
         }
     }

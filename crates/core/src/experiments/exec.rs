@@ -18,7 +18,7 @@
 //! [`note_run`]), and the harness pairs the aggregate with the runner's
 //! wall time.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 // sim-lint: allow(nondet, reason = "wall-clock telemetry only; never feeds simulation state or output ordering")
@@ -63,6 +63,9 @@ pub struct SuiteOutcome {
     pub result: Result<Table, String>,
     /// Execution telemetry for this runner.
     pub telemetry: RunnerTelemetry,
+    /// Merged observability metrics from every simulation the runner
+    /// performed. Empty unless [`ExpOptions::metrics`] was set.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 thread_local! {
@@ -70,6 +73,10 @@ thread_local! {
     /// entirely on one worker thread, so pairing reset/take around the
     /// runner call observes exactly its simulations.
     static COUNTERS: Cell<(u64, u64, u64)> = const { Cell::new((0, 0, 0)) };
+
+    /// Per-thread metrics accumulator, merged commutatively so the merge
+    /// order within one runner cannot affect the snapshot.
+    static METRICS: RefCell<obs::MetricsSnapshot> = RefCell::new(obs::MetricsSnapshot::default());
 }
 
 /// Records one simulation's telemetry into the executing thread's
@@ -89,10 +96,17 @@ pub(crate) fn note_run(result: &RunResult) {
             events + t.events_delivered,
         ));
     });
+    if let Some(m) = &result.metrics {
+        METRICS.with(|acc| acc.borrow_mut().absorb(m));
+    }
 }
 
 fn take_counters() -> (u64, u64, u64) {
     COUNTERS.with(|c| c.replace((0, 0, 0)))
+}
+
+fn take_metrics() -> obs::MetricsSnapshot {
+    METRICS.with(|acc| std::mem::take(&mut *acc.borrow_mut()))
 }
 
 /// Runs one suite entry, capturing telemetry around the runner call.
@@ -100,6 +114,7 @@ fn run_one(name: &str, opts: &ExpOptions) -> SuiteOutcome {
     let derived = opts.for_runner(name);
     let start = Instant::now();
     take_counters();
+    take_metrics();
     let result = run_by_name(name, &derived);
     let (sims, instructions, events) = take_counters();
     SuiteOutcome {
@@ -111,6 +126,7 @@ fn run_one(name: &str, opts: &ExpOptions) -> SuiteOutcome {
             instructions,
             events,
         },
+        metrics: take_metrics(),
     }
 }
 
@@ -267,6 +283,26 @@ mod tests {
     }
 
     #[test]
+    fn metrics_opt_in_is_collected_and_jobs_invariant() {
+        let mut opts = tiny_opts();
+        opts.metrics = true;
+        let names = vec!["fig2".to_string(), "table3".to_string()];
+        let serial = run_suite(&names, &opts, 1);
+        let parallel = run_suite(&names, &opts, 2);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert!(!s.metrics.is_empty(), "{} collected metrics", s.name);
+            assert_eq!(
+                s.metrics, p.metrics,
+                "{} metrics diverged between --jobs 1 and --jobs 2",
+                s.name
+            );
+        }
+        // Default options leave the observability layer off entirely.
+        let off = run_suite(&names[..1], &tiny_opts(), 1);
+        assert!(off[0].metrics.is_empty());
+    }
+
+    #[test]
     fn zero_wall_time_shows_dash_not_nan() {
         let outcome = SuiteOutcome {
             name: "instant".into(),
@@ -277,6 +313,7 @@ mod tests {
                 instructions: 1_000_000,
                 events: 0,
             },
+            metrics: obs::MetricsSnapshot::default(),
         };
         let s = telemetry_table(&[outcome]).to_string();
         assert!(s.contains('—'), "instantaneous runner rate renders as —");

@@ -49,6 +49,10 @@ pub struct ExpOptions {
     pub budget_multi: u64,
     /// Master seed.
     pub seed: u64,
+    /// Collect observability metrics (span histograms, hop counters)
+    /// during every simulation the runner performs. Off by default; the
+    /// `figures` binary turns it on for `--breakdown` / `--metrics-json`.
+    pub metrics: bool,
 }
 
 impl ExpOptions {
@@ -60,6 +64,7 @@ impl ExpOptions {
             budget_single: 8_000_000,
             budget_multi: 8_000_000,
             seed: 0x1ea5_71b5,
+            metrics: false,
         }
     }
 
@@ -71,6 +76,7 @@ impl ExpOptions {
             budget_single: 400_000,
             budget_multi: 400_000,
             seed: 0x1ea5_71b5,
+            metrics: false,
         }
     }
 
@@ -82,6 +88,7 @@ impl ExpOptions {
         };
         cfg.instructions_per_gpu = self.budget_single;
         cfg.seed = self.seed;
+        cfg.obs.metrics = self.metrics;
         cfg
     }
 

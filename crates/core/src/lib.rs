@@ -40,12 +40,14 @@
 mod config;
 pub mod experiments;
 pub mod metrics;
+mod obs_report;
 mod report;
 mod results;
 mod system;
 pub mod trace;
 
 pub use config::{BuildError, SystemConfig, WorkloadSpec};
+pub use obs_report::latency_breakdown;
 pub use report::Table;
 pub use results::{AppResult, AppRunStats, RunResult, RunTelemetry, SnapshotRecord};
 pub use system::{Inclusion, Policy, ReceiverPolicy, System};

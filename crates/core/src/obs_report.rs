@@ -1,0 +1,140 @@
+//! Translation-latency breakdown reporting: renders the per-app span
+//! histograms collected by the observability layer (`cfg.obs.metrics`)
+//! as a text table.
+//!
+//! One row per app and lifecycle component: the `total` end-to-end
+//! latency, its `queue` / `l1_l2` / `below` segments, and one `res:*`
+//! row per resolution that actually served requests. All statistics come
+//! from the deterministic log-bucketed histograms, so the rendered bytes
+//! are identical across `--jobs` values.
+
+use obs::{MetricsSnapshot, Resolution};
+
+use crate::report::Table;
+
+/// Segment components reported for every app, in lifecycle order.
+const COMPONENTS: [&str; 4] = ["total", "queue", "l1_l2", "below"];
+
+/// Builds the per-app translation-latency breakdown table from a metrics
+/// snapshot. Apps appear in label order (`app0:…`, `app1:…`); a created
+/// histogram with zero observations renders with dashes, while zero-count
+/// `res:*` rows are suppressed entirely.
+#[must_use]
+pub fn latency_breakdown(metrics: &MetricsSnapshot) -> Table {
+    let mut t = Table::new(
+        [
+            "app",
+            "component",
+            "count",
+            "mean",
+            "p50",
+            "p95",
+            "p99",
+            "max",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut labels: Vec<String> = metrics
+        .hists
+        .iter()
+        .filter_map(|h| {
+            h.name
+                .strip_prefix("span.")
+                .and_then(|s| s.strip_suffix(".total"))
+                .map(String::from)
+        })
+        .collect();
+    labels.sort();
+    for label in &labels {
+        for comp in COMPONENTS {
+            if let Some(h) = metrics.hist(&format!("span.{label}.{comp}")) {
+                t.row(stat_row(label, comp, h));
+            }
+        }
+        for r in Resolution::ALL {
+            if let Some(h) = metrics.hist(&format!("span.{label}.res.{}", r.name())) {
+                if h.count > 0 {
+                    t.row(stat_row(label, &format!("res:{}", r.name()), h));
+                }
+            }
+        }
+    }
+    t
+}
+
+fn stat_row(label: &str, comp: &str, h: &obs::HistogramSnapshot) -> Vec<String> {
+    if h.count == 0 {
+        return vec![
+            label.to_string(),
+            comp.to_string(),
+            "0".to_string(),
+            "—".to_string(),
+            "—".to_string(),
+            "—".to_string(),
+            "—".to_string(),
+            "—".to_string(),
+        ];
+    }
+    vec![
+        label.to_string(),
+        comp.to_string(),
+        h.count.to_string(),
+        format!("{:.1}", h.sum as f64 / h.count as f64),
+        h.percentile(0.50).to_string(),
+        h.percentile(0.95).to_string(),
+        h.percentile(0.99).to_string(),
+        h.max.to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Registry;
+
+    fn snapshot_with_spans() -> MetricsSnapshot {
+        let mut r = Registry::new();
+        for (name, values) in [
+            ("span.app0:MM.total", vec![10u64, 20, 400]),
+            ("span.app0:MM.queue", vec![0, 2]),
+            ("span.app0:MM.l1_l2", vec![5]),
+            ("span.app0:MM.below", vec![300]),
+            ("span.app0:MM.res.walk", vec![400]),
+            ("span.app0:MM.res.l2_hit", vec![]),
+            ("span.app1:PR.total", vec![7]),
+        ] {
+            let h = r.hist(name);
+            for v in values {
+                r.record(h, v);
+            }
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn breakdown_lists_apps_components_and_served_resolutions() {
+        let t = latency_breakdown(&snapshot_with_spans());
+        let s = t.to_string();
+        assert!(s.contains("app0:MM"));
+        assert!(s.contains("app1:PR"));
+        assert!(s.contains("res:walk"));
+        // Zero-count resolutions are suppressed…
+        assert!(!s.contains("res:l2_hit"));
+        // …and app1 has no segment histograms beyond total.
+        assert_eq!(t.len(), 6, "4 components for app0 + res:walk + app1 total");
+    }
+
+    #[test]
+    fn breakdown_is_deterministic() {
+        let a = latency_breakdown(&snapshot_with_spans()).to_string();
+        let b = latency_breakdown(&snapshot_with_spans()).to_string();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_snapshot_yields_empty_table() {
+        let t = latency_breakdown(&MetricsSnapshot::default());
+        assert!(t.is_empty());
+    }
+}

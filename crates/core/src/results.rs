@@ -207,6 +207,15 @@ pub struct RunResult {
     /// The recorded translation trace (when `record_trace` was enabled).
     #[serde(skip_serializing_if = "Option::is_none", default)]
     pub trace: Option<crate::trace::TranslationTrace>,
+    /// Observability counters and latency histograms (when
+    /// `cfg.obs.metrics` was enabled). Name-sorted; merges across runs
+    /// with [`obs::MetricsSnapshot::absorb`].
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub metrics: Option<obs::MetricsSnapshot>,
+    /// Chrome trace-event / Perfetto JSON document of the sampled
+    /// lifecycle spans (when `cfg.obs.trace` was enabled).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub trace_events: Option<String>,
     /// Host-side execution telemetry (wall time, sim rate). `None` only
     /// for hand-assembled results; every simulated run fills it in.
     #[serde(skip_serializing_if = "Option::is_none", default)]
@@ -346,6 +355,8 @@ mod tests {
             tracker: None,
             snapshots: Vec::new(),
             trace: None,
+            metrics: None,
+            trace_events: None,
             telemetry: None,
         }
     }

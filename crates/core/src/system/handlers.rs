@@ -6,6 +6,7 @@
 use gcn_model::{MshrOutcome, Waiter};
 use iommu::WalkRequest;
 use mgpu_types::{CuId, Cycle, DetMap, GpuId, PhysPage, TranslationKey, WavefrontId};
+use obs::Resolution;
 use tlb::TlbEntry;
 
 use super::{Event, Inclusion, RingState, System};
@@ -41,7 +42,12 @@ impl System {
                 requester,
             } => self.on_fault_done(t, key, frame, requester),
             Event::LocalPtwDone { gpu, key, frame } => self.on_local_ptw_done(t, gpu, key, frame),
-            Event::Fill { gpu, key, frame } => self.on_fill(t, gpu, key, frame),
+            Event::Fill {
+                gpu,
+                key,
+                frame,
+                res,
+            } => self.on_fill(t, gpu, key, frame, res),
             Event::RingProbe {
                 target,
                 origin,
@@ -98,7 +104,18 @@ impl System {
             .schedule_no_earlier(done, Event::WfMem { gpu, cu, wf, key });
     }
 
-    fn on_wf_mem(&mut self, _t: Cycle, gpu: GpuId, cu: u16, wf: u16, key: TranslationKey) {
+    fn on_wf_mem(&mut self, t: Cycle, gpu: GpuId, cu: u16, wf: u16, key: TranslationKey) {
+        let lane = usize::from(cu) * self.cfg.gpu.wavefronts_per_cu + usize::from(wf);
+        if self.obs.is_some() {
+            // The span opens (and the stall starts) at the lane's *first*
+            // arrival here; blocking-L1 replays keep the original stamps,
+            // so time in the retry queue is attributed as queueing.
+            self.gpus[gpu.index()].cus[usize::from(cu)].wavefronts[usize::from(wf)]
+                .begin_stall(t, key);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.open_span(gpu, lane, t.0);
+            }
+        }
         // Blocking L1 TLB (as in MGPUSim): while one miss is outstanding,
         // every other memory operation of the CU queues behind it.
         let blocking = self.cfg.gpu.blocking_l1;
@@ -106,6 +123,9 @@ impl System {
         if blocking && cu_state.is_blocked() {
             cu_state.retry_queue.push_back((WavefrontId(wf), key));
             return;
+        }
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.stamp_l1(gpu, lane, t.0);
         }
         let idx = usize::from(key.asid.0);
         let recording = self.apps[idx].recording;
@@ -117,6 +137,7 @@ impl System {
             if recording {
                 self.apps[idx].stats.l1_hits += 1;
             }
+            self.obs_resolve(t, gpu, cu, wf, idx, Resolution::L1Hit);
             self.queue.schedule_after(
                 l1_latency + self.cfg.gpu.data_latency,
                 Event::WfNext { gpu, cu, wf },
@@ -129,6 +150,43 @@ impl System {
                 l1_latency + self.cfg.gpu.l2_latency,
                 Event::L2Access { gpu, cu, wf, key },
             );
+        }
+    }
+
+    /// Observability tail of a translation resolved at the GPU itself
+    /// (L1/L2 hit): counts the hop, then closes the lane's span and
+    /// wavefront stall. No-op when observability is off.
+    fn obs_resolve(&mut self, t: Cycle, gpu: GpuId, cu: u16, wf: u16, app: usize, res: Resolution) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.hop(res);
+        }
+        self.obs_finish_waiter(t, gpu, cu, wf, app, res);
+    }
+
+    /// Closes one waiter's lifecycle span and memory stall at `t` (the
+    /// fill-side tail; the hop was already counted once at the serve
+    /// site, not per merged waiter). No-op when observability is off or
+    /// the lane has no open span (scripted injections).
+    fn obs_finish_waiter(
+        &mut self,
+        t: Cycle,
+        gpu: GpuId,
+        cu: u16,
+        wf: u16,
+        app: usize,
+        res: Resolution,
+    ) {
+        if self.obs.is_none() {
+            return;
+        }
+        let lane = usize::from(cu) * self.cfg.gpu.wavefronts_per_cu + usize::from(wf);
+        let dur =
+            self.gpus[gpu.index()].cus[usize::from(cu)].wavefronts[usize::from(wf)].end_stall(t);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.close_span(gpu, lane, app, res, t.0);
+            if let Some(dur) = dur {
+                o.stall(gpu, lane, t.0, dur);
+            }
         }
     }
 
@@ -163,12 +221,17 @@ impl System {
         if recording {
             self.apps[idx].stats.l2_lookups += 1;
         }
+        if let Some(o) = self.obs.as_deref_mut() {
+            let lane = usize::from(cu) * self.cfg.gpu.wavefronts_per_cu + usize::from(wf);
+            o.stamp_l2(gpu, lane, t.0);
+        }
         if let Some(entry) = self.gpus[gpu.index()].l2_lookup(key) {
             if recording {
                 self.apps[idx].stats.l2_hits += 1;
             }
             self.gpus[gpu.index()].l1_fill(CuId(cu), key, entry.frame);
             self.unblock_l1(t, gpu, cu, wf);
+            self.obs_resolve(t, gpu, cu, wf, idx, Resolution::L2Hit);
             self.queue
                 .schedule_after(self.cfg.gpu.data_latency, Event::WfNext { gpu, cu, wf });
             return;
@@ -279,6 +342,9 @@ impl System {
                 if recording {
                     self.apps[idx].stats.iommu_hits += 1;
                 }
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.hop(Resolution::IommuHit);
+                }
                 let frame = self
                     .walk_key(key)
                     // sim-lint: allow(panic, reason = "infinite_seen membership implies a mapping; divergence is a state-machine bug")
@@ -287,7 +353,12 @@ impl System {
                 let depart = self.link_depart(gpu, t.after(tlb_latency), Direction::Down);
                 self.queue.schedule_no_earlier(
                     depart.after(self.cfg.gpu_iommu_latency),
-                    Event::Fill { gpu, key, frame },
+                    Event::Fill {
+                        gpu,
+                        key,
+                        frame,
+                        res: Resolution::IommuHit,
+                    },
                 );
             } else {
                 self.launch_walk(t.after(tlb_latency), gpu, key, recording, idx);
@@ -299,6 +370,9 @@ impl System {
             Some(entry) => {
                 if recording {
                     self.apps[idx].stats.iommu_hits += 1;
+                }
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.hop(Resolution::IommuHit);
                 }
                 if self.cfg.policy.is_victim_hierarchy() {
                     // least-inclusive: the hit *moves* the entry to the
@@ -313,6 +387,7 @@ impl System {
                         gpu,
                         key,
                         frame: entry.frame,
+                        res: Resolution::IommuHit,
                     },
                 );
             }
@@ -415,11 +490,13 @@ impl System {
     fn on_ptw_done(&mut self, t: Cycle, key: TranslationKey, frame: PhysPage, requester: GpuId) {
         if self.cfg.policy.uses_pending() {
             match self.iommu.pending.walk_result(key) {
-                Some(waiters) => self.deliver_walk_result(t, key, frame, &waiters),
+                Some(waiters) => {
+                    self.deliver_walk_result(t, key, frame, &waiters, Resolution::Walk);
+                }
                 None => self.iommu.stats.wasted_walks += 1,
             }
         } else {
-            self.deliver_walk_result(t, key, frame, &[requester]);
+            self.deliver_walk_result(t, key, frame, &[requester], Resolution::Walk);
         }
         // Start the next queued walk on the freed walker.
         if let Some(req) = self.iommu.walkers.complete() {
@@ -442,22 +519,27 @@ impl System {
     fn on_fault_done(&mut self, t: Cycle, key: TranslationKey, frame: PhysPage, requester: GpuId) {
         if self.cfg.policy.uses_pending() {
             if let Some(waiters) = self.iommu.pending.walk_result(key) {
-                self.deliver_walk_result(t, key, frame, &waiters);
+                self.deliver_walk_result(t, key, frame, &waiters, Resolution::Fault);
             }
         } else {
-            self.deliver_walk_result(t, key, frame, &[requester]);
+            self.deliver_walk_result(t, key, frame, &[requester], Resolution::Fault);
         }
     }
 
     /// Common tail of the walk/fault completion paths: policy insertion
-    /// plus responses to every merged waiter.
+    /// plus responses to every merged waiter. `res` distinguishes walk
+    /// completions from PRI fault round-trips (observability only).
     fn deliver_walk_result(
         &mut self,
         t: Cycle,
         key: TranslationKey,
         frame: PhysPage,
         waiters: &[GpuId],
+        res: Resolution,
     ) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.hop(res);
+        }
         if self.cfg.policy.infinite_iommu {
             self.infinite_seen.insert(key);
         } else if !self.cfg.policy.is_victim_hierarchy() {
@@ -472,7 +554,12 @@ impl System {
             let depart = self.link_depart(gpu, t, Direction::Down);
             self.queue.schedule_no_earlier(
                 depart.after(self.cfg.gpu_iommu_latency),
-                Event::Fill { gpu, key, frame },
+                Event::Fill {
+                    gpu,
+                    key,
+                    frame,
+                    res,
+                },
             );
         }
     }
@@ -514,6 +601,14 @@ impl System {
         // (multi-application, §4.2) — distinguished by whether the holder
         // GPU actually runs the owning application.
         let holder_runs_app = self.apps[idx].gpus.contains(&target);
+        let res = if holder_runs_app {
+            Resolution::RemoteShared
+        } else {
+            Resolution::RemoteSpill
+        };
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.hop(res);
+        }
         if !holder_runs_app {
             self.gpus[target.index()].l2_tlb.remove(key);
             if let Some(tracker) = &mut self.tracker {
@@ -528,6 +623,7 @@ impl System {
                     gpu,
                     key,
                     frame: entry.frame,
+                    res,
                 },
             );
         }
@@ -537,7 +633,14 @@ impl System {
     // Fills, evictions, spilling
     // ------------------------------------------------------------------
 
-    fn on_fill(&mut self, t: Cycle, gpu: GpuId, key: TranslationKey, frame: PhysPage) {
+    fn on_fill(
+        &mut self,
+        t: Cycle,
+        gpu: GpuId,
+        key: TranslationKey,
+        frame: PhysPage,
+        res: Resolution,
+    ) {
         let waiters = self.gpus[gpu.index()].mshrs.drain(key);
         self.install_l2(t, gpu, key, frame, self.cfg.policy.spill_credits, 0);
         if self.cfg.policy.local_page_tables {
@@ -546,6 +649,7 @@ impl System {
         for w in waiters {
             self.gpus[gpu.index()].l1_fill(w.cu, key, frame);
             self.unblock_l1(t, gpu, w.cu.0, w.wf.0);
+            self.obs_finish_waiter(t, gpu, w.cu.0, w.wf.0, usize::from(key.asid.0), res);
             self.queue.schedule_after(
                 self.cfg.gpu.data_latency,
                 Event::WfNext {
@@ -725,12 +829,16 @@ impl System {
             if self.apps[idx].recording {
                 self.apps[idx].stats.remote_hits += 1;
             }
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.hop(Resolution::RingRemote);
+            }
             self.queue.schedule_after(
                 0,
                 Event::Fill {
                     gpu: origin,
                     key,
                     frame,
+                    res: Resolution::RingRemote,
                 },
             );
         }
@@ -749,8 +857,18 @@ impl System {
     // ------------------------------------------------------------------
 
     fn on_local_ptw_done(&mut self, _t: Cycle, gpu: GpuId, key: TranslationKey, frame: PhysPage) {
-        self.queue
-            .schedule_after(0, Event::Fill { gpu, key, frame });
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.hop(Resolution::LocalWalk);
+        }
+        self.queue.schedule_after(
+            0,
+            Event::Fill {
+                gpu,
+                key,
+                frame,
+                res: Resolution::LocalWalk,
+            },
+        );
         if let Some(req) = self.gpu_walkers[gpu.index()].complete() {
             let walk = self
                 .walk_key(req.key)

@@ -1,0 +1,234 @@
+//! Run-time instrumentation state for one simulated system: the metrics
+//! registry, the open per-lane translation lifecycle spans, and the
+//! sampled Chrome-trace sink.
+//!
+//! The simulator owns at most one [`Instrument`] behind an
+//! `Option<Box<_>>`; when observability is disabled the option is `None`
+//! and every instrumentation site reduces to one branch. All state here
+//! is sim-time only — see the `obs` crate docs for the determinism
+//! contract.
+
+use mgpu_types::{DetMap, GpuId};
+use obs::{CounterId, HistId, LaneSpan, ObsConfig, Registry, Resolution, TraceSink};
+
+/// Span segment metric suffixes, in [`SEGMENTS`] order: issue→L1 queue
+/// wait, L1→L2, below-L2, and end-to-end.
+const SEGMENTS: [&str; 4] = ["queue", "l1_l2", "below", "total"];
+
+/// Live instrumentation for one run.
+#[derive(Debug)]
+pub(crate) struct Instrument {
+    /// Counters + histograms; snapshotted into the run result.
+    pub(crate) reg: Registry,
+    /// Sampled trace sink (when `cfg.obs.trace`).
+    pub(crate) trace: Option<TraceSink>,
+    /// Whether counters/histograms are collected (`cfg.obs.metrics`).
+    metrics: bool,
+    /// Open spans keyed by `(gpu << 32) | lane`; one in-flight
+    /// translation per wavefront lane.
+    spans: DetMap<u64, LaneSpan>,
+    /// `hops.{resolution}` counters, indexed by `Resolution as usize`.
+    hops: [CounterId; 9],
+    /// Per app: `span.{label}.{queue,l1_l2,below,total}` histograms.
+    seg: Vec<[HistId; 4]>,
+    /// Per app, per resolution: `span.{label}.res.{resolution}`
+    /// end-to-end latency histograms.
+    lat: Vec<[HistId; 9]>,
+    /// `wf.stall` histogram: wavefront memory-stall durations.
+    h_stall: HistId,
+}
+
+impl Instrument {
+    /// Builds the instrument for `app_labels` (one `app{i}:{KIND}` label
+    /// per placement), interning every metric name up front so the hot
+    /// path never hashes or allocates.
+    pub(crate) fn new(cfg: &ObsConfig, app_labels: &[String]) -> Self {
+        let mut reg = Registry::new();
+        let hops = Resolution::ALL.map(|r| reg.counter(&format!("hops.{}", r.name())));
+        let seg = app_labels
+            .iter()
+            .map(|l| SEGMENTS.map(|s| reg.hist(&format!("span.{l}.{s}"))))
+            .collect();
+        let lat = app_labels
+            .iter()
+            .map(|l| Resolution::ALL.map(|r| reg.hist(&format!("span.{l}.res.{}", r.name()))))
+            .collect();
+        let h_stall = reg.hist("wf.stall");
+        Instrument {
+            reg,
+            trace: cfg.trace.then(|| TraceSink::new(cfg.trace_sample)),
+            metrics: cfg.metrics,
+            spans: DetMap::new(),
+            hops,
+            seg,
+            lat,
+            h_stall,
+        }
+    }
+
+    fn lane_key(gpu: GpuId, lane: usize) -> u64 {
+        (u64::from(gpu.0) << 32) | lane as u64
+    }
+
+    /// Counts one translation served at `res` (once per serve event, not
+    /// per merged waiter — the invariant the sim-check mirror rederives).
+    pub(crate) fn hop(&mut self, res: Resolution) {
+        if self.metrics {
+            self.reg.inc(self.hops[res as usize]);
+        }
+    }
+
+    /// Opens the lifecycle span for a lane's memory access at `now`.
+    /// Idempotent: blocking-L1 retry replays keep the original issue
+    /// stamp, so queueing time stays attributed.
+    pub(crate) fn open_span(&mut self, gpu: GpuId, lane: usize, now: u64) {
+        self.spans
+            .entry(Self::lane_key(gpu, lane))
+            .or_insert(LaneSpan::open(now));
+    }
+
+    /// Stamps the cycle the L1 TLB was actually probed (first wins).
+    pub(crate) fn stamp_l1(&mut self, gpu: GpuId, lane: usize, now: u64) {
+        if let Some(s) = self.spans.get_mut(&Self::lane_key(gpu, lane)) {
+            s.stamp_l1(now);
+        }
+    }
+
+    /// Stamps arrival at the GPU's L2 TLB (first wins).
+    pub(crate) fn stamp_l2(&mut self, gpu: GpuId, lane: usize, now: u64) {
+        if let Some(s) = self.spans.get_mut(&Self::lane_key(gpu, lane)) {
+            s.stamp_l2(now);
+        }
+    }
+
+    /// Closes a lane's span at `now` with resolution `res`, rolling its
+    /// segments into app `app`'s histograms and offering it to the trace
+    /// sink. No-op when no span is open (scripted injections never open
+    /// spans).
+    pub(crate) fn close_span(
+        &mut self,
+        gpu: GpuId,
+        lane: usize,
+        app: usize,
+        res: Resolution,
+        now: u64,
+    ) {
+        let Some(span) = self.spans.remove(&Self::lane_key(gpu, lane)) else {
+            return;
+        };
+        if self.metrics {
+            let seg = span.segments(now);
+            let ids = self.seg[app];
+            if let Some(q) = seg.queue {
+                self.reg.record(ids[0], q);
+            }
+            if let Some(d) = seg.l1_l2 {
+                self.reg.record(ids[1], d);
+            }
+            if let Some(d) = seg.below {
+                self.reg.record(ids[2], d);
+            }
+            self.reg.record(ids[3], seg.total);
+            self.reg.record(self.lat[app][res as usize], seg.total);
+        }
+        if let Some(sink) = &mut self.trace {
+            sink.record(
+                u64::from(gpu.0),
+                lane as u64,
+                res.name(),
+                "translation",
+                span.issue,
+                now,
+            );
+        }
+    }
+
+    /// Records one completed wavefront memory stall of `dur` cycles
+    /// ending at `end`.
+    pub(crate) fn stall(&mut self, gpu: GpuId, lane: usize, end: u64, dur: u64) {
+        if self.metrics {
+            self.reg.record(self.h_stall, dur);
+        }
+        if let Some(sink) = &mut self.trace {
+            sink.record(
+                u64::from(gpu.0),
+                lane as u64,
+                "stall",
+                "wavefront",
+                end.saturating_sub(dur),
+                end,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<String> {
+        vec!["app0:MM".to_string(), "app1:PR".to_string()]
+    }
+
+    fn metrics_cfg() -> ObsConfig {
+        ObsConfig {
+            metrics: true,
+            trace: true,
+            trace_sample: 1,
+        }
+    }
+
+    #[test]
+    fn span_lifecycle_fills_segment_histograms() {
+        let mut ins = Instrument::new(&metrics_cfg(), &labels());
+        let g = GpuId(1);
+        ins.open_span(g, 3, 100);
+        ins.open_span(g, 3, 999); // replay: first open wins
+        ins.stamp_l1(g, 3, 110);
+        ins.stamp_l2(g, 3, 130);
+        ins.close_span(g, 3, 1, Resolution::Walk, 700);
+        let snap = ins.reg.snapshot();
+        let total = snap.hist("span.app1:PR.total").unwrap();
+        assert_eq!(total.count, 1);
+        assert_eq!(total.max, 600);
+        assert_eq!(snap.hist("span.app1:PR.queue").unwrap().max, 10);
+        assert_eq!(snap.hist("span.app1:PR.res.walk").unwrap().count, 1);
+        assert_eq!(snap.hist("span.app0:MM.total").unwrap().count, 0);
+        assert_eq!(ins.trace.as_ref().unwrap().kept(), 1);
+    }
+
+    #[test]
+    fn close_without_open_is_a_noop() {
+        let mut ins = Instrument::new(&metrics_cfg(), &labels());
+        ins.close_span(GpuId(0), 0, 0, Resolution::L2Hit, 50);
+        let snap = ins.reg.snapshot();
+        assert_eq!(snap.hist("span.app0:MM.total").unwrap().count, 0);
+    }
+
+    #[test]
+    fn hops_count_by_resolution() {
+        let mut ins = Instrument::new(&metrics_cfg(), &labels());
+        ins.hop(Resolution::L2Hit);
+        ins.hop(Resolution::L2Hit);
+        ins.hop(Resolution::RemoteSpill);
+        assert_eq!(ins.reg.counter_value("hops.l2_hit"), Some(2));
+        assert_eq!(ins.reg.counter_value("hops.remote_spill"), Some(1));
+        assert_eq!(ins.reg.counter_value("hops.walk"), Some(0));
+    }
+
+    #[test]
+    fn trace_only_mode_skips_metrics() {
+        let cfg = ObsConfig {
+            metrics: false,
+            trace: true,
+            trace_sample: 1,
+        };
+        let mut ins = Instrument::new(&cfg, &labels());
+        ins.hop(Resolution::Walk);
+        ins.open_span(GpuId(0), 0, 0);
+        ins.close_span(GpuId(0), 0, 0, Resolution::Walk, 9);
+        ins.stall(GpuId(0), 0, 20, 5);
+        assert_eq!(ins.reg.counter_value("hops.walk"), Some(0));
+        assert_eq!(ins.trace.as_ref().unwrap().kept(), 2);
+    }
+}

@@ -2,6 +2,7 @@
 //! main loop. Event handlers live in [`handlers`].
 
 mod handlers;
+mod instrument;
 
 use filters::{LocalTlbTracker, TrackerBackend};
 use gcn_model::Gpu;
@@ -9,6 +10,7 @@ use iommu::{Iommu, WalkerScheduler};
 use mgpu_types::{
     Asid, Cycle, DetMap, DetSet, GpuId, PageSize, PhysPage, TranslationKey, VirtPage,
 };
+use obs::Resolution;
 use pagetable::{FrameAllocator, PageTable, Walk};
 use serde::{Deserialize, Serialize};
 use sim_engine::{EventQueue, ServerPool};
@@ -234,11 +236,13 @@ pub(crate) enum Event {
         key: TranslationKey,
         frame: PhysPage,
     },
-    /// A translation response arrives at a GPU.
+    /// A translation response arrives at a GPU. `res` names where the
+    /// hierarchy served it (observability; policy-inert).
     Fill {
         gpu: GpuId,
         key: TranslationKey,
         frame: PhysPage,
+        res: Resolution,
     },
     /// A ring probe arrives at a neighbour (§5.5 policy).
     RingProbe {
@@ -329,6 +333,9 @@ pub struct System {
     pub(crate) uplink: Vec<ServerPool>,
     /// Per-GPU downlink (IOMMU→GPU) bandwidth model, when enabled.
     pub(crate) downlink: Vec<ServerPool>,
+    /// Observability state (`cfg.obs`); `None` when fully disabled, so
+    /// the instrumentation sites cost one branch each.
+    pub(crate) obs: Option<Box<instrument::Instrument>>,
     /// Recorded L2-level requests (when `cfg.record_trace`).
     pub(crate) trace: Vec<crate::trace::TraceEntry>,
     /// The spec, kept for trace headers.
@@ -472,6 +479,14 @@ impl System {
             Vec::new()
         };
 
+        let obs = cfg.obs.enabled().then(|| {
+            let labels: Vec<String> = apps
+                .iter()
+                .enumerate()
+                .map(|(i, a)| format!("app{i}:{}", a.workload.kind().name()))
+                .collect();
+            Box::new(instrument::Instrument::new(&cfg.obs, &labels))
+        });
         let mut system = System {
             cfg: cfg.clone(),
             workload_name: spec.name.clone(),
@@ -499,6 +514,7 @@ impl System {
             spill_rr: 0,
             uplink: (0..cfg.gpus).map(|_| ServerPool::new(1)).collect(),
             downlink: (0..cfg.gpus).map(|_| ServerPool::new(1)).collect(),
+            obs,
             trace: Vec::new(),
             spec: spec.clone(),
         };
@@ -719,8 +735,26 @@ impl System {
         result
     }
 
-    fn collect(self) -> RunResult {
+    fn collect(mut self) -> RunResult {
         let end = self.end_cycle.unwrap_or(self.queue.now());
+        // Fold the structural end-of-run counters (TLB/IOMMU stats) into
+        // the registry, then snapshot it and serialize the trace.
+        let (metrics, trace_events) = match self.obs.take() {
+            Some(mut o) => {
+                self.iommu.stats.export(&mut o.reg, "iommu");
+                self.iommu.tlb.stats().export(&mut o.reg, "iommu.tlb");
+                for (g, gpu) in self.gpus.iter().enumerate() {
+                    gpu.l2_tlb
+                        .stats()
+                        .export(&mut o.reg, &format!("gpu{g}.l2_tlb"));
+                    gpu.l1_stats().export(&mut o.reg, &format!("gpu{g}.l1_tlb"));
+                }
+                let trace_events = o.trace.as_ref().and_then(|t| t.finish().ok());
+                let metrics = self.cfg.obs.metrics.then(|| o.reg.snapshot());
+                (metrics, trace_events)
+            }
+            None => (None, None),
+        };
         let track_reuse = self.cfg.track_reuse;
         let track_sharing = self.cfg.track_sharing;
         let apps = self
@@ -753,8 +787,19 @@ impl System {
             } else {
                 None
             },
+            metrics,
+            trace_events,
             telemetry: None,
         }
+    }
+
+    /// Current value of a named observability counter, or `None` when
+    /// observability is disabled or the name was never interned. The
+    /// sim-check differential oracle diffs the `hops.*` counters against
+    /// an independent mirror after every injected request.
+    #[must_use]
+    pub fn metrics_counter(&self, name: &str) -> Option<u64> {
+        self.obs.as_ref().and_then(|o| o.reg.counter_value(name))
     }
 
     /// Read access to a GPU (tests and invariant checks).

@@ -31,6 +31,8 @@ pub struct Wavefront {
     pub mem_instructions: u64,
     /// Translation key of the access in flight (while `WaitingMemory`).
     pub pending: Option<TranslationKey>,
+    /// Cycle the in-flight memory stall began (while `WaitingMemory`).
+    pub stall_started: Option<Cycle>,
 }
 
 impl Wavefront {
@@ -42,7 +44,33 @@ impl Wavefront {
             instructions: 0,
             mem_instructions: 0,
             pending: None,
+            stall_started: None,
         }
+    }
+
+    /// Enters the memory stall for `key` at `now`. The first call of an
+    /// outstanding access wins: replays from the blocking-L1 retry queue
+    /// keep the original stall start so queueing time is attributed.
+    pub fn begin_stall(&mut self, now: Cycle, key: TranslationKey) {
+        if self.phase != WavefrontPhase::WaitingMemory {
+            self.phase = WavefrontPhase::WaitingMemory;
+            self.pending = Some(key);
+            self.stall_started = Some(now);
+        }
+    }
+
+    /// Leaves the memory stall at `now`, returning its duration in cycles
+    /// (`None` when the wavefront was not stalled — e.g. a fill racing a
+    /// wavefront that already resumed).
+    pub fn end_stall(&mut self, now: Cycle) -> Option<u64> {
+        if self.phase != WavefrontPhase::WaitingMemory {
+            return None;
+        }
+        self.phase = WavefrontPhase::Computing;
+        self.pending = None;
+        self.stall_started
+            .take()
+            .map(|start| now.0.saturating_sub(start.0))
     }
 }
 
@@ -164,6 +192,23 @@ mod tests {
             w.phase = WavefrontPhase::Finished;
         }
         assert!(c.all_finished());
+    }
+
+    #[test]
+    fn stall_tracks_duration_and_keeps_first_start() {
+        use mgpu_types::{Asid, TranslationKey, VirtPage};
+        let mut w = Wavefront::new();
+        assert_eq!(w.end_stall(Cycle(5)), None, "not stalled yet");
+        let key = TranslationKey::new(Asid(0), VirtPage(7));
+        w.begin_stall(Cycle(10), key);
+        assert_eq!(w.phase, WavefrontPhase::WaitingMemory);
+        assert_eq!(w.pending, Some(key));
+        // A retry-queue replay must not reset the stall start.
+        w.begin_stall(Cycle(40), key);
+        assert_eq!(w.end_stall(Cycle(100)), Some(90));
+        assert_eq!(w.phase, WavefrontPhase::Computing);
+        assert_eq!(w.pending, None);
+        assert_eq!(w.end_stall(Cycle(101)), None, "second end is a no-op");
     }
 
     #[test]

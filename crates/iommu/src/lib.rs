@@ -107,6 +107,30 @@ pub struct IommuStats {
     pub pwc_hits: u64,
 }
 
+impl IommuStats {
+    /// Exports every counter into an observability registry under
+    /// `prefix` (e.g. `iommu.walks`). Cold path: called once per run at
+    /// result-collection time.
+    pub fn export(&self, reg: &mut obs::Registry, prefix: &str) {
+        for (name, value) in [
+            ("requests", self.requests),
+            ("merged", self.merged),
+            ("walks", self.walks),
+            ("wasted_walks", self.wasted_walks),
+            ("cancelled_walks", self.cancelled_walks),
+            ("probes", self.probes),
+            ("probe_hits", self.probe_hits),
+            ("spills", self.spills),
+            ("spill_chain", self.spill_chain),
+            ("faults", self.faults),
+            ("pwc_hits", self.pwc_hits),
+        ] {
+            let id = reg.counter(&format!("{prefix}.{name}"));
+            reg.add(id, value);
+        }
+    }
+}
+
 /// The IOMMU: shared TLB + walker scheduler + pending table + PRI queue +
 /// eviction counters.
 #[derive(Debug)]

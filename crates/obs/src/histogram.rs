@@ -1,0 +1,243 @@
+//! Log-bucketed latency histogram with a fixed power-of-two sub-bucket
+//! scheme.
+//!
+//! Values `0..16` get exact unit buckets. From 16 up, each power-of-two
+//! octave `[2^k, 2^(k+1))` is split into 16 equal sub-buckets, so the
+//! relative quantization error is bounded by 1/16 ≈ 6% at any scale. The
+//! bucket function is pure integer arithmetic — no floats, no platform
+//! dependence — so recorded distributions (and the percentiles read off
+//! them) are bit-identical across runs, processes and `--jobs` values.
+//!
+//! Percentiles are reported as the **lower bound** of the first bucket
+//! whose cumulative count reaches the requested rank; the exact maximum
+//! is tracked separately.
+
+/// Sub-buckets per octave = `2^SUB_BITS`.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave (16).
+const SUBS: usize = 1 << SUB_BITS;
+
+/// Index of the bucket holding `v`.
+///
+/// For `v < 16` this is `v` itself; above that, octave `o` (where
+/// `v ∈ [2^(o+3), 2^(o+4))`) contributes buckets `o*16 .. o*16+16`. The
+/// scheme is continuous at the boundary: `v ∈ [16, 32)` maps to index
+/// `v` either way. The largest possible index (for `u64::MAX`) is 975.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let octave = (msb - (SUB_BITS - 1)) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        octave * SUBS + sub
+    }
+}
+
+/// Smallest value mapping to bucket `index` (inverse of [`bucket_index`]).
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index < SUBS {
+        index as u64
+    } else {
+        let octave = (index / SUBS) as u32;
+        let sub = (index % SUBS) as u64;
+        (SUBS as u64 + sub) << (octave - 1)
+    }
+}
+
+/// A latency histogram: lazily-grown dense bucket array plus exact
+/// count/sum/max.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation of `v`.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded observation (exact, not bucketed); 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-quantile (`0 < p <= 1`) as the lower bound of the first
+    /// bucket whose cumulative count reaches `ceil(p * count)`. Returns 0
+    /// for an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile_of(
+            self.count,
+            self.max,
+            self.buckets.iter().enumerate().map(|(i, &n)| (i as u32, n)),
+            p,
+        )
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs, in index order.
+    pub fn sparse_buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+    }
+}
+
+/// Shared percentile walk over `(bucket_index, count)` pairs in index
+/// order — used by both the live [`Histogram`] and its sparse snapshot.
+pub(crate) fn percentile_of(
+    count: u64,
+    max: u64,
+    buckets: impl Iterator<Item = (u32, u64)>,
+    p: f64,
+) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (idx, n) in buckets {
+        cum += n;
+        if cum >= rank {
+            return bucket_lower_bound(idx as usize);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_below_sixteen() {
+        for v in 0..16 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn continuous_at_the_boundary() {
+        // v in [16, 32) maps to index v under both branches of the scheme.
+        for v in 16..32 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+    }
+
+    #[test]
+    fn lower_bound_inverts_bucket_index() {
+        for idx in 0..976 {
+            let lo = bucket_lower_bound(idx);
+            assert_eq!(bucket_index(lo), idx, "index {idx} lower bound {lo}");
+            if lo > 0 {
+                assert!(bucket_index(lo - 1) < idx);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_is_monotone_and_bounded() {
+        let mut prev = 0;
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            for v in [v, v + v / 3, v + v / 2, (v - 1).max(1)] {
+                let idx = bucket_index(v);
+                assert!(idx <= 975);
+                assert!(bucket_lower_bound(idx) <= v);
+            }
+            let idx = bucket_index(v);
+            assert!(idx >= prev);
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), 975);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for v in [100u64, 1000, 123_456, 1 << 40] {
+            let lo = bucket_lower_bound(bucket_index(v));
+            assert!(lo <= v);
+            assert!((v - lo) as f64 / v as f64 <= 1.0 / 16.0);
+        }
+    }
+
+    #[test]
+    fn percentiles_on_a_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        // p50 rank = 50; value 50 lives in bucket [48, 52).
+        assert_eq!(h.percentile(0.50), bucket_lower_bound(bucket_index(50)));
+        assert_eq!(h.percentile(0.99), bucket_lower_bound(bucket_index(99)));
+        assert_eq!(h.percentile(1.0), bucket_lower_bound(bucket_index(100)));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.sparse_buckets().count(), 0);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_overflowing() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn sparse_buckets_match_dense_counts() {
+        let mut h = Histogram::new();
+        for v in [3, 3, 100, 100, 100, 7] {
+            h.record(v);
+        }
+        let sparse: Vec<_> = h.sparse_buckets().collect();
+        assert_eq!(sparse, vec![(3, 2), (7, 1), (bucket_index(100) as u32, 3),]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic observability for the least-TLB simulator.
+//!
+//! Everything in this crate is **sim-time only**: the registry counts
+//! events and buckets sim-cycle latencies, spans stamp sim cycles at each
+//! hop of a translation request, and the trace exporter writes those same
+//! cycles out as Chrome trace-event JSON. No wall clocks, no hash-ordered
+//! containers, no thread identity — the crate is covered by every
+//! `sim-lint` rule with no exemptions, so any output derived from it is
+//! bit-reproducible across processes and `--jobs` values.
+//!
+//! The layer has three parts:
+//!
+//! - [`Registry`]: named monotonic counters plus log-bucketed latency
+//!   histograms ([`Histogram`]) with deterministic p50/p95/p99/max.
+//!   Snapshots ([`MetricsSnapshot`]) are name-sorted and merge with
+//!   commutative operations, so merging per-runner snapshots in input
+//!   order yields identical bytes regardless of worker count.
+//! - [`LaneSpan`] + [`Resolution`]: per-translation-request lifecycle
+//!   stamps (wavefront issue → L1 → L2 → resolution), rolled up by the
+//!   simulator into per-app, per-component latency histograms.
+//! - [`TraceSink`]: a sampled Chrome trace-event / Perfetto JSON
+//!   exporter (`simulate --trace-out PATH`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+
+pub mod histogram;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use histogram::Histogram;
+pub use registry::{
+    CounterId, CounterSnapshot, HistId, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use span::{LaneSpan, Resolution};
+pub use trace::TraceSink;
+
+/// Instrumentation switches carried inside the simulator configuration.
+///
+/// Everything defaults to **off**: the disabled path costs one branch on
+/// an `Option` per instrumentation site and allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ObsConfig {
+    /// Collect counters, hop histograms and the latency breakdown.
+    pub metrics: bool,
+    /// Collect Chrome trace events (implies span stamping).
+    pub trace: bool,
+    /// Keep every Nth closed span in the trace (`0`/`1` keep all).
+    pub trace_sample: u64,
+}
+
+impl ObsConfig {
+    /// Whether any instrumentation is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.metrics || self.trace
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            metrics: false,
+            trace: false,
+            trace_sample: 1,
+        }
+    }
+}
+
+// Hand-written so configs serialized before this crate existed still
+// parse: an absent `obs` member (or absent individual switches) falls
+// back to the all-off default instead of a missing-field error.
+impl Deserialize for ObsConfig {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let members = value
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("ObsConfig: expected an object"))?;
+        let mut cfg = ObsConfig::default();
+        if let Some(v) = Value::lookup(members, "metrics") {
+            cfg.metrics = bool::from_value(v)?;
+        }
+        if let Some(v) = Value::lookup(members, "trace") {
+            cfg.trace = bool::from_value(v)?;
+        }
+        if let Some(v) = Value::lookup(members, "trace_sample") {
+            cfg.trace_sample = u64::from_value(v)?;
+        }
+        Ok(cfg)
+    }
+
+    fn missing(_context: &str) -> Result<Self, serde::Error> {
+        Ok(ObsConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_disabled() {
+        let cfg = ObsConfig::default();
+        assert!(!cfg.enabled());
+        assert_eq!(cfg.trace_sample, 1);
+    }
+
+    #[test]
+    fn missing_member_deserializes_to_default() {
+        let got = ObsConfig::missing("SystemConfig.obs").unwrap();
+        assert_eq!(got, ObsConfig::default());
+    }
+
+    #[test]
+    fn partial_object_keeps_defaults_for_absent_switches() {
+        let v = Value::Object(vec![("trace".to_string(), Value::Bool(true))]);
+        let got = ObsConfig::from_value(&v).unwrap();
+        assert!(got.trace && !got.metrics);
+        assert_eq!(got.trace_sample, 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = ObsConfig {
+            metrics: true,
+            trace: true,
+            trace_sample: 8,
+        };
+        let back = ObsConfig::from_value(&cfg.to_value()).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

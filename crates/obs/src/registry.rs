@@ -1,0 +1,323 @@
+//! The metrics registry: interned named counters and histograms, plus
+//! name-sorted snapshots that merge with commutative operations.
+//!
+//! Hot-path discipline: callers intern names once up front ([`Registry::counter`]
+//! / [`Registry::hist`]) and then update through the returned integer ids —
+//! [`Registry::inc`]/[`Registry::add`]/[`Registry::record`] are plain `Vec`
+//! index operations with no hashing or allocation. Name lookups only happen
+//! at interning time and in the cold [`Registry::counter_value`] /
+//! [`Registry::snapshot`] paths.
+
+use mgpu_types::DetMap;
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{percentile_of, Histogram};
+
+/// Interned handle to a named counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Interned handle to a named histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// Named counters + histograms for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counter_index: DetMap<String, usize>,
+    counters: Vec<u64>,
+    hist_index: DetMap<String, usize>,
+    hists: Vec<Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Interns `name` as a counter (idempotent) and returns its id.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        let next = self.counters.len();
+        let idx = *self.counter_index.entry(name.to_string()).or_insert(next);
+        if idx == next {
+            self.counters.push(0);
+        }
+        CounterId(idx)
+    }
+
+    /// Interns `name` as a histogram (idempotent) and returns its id.
+    pub fn hist(&mut self, name: &str) -> HistId {
+        let next = self.hists.len();
+        let idx = *self.hist_index.entry(name.to_string()).or_insert(next);
+        if idx == next {
+            self.hists.push(Histogram::new());
+        }
+        HistId(idx)
+    }
+
+    /// Adds 1 to a counter.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if let Some(c) = self.counters.get_mut(id.0) {
+            *c += n;
+        }
+    }
+
+    /// Records one observation into a histogram.
+    pub fn record(&mut self, id: HistId, v: u64) {
+        if let Some(h) = self.hists.get_mut(id.0) {
+            h.record(v);
+        }
+    }
+
+    /// Cold name lookup of a counter's current value (used by the
+    /// differential oracle); `None` when the name was never interned.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counter_index
+            .get(&name.to_string())
+            .and_then(|&i| self.counters.get(i).copied())
+    }
+
+    /// Name-sorted snapshot of every counter and histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counter_index
+                .iter()
+                .map(|(name, &i)| CounterSnapshot {
+                    name: name.clone(),
+                    value: self.counters.get(i).copied().unwrap_or(0),
+                })
+                .collect(),
+            hists: self
+                .hist_index
+                .iter()
+                .map(|(name, &i)| {
+                    let h = self.hists.get(i).cloned().unwrap_or_default();
+                    HistogramSnapshot {
+                        name: name.clone(),
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                        buckets: h.sparse_buckets().collect(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One histogram in a [`MetricsSnapshot`], with sparse
+/// `[bucket_index, count]` pairs (see [`crate::histogram`] for the
+/// bucket scheme).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Exact largest observation.
+    pub max: u64,
+    /// Non-empty buckets as `(index, count)`, in index order.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The `p`-quantile reconstructed from the sparse buckets (lower
+    /// bound of the bucket reaching rank `ceil(p * count)`).
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile_of(self.count, self.max, self.buckets.iter().copied(), p)
+    }
+}
+
+/// A point-in-time, name-sorted export of a [`Registry`]. Snapshots from
+/// independent runners merge with [`MetricsSnapshot::absorb`]; because
+/// every merge operation is commutative and associative (counter add,
+/// bucket add, max-of-max) the merged result depends only on the *set*
+/// of inputs, never on worker scheduling.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Histograms, sorted by name.
+    pub hists: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Whether the snapshot carries no metrics at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    /// Looks up a counter value by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a histogram by name.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Merges `other` into `self`: counters add, histogram buckets add,
+    /// maxima take the max. Output stays name-sorted.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        let mut counters: DetMap<String, u64> =
+            self.counters.drain(..).map(|c| (c.name, c.value)).collect();
+        for c in &other.counters {
+            *counters.entry(c.name.clone()).or_insert(0) += c.value;
+        }
+        self.counters = counters
+            .into_iter()
+            .map(|(name, value)| CounterSnapshot { name, value })
+            .collect();
+
+        let mut hists: DetMap<String, HistogramSnapshot> =
+            self.hists.drain(..).map(|h| (h.name.clone(), h)).collect();
+        for h in &other.hists {
+            match hists.get_mut(&h.name) {
+                Some(mine) => {
+                    mine.count += h.count;
+                    mine.sum = mine.sum.saturating_add(h.sum);
+                    mine.max = mine.max.max(h.max);
+                    let mut buckets: DetMap<u32, u64> = mine.buckets.drain(..).collect();
+                    for &(idx, n) in &h.buckets {
+                        *buckets.entry(idx).or_insert(0) += n;
+                    }
+                    mine.buckets = buckets.into_iter().collect();
+                }
+                None => {
+                    hists.insert(h.name.clone(), h.clone());
+                }
+            }
+        }
+        self.hists = hists.into_iter().map(|(_, h)| h).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_ids_are_stable() {
+        let mut r = Registry::new();
+        let a = r.counter("hops.l1_hit");
+        let b = r.counter("hops.l2_hit");
+        assert_eq!(r.counter("hops.l1_hit"), a);
+        assert_ne!(a, b);
+        r.inc(a);
+        r.add(a, 2);
+        r.inc(b);
+        assert_eq!(r.counter_value("hops.l1_hit"), Some(3));
+        assert_eq!(r.counter_value("hops.l2_hit"), Some(1));
+        assert_eq!(r.counter_value("never"), None);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_regardless_of_intern_order() {
+        let mut r = Registry::new();
+        r.counter("zeta");
+        r.counter("alpha");
+        let h = r.hist("mid");
+        r.record(h, 5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(snap.hists[0].name, "mid");
+        assert_eq!(snap.hists[0].count, 1);
+        assert_eq!(snap.hists[0].buckets, vec![(5, 1)]);
+    }
+
+    #[test]
+    fn absorb_is_commutative() {
+        fn make(seed: u64) -> MetricsSnapshot {
+            let mut r = Registry::new();
+            let c = r.counter("c");
+            r.add(c, seed);
+            let h = r.hist("h");
+            for v in 0..seed {
+                r.record(h, v * 7 + seed);
+            }
+            r.snapshot()
+        }
+        let (a, b, c) = (make(3), make(11), make(29));
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        ab.absorb(&c);
+        let mut cb = c.clone();
+        cb.absorb(&b);
+        cb.absorb(&a);
+        assert_eq!(ab, cb);
+        assert_eq!(ab.counter("c"), Some(43));
+    }
+
+    #[test]
+    fn absorb_handles_disjoint_names() {
+        let mut r1 = Registry::new();
+        let c = r1.counter("only.left");
+        r1.inc(c);
+        let mut r2 = Registry::new();
+        let h = r2.hist("only.right");
+        r2.record(h, 42);
+        let mut merged = r1.snapshot();
+        merged.absorb(&r2.snapshot());
+        assert_eq!(merged.counter("only.left"), Some(1));
+        assert_eq!(merged.hist("only.right").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn snapshot_percentiles_match_live_histogram() {
+        let mut r = Registry::new();
+        let h = r.hist("lat");
+        let mut live = Histogram::new();
+        for v in [1u64, 5, 5, 90, 90, 90, 1000, 65_536] {
+            r.record(h, v);
+            live.record(v);
+        }
+        let snap = r.snapshot();
+        let hs = snap.hist("lat").unwrap();
+        for p in [0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(hs.percentile(p), live.percentile(p));
+        }
+        assert_eq!(hs.max, 65_536);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let mut r = Registry::new();
+        let c = r.counter("c");
+        r.add(c, 9);
+        let h = r.hist("h");
+        r.record(h, 123);
+        let snap = r.snapshot();
+        let back = MetricsSnapshot::from_value(&snap.to_value()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,185 @@
+//! Translation lifecycle spans.
+//!
+//! One [`LaneSpan`] is opened per in-flight translation request on a
+//! wavefront lane. The simulator stamps a sim-cycle at each hop the
+//! request actually visits; at fill time the span closes with a
+//! [`Resolution`] naming where the translation was served, and the
+//! simulator rolls the segment durations (queue, L1→L2, below-L2, total)
+//! into per-app latency histograms.
+
+/// Where a translation request was ultimately served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resolution {
+    /// Hit in the per-CU L1 TLB.
+    L1Hit,
+    /// Hit in the GPU-local shared L2 TLB.
+    L2Hit,
+    /// Hit in the shared IOMMU TLB (including the infinite-IOMMU model).
+    IommuHit,
+    /// Served by a remote GPU's L2 via the sharing probe — the holder
+    /// runs the same app (paper's *shared* hit).
+    RemoteShared,
+    /// Served by a remote GPU's L2 via the probe — the entry was spilled
+    /// there, so it migrates back (paper's *spill* hit).
+    RemoteSpill,
+    /// Served by an IOMMU page-table walk.
+    Walk,
+    /// Served by a GPU-local page-table walk.
+    LocalWalk,
+    /// Served by a remote L2 over the probing ring.
+    RingRemote,
+    /// Served after a PRI page fault round-trip.
+    Fault,
+}
+
+impl Resolution {
+    /// Stable lowercase name (used for metric names and trace events).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Resolution::L1Hit => "l1_hit",
+            Resolution::L2Hit => "l2_hit",
+            Resolution::IommuHit => "iommu_hit",
+            Resolution::RemoteShared => "remote_shared",
+            Resolution::RemoteSpill => "remote_spill",
+            Resolution::Walk => "walk",
+            Resolution::LocalWalk => "local_walk",
+            Resolution::RingRemote => "ring_remote",
+            Resolution::Fault => "fault",
+        }
+    }
+
+    /// Every resolution, in declaration order (metric registration).
+    pub const ALL: [Resolution; 9] = [
+        Resolution::L1Hit,
+        Resolution::L2Hit,
+        Resolution::IommuHit,
+        Resolution::RemoteShared,
+        Resolution::RemoteSpill,
+        Resolution::Walk,
+        Resolution::LocalWalk,
+        Resolution::RingRemote,
+        Resolution::Fault,
+    ];
+}
+
+/// Sim-cycle stamps for one in-flight translation request.
+///
+/// `issue` is always present (the wavefront issued the access); the later
+/// stamps are `None` for hops the request never reached (an L1 hit has
+/// no `l2` stamp; a request held in the blocking-L1 retry queue has a
+/// late `l1` stamp, which is exactly the queueing delay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneSpan {
+    /// Cycle the wavefront issued the memory access.
+    pub issue: u64,
+    /// Cycle the L1 TLB was actually probed.
+    pub l1: Option<u64>,
+    /// Cycle the request arrived at the GPU's L2 TLB.
+    pub l2: Option<u64>,
+}
+
+impl LaneSpan {
+    /// Opens a span at issue time.
+    #[must_use]
+    pub fn open(issue: u64) -> Self {
+        LaneSpan {
+            issue,
+            l1: None,
+            l2: None,
+        }
+    }
+
+    /// Stamps the L1 probe (first stamp wins).
+    pub fn stamp_l1(&mut self, now: u64) {
+        if self.l1.is_none() {
+            self.l1 = Some(now);
+        }
+    }
+
+    /// Stamps arrival at the L2 (first stamp wins).
+    pub fn stamp_l2(&mut self, now: u64) {
+        if self.l2.is_none() {
+            self.l2 = Some(now);
+        }
+    }
+
+    /// Segment durations `(queue, l1_l2, below, total)` for a span closed
+    /// at `now`: time to reach the L1 (blocking-queue wait), L1-to-L2,
+    /// below-L2 (probe/walk/fill), and end-to-end. Segments for hops the
+    /// request never reached are `None`.
+    #[must_use]
+    pub fn segments(&self, now: u64) -> SpanSegments {
+        let l1 = self.l1;
+        let l2 = self.l2;
+        SpanSegments {
+            queue: l1.map(|t| t.saturating_sub(self.issue)),
+            l1_l2: match (l1, l2) {
+                (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+                _ => None,
+            },
+            below: l2.map(|t| now.saturating_sub(t)),
+            total: now.saturating_sub(self.issue),
+        }
+    }
+}
+
+/// Durations of the lifecycle segments of one closed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSegments {
+    /// Issue → L1 probe (blocking-L1 queueing delay).
+    pub queue: Option<u64>,
+    /// L1 probe → L2 arrival.
+    pub l1_l2: Option<u64>,
+    /// L2 arrival → fill (probe / IOMMU / walk / fault time).
+    pub below: Option<u64>,
+    /// Issue → fill.
+    pub total: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = Resolution::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Resolution::ALL.len());
+    }
+
+    #[test]
+    fn l1_hit_span_has_no_lower_segments() {
+        let mut s = LaneSpan::open(100);
+        s.stamp_l1(103);
+        let seg = s.segments(104);
+        assert_eq!(seg.queue, Some(3));
+        assert_eq!(seg.l1_l2, None);
+        assert_eq!(seg.below, None);
+        assert_eq!(seg.total, 4);
+    }
+
+    #[test]
+    fn full_miss_span_decomposes() {
+        let mut s = LaneSpan::open(10);
+        s.stamp_l1(12);
+        s.stamp_l2(22);
+        let seg = s.segments(222);
+        assert_eq!(seg.queue, Some(2));
+        assert_eq!(seg.l1_l2, Some(10));
+        assert_eq!(seg.below, Some(200));
+        assert_eq!(seg.total, 212);
+    }
+
+    #[test]
+    fn first_stamp_wins_on_retries() {
+        let mut s = LaneSpan::open(0);
+        s.stamp_l1(5);
+        s.stamp_l1(50);
+        assert_eq!(s.l1, Some(5));
+        s.stamp_l2(7);
+        s.stamp_l2(70);
+        assert_eq!(s.l2, Some(7));
+    }
+}

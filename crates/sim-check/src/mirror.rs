@@ -53,6 +53,37 @@ pub enum MirrorBug {
     /// Skip the eviction-counter decrement when a victim-hierarchy IOMMU
     /// hit moves an entry out of the IOMMU TLB — the counters drift high.
     SkipVictimCountRemove,
+    /// Swap the shared/spilled classification of remote-probe serves in
+    /// the mirrored hop counters — the observability layer's
+    /// `hops.remote_shared` / `hops.remote_spill` split drifts.
+    MisclassifySpillHit,
+}
+
+/// Independent re-derivation of the observability layer's `hops.*`
+/// resolution counters (one increment per *serve event*, exactly as the
+/// simulator's instrumentation counts them). `l1_hit` and `fault` stay
+/// zero in scripted serial replay: injections enter at the L2 and the
+/// oracle only replays pre-mapped footprints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MirrorHops {
+    /// Requests served by the local L2 TLB (`hops.l2_hit`).
+    pub l2_hit: u64,
+    /// Requests served by the IOMMU TLB or the infinite model
+    /// (`hops.iommu_hit`).
+    pub iommu_hit: u64,
+    /// Walk completions that served at least one waiter (`hops.walk`);
+    /// wasted walks do not count.
+    pub walk: u64,
+    /// Remote-probe serves out of a peer running the same app
+    /// (`hops.remote_shared`).
+    pub remote_shared: u64,
+    /// Remote-probe serves that moved a spilled entry home
+    /// (`hops.remote_spill`).
+    pub remote_spill: u64,
+    /// Valkyrie-ring probe serves (`hops.ring_remote`).
+    pub ring_remote: u64,
+    /// Per-GPU local page-table serves (`hops.local_walk`).
+    pub local_walk: u64,
 }
 
 /// Per-app counters the mirror maintains (the scripted-mode subset of
@@ -130,6 +161,7 @@ pub struct Mirror {
     iommu_stats: IommuStats,
     apps: Vec<MirrorAppStats>,
     app_gpus: Vec<Vec<GpuId>>,
+    hops: MirrorHops,
     bug: MirrorBug,
 }
 
@@ -185,6 +217,7 @@ impl Mirror {
                 .iter()
                 .map(|p| p.gpus.iter().map(|&g| GpuId(g)).collect())
                 .collect(),
+            hops: MirrorHops::default(),
             bug,
         }
     }
@@ -197,6 +230,7 @@ impl Mirror {
         self.gpu_stats[gpu.index()].l2_requests += 1;
         if self.l2[gpu.index()].lookup(key).is_some() {
             self.apps[idx].l2_hits += 1;
+            self.hops.l2_hit += 1;
             return;
         }
         // Primary miss (serial replay: the MSHRs are empty between
@@ -204,6 +238,7 @@ impl Mirror {
         self.gpu_stats[gpu.index()].ats_sent += 1;
         let g = gpu.index();
         if self.policy.local_page_tables && self.local_pt[g].contains(&key) {
+            self.hops.local_walk += 1;
             self.fill(gpu, key);
         } else if self.policy.probing_ring && self.gpus > 1 {
             self.ring(gpu, key, idx);
@@ -234,6 +269,7 @@ impl Mirror {
             .collect();
         if hits.iter().any(|&h| h) {
             self.apps[idx].remote_hits += 1;
+            self.hops.ring_remote += 1;
             self.fill(origin, key);
         } else {
             self.iommu_arrive(origin, key, idx);
@@ -253,6 +289,7 @@ impl Mirror {
         if self.policy.infinite_iommu {
             if self.infinite_seen.contains(&key) {
                 self.apps[idx].iommu_hits += 1;
+                self.hops.iommu_hit += 1;
                 self.fill(gpu, key);
             } else {
                 self.walk_effects(key, idx);
@@ -265,6 +302,7 @@ impl Mirror {
         match self.iommu_tlb.lookup(key) {
             Some(entry) => {
                 self.apps[idx].iommu_hits += 1;
+                self.hops.iommu_hit += 1;
                 if self.is_victim() {
                     // least-inclusive: the hit moves the entry to the
                     // requester's L2.
@@ -352,7 +390,11 @@ impl Mirror {
     /// Walk-result delivery side effects (everything except the fill):
     /// the mostly-inclusive baseline populates the IOMMU TLB; the
     /// infinite model records membership; victim hierarchies do nothing.
+    /// Every call is a walk completion that serves its waiter, so this is
+    /// also where the mirrored `hops.walk` counter increments (wasted
+    /// walks never reach here).
     fn deliver_effects(&mut self, gpu: GpuId, key: TranslationKey) {
+        self.hops.walk += 1;
         if self.policy.infinite_iommu {
             self.infinite_seen.insert(key);
         } else if !self.is_victim() {
@@ -368,6 +410,16 @@ impl Mirror {
         // race mode).
         self.apps[idx].remote_hits += 1;
         let holder_runs_app = self.app_gpus[idx].contains(&holder);
+        let counted_as_shared = if self.bug == MirrorBug::MisclassifySpillHit {
+            !holder_runs_app
+        } else {
+            holder_runs_app
+        };
+        if counted_as_shared {
+            self.hops.remote_shared += 1;
+        } else {
+            self.hops.remote_spill += 1;
+        }
         if !holder_runs_app {
             // Spilled entry: moved back, not shared.
             self.l2[holder.index()].remove(key);
@@ -561,6 +613,12 @@ impl Mirror {
     #[must_use]
     pub fn app(&self, i: usize) -> &MirrorAppStats {
         &self.apps[i]
+    }
+
+    /// The mirrored resolution-hop counters.
+    #[must_use]
+    pub fn hops(&self) -> &MirrorHops {
+        &self.hops
     }
 
     /// The seeded bug, if any.

@@ -103,6 +103,28 @@ fn compare(sys: &System, m: &Mirror, gpus: usize, step: usize) -> Result<(), Div
         &io.eviction_counters.as_slice(),
         &m.eviction_counters(),
     )?;
+    // The observability layer's hop counters are rederived independently
+    // by the mirror (one increment per serve event); a miscounted or
+    // misclassified hop in the instrumentation diverges here.
+    let hops = m.hops();
+    for (name, mir) in [
+        ("hops.l1_hit", 0),
+        ("hops.l2_hit", hops.l2_hit),
+        ("hops.iommu_hit", hops.iommu_hit),
+        ("hops.walk", hops.walk),
+        ("hops.fault", 0),
+        ("hops.remote_shared", hops.remote_shared),
+        ("hops.remote_spill", hops.remote_spill),
+        ("hops.ring_remote", hops.ring_remote),
+        ("hops.local_walk", hops.local_walk),
+    ] {
+        diff(
+            step,
+            &format!("{name} counter"),
+            &sys.metrics_counter(name).unwrap_or(0),
+            &mir,
+        )?;
+    }
     match (&io.pwc, m.pwc()) {
         (Some(sim), Some(mir)) => {
             diff(step, "PWC stats", sim.stats(), mir.stats())?;
@@ -147,6 +169,13 @@ pub fn run_serial_with_bug(
     accesses: &[Access],
     bug: MirrorBug,
 ) -> Result<OracleReport, Divergence> {
+    // Force the observability layer on so its hop counters are part of
+    // the differential surface (the mirror rederives them independently).
+    let cfg = &{
+        let mut cfg = cfg.clone();
+        cfg.obs.metrics = true;
+        cfg
+    };
     let mut sys = System::new_scripted(cfg, spec).expect("oracle config must build");
     let mut m = Mirror::new(cfg, spec, bug);
     let mut now = Cycle(0);

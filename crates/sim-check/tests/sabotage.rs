@@ -124,6 +124,63 @@ fn oracle_catches_victim_count_bug() {
         .expect_err("shrunk case must still trigger the bug");
 }
 
+/// Two apps on disjoint GPUs under least-TLB spilling. App 1 streams
+/// enough pages through its 16-entry L2 that the evictions overflow the
+/// 64-entry IOMMU TLB, whose own victims spill to GPU 0 (fixed receiver)
+/// — a GPU that does *not* run app 1. Re-accessing the spilled pages then
+/// serves remote probes classified as `hops.remote_spill`; the seeded bug
+/// swaps the shared/spilled classification in the mirrored hop counters.
+fn spill_probe_case() -> FuzzCase {
+    let mut case = base_case();
+    case.gpus = 2;
+    case.mode = 1; // app 0 → GPU 0, app 1 → GPU 1
+    case.inclusion = 1; // least-inclusive victim hierarchy
+    case.tracker = 2; // exact tracker: probes always find the holder
+    case.spilling = true;
+    case.spill_credits = 2;
+    case.receiver = 2; // fixed receiver: every spill lands on GPU 0
+    for vpn in 0..90 {
+        case.entries.push(Access {
+            gpu: 1,
+            asid: 1,
+            vpn,
+        });
+    }
+    for vpn in 0..12 {
+        case.entries.push(Access {
+            gpu: 1,
+            asid: 1,
+            vpn,
+        });
+    }
+    case
+}
+
+#[test]
+fn oracle_catches_misclassified_spill_hops() {
+    let case = spill_probe_case();
+    let report = run_case(&case).expect("clean mirror must pass the sabotage input");
+    assert!(report.spills > 0, "scenario must exercise spilling");
+    assert!(
+        report.remote_hits > 0,
+        "scenario must serve remote probes against spilled entries"
+    );
+    let err = run_case_with_bug(&case, MirrorBug::MisclassifySpillHit)
+        .expect_err("misclassified hop counters must be detected");
+    assert!(
+        err.contains("hops.remote"),
+        "divergence should implicate the hop counters: {err}"
+    );
+
+    let shrunk = shrink(&case, |c| {
+        run_case_with_bug(c, MirrorBug::MisclassifySpillHit).is_err()
+    });
+    assert!(shrunk.entries.len() <= case.entries.len());
+    run_case_with_bug(&shrunk, MirrorBug::MisclassifySpillHit)
+        .expect_err("shrunk case must still trigger the bug");
+    run_case(&shrunk).expect("shrunk case must still pass a clean mirror");
+}
+
 #[test]
 fn repro_json_round_trips_through_a_file() {
     let case = fifo_sensitive_case();

@@ -9,6 +9,9 @@
 //!   `nondet` and `event` rules apply there;
 //! - `sim-engine` defines the event queue, so the `event` rule (which
 //!   bans raw `.schedule(` *callers*) is off inside it;
+//! - `obs` (the observability layer) gets the full rule set — it exists
+//!   to report *simulated* time, so the `nondet` wall-clock ban applies
+//!   with no allowances;
 //! - binaries (`src/bin/`), `tests/`, `benches/`, `examples/` and any
 //!   directory named `fixtures` are exempt: they are driver/test code
 //!   where panicking on bad input or asserting freely is correct.
@@ -94,6 +97,10 @@ fn crate_policy(name: &str) -> FilePolicy {
             event: false,
             ..FilePolicy::ALL
         },
+        // Everything else — including `obs`, the observability layer,
+        // which is deterministic by contract (sim-time only: metrics and
+        // traces must be bit-identical across `--jobs`) — gets every
+        // rule, the wall-clock ban most of all.
         _ => FilePolicy::ALL,
     }
 }

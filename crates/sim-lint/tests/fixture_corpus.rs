@@ -85,6 +85,22 @@ fn event_fixture_flags_raw_schedule_only() {
 }
 
 #[test]
+fn obs_wallclock_fixture_is_flagged() {
+    // The obs crate is linted under the full rule set (`crate_policy`
+    // maps "obs" to `FilePolicy::ALL`, same as this harness passes), so
+    // wall-clock time leaking into an observability histogram is a hard
+    // nondet error.
+    let diags = lint_fixture("obs_wallclock.rs");
+    assert_eq!(gating(&diags), vec![(Rule::Nondet, 4)]);
+    assert!(
+        diags.iter().any(|d| d.line == 4
+            && d.severity == Severity::Error
+            && d.message.contains("wall-clock")),
+        "wall-clock import must be a nondet error: {diags:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     let diags = lint_fixture("clean.rs");
     assert!(

@@ -1,0 +1,17 @@
+// Observability-shaped snippet that smuggles wall-clock time into a
+// histogram. The nondet rule must flag both the import and the call:
+// obs latencies are sim-cycles only.
+use std::time::Instant;
+
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    pub fn record_span_end(&mut self, started: Instant) {
+        let elapsed = started.elapsed().as_micros() as u64;
+        self.count += 1;
+        self.sum += elapsed;
+    }
+}

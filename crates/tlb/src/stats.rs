@@ -39,6 +39,23 @@ impl TlbStats {
         }
     }
 
+    /// Exports every counter into an observability registry under
+    /// `prefix` (e.g. `gpu0.l2_tlb.hits`). Cold path: called once per run
+    /// at result-collection time.
+    pub fn export(&self, reg: &mut obs::Registry, prefix: &str) {
+        for (name, value) in [
+            ("lookups", self.lookups),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("insertions", self.insertions),
+            ("evictions", self.evictions),
+            ("removals", self.removals),
+        ] {
+            let id = reg.counter(&format!("{prefix}.{name}"));
+            reg.add(id, value);
+        }
+    }
+
     /// Accumulates another stats block into this one (used to aggregate
     /// per-CU L1 TLBs into a per-GPU view).
     pub fn merge(&mut self, other: &TlbStats) {
