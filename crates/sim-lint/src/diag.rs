@@ -23,9 +23,11 @@ impl fmt::Display for Severity {
     }
 }
 
-/// The rule families sim-lint enforces. `Directive` covers problems with
-/// suppression comments themselves (malformed, missing reason, unused) and
-/// is not itself suppressible.
+/// The rule families sim-lint enforces. The first five are token-level
+/// rules (PR 3); the four flow rules operate on the cross-file
+/// event-protocol graph built by [`crate::flow`]. `Directive` covers
+/// problems with suppression comments themselves (malformed, missing
+/// reason, unused) and is not itself suppressible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     Nondet,
@@ -33,6 +35,10 @@ pub enum Rule {
     Hygiene,
     Event,
     Index,
+    DeadEvent,
+    UnhandledEvent,
+    MultiDispatch,
+    TaxonomyWiring,
     Directive,
 }
 
@@ -44,6 +50,10 @@ impl Rule {
             Rule::Hygiene => "hygiene",
             Rule::Event => "event",
             Rule::Index => "index",
+            Rule::DeadEvent => "dead-event",
+            Rule::UnhandledEvent => "unhandled-event",
+            Rule::MultiDispatch => "multi-dispatch",
+            Rule::TaxonomyWiring => "taxonomy-wiring",
             Rule::Directive => "directive",
         }
     }
@@ -58,6 +68,10 @@ impl Rule {
             "hygiene" => Some(Rule::Hygiene),
             "event" => Some(Rule::Event),
             "index" => Some(Rule::Index),
+            "dead-event" => Some(Rule::DeadEvent),
+            "unhandled-event" => Some(Rule::UnhandledEvent),
+            "multi-dispatch" => Some(Rule::MultiDispatch),
+            "taxonomy-wiring" => Some(Rule::TaxonomyWiring),
             _ => None,
         }
     }
@@ -86,5 +100,142 @@ impl fmt::Display for Diagnostic {
             "{}:{}: {}[{}] {}",
             self.file, self.line, self.severity, self.rule, self.message
         )
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal (RFC 8259 escaping).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Machine-readable diagnostics document for `--format json`: a stable
+/// schema CI tooling can parse without depending on sim-lint's output
+/// wording. The writer is hand-rolled so the tool itself stays
+/// dependency-free; the output is verified to round-trip through the
+/// workspace's `serde_json` in `tests/json_roundtrip.rs`.
+#[must_use]
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    use fmt::Write as _;
+    let (errors, warnings, infos) = crate::tally(diags);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"version\":1,\"summary\":{{\"errors\":{errors},\"warnings\":{warnings},\
+         \"infos\":{infos}}},\"diagnostics\":["
+    );
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"file\":");
+        push_json_str(&mut out, &d.file);
+        let _ = write!(out, ",\"line\":{}", d.line);
+        out.push_str(",\"rule\":");
+        push_json_str(&mut out, d.rule.name());
+        out.push_str(",\"severity\":");
+        push_json_str(&mut out, &d.severity.to_string());
+        out.push_str(",\"message\":");
+        push_json_str(&mut out, &d.message);
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Percent-escape the characters GitHub workflow commands treat as
+/// message terminators.
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// One GitHub Actions workflow-command annotation per diagnostic
+/// (`::error file=...,line=...::message`), so CI failures surface inline
+/// on the pull-request diff.
+#[must_use]
+pub fn to_github_annotations(diags: &[Diagnostic]) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    for d in diags {
+        let kind = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "notice",
+        };
+        let _ = writeln!(
+            out,
+            "::{kind} file={},line={},title=sim-lint[{}]::{}",
+            github_escape(&d.file),
+            d.line,
+            d.rule,
+            github_escape(&d.message)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let diags = vec![Diagnostic {
+            file: "a \"b\"\\c.rs".to_string(),
+            line: 7,
+            rule: Rule::DeadEvent,
+            severity: Severity::Error,
+            message: "line1\nline2\ttab".to_string(),
+        }];
+        let json = to_json(&diags);
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.contains("\"rule\":\"dead-event\""));
+        assert!(json.contains("a \\\"b\\\"\\\\c.rs"));
+        assert!(json.contains("line1\\nline2\\ttab"));
+    }
+
+    #[test]
+    fn github_annotations_escape_newlines() {
+        let diags = vec![Diagnostic {
+            file: "x.rs".to_string(),
+            line: 3,
+            rule: Rule::Nondet,
+            severity: Severity::Warning,
+            message: "a%b\nc".to_string(),
+        }];
+        let ann = to_github_annotations(&diags);
+        assert_eq!(
+            ann,
+            "::warning file=x.rs,line=3,title=sim-lint[nondet]::a%25b%0Ac\n"
+        );
+    }
+
+    #[test]
+    fn flow_rule_names_roundtrip() {
+        for r in [
+            Rule::DeadEvent,
+            Rule::UnhandledEvent,
+            Rule::MultiDispatch,
+            Rule::TaxonomyWiring,
+        ] {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("directive"), None);
     }
 }

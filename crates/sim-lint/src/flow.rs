@@ -1,0 +1,170 @@
+//! The flow pass: cross-file analysis over the whole file set.
+//!
+//! Token rules see one file at a time; the flow rules need every file's
+//! model at once (the `Event` enum lives in one file, its producers and
+//! dispatcher in others). `analyze_sources` runs both layers: per-file
+//! token rules and model extraction, then the protocol graph and flow
+//! rules over the combined model, then the shared suppression machinery —
+//! a `// sim-lint: allow(dead-event, reason = "...")` on a variant's
+//! declaration line works exactly like a token-rule allow.
+
+use std::path::Path;
+
+use crate::config;
+use crate::diag::{Diagnostic, Rule, Severity};
+use crate::graph::{self, ProtocolGraph};
+use crate::lexer;
+use crate::model::{self, FileModel};
+use crate::rules::{self, FilePolicy};
+use crate::rules_flow;
+use crate::scan;
+
+/// The protocol enum the graph is built over.
+pub const PROTOCOL_ENUM: &str = "Event";
+
+/// One in-memory source file with its rule policy. `name` should be the
+/// workspace-relative path (`crates/core/src/system/mod.rs`): the
+/// taxonomy-wiring rule classifies files by their `crates/<name>/`
+/// component.
+#[derive(Debug)]
+pub struct SourceText {
+    pub name: String,
+    pub src: String,
+    pub policy: FilePolicy,
+}
+
+/// The result of a full analysis: all diagnostics (token + flow, after
+/// suppression) and the protocol graph, if the file set defines the
+/// protocol enum.
+#[derive(Debug)]
+pub struct Analysis {
+    pub diags: Vec<Diagnostic>,
+    pub graph: Option<ProtocolGraph>,
+}
+
+/// Analyze a set of in-memory sources: token rules per file, flow rules
+/// across files, suppressions applied to both. Diagnostics come back in
+/// deterministic (file, line, rule) order.
+pub fn analyze_sources(files: &[SourceText]) -> Analysis {
+    let mut units: Vec<(String, Vec<Diagnostic>, Vec<scan::Allow>)> = Vec::new();
+    let mut models: Vec<FileModel> = Vec::new();
+    for f in files {
+        let lx = lexer::lex(&f.src);
+        let cx = scan::scan(&lx);
+        let raw = rules::check_tokens(&f.name, &lx, &cx, &f.policy);
+        let allows = scan::parse_allows(&lx);
+        models.push(model::extract(&f.name, &lx, &cx));
+        units.push((f.name.clone(), raw, allows));
+    }
+
+    let graph = graph::build(&models, PROTOCOL_ENUM);
+    let mut orphans = Vec::new();
+    for d in rules_flow::check_flow(&models, graph.as_ref()) {
+        // Route each flow finding to its anchor file so that file's
+        // allows can suppress it (and unused-allow accounting sees it).
+        match units.iter_mut().find(|u| u.0 == d.file) {
+            Some(u) => u.1.push(d),
+            None => orphans.push(d),
+        }
+    }
+
+    let mut diags = Vec::new();
+    for (name, raw, allows) in units {
+        diags.extend(crate::finalize(&name, raw, &allows));
+    }
+    diags.extend(orphans);
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Analysis { diags, graph }
+}
+
+/// Analyze the whole workspace rooted at `root`: the same file set and
+/// policies as `lint_workspace`, plus the flow pass and protocol graph.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let files = config::collect_workspace(root)?;
+    let mut sources = Vec::new();
+    let mut io_diags = Vec::new();
+    for f in files {
+        let name = f
+            .path
+            .strip_prefix(root)
+            .unwrap_or(&f.path)
+            .display()
+            .to_string();
+        match std::fs::read_to_string(&f.path) {
+            Ok(src) => sources.push(SourceText {
+                name,
+                src,
+                policy: f.policy,
+            }),
+            Err(e) => io_diags.push(Diagnostic {
+                file: name,
+                line: 0,
+                rule: Rule::Directive,
+                severity: Severity::Error,
+                message: format!("unreadable source file: {e}"),
+            }),
+        }
+    }
+    let mut a = analyze_sources(&sources);
+    a.diags.extend(io_diags);
+    a.diags
+        .sort_by(|x, y| (&x.file, x.line, x.rule).cmp(&(&y.file, y.line, y.rule)));
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(name: &str, body: &str) -> SourceText {
+        SourceText {
+            name: name.to_string(),
+            src: body.to_string(),
+            policy: FilePolicy::ALL,
+        }
+    }
+
+    #[test]
+    fn clean_protocol_produces_graph_and_no_diags() {
+        let files = [src(
+            "crates/core/src/p.rs",
+            "pub enum Event { Tick }\n\
+             fn produce(q: &mut Q) { q.schedule_after(1, Event::Tick); }\n\
+             fn dispatch(e: Event) { match e { Event::Tick => {} } }\n",
+        )];
+        let a = analyze_sources(&files);
+        assert!(a.diags.is_empty(), "{:?}", a.diags);
+        let g = a.graph.expect("graph built");
+        assert_eq!(g.variants.len(), 1);
+        assert_eq!(g.variants[0].producers.len(), 1);
+        assert_eq!(g.variants[0].consumers.len(), 1);
+    }
+
+    #[test]
+    fn flow_diag_is_suppressible_with_allow() {
+        let files = [src(
+            "crates/core/src/p.rs",
+            "pub enum Event {\n\
+             // sim-lint: allow(dead-event, reason = \"seeded externally\")\n\
+             Tick,\n\
+             }\n\
+             fn dispatch(e: Event) { match e { Event::Tick => {} } }\n",
+        )];
+        let a = analyze_sources(&files);
+        assert!(
+            !a.diags.iter().any(|d| d.rule == Rule::DeadEvent),
+            "{:?}",
+            a.diags
+        );
+        // The allow was used, so no unused-allow warning either.
+        assert!(!a.diags.iter().any(|d| d.rule == Rule::Directive));
+    }
+
+    #[test]
+    fn no_protocol_enum_means_no_graph() {
+        let files = [src("crates/core/src/p.rs", "fn f() {}\n")];
+        let a = analyze_sources(&files);
+        assert!(a.graph.is_none());
+        assert!(a.diags.is_empty());
+    }
+}

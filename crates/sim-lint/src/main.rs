@@ -2,18 +2,34 @@
 //!
 //! ```text
 //! cargo run -p sim-lint -- [--root <path>] [--deny warnings] [--quiet]
+//!                          [--format <human|json|github>] [--emit-graph <path>]
 //! ```
+//!
+//! `--format json` writes the machine-readable diagnostics document to
+//! stdout (summary goes to stderr); `--format github` prints one GitHub
+//! Actions annotation per finding. `--emit-graph` writes the event-protocol
+//! graph as DOT to the given path.
 //!
 //! Exit codes: 0 clean, 1 gated findings, 2 usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sim_lint::diag::Severity;
+use sim_lint::diag::{self, Severity};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Github,
+}
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("sim-lint: {msg}");
-    eprintln!("usage: sim-lint [--root <path>] [--deny warnings] [--quiet]");
+    eprintln!(
+        "usage: sim-lint [--root <path>] [--deny warnings] [--quiet] \
+         [--format <human|json|github>] [--emit-graph <path>]"
+    );
     ExitCode::from(2)
 }
 
@@ -21,6 +37,8 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny_warnings = false;
     let mut quiet = false;
+    let mut format = Format::Human;
+    let mut emit_graph: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,40 +56,101 @@ fn main() -> ExitCode {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage_error("--root requires a path to the workspace root"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                other => {
+                    return usage_error(&format!(
+                        "--format takes one of human, json, github; got {}",
+                        other.map_or_else(|| "nothing".to_string(), |o| format!("`{o}`"))
+                    ));
+                }
+            },
+            "--emit-graph" => match args.next() {
+                Some(p) => emit_graph = Some(PathBuf::from(p)),
+                None => {
+                    return usage_error("--emit-graph requires an output path for the DOT file")
+                }
+            },
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "sim-lint: workspace static analysis (nondet, panic, hygiene, event, index)"
+                    "sim-lint: workspace static analysis (nondet, panic, hygiene, event, \
+                     index + flow rules dead-event, unhandled-event, multi-dispatch, \
+                     taxonomy-wiring)"
                 );
-                println!("usage: sim-lint [--root <path>] [--deny warnings] [--quiet]");
+                println!(
+                    "usage: sim-lint [--root <path>] [--deny warnings] [--quiet] \
+                     [--format <human|json|github>] [--emit-graph <path>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
                 return usage_error(&format!(
                     "unknown flag `{other}`; accepted flags are --root <path>, \
-                     --deny warnings, --quiet"
+                     --deny warnings, --quiet, --format <human|json|github>, \
+                     --emit-graph <path>"
                 ));
             }
         }
     }
 
-    let diags = match sim_lint::lint_workspace(&root) {
-        Ok(d) => d,
+    let analysis = match sim_lint::flow::analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => return usage_error(&format!("cannot walk workspace at {}: {e}", root.display())),
     };
+    let diags = &analysis.diags;
 
-    if !quiet {
-        for d in &diags {
-            println!("{d}");
+    if let Some(path) = &emit_graph {
+        let Some(graph) = &analysis.graph else {
+            return usage_error(&format!(
+                "--emit-graph: no `{}` enum found in the workspace, nothing to plot",
+                sim_lint::flow::PROTOCOL_ENUM
+            ));
+        };
+        if let Err(e) = std::fs::write(path, graph.to_dot()) {
+            return usage_error(&format!("cannot write graph to {}: {e}", path.display()));
         }
     }
-    let (errors, warnings, infos) = sim_lint::tally(&diags);
-    println!("sim-lint: {errors} error(s), {warnings} warning(s), {infos} info note(s)");
+
+    match format {
+        Format::Human => {
+            if !quiet {
+                for d in diags {
+                    println!("{d}");
+                }
+            }
+        }
+        Format::Json => print!("{}", diag::to_json(diags)),
+        Format::Github => {
+            // Annotate only what can gate: GitHub caps annotations per
+            // step, and hundreds of advisory Info notes would drown the
+            // findings that matter (the JSON artifact carries them all).
+            let gating: Vec<_> = diags
+                .iter()
+                .filter(|d| d.severity >= Severity::Warning)
+                .cloned()
+                .collect();
+            print!("{}", diag::to_github_annotations(&gating));
+        }
+    }
+
+    let (errors, warnings, infos) = sim_lint::tally(diags);
+    let summary =
+        format!("sim-lint: {errors} error(s), {warnings} warning(s), {infos} info note(s)");
+    // Keep stdout machine-parseable under --format json.
+    if format == Format::Json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
 
     let gated = errors > 0 || (deny_warnings && warnings > 0);
     if gated {
-        // Re-show what gated even in quiet mode, so CI logs are actionable.
-        if quiet {
+        // Re-show what gated even in quiet/json mode, so CI logs are
+        // actionable without opening the artifact.
+        if quiet || format == Format::Json {
             for d in diags.iter().filter(|d| {
                 d.severity == Severity::Error || (deny_warnings && d.severity == Severity::Warning)
             }) {

@@ -1,0 +1,428 @@
+//! Item-level model extraction for the flow pass.
+//!
+//! The token rules in [`crate::rules`] look at small neighbourhoods; the
+//! flow rules need to know *what items exist* across files: enum
+//! definitions with their variants, `match` expressions with their arms,
+//! and `schedule*` call sites with the enum paths they construct. This
+//! module lifts a lexed file into that shape. It is still not an AST —
+//! just delimiter-matched spans over the token stream, which is exact
+//! enough for the protocol idioms this workspace actually uses (and the
+//! self-run test in `tests/workspace_clean.rs` pins that it stays so).
+//!
+//! Everything inside `#[test]`/`#[cfg(test)]` regions is excluded: test
+//! code may mention variants freely without counting as protocol wiring.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Lexed, Tok};
+use crate::scan::{find_item_end, match_delim, Context};
+
+/// A `Owner::Name` path occurrence (both segments capitalized), e.g.
+/// `Event::Fill` or `Resolution::Walk`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathRef {
+    pub owner: String,
+    pub name: String,
+    pub line: u32,
+}
+
+/// An `enum` definition with its variants in declaration order.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    pub name: String,
+    pub line: u32,
+    /// `(variant_name, decl_line)` pairs.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// One `match` expression: the enum paths matched by its arms, plus the
+/// wildcard arm if present.
+#[derive(Debug, Clone)]
+pub struct MatchModel {
+    /// Line of the `match` keyword.
+    pub line: u32,
+    /// Name of the enclosing function (innermost), or `"<file>"` at
+    /// module scope.
+    pub fn_name: String,
+    /// Enum paths appearing in arm patterns (or-patterns yield several).
+    pub arms: Vec<PathRef>,
+    /// Line of a `_ => ...` arm, if any.
+    pub wildcard: Option<u32>,
+}
+
+/// One enum path constructed inside a `schedule*` call's argument list.
+#[derive(Debug, Clone)]
+pub struct ProducerSite {
+    pub enum_name: String,
+    pub variant: String,
+    pub line: u32,
+    /// Which scheduling method carried it (`schedule_after`, ...).
+    pub via: String,
+}
+
+/// Everything the flow rules need to know about one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    pub file: String,
+    pub enums: Vec<EnumDef>,
+    pub matches: Vec<MatchModel>,
+    pub producers: Vec<ProducerSite>,
+    /// Every non-test `Owner::Name` path in the file.
+    pub path_refs: Vec<PathRef>,
+    /// Raw text of every non-test string literal (quotes included).
+    pub lits: BTreeSet<String>,
+    /// Every non-test identifier.
+    pub idents: BTreeSet<String>,
+}
+
+fn ident(lx: &Lexed, i: usize) -> Option<&str> {
+    match lx.tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(lx: &Lexed, i: usize, c: char) -> bool {
+    matches!(lx.tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+fn is_cap(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// `Owner::Name` with both segments capitalized starting at token `i`.
+fn cap_path_at(lx: &Lexed, i: usize) -> Option<PathRef> {
+    let owner = ident(lx, i)?;
+    if !is_cap(owner) || !punct(lx, i + 1, ':') || !punct(lx, i + 2, ':') {
+        return None;
+    }
+    let name = ident(lx, i + 3)?;
+    if !is_cap(name) {
+        return None;
+    }
+    Some(PathRef {
+        owner: owner.to_string(),
+        name: name.to_string(),
+        line: lx.tokens[i].line,
+    })
+}
+
+/// Spans of `fn` bodies, for labelling matches with their enclosing
+/// function.
+fn fn_spans(lx: &Lexed, cx: &Context) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    for i in 0..lx.tokens.len() {
+        if cx.test[i] || ident(lx, i) != Some("fn") {
+            continue;
+        }
+        if let Some(name) = ident(lx, i + 1) {
+            out.push((i, find_item_end(lx, i + 2), name.to_string()));
+        }
+    }
+    out
+}
+
+/// Name of the innermost function span containing token `i`.
+fn enclosing_fn(spans: &[(usize, usize, String)], i: usize, fallback: &str) -> String {
+    spans
+        .iter()
+        .filter(|(a, b, _)| *a <= i && i <= *b)
+        .max_by_key(|(a, _, _)| *a)
+        .map_or_else(|| fallback.to_string(), |(_, _, n)| n.clone())
+}
+
+/// Skip any `#[...]` attributes starting at `i`; return the first
+/// non-attribute token index.
+fn skip_attrs(lx: &Lexed, mut i: usize) -> usize {
+    while punct(lx, i, '#') && punct(lx, i + 1, '[') {
+        i = match_delim(lx, i + 1, '[', ']') + 1;
+    }
+    i
+}
+
+/// Parse the variant list of an `enum` whose body spans `(lb, rb)`
+/// (exclusive of the braces).
+fn parse_variants(lx: &Lexed, lb: usize, rb: usize) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = lb + 1;
+    while i < rb {
+        i = skip_attrs(lx, i);
+        if i >= rb {
+            break;
+        }
+        let Some(name) = ident(lx, i) else {
+            i += 1;
+            continue;
+        };
+        out.push((name.to_string(), lx.tokens[i].line));
+        // Skip the payload/discriminant to the `,` closing this variant.
+        let mut depth = 0i64;
+        while i < rb {
+            match lx.tokens[i].tok {
+                Tok::Punct('(' | '{' | '[') => depth += 1,
+                Tok::Punct(')' | '}' | ']') => depth -= 1,
+                Tok::Punct(',') if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse the arms of a `match` whose body spans `(lb, rb)`.
+fn parse_match_body(lx: &Lexed, lb: usize, rb: usize) -> (Vec<PathRef>, Option<u32>) {
+    let mut arms = Vec::new();
+    let mut wildcard = None;
+    let mut i = lb + 1;
+    while i < rb {
+        i = skip_attrs(lx, i);
+        // Pattern: tokens until `=>` at zero nested depth.
+        let pat_start = i;
+        let mut depth = 0i64;
+        while i < rb {
+            match lx.tokens[i].tok {
+                Tok::Punct('(' | '{' | '[') => depth += 1,
+                Tok::Punct(')' | '}' | ']') => depth -= 1,
+                Tok::Punct('=') if depth == 0 && punct(lx, i + 1, '>') => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= rb {
+            break;
+        }
+        let pat_end = i; // index of `=`
+        let mut saw_path = false;
+        let mut j = pat_start;
+        while j < pat_end {
+            if let Some(p) = cap_path_at(lx, j) {
+                arms.push(p);
+                saw_path = true;
+                j += 4;
+            } else {
+                j += 1;
+            }
+        }
+        // A single-token `_` or lowercase binding pattern is a catch-all.
+        if !saw_path && pat_end == pat_start + 1 {
+            if let Some(id) = ident(lx, pat_start) {
+                if id == "_" || id.chars().next().is_some_and(char::is_lowercase) {
+                    wildcard.get_or_insert(lx.tokens[pat_start].line);
+                }
+            }
+        }
+        // Arm expression: a brace block, or tokens to the `,` at depth 0.
+        i = pat_end + 2;
+        if punct(lx, i, '{') {
+            i = match_delim(lx, i, '{', '}') + 1;
+            if punct(lx, i, ',') {
+                i += 1;
+            }
+        } else {
+            let mut depth = 0i64;
+            while i < rb {
+                match lx.tokens[i].tok {
+                    Tok::Punct('(' | '{' | '[') => depth += 1,
+                    Tok::Punct(')' | '}' | ']') => depth -= 1,
+                    Tok::Punct(',') if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    (arms, wildcard)
+}
+
+/// The scheduling methods whose arguments count as event production.
+const SCHEDULE_METHODS: &[&str] = &["schedule", "schedule_after", "schedule_no_earlier"];
+
+/// Lift one lexed file into its item-level model. `cx` supplies the test
+/// mask; tokens inside test regions contribute nothing.
+pub fn extract(file: &str, lx: &Lexed, cx: &Context) -> FileModel {
+    let mut m = FileModel {
+        file: file.to_string(),
+        enums: Vec::new(),
+        matches: Vec::new(),
+        producers: Vec::new(),
+        path_refs: Vec::new(),
+        lits: BTreeSet::new(),
+        idents: BTreeSet::new(),
+    };
+    let spans = fn_spans(lx, cx);
+    let n = lx.tokens.len();
+    for i in 0..n {
+        if cx.test[i] {
+            continue;
+        }
+        match &lx.tokens[i].tok {
+            Tok::Lit(s) => {
+                if s.starts_with('"') || s.starts_with("r\"") || s.starts_with("r#") {
+                    m.lits.insert(s.clone());
+                }
+                continue;
+            }
+            Tok::Ident(s) => {
+                m.idents.insert(s.clone());
+            }
+            Tok::Punct(_) => continue,
+        }
+        if let Some(p) = cap_path_at(lx, i) {
+            m.path_refs.push(p);
+        }
+        let id = ident(lx, i).unwrap_or("");
+        // Enum definition: `enum Name { ... }`.
+        if id == "enum" {
+            if let Some(name) = ident(lx, i + 1) {
+                // The body brace is the first `{` at zero paren/bracket
+                // depth (generics use `<>`, which the lexer leaves as
+                // plain puncts and which never nest braces before the
+                // body in this codebase).
+                let mut j = i + 2;
+                let mut ok = false;
+                while j < n {
+                    match lx.tokens[j].tok {
+                        Tok::Punct('{') => {
+                            ok = true;
+                            break;
+                        }
+                        Tok::Punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                if ok {
+                    let rb = match_delim(lx, j, '{', '}');
+                    m.enums.push(EnumDef {
+                        name: name.to_string(),
+                        line: lx.tokens[i].line,
+                        variants: parse_variants(lx, j, rb),
+                    });
+                }
+            }
+        }
+        // Match expression: `match scrutinee { arms }`.
+        if id == "match" {
+            let mut j = i + 1;
+            let mut paren = 0i64;
+            let mut bracket = 0i64;
+            while j < n {
+                match lx.tokens[j].tok {
+                    Tok::Punct('(') => paren += 1,
+                    Tok::Punct(')') => paren -= 1,
+                    Tok::Punct('[') => bracket += 1,
+                    Tok::Punct(']') => bracket -= 1,
+                    Tok::Punct('{') if paren == 0 && bracket == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < n {
+                let rb = match_delim(lx, j, '{', '}');
+                let (arms, wildcard) = parse_match_body(lx, j, rb);
+                m.matches.push(MatchModel {
+                    line: lx.tokens[i].line,
+                    fn_name: enclosing_fn(&spans, i, file),
+                    arms,
+                    wildcard,
+                });
+            }
+        }
+        // Producer site: `.schedule*( ... Owner::Variant ... )`. Requiring
+        // the leading `.` excludes the methods' own definitions.
+        if SCHEDULE_METHODS.contains(&id) && i > 0 && punct(lx, i - 1, '.') && punct(lx, i + 1, '(')
+        {
+            let rp = match_delim(lx, i + 1, '(', ')');
+            let mut j = i + 2;
+            while j < rp {
+                if let Some(p) = cap_path_at(lx, j) {
+                    m.producers.push(ProducerSite {
+                        enum_name: p.owner,
+                        variant: p.name,
+                        line: p.line,
+                        via: id.to_string(),
+                    });
+                    j += 4;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::scan;
+
+    fn model(src: &str) -> FileModel {
+        let lx = lex(src);
+        let cx = scan(&lx);
+        extract("t.rs", &lx, &cx)
+    }
+
+    #[test]
+    fn enum_variants_with_payloads_and_attrs() {
+        let src = "/// doc\npub enum E {\n    A,\n    #[allow(dead_code)]\n    B { x: u8, y: Vec<u8> },\n    C(u8, (u8, u8)),\n}\n";
+        let m = model(src);
+        assert_eq!(m.enums.len(), 1);
+        assert_eq!(m.enums[0].name, "E");
+        assert_eq!(
+            m.enums[0].variants,
+            vec![
+                ("A".to_string(), 3),
+                ("B".to_string(), 5),
+                ("C".to_string(), 6)
+            ]
+        );
+    }
+
+    #[test]
+    fn match_arms_struct_patterns_and_wildcard() {
+        let src = "fn go(e: E) {\n    match e {\n        E::A => one(),\n        E::B { x, .. } | E::C(..) => { two(x) }\n        _ => {}\n    }\n}\n";
+        let m = model(src);
+        assert_eq!(m.matches.len(), 1);
+        let mm = &m.matches[0];
+        assert_eq!(mm.fn_name, "go");
+        let arms: Vec<(&str, u32)> = mm.arms.iter().map(|p| (p.name.as_str(), p.line)).collect();
+        assert_eq!(arms, vec![("A", 3), ("B", 4), ("C", 4)]);
+        assert_eq!(mm.wildcard, Some(5));
+    }
+
+    #[test]
+    fn producer_sites_require_method_call_form() {
+        let src = "fn f(q: &mut Q) {\n    q.schedule_after(3, Event::Fill { res: Resolution::Walk });\n}\nfn schedule_after(x: u8) {}\n";
+        let m = model(src);
+        let sites: Vec<(&str, &str)> = m
+            .producers
+            .iter()
+            .map(|p| (p.enum_name.as_str(), p.variant.as_str()))
+            .collect();
+        assert_eq!(sites, vec![("Event", "Fill"), ("Resolution", "Walk")]);
+        assert!(m.producers.iter().all(|p| p.via == "schedule_after"));
+    }
+
+    #[test]
+    fn test_regions_are_excluded() {
+        let src = "#[cfg(test)]\nmod tests {\n    pub enum Hidden { X }\n    fn f(q: &mut Q) { q.schedule_after(1, Event::Ghost); }\n}\n";
+        let m = model(src);
+        assert!(m.enums.is_empty());
+        assert!(m.producers.is_empty());
+        assert!(m.path_refs.is_empty());
+    }
+
+    #[test]
+    fn lits_and_idents_collected() {
+        let src = "fn name() -> &'static str { match r { R::A => \"a_hit\" } }\nstruct M { a_hit: u64 }\n";
+        let m = model(src);
+        assert!(m.lits.contains("\"a_hit\""));
+        assert!(m.idents.contains("a_hit"));
+    }
+}

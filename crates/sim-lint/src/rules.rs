@@ -43,11 +43,122 @@ fn path_sep(lx: &Lexed, i: usize) -> bool {
     punct(lx, i, ':') && punct(lx, i + 1, ':')
 }
 
+/// Iteration methods whose order is the container's order.
+const ORDER_SENSITIVE_ITERS: &[&str] = &["iter", "iter_mut", "keys", "values", "values_mut"];
+
+/// Locals whose declared or constructed type is a hash container, tracked
+/// per function body — including aliases of already-tracked locals
+/// (`let alias = m;`, `let alias = &m;`, `let alias = m.clone();`).
+///
+/// Tracking is flow-insensitive *within* a function (a name is tracked
+/// from its first hash-typed binding onward) but scoped to the innermost
+/// enclosing `fn`, so a sibling function reusing the same local names for
+/// a `BTreeMap` is not polluted.
+struct HashLocals {
+    /// `(span_start, span_end, tracked_names)` per function body.
+    spans: Vec<(usize, usize, std::collections::BTreeSet<String>)>,
+}
+
+impl HashLocals {
+    fn tracked(&self, i: usize, name: &str) -> bool {
+        self.spans
+            .iter()
+            .filter(|(a, b, _)| *a <= i && i <= *b)
+            .max_by_key(|(a, _, _)| *a)
+            .is_some_and(|(_, _, set)| set.contains(name))
+    }
+}
+
+fn hash_locals(lx: &Lexed, cx: &Context) -> HashLocals {
+    let n = lx.tokens.len();
+    let mut spans = Vec::new();
+    for i in 0..n {
+        if cx.test[i] || ident(lx, i) != Some("fn") {
+            continue;
+        }
+        let end = crate::scan::find_item_end(lx, i + 1);
+        spans.push((i, end, hash_locals_in(lx, i, end)));
+    }
+    HashLocals { spans }
+}
+
+/// The `let` pre-pass over one token span.
+fn hash_locals_in(lx: &Lexed, start: usize, end: usize) -> std::collections::BTreeSet<String> {
+    let mut tracked = std::collections::BTreeSet::new();
+    let n = lx.tokens.len().min(end + 1);
+    for i in start..n {
+        if ident(lx, i) != Some("let") {
+            continue;
+        }
+        // `let [mut] name [: Type] = rhs ;`
+        let mut j = i + 1;
+        if ident(lx, j) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = ident(lx, j) else { continue };
+        if name == "_" {
+            continue;
+        }
+        j += 1;
+        // Optional type ascription: scan it for hash-container names.
+        let mut hashy = false;
+        if punct(lx, j, ':') && !punct(lx, j + 1, ':') {
+            j += 1;
+            let mut angle = 0i64;
+            while j < n {
+                match &lx.tokens[j].tok {
+                    Tok::Punct('<') => angle += 1,
+                    Tok::Punct('>') => angle -= 1,
+                    Tok::Punct('=' | ';') if angle <= 0 => break,
+                    Tok::Ident(s) if s == "HashMap" || s == "HashSet" => hashy = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !punct(lx, j, '=') {
+            continue;
+        }
+        j += 1;
+        // RHS head: skip `&`/`mut`, then look at the leading ident — a
+        // hash-container constructor path or an already-tracked alias.
+        while punct(lx, j, '&') || ident(lx, j) == Some("mut") {
+            j += 1;
+        }
+        if let Some(head) = ident(lx, j) {
+            if head == "HashMap" || head == "HashSet" {
+                hashy = true;
+            } else if tracked.contains(head) {
+                // Alias only if the RHS is the bare local, optionally
+                // `.clone()`: `m`, `&m`, `m.clone()`.
+                let plain = punct(lx, j + 1, ';');
+                let cloned = punct(lx, j + 1, '.')
+                    && ident(lx, j + 2) == Some("clone")
+                    && punct(lx, j + 3, '(')
+                    && punct(lx, j + 4, ')')
+                    && punct(lx, j + 5, ';');
+                if plain || cloned {
+                    hashy = true;
+                }
+            }
+        }
+        if hashy {
+            tracked.insert(name.to_string());
+        }
+    }
+    tracked
+}
+
 /// Run every enabled rule over one lexed file and collect raw findings
 /// (suppressions are applied by the caller).
 pub fn check_tokens(file: &str, lx: &Lexed, cx: &Context, p: &FilePolicy) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let n = lx.tokens.len();
+    let hash_locals = if p.nondet {
+        hash_locals(lx, cx)
+    } else {
+        HashLocals { spans: Vec::new() }
+    };
     let mut emit = |i: usize, rule: Rule, severity: Severity, message: String| {
         out.push(Diagnostic {
             file: file.to_string(),
@@ -134,6 +245,27 @@ pub fn check_tokens(file: &str, lx: &Lexed, cx: &Context, p: &FilePolicy) -> Vec
                     );
                 }
                 _ => {}
+            }
+            // Hash-order iteration through a local (or a `let` alias of
+            // one): `for x in m.iter()/.keys()/.values()`.
+            if i > 0
+                && ident(lx, i - 1) == Some("in")
+                && hash_locals.tracked(i, id)
+                && punct(lx, i + 1, '.')
+                && ident(lx, i + 2).is_some_and(|m| ORDER_SENSITIVE_ITERS.contains(&m))
+                && punct(lx, i + 3, '(')
+            {
+                emit(
+                    i,
+                    Rule::Nondet,
+                    Severity::Error,
+                    format!(
+                        "`{id}` is a hash container (possibly through a let alias); \
+                         iterating it visits entries in hash order, which varies \
+                         between processes — collect and sort, or use mgpu_types \
+                         deterministic containers"
+                    ),
+                );
             }
         }
 
@@ -289,6 +421,28 @@ mod tests {
         assert_eq!(diags[0].rule, Rule::Index);
         assert_eq!(diags[0].severity, Severity::Info);
         assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn aliased_hash_iteration_is_flagged() {
+        let src = "fn f() {\n    let m = HashMap::new();\n    let alias = m;\n    for k in alias.keys() { use_it(k); }\n}";
+        let hits = rules_hit(src);
+        // Line 2: the HashMap token itself; line 4: the aliased iteration.
+        assert!(hits.contains(&(Rule::Nondet, 2)));
+        assert!(hits.contains(&(Rule::Nondet, 4)));
+    }
+
+    #[test]
+    fn btreemap_alias_iteration_is_clean() {
+        let src = "fn f() {\n    let m = BTreeMap::new();\n    let alias = m;\n    for k in alias.keys() { use_it(k); }\n}";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn declared_type_tracks_without_constructor() {
+        let src = "fn f(seed: Vec<(u8, u8)>) {\n    let m: HashMap<u8, u8> = seed.into_iter().collect();\n    for v in m.values() { use_it(v); }\n}";
+        let hits = rules_hit(src);
+        assert!(hits.contains(&(Rule::Nondet, 3)), "{hits:?}");
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! The flow rules: checks over the cross-file protocol model.
+//!
+//! - `dead-event`: an `Event` variant no `schedule*` call ever constructs;
+//! - `unhandled-event`: an `Event` variant with no dispatch arm (it would
+//!   be swallowed by a wildcard, or panic the dispatcher);
+//! - `multi-dispatch`: an `Event` variant consumed by more than one match
+//!   block — the protocol has exactly one dispatcher by design;
+//! - `taxonomy-wiring`: every `Resolution` variant must be wired through
+//!   all three layers: the obs hop-counter name, a core serve site, and
+//!   the sim-check mirror (see DESIGN.md §8 for the contract).
+//!
+//! All four anchor their diagnostic at the variant's declaration line, so
+//! a `// sim-lint: allow(...)` on the declaration suppresses them like
+//! any token rule.
+
+use crate::diag::{Diagnostic, Rule, Severity};
+use crate::graph::ProtocolGraph;
+use crate::model::FileModel;
+
+/// The crate component of a workspace-relative path like
+/// `crates/core/src/system/mod.rs` → `Some("core")`.
+fn crate_of(file: &str) -> Option<&str> {
+    let mut parts = file.split(['/', '\\']);
+    while let Some(p) = parts.next() {
+        if p == "crates" {
+            return parts.next();
+        }
+    }
+    None
+}
+
+/// `CamelCase` → `snake_case` (`L1Hit` → `l1_hit`, `IommuHit` → `iommu_hit`).
+fn camel_to_snake(name: &str) -> String {
+    let mut out = String::new();
+    let mut prev_lower = false;
+    for c in name.chars() {
+        if c.is_ascii_uppercase() {
+            if prev_lower {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+            prev_lower = false;
+        } else {
+            out.push(c);
+            prev_lower = c.is_ascii_lowercase() || c.is_ascii_digit();
+        }
+    }
+    out
+}
+
+/// Run the protocol-graph rules (`dead-event`, `unhandled-event`,
+/// `multi-dispatch`) over a built graph.
+fn check_graph(g: &ProtocolGraph, out: &mut Vec<Diagnostic>) {
+    for v in &g.variants {
+        let at = |message: String, rule: Rule| Diagnostic {
+            file: g.enum_file.clone(),
+            line: v.decl_line,
+            rule,
+            severity: Severity::Error,
+            message,
+        };
+        if v.producers.is_empty() {
+            out.push(at(
+                format!(
+                    "dead event: `{}::{}` is never produced — no schedule/\
+                     schedule_after/schedule_no_earlier call constructs it; \
+                     remove the variant or wire a producer",
+                    g.enum_name, v.name
+                ),
+                Rule::DeadEvent,
+            ));
+        }
+        if v.consumers.is_empty() {
+            let via = g.wildcards.first().map_or_else(String::new, |w| {
+                format!(
+                    " (it would be silently swallowed by the wildcard arm at {}:{})",
+                    w.file, w.line
+                )
+            });
+            out.push(at(
+                format!(
+                    "unhandled event: `{}::{}` has no dispatch arm{via}; add an \
+                     explicit arm to the dispatcher",
+                    g.enum_name, v.name
+                ),
+                Rule::UnhandledEvent,
+            ));
+        }
+        // Distinct match blocks consuming this variant.
+        let mut blocks: Vec<(&str, u32)> = v
+            .consumers
+            .iter()
+            .map(|c| (c.file.as_str(), c.match_line))
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        if blocks.len() > 1 {
+            let sites = v
+                .consumers
+                .iter()
+                .map(|c| format!("{} @ {}:{}", c.fn_name, c.file, c.arm_line))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(at(
+                format!(
+                    "multi-dispatch: `{}::{}` is consumed by {} match blocks ({sites}); \
+                     the event protocol has exactly one dispatcher",
+                    g.enum_name,
+                    v.name,
+                    blocks.len()
+                ),
+                Rule::MultiDispatch,
+            ));
+        }
+    }
+}
+
+/// The taxonomy-wiring rule: each `Resolution` variant must appear in the
+/// obs counter-name table, a core serve site, and the sim-check mirror.
+fn check_taxonomy(models: &[FileModel], out: &mut Vec<Diagnostic>) {
+    let Some((res_file, res_def)) = models.iter().find_map(|m| {
+        m.enums
+            .iter()
+            .find(|e| e.name == "Resolution")
+            .map(|e| (m.file.as_str(), e))
+    }) else {
+        return; // No Resolution enum in this file set: nothing to check.
+    };
+    for (variant, decl_line) in &res_def.variants {
+        let snake = camel_to_snake(variant);
+        // obs: the counter-name table must contain the literal `"{snake}"`.
+        let obs_ok = models
+            .iter()
+            .any(|m| crate_of(&m.file) == Some("obs") && m.lits.contains(&format!("\"{snake}\"")));
+        // core: some non-test serve site must reference `Resolution::{V}`.
+        let core_ok = models.iter().any(|m| {
+            crate_of(&m.file) == Some("core")
+                && m.path_refs
+                    .iter()
+                    .any(|p| p.owner == "Resolution" && p.name == *variant)
+        });
+        // sim-check: the mirror must carry the snake-case field, or the
+        // oracle must diff the `hops.{snake}` counter by name.
+        let mirror_ok = models.iter().any(|m| {
+            crate_of(&m.file) == Some("sim-check")
+                && (m.idents.contains(&snake)
+                    || m.lits.iter().any(|l| l.contains(&format!("hops.{snake}"))))
+        });
+        let mut missing = Vec::new();
+        if !obs_ok {
+            missing.push(format!("obs hop-counter name (`\"{snake}\"` literal)"));
+        }
+        if !core_ok {
+            missing.push(format!(
+                "core serve site (`Resolution::{variant}` reference)"
+            ));
+        }
+        if !mirror_ok {
+            missing.push(format!(
+                "sim-check mirror (`{snake}` field or `hops.{snake}` counter diff)"
+            ));
+        }
+        if !missing.is_empty() {
+            out.push(Diagnostic {
+                file: res_file.to_string(),
+                line: *decl_line,
+                rule: Rule::TaxonomyWiring,
+                severity: Severity::Error,
+                message: format!(
+                    "taxonomy wiring: `Resolution::{variant}` is missing from: {}",
+                    missing.join("; ")
+                ),
+            });
+        }
+    }
+}
+
+/// Run every flow rule. `graph` is the pre-built `Event` protocol graph
+/// (absent when the file set defines no such enum — fixture corpora).
+pub fn check_flow(models: &[FileModel], graph: Option<&ProtocolGraph>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Some(g) = graph {
+        check_graph(g, &mut out);
+    }
+    check_taxonomy(models, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_case_conversion_matches_resolution_names() {
+        for (camel, snake) in [
+            ("L1Hit", "l1_hit"),
+            ("L2Hit", "l2_hit"),
+            ("IommuHit", "iommu_hit"),
+            ("RemoteShared", "remote_shared"),
+            ("RemoteSpill", "remote_spill"),
+            ("Walk", "walk"),
+            ("LocalWalk", "local_walk"),
+            ("RingRemote", "ring_remote"),
+            ("Fault", "fault"),
+        ] {
+            assert_eq!(camel_to_snake(camel), snake);
+        }
+    }
+
+    #[test]
+    fn crate_component_extraction() {
+        assert_eq!(crate_of("crates/core/src/system/mod.rs"), Some("core"));
+        assert_eq!(
+            crate_of("crates/sim-check/src/mirror.rs"),
+            Some("sim-check")
+        );
+        assert_eq!(crate_of("src/lib.rs"), None);
+        // A file merely *named* obs-something inside core is still core.
+        assert_eq!(crate_of("crates/core/src/obs_report.rs"), Some("core"));
+    }
+}

@@ -57,7 +57,7 @@ fn punct_at(lx: &Lexed, i: usize, c: char) -> bool {
 
 /// Index of the delimiter matching the opener at `open` (which must hold
 /// `open_c`). Returns the last token index if unbalanced (truncated file).
-fn match_delim(lx: &Lexed, open: usize, open_c: char, close_c: char) -> usize {
+pub(crate) fn match_delim(lx: &Lexed, open: usize, open_c: char, close_c: char) -> usize {
     let mut depth = 0i64;
     let mut i = open;
     while i < lx.tokens.len() {
@@ -112,7 +112,7 @@ fn classify_cfg_tokens(lx: &Lexed, start: usize, end: usize) -> CfgFlags {
 
 /// From the token after an item's attributes, find the index where the item
 /// ends: the matching `}` of its first body brace, or a top-level `;`.
-fn find_item_end(lx: &Lexed, mut i: usize) -> usize {
+pub(crate) fn find_item_end(lx: &Lexed, mut i: usize) -> usize {
     // Skip any further attributes stacked on the same item.
     while punct_at(lx, i, '#') && punct_at(lx, i + 1, '[') {
         i = match_delim(lx, i + 1, '[', ']') + 1;
@@ -265,10 +265,11 @@ fn parse_allow(lx: &Lexed, c: &Comment) -> Option<Allow> {
         Some((r, rest)) => (r.trim(), Some(rest.trim())),
         None => (body.trim(), None),
     };
+    // Hyphens are legal: the flow rules are named `dead-event` etc.
     if rule.is_empty()
         || !rule
             .chars()
-            .all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+            .all(|ch| ch.is_ascii_alphanumeric() || ch == '_' || ch == '-')
     {
         return Some(malformed);
     }

@@ -5,16 +5,33 @@
 use std::path::Path;
 
 use sim_lint::diag::{Diagnostic, Rule, Severity};
+use sim_lint::flow::{analyze_sources, Analysis, SourceText};
 use sim_lint::lint_source;
 use sim_lint::rules::FilePolicy;
 
-fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+fn read_fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
-    let src =
-        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
-    lint_source(name, &src, &FilePolicy::ALL)
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+}
+
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    lint_source(name, &read_fixture(name), &FilePolicy::ALL)
+}
+
+/// Run the flow pass over fixture files mounted at virtual workspace
+/// paths (the taxonomy-wiring rule classifies files by crate component).
+fn analyze_fixtures(mounts: &[(&str, &str)]) -> Analysis {
+    let sources: Vec<SourceText> = mounts
+        .iter()
+        .map(|(virtual_path, fixture)| SourceText {
+            name: (*virtual_path).to_string(),
+            src: read_fixture(fixture),
+            policy: FilePolicy::ALL,
+        })
+        .collect();
+    analyze_sources(&sources)
 }
 
 /// `(rule, line)` pairs of all findings at or above Warning severity.
@@ -97,6 +114,117 @@ fn obs_wallclock_fixture_is_flagged() {
             && d.severity == Severity::Error
             && d.message.contains("wall-clock")),
         "wall-clock import must be a nondet error: {diags:?}"
+    );
+}
+
+#[test]
+fn nondet_alias_fixture_catches_aliased_hash_iteration() {
+    let diags = lint_fixture("nondet_alias.rs");
+    assert_eq!(
+        gating(&diags),
+        vec![
+            (Rule::Nondet, 4),  // HashMap type ascription
+            (Rule::Nondet, 6),  // for k in alias.keys() — through the alias
+            (Rule::Nondet, 12), // HashSet constructor
+            (Rule::Nondet, 13), // for v in s.iter() — direct local
+        ]
+    );
+    // The BTreeMap alias iteration (lines 18-23) stays clean.
+    assert!(
+        diags.iter().all(|d| d.line < 18),
+        "BTreeMap alias wrongly flagged: {diags:?}"
+    );
+    // The aliased-iteration finding names the alias, proving it fired via
+    // local tracking and not the type token.
+    assert!(diags
+        .iter()
+        .any(|d| d.line == 6 && d.message.contains("`alias`")));
+}
+
+#[test]
+fn flow_fixture_trips_all_three_graph_rules_at_exact_lines() {
+    let a = analyzed_events();
+    assert_eq!(
+        gating(&a.diags),
+        vec![
+            (Rule::DeadEvent, 6),      // Orphan: consumed, never produced
+            (Rule::UnhandledEvent, 7), // Ghost: produced, wildcard only
+            (Rule::MultiDispatch, 8),  // Dup: dispatch + elsewhere
+        ]
+    );
+    let ghost = a
+        .diags
+        .iter()
+        .find(|d| d.rule == Rule::UnhandledEvent)
+        .expect("ghost diag");
+    assert!(
+        ghost.message.contains("wildcard"),
+        "unhandled-event should name the swallowing wildcard: {}",
+        ghost.message
+    );
+    let dup = a
+        .diags
+        .iter()
+        .find(|d| d.rule == Rule::MultiDispatch)
+        .expect("dup diag");
+    assert!(
+        dup.message.contains("dispatch") && dup.message.contains("elsewhere"),
+        "multi-dispatch should list both consuming matches: {}",
+        dup.message
+    );
+}
+
+fn analyzed_events() -> Analysis {
+    analyze_fixtures(&[("crates/core/src/system/events.rs", "flow_proto/events.rs")])
+}
+
+#[test]
+fn flow_fixture_graph_reflects_the_protocol() {
+    let a = analyzed_events();
+    let g = a.graph.expect("Event enum found in fixture");
+    let names: Vec<&str> = g.variants.iter().map(|v| v.name.as_str()).collect();
+    assert_eq!(names, vec!["Ping", "Pong", "Orphan", "Ghost", "Dup"]);
+    let by_name = |n: &str| g.variants.iter().find(|v| v.name == n).unwrap();
+    assert_eq!(by_name("Ping").producers.len(), 1);
+    assert_eq!(by_name("Ping").consumers.len(), 1);
+    assert_eq!(by_name("Orphan").producers.len(), 0);
+    assert_eq!(by_name("Ghost").consumers.len(), 0);
+    assert_eq!(by_name("Dup").consumers.len(), 2);
+    assert_eq!(g.wildcards.len(), 2); // dispatch + elsewhere
+}
+
+const TAXONOMY_OBS: (&str, &str) = ("crates/obs/src/span.rs", "flow_proto/obs_span.rs");
+const TAXONOMY_CORE: (&str, &str) = ("crates/core/src/serve.rs", "flow_proto/core_serve.rs");
+
+#[test]
+fn fully_wired_taxonomy_is_clean() {
+    let a = analyze_fixtures(&[
+        TAXONOMY_OBS,
+        TAXONOMY_CORE,
+        ("crates/sim-check/src/mirror.rs", "flow_proto/mirror.rs"),
+    ]);
+    assert!(gating(&a.diags).is_empty(), "{:?}", a.diags);
+}
+
+#[test]
+fn deleting_one_mirror_field_trips_taxonomy_wiring_at_the_variant() {
+    let a = analyze_fixtures(&[
+        TAXONOMY_OBS,
+        TAXONOMY_CORE,
+        (
+            "crates/sim-check/src/mirror.rs",
+            "flow_proto/mirror_sabotaged.rs",
+        ),
+    ]);
+    // GammaSpill is declared on line 6 of obs_span.rs; the finding anchors
+    // there, in the file that owns the taxonomy.
+    assert_eq!(gating(&a.diags), vec![(Rule::TaxonomyWiring, 6)]);
+    let d = &a.diags[0];
+    assert_eq!(d.file, "crates/obs/src/span.rs");
+    assert!(
+        d.message.contains("GammaSpill") && d.message.contains("sim-check"),
+        "message should name the variant and the missing layer: {}",
+        d.message
     );
 }
 

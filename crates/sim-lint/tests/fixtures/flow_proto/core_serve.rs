@@ -1,0 +1,9 @@
+// Mini core serve sites: every Resolution variant must be referenced from
+// a non-test core path for the taxonomy-wiring rule to pass.
+fn serve(o: &mut Obs, kind: u8) {
+    match kind {
+        0 => o.hop(Resolution::Alpha),
+        1 => o.hop(Resolution::BetaHit),
+        _ => o.hop(Resolution::GammaSpill),
+    }
+}

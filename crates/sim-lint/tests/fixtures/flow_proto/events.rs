@@ -1,0 +1,33 @@
+// Mini event protocol exercising all three graph rules. Line numbers are
+// asserted exactly in tests/fixture_corpus.rs — edit with care.
+pub enum Event {
+    Ping,
+    Pong { x: u8 },
+    Orphan,
+    Ghost,
+    Dup,
+}
+
+fn produce(q: &mut Q) {
+    q.schedule_after(1, Event::Ping);
+    q.schedule_no_earlier(2, Event::Pong { x: 0 });
+    q.schedule_after(3, Event::Ghost);
+    q.schedule_after(4, Event::Dup);
+}
+
+fn dispatch(e: Event) {
+    match e {
+        Event::Ping => on_ping(),
+        Event::Pong { x } => on_pong(x),
+        Event::Orphan => on_orphan(),
+        Event::Dup => on_dup(),
+        _ => {}
+    }
+}
+
+fn elsewhere(e: &Event) {
+    match e {
+        Event::Dup => peek(),
+        _ => {}
+    }
+}

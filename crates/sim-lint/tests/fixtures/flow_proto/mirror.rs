@@ -1,0 +1,6 @@
+// Mini sim-check mirror: one snake-case field per Resolution variant.
+pub struct MirrorHops {
+    pub alpha: u64,
+    pub beta_hit: u64,
+    pub gamma_spill: u64,
+}

@@ -1,0 +1,6 @@
+// Sabotaged mirror: the `gamma_spill` field was deleted, so the
+// taxonomy-wiring rule must flag Resolution::GammaSpill.
+pub struct MirrorHops {
+    pub alpha: u64,
+    pub beta_hit: u64,
+}

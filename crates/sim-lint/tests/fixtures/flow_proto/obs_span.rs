@@ -1,0 +1,17 @@
+// Mini Resolution taxonomy: the obs side of the wiring contract. The
+// variant decl lines are asserted exactly in tests/fixture_corpus.rs.
+pub enum Resolution {
+    Alpha,
+    BetaHit,
+    GammaSpill,
+}
+
+impl Resolution {
+    pub fn name(self) -> &'static str {
+        match self {
+            Resolution::Alpha => "alpha",
+            Resolution::BetaHit => "beta_hit",
+            Resolution::GammaSpill => "gamma_spill",
+        }
+    }
+}

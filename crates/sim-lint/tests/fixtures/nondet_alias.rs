@@ -1,0 +1,24 @@
+// Alias tracking: iterating a hash container through a `let` alias is
+// still hash-order iteration; a BTreeMap alias is ordered and fine.
+fn aliased_hash(seed: Vec<(u32, u32)>) {
+    let m: HashMap<u32, u32> = seed.into_iter().collect();
+    let alias = m;
+    for k in alias.keys() {
+        consume(k);
+    }
+}
+
+fn direct_hash() {
+    let s = HashSet::new();
+    for v in s.iter() {
+        consume(v);
+    }
+}
+
+fn ordered_alias(seed: Vec<(u32, u32)>) {
+    let m: BTreeMap<u32, u32> = seed.into_iter().collect();
+    let alias = m;
+    for k in alias.keys() {
+        consume(k);
+    }
+}

@@ -29,6 +29,54 @@ fn workspace_has_no_errors_or_warnings() {
 }
 
 #[test]
+fn workspace_event_protocol_graph_is_complete_and_single_dispatch() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let a = sim_lint::flow::analyze_workspace(root).expect("workspace walk succeeds");
+    let g = a
+        .graph
+        .expect("the workspace defines the Event protocol enum");
+    // The protocol is the 13-variant Event enum in core::system. If a
+    // variant is added or removed, this count (and the DOT golden) must
+    // be updated deliberately.
+    assert_eq!(g.enum_file, "crates/core/src/system/mod.rs");
+    assert_eq!(g.variants.len(), 13, "Event variant count changed");
+    for v in &g.variants {
+        assert!(
+            !v.producers.is_empty(),
+            "Event::{} has no schedule* producer",
+            v.name
+        );
+        let mut blocks: Vec<(&str, u32)> = v
+            .consumers
+            .iter()
+            .map(|c| (c.file.as_str(), c.match_line))
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        assert_eq!(
+            blocks.len(),
+            1,
+            "Event::{} must be consumed by exactly one match block, got {blocks:?}",
+            v.name
+        );
+        assert!(
+            v.consumers.iter().all(|c| c.fn_name == "dispatch"),
+            "Event::{} consumed outside System::dispatch",
+            v.name
+        );
+    }
+    assert!(
+        g.wildcards.is_empty(),
+        "the dispatch match must stay wildcard-free so new variants are \
+         force-handled: {:?}",
+        g.wildcards
+    );
+}
+
+#[test]
 fn workspace_walk_covers_the_simulation_crates() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
