@@ -1,0 +1,66 @@
+//! CI's engine perf gate.
+//!
+//! ```text
+//! engine-gate --baseline BENCH_engine.json --current tel.json [tel2.json ...]
+//! ```
+//!
+//! Reads the committed baseline and one or more fresh telemetry reports
+//! (written by `figures --quick --jobs 1 --telemetry-json <path> all`),
+//! compares the best current sim rate against the baseline's tolerance,
+//! prints the verdict, and exits non-zero on failure. Pass several
+//! reports to use the interleaved-minimum protocol the baseline was
+//! recorded with (the best run is compared).
+
+use bench::engine_gate::{check, parse_baseline, parse_report_rate};
+
+fn usage() -> ! {
+    eprintln!("usage: engine-gate --baseline BENCH_engine.json --current tel.json [tel2.json ...]");
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("engine-gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut baseline_path: Option<String> = None;
+    let mut current_paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--current" => {
+                let first = args.next().unwrap_or_else(|| usage());
+                current_paths.push(first);
+            }
+            other if other.starts_with('-') => usage(),
+            other => current_paths.push(other.to_string()),
+        }
+    }
+    let (Some(baseline_path), false) = (baseline_path, current_paths.is_empty()) else {
+        usage()
+    };
+
+    let baseline = parse_baseline(&read(&baseline_path)).unwrap_or_else(|e| {
+        eprintln!("engine-gate: {e}");
+        std::process::exit(2);
+    });
+    let rates: Vec<f64> = current_paths
+        .iter()
+        .map(|p| {
+            parse_report_rate(&read(p)).unwrap_or_else(|e| {
+                eprintln!("engine-gate: {p}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+
+    let verdict = check(&baseline, &rates);
+    println!("{}", verdict.summary());
+    if !verdict.passed() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,278 @@
+//! The engine perf-regression gate: compares a fresh quick-suite
+//! telemetry report against the committed `BENCH_engine.json` baseline
+//! and fails when the sim rate regresses past the baseline's tolerance.
+//!
+//! Two documents meet here:
+//!
+//! * the **baseline** (`BENCH_engine.json`, committed at the repo root,
+//!   schema `bench-engine/v1`) records the sim rate measured when the
+//!   calendar-queue engine landed — both the pre-change number (for the
+//!   historical record) and the post-change number the gate defends —
+//!   plus the tolerated regression percentage;
+//! * the **current report** (schema `engine-telemetry/v1`) is produced by
+//!   `figures --quick --jobs 1 --telemetry-json <path> all` on the
+//!   machine under test.
+//!
+//! Wall-clock noise is real — CI machines are shared — which is why the
+//! tolerance is a generous 25% rather than a tight bound: the gate exists
+//! to catch *structural* regressions (an accidental heap op per event, a
+//! lost inlining boundary), which cost far more than that, not scheduler
+//! jitter. The comparator takes the best of the report's runs when given
+//! several, mirroring the interleaved-minimum protocol used to record the
+//! baseline.
+
+use serde::Deserialize;
+
+/// One measured suite run: wall seconds and the derived sim rate.
+#[derive(Debug, Clone, Copy, Deserialize)]
+pub struct Measurement {
+    /// Total wall-clock seconds for the suite.
+    pub wall_seconds: f64,
+    /// Suite sim rate, million instructions per host second.
+    pub sim_rate_minstr_per_s: f64,
+}
+
+/// Gate parameters stored alongside the baseline.
+#[derive(Debug, Clone, Copy, Deserialize)]
+pub struct GateConfig {
+    /// Maximum tolerated sim-rate regression, in percent of the baseline.
+    pub max_regression_pct: f64,
+}
+
+/// The committed `BENCH_engine.json` document.
+#[derive(Debug, Clone, Deserialize)]
+pub struct Baseline {
+    /// Schema tag; must be `bench-engine/v1`.
+    pub schema: String,
+    /// The suite command both numbers describe.
+    pub suite: String,
+    /// How the numbers were measured (protocol note for humans).
+    pub method: String,
+    /// Sim rate before the calendar-queue rebuild (historical record).
+    pub pre_change: Measurement,
+    /// Sim rate after the rebuild — the number the gate defends.
+    pub post_change: Measurement,
+    /// Gate tolerance.
+    pub gate: GateConfig,
+}
+
+/// The `total` section of an `engine-telemetry/v1` report.
+#[derive(Debug, Clone, Copy, Deserialize)]
+struct ReportTotal {
+    sim_rate_minstr_per_s: f64,
+}
+
+/// An `engine-telemetry/v1` report, as written by
+/// `figures --telemetry-json`.
+#[derive(Debug, Clone, Deserialize)]
+struct Report {
+    schema: String,
+    total: ReportTotal,
+}
+
+/// Parses the committed baseline document.
+///
+/// # Errors
+///
+/// Returns a message when the JSON does not parse, the schema tag is
+/// wrong, or the recorded numbers cannot feed the gate (non-positive
+/// rate or tolerance outside `[0, 100)`).
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let b: Baseline =
+        serde_json::from_str(text).map_err(|e| format!("baseline does not parse: {e}"))?;
+    if b.schema != "bench-engine/v1" {
+        return Err(format!(
+            "baseline schema is '{}', expected 'bench-engine/v1'",
+            b.schema
+        ));
+    }
+    if b.post_change.sim_rate_minstr_per_s <= 0.0 {
+        return Err("baseline post-change sim rate must be positive".into());
+    }
+    if !(0.0..100.0).contains(&b.gate.max_regression_pct) {
+        return Err("gate tolerance must be a percentage in [0, 100)".into());
+    }
+    Ok(b)
+}
+
+/// Extracts the suite sim rate from one telemetry report.
+///
+/// # Errors
+///
+/// Returns a message when the JSON does not parse or carries the wrong
+/// schema tag.
+pub fn parse_report_rate(text: &str) -> Result<f64, String> {
+    let r: Report =
+        serde_json::from_str(text).map_err(|e| format!("telemetry report does not parse: {e}"))?;
+    if r.schema != "engine-telemetry/v1" {
+        return Err(format!(
+            "telemetry schema is '{}', expected 'engine-telemetry/v1'",
+            r.schema
+        ));
+    }
+    Ok(r.total.sim_rate_minstr_per_s)
+}
+
+/// The gate's verdict on one comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Current rate is within tolerance of the baseline.
+    Pass {
+        /// Human-readable summary for the CI log.
+        summary: String,
+    },
+    /// Current rate regressed past the tolerance.
+    Fail {
+        /// Human-readable explanation for the CI log.
+        summary: String,
+    },
+}
+
+impl Verdict {
+    /// Whether the gate passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        matches!(self, Verdict::Pass { .. })
+    }
+
+    /// The log line for this verdict.
+    #[must_use]
+    pub fn summary(&self) -> &str {
+        match self {
+            Verdict::Pass { summary } | Verdict::Fail { summary } => summary,
+        }
+    }
+}
+
+/// Compares measured sim rates (best of `current_rates`, mirroring the
+/// interleaved-minimum measurement protocol) against the baseline.
+///
+/// # Panics
+///
+/// Panics if `current_rates` is empty — the caller must measure at least
+/// once before invoking the gate.
+#[must_use]
+pub fn check(baseline: &Baseline, current_rates: &[f64]) -> Verdict {
+    assert!(
+        !current_rates.is_empty(),
+        "gate needs at least one measured rate"
+    );
+    let best = current_rates.iter().copied().fold(f64::MIN, f64::max);
+    let reference = baseline.post_change.sim_rate_minstr_per_s;
+    let floor = reference * (1.0 - baseline.gate.max_regression_pct / 100.0);
+    let delta_pct = (best - reference) / reference * 100.0;
+    if best >= floor {
+        Verdict::Pass {
+            summary: format!(
+                "engine gate PASS: {best:.1} Minstr/s vs baseline {reference:.1} \
+                 ({delta_pct:+.1}%), floor {floor:.1} (-{:.0}%)",
+                baseline.gate.max_regression_pct
+            ),
+        }
+    } else {
+        Verdict::Fail {
+            summary: format!(
+                "engine gate FAIL: {best:.1} Minstr/s vs baseline {reference:.1} \
+                 ({delta_pct:+.1}%) is below the floor {floor:.1} (-{:.0}%); \
+                 the event engine has structurally regressed — profile the \
+                 dispatch loop and the calendar queue before raising the \
+                 tolerance",
+                baseline.gate.max_regression_pct
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+        "schema": "bench-engine/v1",
+        "suite": "figures --quick --jobs 1 all",
+        "method": "interleaved A/B, minimum of 3 rounds",
+        "pre_change": { "wall_seconds": 10.0, "sim_rate_minstr_per_s": 66.0 },
+        "post_change": { "wall_seconds": 6.6, "sim_rate_minstr_per_s": 100.0 },
+        "gate": { "max_regression_pct": 25.0 }
+    }"#;
+
+    #[test]
+    fn baseline_roundtrip() {
+        let b = parse_baseline(BASELINE).unwrap();
+        assert_eq!(b.suite, "figures --quick --jobs 1 all");
+        assert!((b.post_change.sim_rate_minstr_per_s - 100.0).abs() < 1e-9);
+        assert!((b.gate.max_regression_pct - 25.0).abs() < 1e-9);
+        assert!((b.pre_change.wall_seconds - 10.0).abs() < 1e-9);
+        assert!(!b.method.is_empty());
+    }
+
+    #[test]
+    fn bad_schema_and_bad_numbers_rejected() {
+        let wrong = BASELINE.replace("bench-engine/v1", "bench-engine/v0");
+        assert!(parse_baseline(&wrong).unwrap_err().contains("schema"));
+        let zero = BASELINE.replace(
+            "\"sim_rate_minstr_per_s\": 100.0",
+            "\"sim_rate_minstr_per_s\": 0.0",
+        );
+        assert!(parse_baseline(&zero).unwrap_err().contains("positive"));
+        let wild = BASELINE.replace("25.0", "250.0");
+        assert!(parse_baseline(&wild).unwrap_err().contains("percentage"));
+        assert!(parse_baseline("not json").is_err());
+    }
+
+    #[test]
+    fn healthy_rate_passes() {
+        let b = parse_baseline(BASELINE).unwrap();
+        let v = check(&b, &[98.3]);
+        assert!(v.passed(), "{}", v.summary());
+        assert!(v.summary().contains("PASS"));
+    }
+
+    #[test]
+    fn sandbagged_rate_fails_the_gate() {
+        // The acceptance demonstration: a number sandbagged well below the
+        // floor (100 * 0.75 = 75) must fail loudly.
+        let b = parse_baseline(BASELINE).unwrap();
+        let v = check(&b, &[52.0]);
+        assert!(!v.passed());
+        assert!(v.summary().contains("FAIL"), "{}", v.summary());
+        assert!(v.summary().contains("regressed"));
+    }
+
+    #[test]
+    fn boundary_sits_exactly_on_the_floor() {
+        let b = parse_baseline(BASELINE).unwrap();
+        assert!(check(&b, &[75.0]).passed(), "exactly on the floor passes");
+        assert!(!check(&b, &[74.9]).passed(), "just under the floor fails");
+    }
+
+    #[test]
+    fn best_of_several_runs_is_compared() {
+        // Interleaved-minimum protocol: one noisy-slow run must not fail
+        // the gate when a companion run shows the engine is healthy.
+        let b = parse_baseline(BASELINE).unwrap();
+        assert!(check(&b, &[60.0, 97.0, 71.0]).passed());
+        assert!(!check(&b, &[60.0, 64.0]).passed());
+    }
+
+    #[test]
+    fn report_rate_extraction() {
+        let report = r#"{
+            "schema": "engine-telemetry/v1",
+            "jobs": 1,
+            "total_wall_seconds": 7.0,
+            "total": {
+                "name": "TOTAL",
+                "wall_seconds": 6.9,
+                "sims": 438,
+                "instructions": 688009674,
+                "events": 94581190,
+                "sim_rate_minstr_per_s": 99.7
+            },
+            "experiments": []
+        }"#;
+        assert!((parse_report_rate(report).unwrap() - 99.7).abs() < 1e-9);
+        let wrong = report.replace("engine-telemetry/v1", "metrics/v1");
+        assert!(parse_report_rate(&wrong).unwrap_err().contains("schema"));
+    }
+}

@@ -292,6 +292,36 @@ pub(crate) struct RingState {
 
 /// The assembled multi-GPU system.
 ///
+/// Membership map over superpage numbers (`vpn >> 9`).
+///
+/// Superpage numbers are drawn from the contiguous footprint range laid out
+/// by `map_footprint`, so membership fits a dense bitmap; `fold_key` probes
+/// it once per memory operation. Insertion order never matters (the map is
+/// only read pointwise), so the bitmap is as deterministic as `DetSet`.
+#[derive(Debug, Default)]
+pub(crate) struct SuperpageMap {
+    bits: Vec<u64>,
+}
+
+impl SuperpageMap {
+    fn insert(&mut self, sp: VirtPage) {
+        let i = sp.0 as usize;
+        let w = i >> 6;
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        self.bits[w] |= 1 << (i & 63);
+    }
+
+    #[inline]
+    fn contains(&self, sp: VirtPage) -> bool {
+        let i = sp.0 as usize;
+        self.bits
+            .get(i >> 6)
+            .is_some_and(|w| w & (1 << (i & 63)) != 0)
+    }
+}
+
 /// See the [crate-level docs](crate) for a quickstart.
 #[derive(Debug)]
 pub struct System {
@@ -304,7 +334,7 @@ pub struct System {
     pub(crate) frames: FrameAllocator,
     pub(crate) tables: Vec<PageTable>,
     /// Superpage-mapped 2 MB page numbers per ASID (2 MB-page runs).
-    pub(crate) superpages: Vec<DetSet<VirtPage>>,
+    pub(crate) superpages: Vec<SuperpageMap>,
     pub(crate) apps: Vec<AppInstance>,
     /// Per GPU, per lane (cu × wavefronts_per_cu + wf): the owning app.
     pub(crate) lane_owner: Vec<Vec<Option<LaneOwner>>>,
@@ -445,8 +475,8 @@ impl System {
             return Err(BuildError::OutOfPhysicalMemory);
         }
         let mut tables: Vec<PageTable> = (0..apps.len()).map(|_| PageTable::new()).collect();
-        let mut superpages: Vec<DetSet<VirtPage>> =
-            (0..apps.len()).map(|_| DetSet::new()).collect();
+        let mut superpages: Vec<SuperpageMap> =
+            (0..apps.len()).map(|_| SuperpageMap::default()).collect();
         if cfg.premap {
             for (i, app) in apps.iter().enumerate() {
                 Self::map_footprint(
@@ -568,8 +598,12 @@ impl System {
     /// Panics if the event budget is exhausted (non-scripted systems never
     /// drain — their wavefronts run forever).
     pub fn drain(&mut self) -> Cycle {
-        while let Some((t, ev)) = self.queue.pop() {
-            self.dispatch(t, ev);
+        let mut batch: Vec<Event> = Vec::new();
+        // sim-lint: allow(event, reason = "scripted-flow dispatch loop is a sanctioned pop_batch call site; handlers must route through dispatch")
+        while let Some(t) = self.queue.pop_batch(&mut batch) {
+            for ev in batch.drain(..) {
+                self.dispatch(t, ev);
+            }
             // sim-lint: allow(hygiene, reason = "liveness guard: must fire in release builds too, or a scheduling bug hangs the harness")
             assert!(
                 self.queue.delivered() <= self.cfg.max_events,
@@ -583,7 +617,7 @@ impl System {
         cfg: &SystemConfig,
         frames: &mut FrameAllocator,
         table: &mut PageTable,
-        superpages: &mut DetSet<VirtPage>,
+        superpages: &mut SuperpageMap,
         footprint: u64,
     ) -> Result<(), BuildError> {
         match cfg.page_size {
@@ -657,12 +691,16 @@ impl System {
     /// Folds a 4 KB-granule generator page onto the TLB key under the
     /// configured page size (superpage-backed pages collapse to a tagged
     /// 2 MB key; fragmentation-fallback pages stay 4 KB).
+    ///
+    /// This sits on the per-memory-op hot path of every 2 MB-page
+    /// simulation, which is why [`SuperpageMap`] below is a bitmap and not
+    /// an ordered set.
     pub(crate) fn fold_key(&self, asid: Asid, vpn: VirtPage) -> TranslationKey {
         match self.cfg.page_size {
             PageSize::Size4K => TranslationKey::new(asid, vpn),
             PageSize::Size2M => {
                 let sp = vpn.fold_to(PageSize::Size2M);
-                if self.superpages[usize::from(asid.0)].contains(&sp) {
+                if self.superpages[usize::from(asid.0)].contains(sp) {
                     TranslationKey::new(asid, VirtPage(sp.0 | SUPERPAGE_TAG))
                 } else {
                     TranslationKey::new(asid, vpn)
@@ -691,16 +729,30 @@ impl System {
     pub fn run(mut self) -> RunResult {
         // sim-lint: allow(nondet, reason = "wall-clock telemetry only; never feeds simulation state or output ordering")
         let wall_start = std::time::Instant::now();
-        while let Some((t, ev)) = self.queue.pop() {
-            self.dispatch(t, ev);
-            if self.completed == self.apps.len() {
-                break;
+        let mut batch: Vec<Event> = Vec::new();
+        // sim-lint: allow(event, reason = "the core dispatch loop is the sanctioned pop_batch call site; handlers must route through dispatch")
+        'sim: while let Some(t) = self.queue.pop_batch(&mut batch) {
+            let mut pending = batch.drain(..);
+            while let Some(ev) = pending.next() {
+                self.dispatch(t, ev);
+                if self.completed == self.apps.len() {
+                    // Events left in the batch were never dispatched; undo
+                    // their delivered-count so telemetry matches the
+                    // one-pop-per-dispatch contract exactly.
+                    let undelivered = pending.len() as u64;
+                    drop(pending);
+                    // sim-lint: allow(event, reason = "paired with the pop_batch above; keeps RunResult.events identical to per-event popping")
+                    self.queue.rescind_delivered(undelivered);
+                    break 'sim;
+                }
+                // sim-lint: allow(hygiene, reason = "liveness guard: must fire in release builds too, or a scheduling bug hangs the harness")
+                assert!(
+                    // Subtract the not-yet-dispatched tail of the batch so the
+                    // guard trips at exactly the same event as per-pop looping.
+                    self.queue.delivered() - pending.len() as u64 <= self.cfg.max_events,
+                    "event budget exhausted: simulation is not converging"
+                );
             }
-            // sim-lint: allow(hygiene, reason = "liveness guard: must fire in release builds too, or a scheduling bug hangs the harness")
-            assert!(
-                self.queue.delivered() <= self.cfg.max_events,
-                "event budget exhausted: simulation is not converging"
-            );
         }
         let wall = wall_start.elapsed().as_secs_f64();
         self.finish_with_wall_time(wall)

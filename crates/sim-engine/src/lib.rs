@@ -6,6 +6,13 @@
 //! server-pool helper used to model resources such as the IOMMU's eight
 //! shared page-table walkers.
 //!
+//! The queue is a two-tier calendar queue (per-cycle bucket ring + overflow
+//! heap, see [`EventQueue`]): the short-horizon common case — TLB, link and
+//! walk latencies are small constants — costs O(1) per event, and the
+//! batch API ([`EventQueue::pop_batch`]) hands a dispatch loop every event
+//! of a cycle in one operation. Far-future events (fault batches, snapshot
+//! timers) ride the overflow heap and are promoted as the clock advances.
+//!
 //! The queue is generic over the event payload so the system model (in the
 //! `least-tlb` crate) can define one flat event enum and keep dispatch in a
 //! single match statement — the structure that makes a simulator of this kind

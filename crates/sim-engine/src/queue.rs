@@ -1,32 +1,79 @@
 //! Time-ordered event queue with deterministic tie-breaking.
+//!
+//! # Structure
+//!
+//! The queue is a two-tier *calendar queue* tuned for the simulator's
+//! traffic: almost every event is scheduled a small constant number of
+//! cycles ahead (TLB latencies, link hops, walk completions), so the
+//! common case is served by a ring of per-cycle buckets — schedule is a
+//! bucket append, pop is an indexed read, and a whole cycle's events drain
+//! in one call ([`pop_batch`](EventQueue::pop_batch)). Events scheduled at
+//! or beyond the ring horizon (fault handling, snapshots, deep resource
+//! backlogs) park in a small overflow [`BinaryHeap`] and are *promoted*
+//! into the ring as the clock advances. Events live inline in the bucket
+//! storage (reused allocations, no per-event boxing).
+//!
+//! # Determinism
+//!
+//! Events scheduled for the same cycle are delivered in the order they
+//! were scheduled (FIFO), which — together with seeded RNGs everywhere
+//! else — makes whole-simulation runs bit-reproducible. Within a bucket
+//! the FIFO discipline is positional (append order == schedule order);
+//! the overflow heap keeps the explicit `seq` tie-break, and promotion
+//! preserves the global (time, seq) order because an overflow event at
+//! cycle `t` is promoted at the first clock advance that brings `t` inside
+//! the horizon — provably *before* any same-cycle event can be scheduled
+//! directly into `t`'s bucket (see DESIGN.md §10 for the argument).
+//!
+//! # Examples
+//!
+//! ```
+//! use mgpu_types::Cycle;
+//! use sim_engine::EventQueue;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_after(3, "a");
+//! assert_eq!(q.now(), Cycle(0));
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (Cycle(3), "a"));
+//! assert_eq!(q.now(), Cycle(3));
+//! ```
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use mgpu_types::Cycle;
 
-/// A deterministic discrete-event queue.
+/// Default calendar ring length in cycles (= number of buckets). Sized to
+/// cover every constant latency in the system model (L1/L2/IOMMU hops,
+/// 500-cycle walks, link traversals) plus the queueing backlog that
+/// accumulates on compute-unit issue ports and walker pools; only rare
+/// far-horizon events (20 k-cycle fault batches, snapshot timers) overflow
+/// into the heap tier.
+const DEFAULT_RING: usize = 4096;
+
+/// A deterministic discrete-event queue (two-tier calendar queue).
 ///
-/// Events scheduled for the same cycle are delivered in the order they were
-/// scheduled (FIFO), which — together with seeded RNGs everywhere else —
-/// makes whole-simulation runs bit-reproducible.
-///
-/// # Examples
-///
-/// ```
-/// use mgpu_types::Cycle;
-/// use sim_engine::EventQueue;
-///
-/// let mut q = EventQueue::new();
-/// q.schedule_after(3, "a");
-/// assert_eq!(q.now(), Cycle(0));
-/// let (t, ev) = q.pop().unwrap();
-/// assert_eq!((t, ev), (Cycle(3), "a"));
-/// assert_eq!(q.now(), Cycle(3));
-/// ```
+/// See the [module docs](self) for the structure; the external contract —
+/// time order, FIFO within a cycle, the past-time panic, and the
+/// scheduled/delivered/high-water telemetry — is identical to the
+/// general-purpose binary-heap queue it replaced.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Slot<E>>>,
+    /// Per-cycle buckets; slot `c & mask` holds the events of cycle `c`
+    /// for the unique in-horizon cycle mapping to that slot.
+    buckets: Vec<VecDeque<E>>,
+    /// Occupancy bitmap over `buckets` (one bit per slot).
+    occ: Vec<u64>,
+    /// Second-level bitmap: bit `w` set iff `occ[w] != 0`. Keeps the
+    /// next-bucket scan O(1) word reads even when the ring is sparse.
+    summary: Vec<u64>,
+    /// Far-future events: everything scheduled `>= ring` cycles ahead.
+    overflow: BinaryHeap<Reverse<Slot<E>>>,
+    /// `buckets.len() - 1`; the ring length is a power of two.
+    mask: u64,
+    /// Events currently resident in the ring (not the overflow heap).
+    in_buckets: usize,
     seq: u64,
     now: Cycle,
     popped: u64,
@@ -58,11 +105,28 @@ impl<E> Ord for Slot<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue at cycle zero.
+    /// Creates an empty queue at cycle zero with the default ring size.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_ring(DEFAULT_RING)
+    }
+
+    /// Creates an empty queue whose calendar ring spans `ring` cycles.
+    /// `ring` is rounded up to a power of two and clamped to at least 64.
+    /// Smaller rings shift work onto the overflow heap (more promotions);
+    /// larger rings cost idle-slot scan width and resident memory. Exposed
+    /// for benchmarks and the differential tests; simulation code uses
+    /// [`new`](Self::new).
+    #[must_use]
+    pub fn with_ring(ring: usize) -> Self {
+        let ring = ring.max(64).next_power_of_two();
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..ring).map(|_| VecDeque::new()).collect(),
+            occ: vec![0u64; ring / 64],
+            summary: vec![0u64; (ring / 64).div_ceil(64)],
+            overflow: BinaryHeap::new(),
+            mask: (ring - 1) as u64,
+            in_buckets: 0,
             seq: 0,
             now: Cycle::ZERO,
             popped: 0,
@@ -102,13 +166,29 @@ impl<E> EventQueue<E> {
     /// Number of events still pending.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.in_buckets + self.overflow.len()
     }
 
     /// Whether no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Ring length in cycles (bucket count). Events scheduled this many
+    /// cycles ahead or further go to the overflow heap until promoted.
+    #[must_use]
+    pub fn ring_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Events currently parked in the overflow heap (far-future tier).
+    /// Telemetry/test accessor: on the paper workloads this stays near
+    /// zero — the calendar ring absorbs the entire short-horizon common
+    /// case.
+    #[must_use]
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -126,12 +206,19 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Slot {
-            time: at,
-            seq,
-            event,
-        }));
-        self.high_water = self.high_water.max(self.heap.len());
+        if at.0 - self.now.0 <= self.mask {
+            let slot = (at.0 & self.mask) as usize;
+            self.buckets[slot].push_back(event);
+            self.mark_slot(slot);
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(Reverse(Slot {
+                time: at,
+                seq,
+                event,
+            }));
+        }
+        self.high_water = self.high_water.max(self.len());
     }
 
     /// Schedules `event` `delta` cycles after the current time.
@@ -152,27 +239,244 @@ impl<E> EventQueue<E> {
         self.schedule(at.max(self.now), event);
     }
 
+    /// Marks `slot` occupied in the bitmap and its summary.
+    #[inline]
+    fn mark_slot(&mut self, slot: usize) {
+        let w = slot >> 6;
+        self.occ[w] |= 1 << (slot & 63);
+        self.summary[w >> 6] |= 1 << (w & 63);
+    }
+
+    /// Clears `slot` (its bucket just emptied) from the bitmap, and from
+    /// the summary when the whole word went idle.
+    #[inline]
+    fn clear_slot(&mut self, slot: usize) {
+        let w = slot >> 6;
+        self.occ[w] &= !(1 << (slot & 63));
+        if self.occ[w] == 0 {
+            self.summary[w >> 6] &= !(1 << (w & 63));
+        }
+    }
+
+    /// The next occupancy *word* holding any bit, scanning the summary
+    /// circularly from the word after `sw` and ending with `sw` itself
+    /// (whose pre-`now` bits form the wrap region). `None` when every
+    /// word is empty.
+    fn next_occupied_word(&self, sw: usize) -> Option<usize> {
+        let words = self.occ.len();
+        let from = (sw + 1) % words;
+        let (fw, fb) = (from >> 6, (from & 63) as u32);
+        let swords = self.summary.len();
+        let head = self.summary[fw] & (!0u64 << fb);
+        if head != 0 {
+            return Some((fw << 6) | head.trailing_zeros() as usize);
+        }
+        for k in 1..=swords {
+            let w = (fw + k) % swords;
+            let mut bits = self.summary[w];
+            if k == swords {
+                bits &= !(!0u64 << fb);
+            }
+            if bits != 0 {
+                return Some((w << 6) | bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The cycle of the earliest non-empty bucket, scanning the two-level
+    /// occupancy bitmap circularly from the current time. `None` when the
+    /// ring is empty (all pending events, if any, are in the overflow
+    /// heap).
+    fn next_bucket_cycle(&self) -> Option<u64> {
+        if self.in_buckets == 0 {
+            return None;
+        }
+        let start = (self.now.0 & self.mask) as usize;
+        let (sw, sb) = (start >> 6, (start & 63) as u32);
+        // The word containing `start`, bits at/after the start position.
+        let head = self.occ[sw] & (!0u64 << sb);
+        if head != 0 {
+            return Some(self.cycle_of((sw << 6) | head.trailing_zeros() as usize));
+        }
+        // The summary points at the next occupied word; only `sw` itself,
+        // reappearing as the wrap word, needs the before-start mask.
+        let w = self.next_occupied_word(sw)?;
+        let mut bits = self.occ[w];
+        if w == sw {
+            bits &= !(!0u64 << sb);
+        }
+        if bits == 0 {
+            return None;
+        }
+        Some(self.cycle_of((w << 6) | bits.trailing_zeros() as usize))
+    }
+
+    /// Maps an occupied slot index back to its (unique in-horizon) cycle.
+    fn cycle_of(&self, slot: usize) -> u64 {
+        let start = self.now.0 & self.mask;
+        let offset = (slot as u64).wrapping_sub(start) & self.mask;
+        self.now.0 + offset
+    }
+
+    /// Moves every overflow event whose time has come inside the ring
+    /// horizon into its bucket. Called on every clock advance, which is
+    /// what guarantees promoted events land *ahead* of any later direct
+    /// schedule at the same cycle (FIFO preserved; see module docs).
+    fn promote(&mut self) {
+        while let Some(Reverse(top)) = self.overflow.peek() {
+            if top.time.0 - self.now.0 > self.mask {
+                break;
+            }
+            let Some(Reverse(slot)) = self.overflow.pop() else {
+                break;
+            };
+            let idx = (slot.time.0 & self.mask) as usize;
+            self.buckets[idx].push_back(slot.event);
+            self.mark_slot(idx);
+            self.in_buckets += 1;
+        }
+    }
+
+    /// The cycle the next pop will deliver from, without mutating. If any
+    /// bucket is occupied it beats the overflow heap: ring events are
+    /// strictly nearer than the horizon, heap events at or beyond it.
+    fn next_cycle(&self) -> Option<u64> {
+        self.next_bucket_cycle()
+            .or_else(|| self.overflow.peek().map(|Reverse(s)| s.time.0))
+    }
+
     /// Pops the next event, advancing the clock to its timestamp.
     ///
     /// # Panics
     ///
     /// In debug builds, and in release builds with the `check` feature,
-    /// panics if the heap would deliver an event before the current time
-    /// (time-monotonicity invariant).
+    /// panics if the calendar would deliver an event before the current
+    /// time (time-monotonicity invariant).
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let Reverse(slot) = self.heap.pop()?;
+        let c = self.next_cycle()?;
         if cfg!(any(debug_assertions, feature = "check")) {
-            assert!(slot.time >= self.now, "heap violated time order");
+            assert!(c >= self.now.0, "calendar queue violated time order");
         }
-        self.now = slot.time;
+        self.now = Cycle(c);
+        self.promote();
+        let slot = (c & self.mask) as usize;
+        let event = self.buckets[slot]
+            .pop_front()
+            // sim-lint: allow(panic, reason = "next_cycle returned this slot's cycle, and promote() fills the bucket when it came from the overflow heap; an empty bucket is an internal-invariant bug")
+            .expect("scanned calendar slot holds an event");
+        if self.buckets[slot].is_empty() {
+            self.clear_slot(slot);
+        }
+        self.in_buckets -= 1;
         self.popped += 1;
-        Some((slot.time, slot.event))
+        Some((Cycle(c), event))
+    }
+
+    /// Pops *every* event of the next occupied cycle into `out` (cleared
+    /// first), advances the clock to that cycle, and returns it. `None`
+    /// when no events are pending (`out` is left empty).
+    ///
+    /// This is the batch form of [`pop`](Self::pop) for dispatch loops:
+    /// one calendar operation delivers the whole cycle, instead of one
+    /// queue operation per event. Events scheduled *for the same cycle
+    /// while the batch is being dispatched* form a follow-up batch — the
+    /// next call returns the same cycle again — which is exactly the
+    /// delivery order the single-event API produces.
+    ///
+    /// Delivered-event telemetry counts the whole batch at pop time; a
+    /// caller that stops dispatching mid-batch (simulation end) corrects
+    /// the count with [`rescind_delivered`](Self::rescind_delivered).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, and in release builds with the `check` feature,
+    /// panics if the calendar would deliver before the current time.
+    pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<Cycle> {
+        out.clear();
+        let c = self.next_cycle()?;
+        if cfg!(any(debug_assertions, feature = "check")) {
+            assert!(c >= self.now.0, "calendar queue violated time order");
+        }
+        self.now = Cycle(c);
+        self.promote();
+        let slot = (c & self.mask) as usize;
+        out.extend(self.buckets[slot].drain(..));
+        self.clear_slot(slot);
+        self.in_buckets -= out.len();
+        self.popped += out.len() as u64;
+        Some(Cycle(c))
+    }
+
+    /// Corrects the delivered-event count after a caller abandons the tail
+    /// of a [`pop_batch`](Self::pop_batch) batch without dispatching it
+    /// (early simulation termination): the abandoned events were handed
+    /// out but never processed, so they must not count as delivered —
+    /// keeping the telemetry identical to the single-event pop loop, which
+    /// simply leaves undelivered events in the queue.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, and in release builds with the `check` feature,
+    /// panics if `n` exceeds the delivered count.
+    pub fn rescind_delivered(&mut self, n: u64) {
+        if cfg!(any(debug_assertions, feature = "check")) {
+            assert!(n <= self.popped, "rescinding more events than delivered");
+        }
+        self.popped -= n;
     }
 
     /// Timestamp of the next pending event, if any.
     #[must_use]
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(s)| s.time)
+        self.next_cycle().map(Cycle)
+    }
+
+    /// Verifies the calendar's internal structure invariants: the
+    /// occupancy bitmap matches bucket emptiness, the resident count
+    /// matches bucket contents, and every overflow event lies at or
+    /// beyond the ring horizon. Compiled to a no-op unless debug
+    /// assertions or the `check` feature are on; the `--features check`
+    /// CI run exercises it on the calendar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics (under `debug_assertions` or `check`) on any violation.
+    pub fn check_structure(&self) {
+        if !cfg!(any(debug_assertions, feature = "check")) {
+            return;
+        }
+        let mut resident = 0usize;
+        for (slot, b) in self.buckets.iter().enumerate() {
+            let bit = self.occ[slot >> 6] >> (slot & 63) & 1;
+            // sim-lint: allow(hygiene, reason = "whole fn is check-gated by the early return above; these must fire under --features check")
+            assert_eq!(
+                bit == 1,
+                !b.is_empty(),
+                "occupancy bit {slot} disagrees with bucket contents"
+            );
+            resident += b.len();
+        }
+        // sim-lint: allow(hygiene, reason = "whole fn is check-gated by the early return above; these must fire under --features check")
+        assert_eq!(resident, self.in_buckets, "ring resident count drifted");
+        for (w, &word) in self.occ.iter().enumerate() {
+            let bit = self.summary[w >> 6] >> (w & 63) & 1;
+            // sim-lint: allow(hygiene, reason = "whole fn is check-gated by the early return above; these must fire under --features check")
+            assert_eq!(
+                bit == 1,
+                word != 0,
+                "summary bit {w} disagrees with occupancy word"
+            );
+        }
+        for Reverse(s) in &self.overflow {
+            // sim-lint: allow(hygiene, reason = "whole fn is check-gated by the early return above; these must fire under --features check")
+            assert!(
+                s.time.0 - self.now.0 > self.mask,
+                "overflow event {} is inside the ring horizon (now={})",
+                s.time,
+                self.now
+            );
+        }
     }
 }
 
@@ -281,5 +585,110 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_promote() {
+        let mut q = EventQueue::with_ring(64);
+        q.schedule(Cycle(1), "near");
+        q.schedule(Cycle(1000), "far");
+        assert_eq!(q.overflow_len(), 1, "beyond-horizon event parks in heap");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((Cycle(1), "near")));
+        q.check_structure();
+        assert_eq!(q.pop(), Some((Cycle(1000), "far")));
+        assert_eq!(q.overflow_len(), 0);
+        q.check_structure();
+    }
+
+    #[test]
+    fn promotion_preserves_fifo_against_direct_schedules() {
+        // "early" goes to the overflow heap (t=200 is beyond the 64-cycle
+        // horizon at schedule time). After the clock advances to 150, a
+        // direct schedule at 200 lands in the bucket — and must deliver
+        // *after* the promoted heap event, which was scheduled first.
+        let mut q = EventQueue::with_ring(64);
+        q.schedule(Cycle(200), "early");
+        q.schedule(Cycle(150), "step");
+        assert_eq!(q.pop(), Some((Cycle(150), "step")));
+        q.schedule(Cycle(200), "late");
+        assert_eq!(q.pop(), Some((Cycle(200), "early")));
+        assert_eq!(q.pop(), Some((Cycle(200), "late")));
+    }
+
+    #[test]
+    fn pop_batch_delivers_whole_cycle_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), 0);
+        q.schedule(Cycle(9), 100);
+        q.schedule(Cycle(5), 1);
+        q.schedule(Cycle(5), 2);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(Cycle(5)));
+        assert_eq!(batch, vec![0, 1, 2]);
+        assert_eq!(q.now(), Cycle(5));
+        assert_eq!(q.delivered(), 3);
+        assert_eq!(q.pop_batch(&mut batch), Some(Cycle(9)));
+        assert_eq!(batch, vec![100]);
+        assert_eq!(q.pop_batch(&mut batch), None);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_schedule_during_batch_forms_followup_batch() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), 0);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(Cycle(5)));
+        // A handler dispatching the batch schedules another event at the
+        // same cycle: it is a *new* batch at the same timestamp.
+        q.schedule(Cycle(5), 1);
+        assert_eq!(q.pop_batch(&mut batch), Some(Cycle(5)));
+        assert_eq!(batch, vec![1]);
+    }
+
+    #[test]
+    fn rescind_corrects_delivered_count() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.schedule(Cycle(2), i);
+        }
+        let mut batch = Vec::new();
+        q.pop_batch(&mut batch);
+        assert_eq!(q.delivered(), 4);
+        // Caller dispatched only one event before the simulation ended.
+        q.rescind_delivered(3);
+        assert_eq!(q.delivered(), 1);
+    }
+
+    #[test]
+    fn bucket_ring_wraparound_is_transparent() {
+        // Walk the clock far past several ring lengths in odd strides so
+        // slots wrap repeatedly; order must stay exact.
+        let mut q = EventQueue::with_ring(64);
+        let mut expect = Vec::new();
+        let mut t = 0u64;
+        for i in 0..500u64 {
+            t += 37; // coprime to 64: hits every slot, wraps often
+            q.schedule(Cycle(t), i);
+            expect.push((t, i));
+        }
+        let got: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(c, i)| (c.0, i))
+            .collect();
+        assert_eq!(got, expect);
+        q.check_structure();
+    }
+
+    #[test]
+    fn len_spans_both_tiers() {
+        let mut q = EventQueue::with_ring(64);
+        q.schedule(Cycle(3), ());
+        q.schedule(Cycle(70), ());
+        q.schedule(Cycle(100_000), ());
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.overflow_len(), 2);
+        assert_eq!(q.high_water(), 3);
+        q.check_structure();
     }
 }

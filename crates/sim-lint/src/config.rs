@@ -8,7 +8,9 @@
 //! - `sim-check` is a test oracle that asserts by design: only the
 //!   `nondet` and `event` rules apply there;
 //! - `sim-engine` defines the event queue, so the `event` rule (which
-//!   bans raw `.schedule(` *callers*) is off inside it;
+//!   bans raw `.schedule(` *callers* and confines the `.pop_batch(` /
+//!   `.rescind_delivered(` batch-drain API to the sanctioned dispatch
+//!   loops) is off inside it;
 //! - `obs` (the observability layer) gets the full rule set — it exists
 //!   to report *simulated* time, so the `nondet` wall-clock ban applies
 //!   with no allowances;

@@ -325,22 +325,42 @@ pub fn check_tokens(file: &str, lx: &Lexed, cx: &Context, p: &FilePolicy) -> Vec
         }
 
         // --- event ----------------------------------------------------
-        if p.event
-            && !in_test
-            && id == "schedule"
-            && i > 0
-            && punct(lx, i - 1, '.')
-            && punct(lx, i + 1, '(')
-        {
-            emit(
-                i,
-                Rule::Event,
-                Severity::Error,
-                "raw .schedule(at) panics on past timestamps; use schedule_after \
-                 for relative delays or schedule_no_earlier for absolute resource \
-                 timestamps"
-                    .to_string(),
-            );
+        if p.event && !in_test && i > 0 && punct(lx, i - 1, '.') && punct(lx, i + 1, '(') {
+            match id {
+                "schedule" => emit(
+                    i,
+                    Rule::Event,
+                    Severity::Error,
+                    "raw .schedule(at) panics on past timestamps; use schedule_after \
+                     for relative delays or schedule_no_earlier for absolute resource \
+                     timestamps"
+                        .to_string(),
+                ),
+                // The batch-drain API advances the clock and bulk-counts
+                // delivery, so it belongs in the one dispatch loop that owns
+                // the simulation's main loop — a handler draining the queue
+                // mid-dispatch would reorder events and corrupt telemetry.
+                // The sanctioned call sites carry allow directives.
+                "pop_batch" => emit(
+                    i,
+                    Rule::Event,
+                    Severity::Error,
+                    ".pop_batch( advances the clock and bulk-counts delivered \
+                     events; only the central dispatch loop may drain the queue — \
+                     handlers must schedule, never pop"
+                        .to_string(),
+                ),
+                "rescind_delivered" => emit(
+                    i,
+                    Rule::Event,
+                    Severity::Error,
+                    ".rescind_delivered( rewrites delivery telemetry; it is only \
+                     correct paired with the dispatch loop's own abandoned \
+                     pop_batch tail"
+                        .to_string(),
+                ),
+                _ => {}
+            }
         }
     }
     out
@@ -411,6 +431,15 @@ mod tests {
     fn schedule_method_flagged_but_variants_pass() {
         let src = "fn f(q: &mut Q) { q.schedule(t, e); q.schedule_after(3, e); q.schedule_no_earlier(t, e); }";
         assert_eq!(rules_hit(src), vec![(Rule::Event, 1)]);
+    }
+
+    #[test]
+    fn batch_drain_api_confined_to_dispatch_loops() {
+        let src = "fn f(q: &mut Q, out: &mut Vec<E>) {\n    q.pop_batch(out);\n    q.rescind_delivered(2);\n}";
+        assert_eq!(rules_hit(src), vec![(Rule::Event, 2), (Rule::Event, 3)]);
+        // Free functions and unrelated identifiers stay clean.
+        let clean = "fn f() { pop_batch(); let rescind_delivered = 1; }";
+        assert!(rules_hit(clean).is_empty());
     }
 
     #[test]

@@ -96,9 +96,24 @@ fn hygiene_fixture_flags_bare_asserts_only() {
 }
 
 #[test]
-fn event_fixture_flags_raw_schedule_only() {
+fn event_fixture_flags_raw_schedule_and_rogue_batch_drains() {
     let diags = lint_fixture("event_bad.rs");
-    assert_eq!(gating(&diags), vec![(Rule::Event, 5)]);
+    assert_eq!(
+        gating(&diags),
+        vec![
+            (Rule::Event, 5),  // raw .schedule(at)
+            (Rule::Event, 12), // .pop_batch( outside the dispatch loop
+            (Rule::Event, 15), // .rescind_delivered( outside the dispatch loop
+        ]
+    );
+    // The schedule_after/schedule_no_earlier calls (lines 6-7) and the
+    // allow-sanctioned pop_batch loop (line 20) are accepted.
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.line == 20 && d.severity == Severity::Error),
+        "allow directive must sanction the dispatch-loop pop_batch: {diags:?}"
+    );
 }
 
 #[test]

@@ -6,3 +6,18 @@ pub fn drive(queue: &mut EventQueue, at: u64) {
     queue.schedule_after(10, 7);
     queue.schedule_no_earlier(at, 7);
 }
+
+pub fn rogue_drain(queue: &mut EventQueue, out: &mut Vec<u32>) {
+    // A handler draining the queue itself: both batch calls are flagged.
+    while queue.pop_batch(out).is_some() {
+        out.clear();
+    }
+    queue.rescind_delivered(1);
+}
+
+pub fn sanctioned_drain(queue: &mut EventQueue, out: &mut Vec<u32>) {
+    // sim-lint: allow(event, reason = "this is the dispatch loop the rule steers everyone toward")
+    while queue.pop_batch(out).is_some() {
+        out.clear();
+    }
+}

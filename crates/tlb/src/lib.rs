@@ -229,7 +229,7 @@ impl Tlb {
         let si = self.set_index(key);
         self.sets[si]
             .iter()
-            .position(|s| s.is_some_and(|s| s.key == key))
+            .position(|s| s.as_ref().is_some_and(|s| s.key == key))
             .map(|wi| (si, wi))
     }
 
@@ -297,7 +297,7 @@ impl Tlb {
         // Update in place if present.
         if let Some(wi) = self.sets[si]
             .iter()
-            .position(|s| s.is_some_and(|s| s.key == key))
+            .position(|s| s.as_ref().is_some_and(|s| s.key == key))
         {
             // sim-lint: allow(panic, reason = "wi came from position() over this same set two lines up")
             let slot = self.sets[si][wi].as_mut().expect("present");
@@ -337,7 +337,7 @@ impl Tlb {
         let si = self.set_index(key);
         let present = self.sets[si]
             .iter()
-            .any(|s| s.is_some_and(|s| s.key == key));
+            .any(|s| s.as_ref().is_some_and(|s| s.key == key));
         if present || self.sets[si].iter().any(Option::is_none) {
             return None;
         }
