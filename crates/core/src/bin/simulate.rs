@@ -4,6 +4,7 @@
 //! simulate [--workload ST|W4|...] [--policy baseline|least|least-spill|
 //!           infinite|probing|exclusive] [--gpus N] [--budget N] [--seed N]
 //!           [--quick] [--page-size 4k|2m] [--json]
+//!           [--topology flat|ring|mesh|switch] [--link-cycles N]
 //!           [--record-trace FILE] [--replay-trace FILE]
 //!           [--breakdown] [--metrics-json FILE]
 //!           [--trace-out FILE] [--trace-sample N]
@@ -12,6 +13,12 @@
 //! Prints a human-readable summary, or the full [`RunResult`] as JSON with
 //! `--json`. `--record-trace` dumps the L2-level request stream for later
 //! `--replay-trace` runs (trace-driven policy comparison).
+//!
+//! `--topology` wires the GPUs with an explicit interconnect (per-link
+//! telemetry appears in the `--json` output's `fabric` section);
+//! `--link-cycles N` adds N cycles of per-message link serialization
+//! (default 0 — infinite bandwidth, so `--topology flat` reproduces the
+//! default model exactly).
 //!
 //! Observability: `--breakdown` adds the per-app translation-latency
 //! breakdown to the summary, `--metrics-json FILE` writes the full metrics
@@ -34,6 +41,7 @@ fn usage_error(msg: &str) -> ! {
     eprintln!(
         "usage: simulate [--workload NAME] [--policy NAME] [--gpus N] [--budget N] \
          [--seed N] [--quick] [--page-size 4k|2m] [--json] \
+         [--topology flat|ring|mesh|switch] [--link-cycles N] \
          [--record-trace FILE] [--replay-trace FILE] [--breakdown] \
          [--metrics-json FILE] [--trace-out FILE] [--trace-sample N]"
     );
@@ -49,6 +57,8 @@ struct Args {
     quick: bool,
     page_size: PageSize,
     json: bool,
+    topology: Option<least_tlb::Topology>,
+    link_cycles: u64,
     record_trace: Option<String>,
     replay_trace: Option<String>,
     breakdown: bool,
@@ -67,6 +77,8 @@ fn parse_args() -> Args {
         quick: false,
         page_size: PageSize::Size4K,
         json: false,
+        topology: None,
+        link_cycles: 0,
         record_trace: None,
         replay_trace: None,
         breakdown: false,
@@ -107,6 +119,14 @@ fn parse_args() -> Args {
                 }
             }
             "--json" => a.json = true,
+            "--topology" => {
+                a.topology = Some(val().parse().unwrap_or_else(|e: String| usage_error(&e)));
+            }
+            "--link-cycles" => {
+                a.link_cycles = val().parse().unwrap_or_else(|_| {
+                    usage_error("--link-cycles takes a cycle count, e.g. --link-cycles 4")
+                });
+            }
             "--record-trace" => a.record_trace = Some(val()),
             "--replay-trace" => a.replay_trace = Some(val()),
             "--breakdown" => a.breakdown = true,
@@ -120,10 +140,14 @@ fn parse_args() -> Args {
             other => usage_error(&format!(
                 "unknown flag '{other}'; accepted flags are --workload, --policy, \
                  --gpus, --budget, --seed, --quick, --page-size, --json, \
+                 --topology, --link-cycles, \
                  --record-trace, --replay-trace, --breakdown, --metrics-json, \
                  --trace-out, --trace-sample"
             )),
         }
+    }
+    if a.link_cycles > 0 && a.topology.is_none() {
+        usage_error("--link-cycles only applies to an explicit --topology");
     }
     a
 }
@@ -154,13 +178,15 @@ fn resolve_workload(name: &str, gpus: usize) -> WorkloadSpec {
         .iter()
         .chain(scaling_workloads(8).iter())
         .chain(scaling_workloads(16).iter())
+        .chain(scaling_workloads(32).iter())
+        .chain(scaling_workloads(64).iter())
         .chain(mix_workloads().iter())
         .find(|m| m.name.eq_ignore_ascii_case(name))
         .map_or_else(
             || {
                 usage_error(&format!(
-                    "--workload accepts an application name or a mix name W1..W19; \
-                 got '{name}'"
+                    "--workload accepts an application name or a mix name \
+                 W1..W19, S32, S64; got '{name}'"
                 ))
             },
             WorkloadSpec::from_mix,
@@ -227,6 +253,11 @@ fn main() {
     cfg.instructions_per_gpu = args.budget;
     cfg.seed = args.seed;
     cfg.page_size = args.page_size;
+    if let Some(topology) = args.topology {
+        let mut fc = least_tlb::FabricConfig::new(topology);
+        fc.message_cycles = args.link_cycles;
+        cfg.fabric = Some(fc);
+    }
     cfg.record_trace = args.record_trace.is_some();
     cfg.obs.metrics = args.breakdown || args.metrics_json.is_some();
     cfg.obs.trace = args.trace_out.is_some();

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use fabric::{Fabric, FabricConfig, FabricParams, Topology};
 use gcn_model::GpuConfig;
 use iommu::IommuConfig;
 use mgpu_types::PageSize;
@@ -33,11 +34,22 @@ pub struct SystemConfig {
     /// One-way GPU ↔ GPU link latency in cycles (high-bandwidth
     /// interconnect; swept in Fig. 20).
     pub inter_gpu_latency: u64,
-    /// Optional GPU ↔ IOMMU link bandwidth model: cycles of link occupancy
-    /// per ATS message in each direction (`None` = unbounded bandwidth,
-    /// the paper's implicit model). Models the interconnect congestion the
-    /// paper's Fig. 20 discussion raises for heterogeneous systems.
+    /// **Deprecated shim** — the pre-fabric GPU ↔ IOMMU bandwidth knob:
+    /// cycles of link occupancy per ATS message in each direction
+    /// (`None` = unbounded). Subsumed by [`SystemConfig::fabric`]; kept so
+    /// old JSON configs still parse and behave identically. When set, it
+    /// is folded into the IOMMU attachment links of whatever fabric
+    /// [`SystemConfig::build_fabric`] resolves (see there for the exact
+    /// rule).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
     pub link_message_cycles: Option<u64>,
+    /// Interconnect fabric section. `None` (the default, and what every
+    /// pre-fabric JSON config deserializes to) builds the flat
+    /// compatibility fabric: dedicated per-pair links carrying exactly
+    /// `inter_gpu_latency` / `gpu_iommu_latency` with zero serialization,
+    /// which reproduces the scalar-latency model bit-for-bit.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub fabric: Option<FabricConfig>,
     /// Per-app instruction budget for each GPU the app occupies; an app's
     /// first run completes when `budget × occupied GPUs` instructions have
     /// been issued.
@@ -84,6 +96,7 @@ impl SystemConfig {
             gpu_iommu_latency: 150,
             inter_gpu_latency: 120,
             link_message_cycles: None,
+            fabric: None,
             instructions_per_gpu: 3_000_000,
             phys_frames: 1 << 22, // 16 GB of 4 KB frames
             fragmentation: None,
@@ -113,6 +126,53 @@ impl SystemConfig {
         cfg.instructions_per_gpu = 400_000;
         cfg.phys_frames = 1 << 20;
         cfg
+    }
+
+    /// Builds the interconnect fabric this configuration describes.
+    ///
+    /// With no [`SystemConfig::fabric`] section this is the flat
+    /// compatibility fabric: per-pair GPU links at `inter_gpu_latency`
+    /// with zero serialization, and per-GPU IOMMU attachment links at
+    /// `gpu_iommu_latency` whose serialization is the legacy
+    /// `link_message_cycles` value (so old configs keep their exact
+    /// pre-fabric timing, bandwidth cap included).
+    ///
+    /// With a fabric section, unset link latencies inherit the scalar
+    /// latencies, every link serializes at `message_cycles`, and a legacy
+    /// `link_message_cycles` larger than that still wins on the IOMMU
+    /// attachment — a config that asked for a tight ATS bandwidth cap
+    /// keeps it when a topology is merely added on top.
+    #[must_use]
+    pub fn build_fabric(&self) -> Fabric {
+        let legacy = self.link_message_cycles.unwrap_or(0);
+        let params = match &self.fabric {
+            None => FabricParams {
+                gpus: self.gpus,
+                gpu_latency: self.inter_gpu_latency,
+                iommu_latency: self.gpu_iommu_latency,
+                gpu_message_cycles: 0,
+                iommu_message_cycles: legacy,
+                queue_capacity: 16,
+            },
+            Some(fc) => FabricParams {
+                gpus: self.gpus,
+                gpu_latency: fc.gpu_link_latency.unwrap_or(self.inter_gpu_latency),
+                iommu_latency: fc.iommu_link_latency.unwrap_or(self.gpu_iommu_latency),
+                gpu_message_cycles: fc.message_cycles,
+                iommu_message_cycles: fc.message_cycles.max(legacy),
+                queue_capacity: fc.queue_capacity,
+            },
+        };
+        Fabric::of_topology(self.topology(), &params)
+    }
+
+    /// The interconnect topology in effect (flat when no fabric section
+    /// is configured).
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.fabric
+            .as_ref()
+            .map_or(Topology::Flat, |fc| fc.topology)
     }
 
     /// The IOMMU TLB capacity under the current policy (`usize::MAX` when
@@ -283,6 +343,63 @@ mod tests {
         assert_eq!(s.name, "W4");
         assert_eq!(s.gpus_required(), 4);
         assert_eq!(s.placements.len(), 4);
+    }
+
+    #[test]
+    fn pre_fabric_json_configs_still_parse() {
+        // A config serialized before the fabric section existed: strip
+        // both the new `fabric` key and the legacy shim from today's
+        // output to reconstruct one.
+        let mut cfg = SystemConfig::scaled_down(4);
+        cfg.link_message_cycles = None;
+        cfg.fabric = None;
+        let json = serde_json::to_string(&cfg).expect("serializes");
+        assert!(
+            !json.contains("fabric") && !json.contains("link_message_cycles"),
+            "absent optional sections must not be serialized: {json}"
+        );
+        let parsed: SystemConfig = serde_json::from_str(&json).expect("old-shape JSON parses");
+        assert_eq!(parsed, cfg);
+        assert_eq!(parsed.topology(), Topology::Flat);
+    }
+
+    #[test]
+    fn fabric_section_round_trips_through_json() {
+        let mut cfg = SystemConfig::scaled_down(8);
+        let mut fc = FabricConfig::new(Topology::Mesh2d);
+        fc.message_cycles = 4;
+        fc.gpu_link_latency = Some(80);
+        cfg.fabric = Some(fc);
+        cfg.link_message_cycles = Some(200);
+        let json = serde_json::to_string(&cfg).expect("serializes");
+        let parsed: SystemConfig = serde_json::from_str(&json).expect("parses");
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn legacy_link_message_cycles_lands_on_the_iommu_attachment() {
+        // Shim semantics: without a fabric section, the legacy bandwidth
+        // cap serializes the IOMMU links exactly as the old per-GPU
+        // ServerPool pair did, and GPU links stay uncontended.
+        let mut cfg = SystemConfig::scaled_down(4);
+        cfg.link_message_cycles = Some(200);
+        let mut f = cfg.build_fabric();
+        let iommu = f.iommu_node();
+        let t = mgpu_types::Cycle(1000);
+        let first = f.send(t, 0, iommu);
+        let second = f.send(t, 0, iommu);
+        assert_eq!(first.arrive.0, 1000 + 200 + cfg.gpu_iommu_latency);
+        assert_eq!(second.arrive.0, first.arrive.0 + 200);
+        assert_eq!(f.send(t, 0, 1).arrive.0, 1000 + cfg.inter_gpu_latency);
+
+        // With a fabric section on top, the larger of the two bandwidth
+        // knobs governs the IOMMU attachment.
+        cfg.fabric = Some(FabricConfig::new(Topology::Flat));
+        let mut f = cfg.build_fabric();
+        assert_eq!(
+            f.send(t, 0, iommu).arrive.0,
+            1000 + 200 + cfg.gpu_iommu_latency
+        );
     }
 
     #[test]

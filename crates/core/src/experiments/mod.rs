@@ -12,6 +12,7 @@ mod comparison;
 mod evaluation;
 mod exec;
 mod sensitivity;
+mod topology;
 
 pub use exec::{run_suite, telemetry_table, RunnerTelemetry, SuiteOutcome};
 
@@ -31,6 +32,7 @@ pub use sensitivity::{
     fig19_spill_counter, fig20_remote_latency, fig21_gpu_scaling, fig22_mix_workload,
     fig23_local_page_tables, fig24_large_pages, sens_iommu_size,
 };
+pub use topology::{topology_sweep, SWEEP_GPUS, SWEEP_TOPOLOGIES};
 
 use mgpu_types::DetMap;
 use workloads::{AppKind, MultiAppMix};
@@ -272,6 +274,10 @@ pub fn run_by_name(name: &str, opts: &ExpOptions) -> Result<Table, String> {
         "ablation-blocking-l1" => ablation_blocking_l1(opts),
         "ablation-receiver" => ablation_receiver(opts),
         "ext-qos-quota" => ext_qos_quota(opts),
+        // Extension experiment: resolvable by name (and via the figures
+        // binary's --topology-sweep flag) but not in ALL_EXPERIMENTS, so
+        // `figures all` still reproduces exactly the paper's figure set.
+        "topology-sweep" => topology_sweep(opts),
         other => return Err(other.to_string()),
     })
 }

@@ -1,0 +1,83 @@
+//! Topology sweep: how the least-TLB design scales from 8 to 64 GPUs
+//! when the interconnect is modeled as a real link graph instead of the
+//! flat all-to-all compatibility fabric.
+//!
+//! Not part of the paper's figure set (the paper evaluates on a flat
+//! inter-GPU latency, §5); this is the repo's extension experiment for
+//! the `fabric` crate. It is therefore registered with
+//! [`super::run_by_name`] but deliberately left out of
+//! [`super::ALL_EXPERIMENTS`], so `figures all` keeps reproducing
+//! exactly the paper's tables — the sweep runs only when asked for by
+//! name or with `figures --topology-sweep`.
+
+use workloads::AppKind;
+
+use super::{run, ExpOptions};
+use crate::{FabricConfig, Policy, Table, Topology, WorkloadSpec};
+
+/// GPU counts the sweep covers (the paper stops at 16; 32 and 64 probe
+/// where multi-hop topologies start to bite).
+pub const SWEEP_GPUS: [usize; 4] = [8, 16, 32, 64];
+
+/// Topologies the sweep crosses with every GPU count. `Flat` runs first
+/// and serves as the speedup baseline for the other three.
+pub const SWEEP_TOPOLOGIES: [Topology; 4] = [
+    Topology::Flat,
+    Topology::Ring,
+    Topology::Mesh2d,
+    Topology::Switch,
+];
+
+/// **Topology sweep** (extension): least-TLB under `flat`, `ring`,
+/// `2d-mesh` and `switch` interconnects at 8/16/32/64 GPUs, with link
+/// serialization on (4 cycles/message) so shared links actually contend.
+///
+/// Per row: speedup against the same-GPU-count `flat` run, total
+/// messages carried, the worst per-link queue occupancy and the number
+/// of admissions that found a link's bounded queue full — the
+/// contention columns come straight from the run's
+/// [`crate::FabricSummary`].
+pub fn topology_sweep(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(vec![
+        "config".into(),
+        "topology".into(),
+        "speedup-vs-flat".into(),
+        "messages".into(),
+        "queue-peak".into(),
+        "overflows".into(),
+    ]);
+    for gpus in SWEEP_GPUS {
+        let mut flat = None;
+        for topology in SWEEP_TOPOLOGIES {
+            let mut cfg = opts.config(gpus);
+            cfg.policy = Policy::least_tlb_spilling();
+            cfg.fabric = Some(FabricConfig {
+                topology,
+                gpu_link_latency: None,
+                iommu_link_latency: None,
+                message_cycles: 4,
+                queue_capacity: 16,
+            });
+            let spec = WorkloadSpec::single_app(AppKind::Pr, gpus);
+            let r = run(&cfg, &spec);
+            let speedup = flat.as_ref().map_or(1.0, |f| r.speedup_vs(f));
+            let fabric = r
+                .fabric
+                .as_ref()
+                // sim-lint: allow(panic, reason = "the sweep always sets an explicit fabric section, so every run carries a summary; a miss is a programming error")
+                .expect("explicit fabric config produces a summary");
+            t.row(vec![
+                format!("{gpus} GPUs"),
+                topology.name().into(),
+                Table::f(speedup),
+                fabric.messages().to_string(),
+                fabric.queue_peak().to_string(),
+                fabric.overflows().to_string(),
+            ]);
+            if topology == Topology::Flat {
+                flat = Some(r);
+            }
+        }
+    }
+    t
+}

@@ -182,6 +182,40 @@ impl RunTelemetry {
     }
 }
 
+/// End-of-run interconnect telemetry: the topology the run was wired
+/// with and per-link traffic/contention counters. Present only when the
+/// config carries an explicit `fabric` section — pre-fabric result JSON
+/// is reproduced byte-for-byte otherwise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricSummary {
+    /// Topology name ("flat", "ring", "2d-mesh", "switch").
+    pub topology: String,
+    /// Fabric node count (GPUs + IOMMU + any internal switch nodes).
+    pub nodes: usize,
+    /// Per-link counters, in deterministic (from, to)-sorted order.
+    pub links: Vec<fabric::LinkStats>,
+}
+
+impl FabricSummary {
+    /// Total messages carried across all links.
+    #[must_use]
+    pub fn messages(&self) -> u64 {
+        self.links.iter().map(|l| l.messages).sum()
+    }
+
+    /// Highest per-link queue occupancy seen anywhere in the fabric.
+    #[must_use]
+    pub fn queue_peak(&self) -> u64 {
+        self.links.iter().map(|l| l.queue_peak).max().unwrap_or(0)
+    }
+
+    /// Total admissions that found the bounded queue full.
+    #[must_use]
+    pub fn overflows(&self) -> u64 {
+        self.links.iter().map(|l| l.overflows).sum()
+    }
+}
+
 /// Everything a simulation run produces.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
@@ -220,6 +254,10 @@ pub struct RunResult {
     /// for hand-assembled results; every simulated run fills it in.
     #[serde(skip_serializing_if = "Option::is_none", default)]
     pub telemetry: Option<RunTelemetry>,
+    /// Interconnect topology and per-link counters (when the config has
+    /// an explicit `fabric` section).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub fabric: Option<FabricSummary>,
 }
 
 impl RunResult {
@@ -358,6 +396,7 @@ mod tests {
             metrics: None,
             trace_events: None,
             telemetry: None,
+            fabric: None,
         }
     }
 

@@ -9,19 +9,12 @@ use mgpu_types::{CuId, Cycle, DetMap, GpuId, PhysPage, TranslationKey, Wavefront
 use obs::Resolution;
 use tlb::TlbEntry;
 
-use super::{Event, Inclusion, RingState, System};
+use super::{Event, Inclusion, NetMsg, RingState, System};
 use crate::results::SnapshotRecord;
 
 /// Spill chains longer than this are cut (paper §4.2's ping-pong effect is
 /// short with N=1; the cap only guards pathological configurations).
 const MAX_SPILL_CHAIN: u32 = 64;
-
-/// GPU↔IOMMU link direction (bandwidth model).
-#[derive(Debug, Clone, Copy)]
-enum Direction {
-    Up,
-    Down,
-}
 
 impl System {
     pub(crate) fn dispatch(&mut self, t: Cycle, ev: Event) {
@@ -56,6 +49,98 @@ impl System {
             Event::RingResult { origin, key, hit } => self.on_ring_result(t, origin, key, hit),
             Event::PriDispatch => self.on_pri_dispatch(t),
             Event::Snapshot => self.on_snapshot(t),
+            Event::FabricHop { node, msg } => self.on_fabric_hop(t, node, msg),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interconnect transport
+    // ------------------------------------------------------------------
+
+    /// Hands a message to the interconnect at `at` from fabric node `src`.
+    ///
+    /// The destination node is a function of the message (GPUs map to their
+    /// index, the IOMMU to node `cfg.gpus`). Single-hop routes — every
+    /// route under the flat topology — deliver directly; multi-hop routes
+    /// re-enter the fabric via `Event::FabricHop` at each intermediate
+    /// node, so contention is modelled per link.
+    pub(crate) fn net_send(&mut self, at: Cycle, src: usize, msg: NetMsg) {
+        let dst = self.msg_dest(msg);
+        if src == dst {
+            // Local delivery (e.g. a fill for a waiter that also holds the
+            // entry): no link is traversed, no latency is charged.
+            self.deliver(at, msg);
+            return;
+        }
+        let hop = self.fabric.send(at, src, dst);
+        if hop.node == dst {
+            self.deliver(hop.arrive, msg);
+        } else {
+            self.queue.schedule_no_earlier(
+                hop.arrive,
+                Event::FabricHop {
+                    node: hop.node,
+                    msg,
+                },
+            );
+        }
+    }
+
+    /// A message reached intermediate fabric node `node`: forward it along
+    /// its route.
+    fn on_fabric_hop(&mut self, t: Cycle, node: usize, msg: NetMsg) {
+        self.net_send(t, node, msg);
+    }
+
+    /// Terminal delivery: unwraps the network message into its protocol
+    /// event at the destination.
+    fn deliver(&mut self, at: Cycle, msg: NetMsg) {
+        match msg {
+            NetMsg::IommuReq { gpu, key } => self
+                .queue
+                .schedule_no_earlier(at, Event::IommuArrive { gpu, key }),
+            NetMsg::Probe { target, key } => self
+                .queue
+                .schedule_no_earlier(at, Event::ProbeArrive { target, key }),
+            NetMsg::Fill {
+                gpu,
+                key,
+                frame,
+                res,
+            } => self.queue.schedule_no_earlier(
+                at,
+                Event::Fill {
+                    gpu,
+                    key,
+                    frame,
+                    res,
+                },
+            ),
+            NetMsg::RingProbe {
+                target,
+                origin,
+                key,
+            } => self.queue.schedule_no_earlier(
+                at,
+                Event::RingProbe {
+                    target,
+                    origin,
+                    key,
+                },
+            ),
+            NetMsg::RingResult { origin, key, hit } => self
+                .queue
+                .schedule_no_earlier(at, Event::RingResult { origin, key, hit }),
+        }
+    }
+
+    /// The fabric node a message is addressed to.
+    fn msg_dest(&self, msg: NetMsg) -> usize {
+        match msg {
+            NetMsg::IommuReq { .. } => self.cfg.gpus,
+            NetMsg::Probe { target, .. } | NetMsg::RingProbe { target, .. } => target.index(),
+            NetMsg::Fill { gpu, .. } => gpu.index(),
+            NetMsg::RingResult { origin, .. } => origin.index(),
         }
     }
 
@@ -282,9 +367,10 @@ impl System {
                 },
             );
             for target in targets {
-                self.queue.schedule_after(
-                    self.cfg.inter_gpu_latency,
-                    Event::RingProbe {
+                self.net_send(
+                    t,
+                    gpu.index(),
+                    NetMsg::RingProbe {
                         target,
                         origin: gpu,
                         key,
@@ -292,25 +378,8 @@ impl System {
                 );
             }
         } else {
-            let depart = self.link_depart(gpu, t, Direction::Up);
-            self.queue.schedule_no_earlier(
-                depart.after(self.cfg.gpu_iommu_latency),
-                Event::IommuArrive { gpu, key },
-            );
+            self.net_send(t, gpu.index(), NetMsg::IommuReq { gpu, key });
         }
-    }
-
-    /// When a message handed to the GPU↔IOMMU link at `t` actually departs
-    /// (bandwidth model; pass-through when unbounded).
-    fn link_depart(&mut self, gpu: GpuId, t: Cycle, dir: Direction) -> Cycle {
-        let Some(occupancy) = self.cfg.link_message_cycles else {
-            return t;
-        };
-        let pool = match dir {
-            Direction::Up => &mut self.uplink[gpu.index()],
-            Direction::Down => &mut self.downlink[gpu.index()],
-        };
-        pool.admit(t, occupancy)
     }
 
     // ------------------------------------------------------------------
@@ -350,10 +419,11 @@ impl System {
                     // sim-lint: allow(panic, reason = "infinite_seen membership implies a mapping; divergence is a state-machine bug")
                     .expect("infinite-TLB entries are mapped")
                     .frame;
-                let depart = self.link_depart(gpu, t.after(tlb_latency), Direction::Down);
-                self.queue.schedule_no_earlier(
-                    depart.after(self.cfg.gpu_iommu_latency),
-                    Event::Fill {
+                let iommu = self.fabric.iommu_node();
+                self.net_send(
+                    t.after(tlb_latency),
+                    iommu,
+                    NetMsg::Fill {
                         gpu,
                         key,
                         frame,
@@ -380,10 +450,11 @@ impl System {
                     self.iommu.tlb.remove(key);
                     self.iommu.count_remove(entry.origin);
                 }
-                let depart = self.link_depart(gpu, t.after(tlb_latency), Direction::Down);
-                self.queue.schedule_no_earlier(
-                    depart.after(self.cfg.gpu_iommu_latency),
-                    Event::Fill {
+                let iommu = self.fabric.iommu_node();
+                self.net_send(
+                    t.after(tlb_latency),
+                    iommu,
+                    NetMsg::Fill {
                         gpu,
                         key,
                         frame: entry.frame,
@@ -398,16 +469,20 @@ impl System {
                 let mut probe_sent = false;
                 if self.cfg.policy.uses_pending() {
                     self.iommu.pending.register(key, gpu);
-                    if let Some(tracker) = &mut self.tracker {
-                        if let Some(target) = tracker.query(key, gpu) {
-                            self.iommu.stats.probes += 1;
-                            self.iommu.pending.mark_probe(key);
-                            probe_sent = true;
-                            self.queue.schedule_after(
-                                tlb_latency + self.cfg.inter_gpu_latency,
-                                Event::ProbeArrive { target, key },
-                            );
-                        }
+                    let target = self.tracker.as_mut().and_then(|tr| tr.query(key, gpu));
+                    if let Some(target) = target {
+                        self.iommu.stats.probes += 1;
+                        self.iommu.pending.mark_probe(key);
+                        probe_sent = true;
+                        // The probe travels the requester→holder inter-GPU
+                        // distance (paper Fig. 9 ③ charges one inter-GPU
+                        // traversal), so it enters the fabric at the
+                        // requester's node rather than the IOMMU's.
+                        self.net_send(
+                            t.after(tlb_latency),
+                            gpu.index(),
+                            NetMsg::Probe { target, key },
+                        );
                     }
                 }
                 // least-TLB races probe and walk; the serialized variant
@@ -550,11 +625,12 @@ impl System {
         }
         // least-inclusive: the translation goes only to the requesting L2
         // (paper Algorithm 1 lines 12-14).
+        let iommu = self.fabric.iommu_node();
         for &gpu in waiters {
-            let depart = self.link_depart(gpu, t, Direction::Down);
-            self.queue.schedule_no_earlier(
-                depart.after(self.cfg.gpu_iommu_latency),
-                Event::Fill {
+            self.net_send(
+                t,
+                iommu,
+                NetMsg::Fill {
                     gpu,
                     key,
                     frame,
@@ -615,11 +691,12 @@ impl System {
                 tracker.remove(target, key);
             }
         }
-        let lat = self.cfg.gpu.l2_latency + self.cfg.inter_gpu_latency;
+        let serve = t.after(self.cfg.gpu.l2_latency);
         for gpu in waiters {
-            self.queue.schedule_after(
-                lat,
-                Event::Fill {
+            self.net_send(
+                serve,
+                target.index(),
+                NetMsg::Fill {
                     gpu,
                     key,
                     frame: entry.frame,
@@ -711,6 +788,10 @@ impl System {
             Inclusion::LeastInclusive | Inclusion::Exclusive => {
                 if ventry.spill_credits > 0 {
                     // Victim-TLB insertion (paper Algorithm 1 lines 24-26).
+                    // The eviction push-down rides the GPU→IOMMU route;
+                    // off the critical path, so counted but not timed.
+                    let iommu = self.fabric.iommu_node();
+                    self.fabric.note(gpu.index(), iommu);
                     self.insert_iommu(t, vkey, ventry.frame, ventry.spill_credits, gpu, depth);
                 }
                 // Spilled entries (zero credits) are discarded without
@@ -785,6 +866,10 @@ impl System {
                 self.iommu.stats.spill_chain += 1;
             }
             self.gpus[receiver.index()].stats.spills_received += 1;
+            // The spill push travels IOMMU→receiver; like the eviction
+            // push-down it is off the critical path (counted, not timed).
+            let iommu = self.fabric.iommu_node();
+            self.fabric.note(iommu, receiver.index());
             self.install_l2(t, receiver, vk, ve.frame, ve.spill_credits - 1, depth + 1);
         }
     }
@@ -793,17 +878,18 @@ impl System {
     // Ring probing (§5.5 comparison policy)
     // ------------------------------------------------------------------
 
-    fn on_ring_probe(&mut self, _t: Cycle, target: GpuId, origin: GpuId, key: TranslationKey) {
+    fn on_ring_probe(&mut self, t: Cycle, target: GpuId, origin: GpuId, key: TranslationKey) {
         let hit = self.gpus[target.index()].remote_probe(key).map(|e| e.frame);
-        self.queue.schedule_after(
-            self.cfg.gpu.l2_latency + self.cfg.inter_gpu_latency,
-            Event::RingResult { origin, key, hit },
+        self.net_send(
+            t.after(self.cfg.gpu.l2_latency),
+            target.index(),
+            NetMsg::RingResult { origin, key, hit },
         );
     }
 
     fn on_ring_result(
         &mut self,
-        _t: Cycle,
+        t: Cycle,
         origin: GpuId,
         key: TranslationKey,
         hit: Option<PhysPage>,
@@ -845,10 +931,7 @@ impl System {
         // Both neighbours missed: only now does the request go to the
         // IOMMU — the serialization penalty the paper identifies in §5.5.
         if finished && !served {
-            self.queue.schedule_after(
-                self.cfg.gpu_iommu_latency,
-                Event::IommuArrive { gpu: origin, key },
-            );
+            self.net_send(t, origin.index(), NetMsg::IommuReq { gpu: origin, key });
         }
     }
 

@@ -13,7 +13,7 @@ use mgpu_types::{
 use obs::Resolution;
 use pagetable::{FrameAllocator, PageTable, Walk};
 use serde::{Deserialize, Serialize};
-use sim_engine::{EventQueue, ServerPool};
+use sim_engine::EventQueue;
 use workloads::AppWorkload;
 
 use crate::config::{BuildError, SystemConfig, WorkloadSpec};
@@ -260,6 +260,48 @@ pub(crate) enum Event {
     PriDispatch,
     /// Periodic TLB-content snapshot.
     Snapshot,
+    /// A remote message reached intermediate fabric node `node` and must
+    /// advance another hop toward its destination. Single-hop routes
+    /// (every route of the flat topology) never produce this event — the
+    /// terminal event is scheduled directly, which is what keeps the flat
+    /// fabric byte-identical to the pre-fabric scalar model.
+    FabricHop { node: usize, msg: NetMsg },
+}
+
+/// A remote message in flight on the interconnect fabric. Each variant
+/// carries exactly the payload of the terminal [`Event`] it becomes on
+/// arrival; the destination node is derived from the payload (see
+/// `System::msg_dest`), so a message cannot be delivered anywhere else.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NetMsg {
+    /// An ATS translation request on its way to the IOMMU
+    /// (becomes [`Event::IommuArrive`]).
+    IommuReq { gpu: GpuId, key: TranslationKey },
+    /// A tracker-directed probe on its way to the holder GPU
+    /// (becomes [`Event::ProbeArrive`]).
+    Probe { target: GpuId, key: TranslationKey },
+    /// A translation response on its way to a GPU
+    /// (becomes [`Event::Fill`]).
+    Fill {
+        gpu: GpuId,
+        key: TranslationKey,
+        frame: PhysPage,
+        res: Resolution,
+    },
+    /// A ring probe on its way to a neighbour
+    /// (becomes [`Event::RingProbe`]).
+    RingProbe {
+        target: GpuId,
+        origin: GpuId,
+        key: TranslationKey,
+    },
+    /// A ring probe response on its way back to the requester
+    /// (becomes [`Event::RingResult`]).
+    RingResult {
+        origin: GpuId,
+        key: TranslationKey,
+        hit: Option<PhysPage>,
+    },
 }
 
 /// One application instance in the running system.
@@ -359,10 +401,9 @@ pub struct System {
     pub(crate) scripted: bool,
     /// Round-robin cursor for `ReceiverPolicy::RoundRobin`.
     pub(crate) spill_rr: usize,
-    /// Per-GPU uplink (GPU→IOMMU) bandwidth model, when enabled.
-    pub(crate) uplink: Vec<ServerPool>,
-    /// Per-GPU downlink (IOMMU→GPU) bandwidth model, when enabled.
-    pub(crate) downlink: Vec<ServerPool>,
+    /// The interconnect fabric every remote message traverses
+    /// (flat-compatibility graph unless `cfg.fabric` selects a topology).
+    pub(crate) fabric: fabric::Fabric,
     /// Observability state (`cfg.obs`); `None` when fully disabled, so
     /// the instrumentation sites cost one branch each.
     pub(crate) obs: Option<Box<instrument::Instrument>>,
@@ -542,8 +583,7 @@ impl System {
             end_cycle: None,
             scripted: false,
             spill_rr: 0,
-            uplink: (0..cfg.gpus).map(|_| ServerPool::new(1)).collect(),
-            downlink: (0..cfg.gpus).map(|_| ServerPool::new(1)).collect(),
+            fabric: cfg.build_fabric(),
             obs,
             trace: Vec::new(),
             spec: spec.clone(),
@@ -801,6 +841,22 @@ impl System {
                         .export(&mut o.reg, &format!("gpu{g}.l2_tlb"));
                     gpu.l1_stats().export(&mut o.reg, &format!("gpu{g}.l1_tlb"));
                 }
+                // Per-link fabric telemetry, only when a fabric section is
+                // configured: pre-fabric metric snapshots stay byte-stable.
+                if self.cfg.fabric.is_some() {
+                    for l in self.fabric.link_stats() {
+                        let prefix = format!("fabric.link.{}-{}", l.from, l.to);
+                        for (name, value) in [
+                            ("messages", l.messages),
+                            ("busy_cycles", l.busy_cycles),
+                            ("queue_peak", l.queue_peak),
+                            ("overflows", l.overflows),
+                        ] {
+                            let id = o.reg.counter(&format!("{prefix}.{name}"));
+                            o.reg.add(id, value);
+                        }
+                    }
+                }
                 let trace_events = o.trace.as_ref().and_then(|t| t.finish().ok());
                 let metrics = self.cfg.obs.metrics.then(|| o.reg.snapshot());
                 (metrics, trace_events)
@@ -842,6 +898,15 @@ impl System {
             metrics,
             trace_events,
             telemetry: None,
+            fabric: self
+                .cfg
+                .fabric
+                .is_some()
+                .then(|| crate::results::FabricSummary {
+                    topology: self.cfg.topology().name().to_string(),
+                    nodes: self.fabric.nodes(),
+                    links: self.fabric.link_stats(),
+                }),
         }
     }
 

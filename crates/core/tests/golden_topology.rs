@@ -1,0 +1,74 @@
+//! Golden snapshot for the topology-sweep extension experiment: the
+//! `figures --topology-sweep` table for a fixed seed and budget is
+//! committed under `tests/golden/` and must never drift silently — it
+//! pins the fabric model (routing, serialization, contention counters)
+//! end to end. Refresh intentionally with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p least-tlb --test golden_topology
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BUDGET: &str = "30000";
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/topology-sweep.txt")
+}
+
+/// Runs `figures --quick --budget 30000 --topology-sweep [--jobs N]`
+/// and returns the stdout (one `==== topology-sweep ====` table).
+fn render(jobs: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args([
+            "--quick",
+            "--budget",
+            BUDGET,
+            "--jobs",
+            jobs,
+            "--topology-sweep",
+        ])
+        .output()
+        .expect("figures binary runs");
+    assert!(
+        out.status.success(),
+        "figures exited with {}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("figures output is UTF-8")
+}
+
+#[test]
+fn topology_sweep_matches_golden_snapshot() {
+    let rendered = render("1");
+    assert!(
+        rendered.starts_with("==== topology-sweep ===="),
+        "unexpected stdout shape:\n{rendered}"
+    );
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden,
+        rendered,
+        "topology-sweep output drifted from {} (rerun with UPDATE_GOLDEN=1 if intended)",
+        path.display()
+    );
+}
+
+/// The sweep must be scheduling-independent: `--jobs 4` produces the
+/// same stdout as the sequential run the golden was captured from.
+#[test]
+fn topology_sweep_is_jobs_independent() {
+    assert_eq!(render("1"), render("4"), "--jobs changed the sweep output");
+}

@@ -1,0 +1,859 @@
+//! Modeled inter-GPU interconnect: links, topologies and deterministic
+//! routing.
+//!
+//! The paper evaluates its sharing- and spilling-aware TLB designs on a
+//! small multi-GPU system whose remote traffic rides two scalar latencies
+//! (`inter_gpu_latency`, `gpu_iommu_latency`). That flat model cannot say
+//! anything about scale: probe, spill and ring traffic is exactly the
+//! traffic that saturates real inter-GPU links (MGSim/MGMark, arXiv
+//! 1811.02884). This crate replaces the scalars with a component model:
+//!
+//! - a [`Fabric`] is a directed graph of **links**, each with a one-way
+//!   `latency` (cycles on the wire) and per-message `message_cycles`
+//!   (serialization time: the link admits one message every
+//!   `message_cycles` cycles, FIFO);
+//! - **nodes** are the `gpus` GPUs (node `g` is GPU `g`), the IOMMU
+//!   (node `gpus`), and — for the switch topology — one crossbar node;
+//! - **routing** is table-driven: all-pairs shortest paths are computed
+//!   once at construction by breadth-first search, ties broken toward the
+//!   smallest-numbered next hop, so a message's route is a pure function
+//!   of the topology and never of construction order or traffic;
+//! - **contention** is per-link FIFO: concurrent messages on one link
+//!   serialize in arrival order (`depart = max(link_free, now) +
+//!   message_cycles`), exactly the `ServerPool` math the simulator already
+//!   uses for IOMMU walkers, so timing stays deterministic under any
+//!   event interleaving that preserves per-link send order.
+//!
+//! Four topologies are provided (see [`Topology`]): `flat` reproduces the
+//! pre-fabric scalar model bit-for-bit when serialization is zero (every
+//! pair of nodes gets a dedicated direct link), `ring`, `2d-mesh` and
+//! `switch` introduce multi-hop routes and shared links at scale.
+//!
+//! The caller advances a message one hop at a time ([`Fabric::send`])
+//! from its own event loop, so each hop's contention is charged at the
+//! simulated time the message actually reaches that link.
+//!
+//! # Examples
+//!
+//! ```
+//! use fabric::{Fabric, FabricParams, Topology};
+//! use mgpu_types::Cycle;
+//!
+//! let mut f = Fabric::of_topology(Topology::Ring, &FabricParams::new(4, 100, 150));
+//! // GPU 0 -> GPU 2 is two hops on a 4-GPU ring.
+//! assert_eq!(f.hops(0, 2), 2);
+//! let hop = f.send(Cycle(10), 0, 2);
+//! assert_eq!(hop.node, 1); // via GPU 1 (smallest-id tie-break)
+//! assert_eq!(hop.arrive, Cycle(110));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use mgpu_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in the fabric graph: GPU `g` is node `g`, the IOMMU is
+/// node `gpus`, and the switch topology adds a crossbar node `gpus + 1`.
+pub type NodeId = usize;
+
+/// Sentinel in the routing table: no route (only ever used transiently
+/// during construction; finished fabrics are verified fully connected).
+const NO_ROUTE: u32 = u32::MAX;
+
+/// Interconnect topology selector.
+///
+/// Serialized by name in configuration JSON; parseable from the lowercase
+/// command-line spellings `flat`, `ring`, `mesh` and `switch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every pair of nodes gets a dedicated direct link — the pre-fabric
+    /// compatibility model (no shared links, no multi-hop routes).
+    Flat,
+    /// GPUs in a bidirectional ring; the IOMMU hangs off GPU 0's node.
+    Ring,
+    /// GPUs in a 2-D mesh (width = the smallest divisor `w` of `n` with
+    /// `w * w >= n`, so 8 -> 4x2, 32 -> 8x4); IOMMU off GPU 0's node.
+    Mesh2d,
+    /// Every node (GPUs and IOMMU) attaches to one central crossbar node;
+    /// all routes are exactly two hops.
+    Switch,
+}
+
+impl Topology {
+    /// The lowercase command-line / table spelling of this topology.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Flat => "flat",
+            Topology::Ring => "ring",
+            Topology::Mesh2d => "mesh",
+            Topology::Switch => "switch",
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Topology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flat" => Ok(Topology::Flat),
+            "ring" => Ok(Topology::Ring),
+            "mesh" | "2d-mesh" => Ok(Topology::Mesh2d),
+            "switch" => Ok(Topology::Switch),
+            other => Err(format!(
+                "unknown topology '{other}'; expected flat, ring, mesh or switch"
+            )),
+        }
+    }
+}
+
+/// User-facing fabric configuration, embedded in the simulator's
+/// `SystemConfig` as an optional section (absent = pre-fabric flat
+/// compatibility model).
+///
+/// Latency overrides default to the owning config's scalar latencies
+/// (`inter_gpu_latency` for GPU links, `gpu_iommu_latency` for the IOMMU
+/// attachment) when `None`, so a config that only selects a topology keeps
+/// the paper's Table 2 timing parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Which link graph to build.
+    pub topology: Topology,
+    /// Per-hop latency of GPU-to-GPU (and GPU-to-crossbar) links, in
+    /// cycles; `None` inherits the config's `inter_gpu_latency`.
+    pub gpu_link_latency: Option<u64>,
+    /// Latency of the IOMMU attachment link, in cycles; `None` inherits
+    /// the config's `gpu_iommu_latency`.
+    pub iommu_link_latency: Option<u64>,
+    /// Serialization time per message on every link: a link admits one
+    /// message each `message_cycles` cycles (0 = infinite bandwidth,
+    /// which makes `flat` reproduce the pre-fabric model exactly).
+    pub message_cycles: u64,
+    /// Queue depth a link can hold before the occupancy telemetry counts
+    /// an overflow. Telemetry-only: the FIFO serializer already bounds
+    /// waiting (see DESIGN.md section 11); deliveries are never dropped.
+    pub queue_capacity: usize,
+}
+
+impl FabricConfig {
+    /// A configuration for `topology` with inherited latencies, zero
+    /// serialization and the default queue capacity.
+    #[must_use]
+    pub fn new(topology: Topology) -> FabricConfig {
+        FabricConfig {
+            topology,
+            gpu_link_latency: None,
+            iommu_link_latency: None,
+            message_cycles: 0,
+            queue_capacity: 16,
+        }
+    }
+}
+
+/// Fully-resolved construction parameters for [`Fabric::of_topology`]
+/// (the owning config resolves `FabricConfig`'s optional fields and any
+/// legacy `link_message_cycles` shim into one of these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricParams {
+    /// Number of GPUs (nodes `0..gpus`); the IOMMU is node `gpus`.
+    pub gpus: usize,
+    /// Per-hop latency of GPU-to-GPU / GPU-to-crossbar links.
+    pub gpu_latency: u64,
+    /// Latency of the IOMMU attachment link.
+    pub iommu_latency: u64,
+    /// Serialization cycles per message on GPU links.
+    pub gpu_message_cycles: u64,
+    /// Serialization cycles per message on the IOMMU attachment link.
+    pub iommu_message_cycles: u64,
+    /// Occupancy-telemetry queue capacity per link.
+    pub queue_capacity: usize,
+}
+
+impl FabricParams {
+    /// Parameters with the given latencies, zero serialization and the
+    /// default queue capacity — the flat-compatibility shape.
+    #[must_use]
+    pub fn new(gpus: usize, gpu_latency: u64, iommu_latency: u64) -> FabricParams {
+        FabricParams {
+            gpus,
+            gpu_latency,
+            iommu_latency,
+            gpu_message_cycles: 0,
+            iommu_message_cycles: 0,
+            queue_capacity: 16,
+        }
+    }
+}
+
+/// One directed link to be installed in a fabric under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LinkSpec {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// One-way wire latency in cycles.
+    pub latency: u64,
+    /// Serialization cycles per message (0 = infinite bandwidth).
+    pub message_cycles: u64,
+}
+
+/// Why a custom link set could not be assembled into a fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The fabric has no nodes.
+    NoNodes,
+    /// A link references a node outside `0..nodes`, or loops on itself.
+    BadLink(LinkSpec),
+    /// Two links share the same `(from, to)` pair.
+    DuplicateLink(NodeId, NodeId),
+    /// No route exists between this ordered node pair.
+    Unreachable(NodeId, NodeId),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::NoNodes => write!(f, "fabric has no nodes"),
+            FabricError::BadLink(l) => write!(
+                f,
+                "link {} -> {} is out of range or a self-loop",
+                l.from, l.to
+            ),
+            FabricError::DuplicateLink(a, b) => {
+                write!(f, "duplicate link {a} -> {b}")
+            }
+            FabricError::Unreachable(a, b) => {
+                write!(f, "no route from node {a} to node {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Contention telemetry for one directed link, exported into `RunResult`
+/// and the observability registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Messages that crossed this link (timed sends plus noted spill
+    /// legs).
+    pub messages: u64,
+    /// Cycles the link's serializer spent busy (`message_cycles` per
+    /// timed message).
+    pub busy_cycles: u64,
+    /// High-water mark of simultaneously-queued-or-serializing messages.
+    pub queue_peak: u64,
+    /// Timed sends that found the queue already at capacity.
+    pub overflows: u64,
+}
+
+/// The result of advancing a message one hop: the node it reaches next
+/// and the simulated time it arrives there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Node the message arrives at (the final destination once
+    /// `node == dst`).
+    pub node: NodeId,
+    /// Arrival time at `node`.
+    pub arrive: Cycle,
+}
+
+/// A single directed link: immutable shape plus mutable contention state.
+#[derive(Debug, Clone)]
+struct Link {
+    spec: LinkSpec,
+    /// Earliest cycle the serializer can admit the next message.
+    free_at: Cycle,
+    /// Departure times of messages admitted but (as of the last send) not
+    /// yet done serializing — the occupancy queue.
+    inflight: VecDeque<Cycle>,
+    messages: u64,
+    busy_cycles: u64,
+    queue_peak: u64,
+    overflows: u64,
+}
+
+/// A fixed link graph with precomputed shortest-path routing tables and
+/// per-link FIFO contention state.
+///
+/// All state evolution is driven by [`Fabric::send`] / [`Fabric::note`];
+/// routing never changes after construction, so every query accessor is
+/// a pure function of the topology.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    gpus: usize,
+    nodes: usize,
+    capacity: usize,
+    links: Vec<Link>,
+    /// `next_link[src * nodes + dst]` = index into `links` of the first
+    /// hop from `src` toward `dst` (`NO_ROUTE` on the diagonal).
+    next_link: Vec<u32>,
+    /// `hops[src * nodes + dst]` = shortest-path hop count.
+    hops: Vec<u32>,
+    /// `zero_load[src * nodes + dst]` = uncontended end-to-end delay:
+    /// the path sum of `message_cycles + latency`.
+    zero_load: Vec<u64>,
+}
+
+impl Fabric {
+    /// Builds the standard fabric for `topology` from resolved
+    /// parameters.
+    ///
+    /// The standard constructors always produce connected graphs, so this
+    /// cannot fail for `gpus >= 1`.
+    #[must_use]
+    pub fn of_topology(topology: Topology, p: &FabricParams) -> Fabric {
+        let (nodes, specs) = match topology {
+            Topology::Flat => flat_links(p),
+            Topology::Ring => ring_links(p),
+            Topology::Mesh2d => mesh_links(p),
+            Topology::Switch => switch_links(p),
+        };
+        Fabric::from_links(p.gpus, nodes, specs, p.queue_capacity)
+            // sim-lint: allow(panic, reason = "the four standard topology generators always yield connected graphs for gpus >= 1; a failure is a construction bug")
+            .unwrap_or_else(|e| panic!("{topology} fabric construction failed: {e}"))
+    }
+
+    /// Assembles a fabric from an explicit link set.
+    ///
+    /// Links are sorted before table construction, so the routing tables
+    /// (and therefore every route) are identical for any permutation of
+    /// `specs` — construction order is not an input to the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] if the link set references invalid nodes,
+    /// contains duplicate `(from, to)` pairs, or leaves any ordered node
+    /// pair unreachable.
+    pub fn from_links(
+        gpus: usize,
+        nodes: usize,
+        mut specs: Vec<LinkSpec>,
+        queue_capacity: usize,
+    ) -> Result<Fabric, FabricError> {
+        if nodes == 0 {
+            return Err(FabricError::NoNodes);
+        }
+        specs.sort_unstable();
+        for (i, s) in specs.iter().enumerate() {
+            if s.from >= nodes || s.to >= nodes || s.from == s.to {
+                return Err(FabricError::BadLink(*s));
+            }
+            if i > 0 && specs[i - 1].from == s.from && specs[i - 1].to == s.to {
+                return Err(FabricError::DuplicateLink(s.from, s.to));
+            }
+        }
+        // Out-edge adjacency, sorted by destination node id (inherited
+        // from the sort above) — the BFS tie-break below leans on this.
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+        for (i, s) in specs.iter().enumerate() {
+            out[s.from].push(u32::try_from(i).unwrap_or(NO_ROUTE));
+        }
+
+        // All-pairs hop distances by BFS from every source.
+        let mut dist = vec![NO_ROUTE; nodes * nodes];
+        let mut frontier = VecDeque::new();
+        for src in 0..nodes {
+            let row = &mut dist[src * nodes..(src + 1) * nodes];
+            row[src] = 0;
+            frontier.clear();
+            frontier.push_back(src);
+            while let Some(n) = frontier.pop_front() {
+                for &li in &out[n] {
+                    let to = specs[li as usize].to;
+                    if row[to] == NO_ROUTE {
+                        row[to] = row[n] + 1;
+                        frontier.push_back(to);
+                    }
+                }
+            }
+        }
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if dist[src * nodes + dst] == NO_ROUTE {
+                    return Err(FabricError::Unreachable(src, dst));
+                }
+            }
+        }
+
+        // First-hop table: the first (smallest-destination) out-edge that
+        // lies on a shortest path. Deterministic because `out` is sorted.
+        let mut next_link = vec![NO_ROUTE; nodes * nodes];
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if src == dst {
+                    continue;
+                }
+                let want = dist[src * nodes + dst];
+                for &li in &out[src] {
+                    let mid = specs[li as usize].to;
+                    if dist[mid * nodes + dst] + 1 == want {
+                        next_link[src * nodes + dst] = li;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Zero-load delay: walk each route summing serialization + wire
+        // latency per link. Routes are loop-free (strictly decreasing
+        // remaining distance), so this terminates in < nodes steps.
+        let mut zero_load = vec![0u64; nodes * nodes];
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                let mut at = src;
+                let mut total = 0u64;
+                while at != dst {
+                    let s = &specs[next_link[at * nodes + dst] as usize];
+                    total += s.message_cycles + s.latency;
+                    at = s.to;
+                }
+                zero_load[src * nodes + dst] = total;
+            }
+        }
+
+        let links = specs
+            .into_iter()
+            .map(|spec| Link {
+                spec,
+                free_at: Cycle::ZERO,
+                inflight: VecDeque::new(),
+                messages: 0,
+                busy_cycles: 0,
+                queue_peak: 0,
+                overflows: 0,
+            })
+            .collect();
+        Ok(Fabric {
+            gpus,
+            nodes,
+            capacity: queue_capacity,
+            links,
+            next_link,
+            hops: dist,
+            zero_load,
+        })
+    }
+
+    /// Number of nodes (GPUs + IOMMU + any crossbar).
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of GPU nodes.
+    #[must_use]
+    pub fn gpus(&self) -> usize {
+        self.gpus
+    }
+
+    /// The IOMMU's node id (`gpus` by the standard numbering).
+    #[must_use]
+    pub fn iommu_node(&self) -> NodeId {
+        self.gpus
+    }
+
+    /// Admits a message to the first link of the `src -> dst` route at
+    /// time `at` and returns the next node plus the arrival time there,
+    /// charging the link's FIFO serializer and occupancy telemetry.
+    ///
+    /// The caller re-invokes `send` from the arrival node until
+    /// `Hop::node == dst`; a `src == dst` send arrives immediately.
+    pub fn send(&mut self, at: Cycle, src: NodeId, dst: NodeId) -> Hop {
+        if src == dst {
+            return Hop {
+                node: dst,
+                arrive: at,
+            };
+        }
+        let li = self.next_link[src * self.nodes + dst] as usize;
+        let link = &mut self.links[li];
+        link.messages += 1;
+        if link.spec.message_cycles == 0 {
+            // Infinite-bandwidth link: pure latency, no FIFO. Senders may
+            // hand messages over with out-of-order timestamps (handlers
+            // add service latencies before the send), so consulting
+            // `free_at` here would invent serialization that a
+            // zero-cycle link must not have.
+            if link.queue_peak == 0 {
+                link.queue_peak = 1;
+            }
+            return Hop {
+                node: link.spec.to,
+                arrive: at.after(link.spec.latency),
+            };
+        }
+        while link.inflight.front().is_some_and(|d| *d <= at) {
+            link.inflight.pop_front();
+        }
+        let depth = link.inflight.len() as u64 + 1;
+        if depth > link.queue_peak {
+            link.queue_peak = depth;
+        }
+        if depth > self.capacity as u64 {
+            link.overflows += 1;
+        }
+        let start = link.free_at.max(at);
+        let depart = start.after(link.spec.message_cycles);
+        link.free_at = depart;
+        link.inflight.push_back(depart);
+        link.busy_cycles += link.spec.message_cycles;
+        Hop {
+            node: link.spec.to,
+            arrive: depart.after(link.spec.latency),
+        }
+    }
+
+    /// Counts one message on every link of the `src -> dst` route without
+    /// charging time — used for traffic that the simulator models as a
+    /// synchronous state transaction (spill pushes), where timing it
+    /// would make TLB *state* depend on link occupancy.
+    pub fn note(&mut self, src: NodeId, dst: NodeId) {
+        let mut at = src;
+        while at != dst {
+            let li = self.next_link[at * self.nodes + dst] as usize;
+            self.links[li].messages += 1;
+            at = self.links[li].spec.to;
+        }
+    }
+
+    /// Shortest-path hop count from `src` to `dst` (0 when equal).
+    #[must_use]
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.hops[src * self.nodes + dst]
+    }
+
+    /// Whether `src` reaches `dst` in a single hop.
+    #[must_use]
+    pub fn is_direct(&self, src: NodeId, dst: NodeId) -> bool {
+        self.hops(src, dst) == 1
+    }
+
+    /// Uncontended end-to-end delay from `src` to `dst`: the route sum of
+    /// per-link serialization plus wire latency.
+    #[must_use]
+    pub fn zero_load_latency(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.zero_load[src * self.nodes + dst]
+    }
+
+    /// The raw first-hop routing table (row-major `src * nodes + dst`),
+    /// exposed so tests can assert byte-identity across construction
+    /// orders.
+    #[must_use]
+    pub fn routing_table(&self) -> &[u32] {
+        &self.next_link
+    }
+
+    /// Contention telemetry for every link, in the fabric's canonical
+    /// (sorted) link order.
+    #[must_use]
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        self.links
+            .iter()
+            .map(|l| LinkStats {
+                from: l.spec.from,
+                to: l.spec.to,
+                messages: l.messages,
+                busy_cycles: l.busy_cycles,
+                queue_peak: l.queue_peak,
+                overflows: l.overflows,
+            })
+            .collect()
+    }
+
+    /// Total messages across all links.
+    #[must_use]
+    pub fn messages_total(&self) -> u64 {
+        self.links.iter().map(|l| l.messages).sum()
+    }
+}
+
+/// GPU-to-GPU link spec with `p`'s GPU parameters.
+fn gpu_link(p: &FabricParams, from: NodeId, to: NodeId) -> LinkSpec {
+    LinkSpec {
+        from,
+        to,
+        latency: p.gpu_latency,
+        message_cycles: p.gpu_message_cycles,
+    }
+}
+
+/// Both directions of the IOMMU attachment between `node` and the IOMMU.
+fn iommu_attachment(p: &FabricParams, node: NodeId) -> [LinkSpec; 2] {
+    let iommu = p.gpus;
+    let mk = |from, to| LinkSpec {
+        from,
+        to,
+        latency: p.iommu_latency,
+        message_cycles: p.iommu_message_cycles,
+    };
+    [mk(node, iommu), mk(iommu, node)]
+}
+
+/// Flat compatibility graph: a dedicated direct link for every ordered
+/// GPU pair, plus a dedicated IOMMU attachment per GPU. With zero GPU
+/// serialization this reproduces the pre-fabric scalar model exactly:
+/// GPU links add `gpu_latency` uncontended, and each GPU's private
+/// up/down IOMMU links replay the old per-GPU `ServerPool` pair.
+fn flat_links(p: &FabricParams) -> (usize, Vec<LinkSpec>) {
+    let mut specs = Vec::new();
+    for a in 0..p.gpus {
+        for b in 0..p.gpus {
+            if a != b {
+                specs.push(gpu_link(p, a, b));
+            }
+        }
+        specs.extend(iommu_attachment(p, a));
+    }
+    (p.gpus + 1, specs)
+}
+
+/// Bidirectional ring over the GPUs; the IOMMU attaches at GPU 0.
+fn ring_links(p: &FabricParams) -> (usize, Vec<LinkSpec>) {
+    let mut specs = Vec::new();
+    for a in 0..p.gpus {
+        let b = (a + 1) % p.gpus;
+        // A 2-GPU "ring" is a single bidirectional link, not a double one.
+        if b > a || (b == 0 && p.gpus > 2) {
+            specs.push(gpu_link(p, a, b));
+            specs.push(gpu_link(p, b, a));
+        }
+    }
+    specs.extend(iommu_attachment(p, 0));
+    (p.gpus + 1, specs)
+}
+
+/// 2-D mesh over the GPUs (width = smallest divisor `w` of `n` with
+/// `w * w >= n`, so rows are always full); the IOMMU attaches at GPU 0.
+fn mesh_links(p: &FabricParams) -> (usize, Vec<LinkSpec>) {
+    let n = p.gpus;
+    let width = (1..=n)
+        .find(|&w| n.is_multiple_of(w) && w * w >= n)
+        .unwrap_or(n);
+    let mut specs = Vec::new();
+    for id in 0..n {
+        let col = id % width;
+        if col + 1 < width && id + 1 < n {
+            specs.push(gpu_link(p, id, id + 1));
+            specs.push(gpu_link(p, id + 1, id));
+        }
+        if id + width < n {
+            specs.push(gpu_link(p, id, id + width));
+            specs.push(gpu_link(p, id + width, id));
+        }
+    }
+    specs.extend(iommu_attachment(p, 0));
+    (n + 1, specs)
+}
+
+/// Central crossbar: every GPU and the IOMMU attach to one switch node,
+/// so every route is exactly two hops through the shared crossbar.
+fn switch_links(p: &FabricParams) -> (usize, Vec<LinkSpec>) {
+    let xbar = p.gpus + 1;
+    let mut specs = Vec::new();
+    for g in 0..p.gpus {
+        specs.push(gpu_link(p, g, xbar));
+        specs.push(gpu_link(p, xbar, g));
+    }
+    let iommu = p.gpus;
+    for (from, to) in [(iommu, xbar), (xbar, iommu)] {
+        specs.push(LinkSpec {
+            from,
+            to,
+            latency: p.iommu_latency,
+            message_cycles: p.iommu_message_cycles,
+        });
+    }
+    (p.gpus + 2, specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(gpus: usize) -> FabricParams {
+        FabricParams::new(gpus, 100, 150)
+    }
+
+    #[test]
+    fn flat_is_all_single_hop() {
+        let f = Fabric::of_topology(Topology::Flat, &params(4));
+        for a in 0..f.nodes() {
+            for b in 0..f.nodes() {
+                if a != b {
+                    assert_eq!(f.hops(a, b), 1, "{a} -> {b}");
+                }
+            }
+        }
+        assert_eq!(f.zero_load_latency(0, 3), 100);
+        assert_eq!(f.zero_load_latency(2, f.iommu_node()), 150);
+    }
+
+    #[test]
+    fn ring_distances_wrap() {
+        let f = Fabric::of_topology(Topology::Ring, &params(8));
+        assert_eq!(f.hops(0, 4), 4);
+        assert_eq!(f.hops(1, 7), 2); // 1 -> 0 -> 7
+        assert_eq!(f.hops(6, f.iommu_node()), 3); // 6 -> 7 -> 0 -> iommu
+        assert_eq!(f.zero_load_latency(6, f.iommu_node()), 100 + 100 + 150);
+    }
+
+    #[test]
+    fn two_gpu_ring_has_no_duplicate_links() {
+        let f = Fabric::of_topology(Topology::Ring, &params(2));
+        assert_eq!(f.hops(0, 1), 1);
+        assert_eq!(f.hops(1, 0), 1);
+    }
+
+    #[test]
+    fn mesh_width_picks_smallest_covering_divisor() {
+        // 8 GPUs -> 4x2 mesh: corner-to-corner (0 to 7) is 4 hops.
+        let f = Fabric::of_topology(Topology::Mesh2d, &params(8));
+        assert_eq!(f.hops(0, 7), 4);
+        // 16 GPUs -> 4x4: 0 to 15 is 6 hops.
+        let f = Fabric::of_topology(Topology::Mesh2d, &params(16));
+        assert_eq!(f.hops(0, 15), 6);
+    }
+
+    #[test]
+    fn switch_is_two_hops_everywhere() {
+        let f = Fabric::of_topology(Topology::Switch, &params(16));
+        for a in 0..=16 {
+            for b in 0..=16 {
+                if a != b {
+                    assert_eq!(f.hops(a, b), 2, "{a} -> {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serializer_applies_server_pool_math() {
+        let mut p = params(4);
+        p.gpu_message_cycles = 10;
+        let mut f = Fabric::of_topology(Topology::Flat, &p);
+        // Two back-to-back messages on the same link: the second waits
+        // for the serializer (depart = max(free, now) + 10).
+        let h1 = f.send(Cycle(100), 0, 1);
+        let h2 = f.send(Cycle(100), 0, 1);
+        assert_eq!(h1.arrive, Cycle(210));
+        assert_eq!(h2.arrive, Cycle(220));
+        // A different link is unaffected.
+        assert_eq!(f.send(Cycle(100), 1, 0).arrive, Cycle(210));
+        let stats = f.link_stats();
+        let l01 = stats.iter().find(|l| l.from == 0 && l.to == 1).unwrap();
+        assert_eq!(l01.messages, 2);
+        assert_eq!(l01.busy_cycles, 20);
+        assert_eq!(l01.queue_peak, 2);
+        assert_eq!(l01.overflows, 0);
+    }
+
+    #[test]
+    fn zero_serialization_never_waits() {
+        let mut f = Fabric::of_topology(Topology::Flat, &params(4));
+        for i in 0..10 {
+            assert_eq!(f.send(Cycle(50), 2, 3).arrive, Cycle(150), "msg {i}");
+        }
+        let stats = f.link_stats();
+        let l = stats.iter().find(|l| l.from == 2 && l.to == 3).unwrap();
+        assert_eq!(l.busy_cycles, 0);
+        assert_eq!(l.queue_peak, 1);
+    }
+
+    #[test]
+    fn overflow_counts_past_capacity() {
+        let mut p = params(2);
+        p.gpu_message_cycles = 100;
+        p.queue_capacity = 2;
+        let mut f = Fabric::of_topology(Topology::Flat, &p);
+        for _ in 0..4 {
+            f.send(Cycle(0), 0, 1);
+        }
+        let stats = f.link_stats();
+        let l = stats.iter().find(|l| l.from == 0 && l.to == 1).unwrap();
+        assert_eq!(l.queue_peak, 4);
+        assert_eq!(l.overflows, 2);
+    }
+
+    #[test]
+    fn note_counts_every_route_link_without_time() {
+        let mut f = Fabric::of_topology(Topology::Ring, &params(8));
+        f.note(4, f.iommu_node()); // 4 -> 3 -> 2 -> 1 -> 0 -> iommu
+        let stats = f.link_stats();
+        let counted: u64 = stats.iter().map(|l| l.messages).sum();
+        assert_eq!(counted, 5);
+        assert!(stats.iter().all(|l| l.busy_cycles == 0));
+    }
+
+    #[test]
+    fn multi_hop_send_walks_the_route() {
+        let mut f = Fabric::of_topology(Topology::Ring, &params(8));
+        let mut at = Cycle(0);
+        let mut node = 0;
+        let mut hops = 0;
+        while node != 4 {
+            let h = f.send(at, node, 4);
+            node = h.node;
+            at = h.arrive;
+            hops += 1;
+        }
+        assert_eq!(hops, 4);
+        assert_eq!(at, Cycle(400));
+        assert_eq!(at.0, f.zero_load_latency(0, 4));
+    }
+
+    #[test]
+    fn from_links_rejects_bad_inputs() {
+        let l = |from, to| LinkSpec {
+            from,
+            to,
+            latency: 1,
+            message_cycles: 0,
+        };
+        assert_eq!(
+            Fabric::from_links(0, 0, vec![], 16).unwrap_err(),
+            FabricError::NoNodes
+        );
+        assert!(matches!(
+            Fabric::from_links(2, 2, vec![l(0, 0)], 16).unwrap_err(),
+            FabricError::BadLink(_)
+        ));
+        assert_eq!(
+            Fabric::from_links(2, 2, vec![l(0, 1), l(1, 0), l(0, 1)], 16).unwrap_err(),
+            FabricError::DuplicateLink(0, 1)
+        );
+        assert_eq!(
+            Fabric::from_links(3, 3, vec![l(0, 1), l(1, 0), l(1, 2)], 16).unwrap_err(),
+            FabricError::Unreachable(2, 0)
+        );
+    }
+
+    #[test]
+    fn topology_round_trips_through_serde_and_str() {
+        for t in [
+            Topology::Flat,
+            Topology::Ring,
+            Topology::Mesh2d,
+            Topology::Switch,
+        ] {
+            assert_eq!(t.name().parse::<Topology>().unwrap(), t);
+        }
+        assert!("torus".parse::<Topology>().is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests for fabric routing over splitmix64-randomized
+//! topologies: routes exist for every ordered pair, hop counts agree with
+//! an independent BFS, routing is symmetric where the topology is, and
+//! routing tables are identical for every construction order.
+
+use fabric::{Fabric, FabricParams, LinkSpec, Topology};
+
+/// splitmix64 — the workspace's standard deterministic PRNG.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random strongly-connected symmetric topology: a random spanning tree
+/// plus extra random edges, every edge installed in both directions.
+fn random_symmetric(g: &mut Gen, nodes: usize) -> Vec<LinkSpec> {
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for n in 1..nodes {
+        let parent = g.below(n as u64) as usize;
+        pairs.push((parent, n));
+    }
+    let extras = g.below(nodes as u64 * 2) as usize;
+    for _ in 0..extras {
+        let a = g.below(nodes as u64) as usize;
+        let b = g.below(nodes as u64) as usize;
+        if a != b && !pairs.contains(&(a.min(b), a.max(b))) {
+            pairs.push((a.min(b), a.max(b)));
+        }
+    }
+    let latency = 1 + g.below(200);
+    let message_cycles = g.below(16);
+    let mut specs = Vec::new();
+    for (a, b) in pairs {
+        for (from, to) in [(a, b), (b, a)] {
+            specs.push(LinkSpec {
+                from,
+                to,
+                latency,
+                message_cycles,
+            });
+        }
+    }
+    specs
+}
+
+/// Independent shortest-path oracle: plain BFS over the spec list.
+fn bfs_dist(nodes: usize, specs: &[LinkSpec], src: usize) -> Vec<Option<u32>> {
+    let mut dist = vec![None; nodes];
+    dist[src] = Some(0);
+    let mut frontier = std::collections::VecDeque::from([src]);
+    while let Some(n) = frontier.pop_front() {
+        for s in specs.iter().filter(|s| s.from == n) {
+            if dist[s.to].is_none() {
+                dist[s.to] = Some(dist[n].unwrap() + 1);
+                frontier.push_back(s.to);
+            }
+        }
+    }
+    dist
+}
+
+/// Fisher-Yates shuffle driven by the test PRNG.
+fn shuffle(g: &mut Gen, specs: &mut [LinkSpec]) {
+    for i in (1..specs.len()).rev() {
+        let j = g.below(i as u64 + 1) as usize;
+        specs.swap(i, j);
+    }
+}
+
+#[test]
+fn randomized_topologies_route_all_pairs_with_bfs_hop_counts() {
+    let mut g = Gen(0x5eed_0001);
+    for case in 0..64 {
+        let nodes = 2 + g.below(24) as usize;
+        let specs = random_symmetric(&mut g, nodes);
+        let f = Fabric::from_links(nodes, nodes, specs.clone(), 16)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        for src in 0..nodes {
+            let oracle = bfs_dist(nodes, &specs, src);
+            for (dst, want) in oracle.iter().enumerate() {
+                let want = want.expect("spanning tree connects every node");
+                assert_eq!(
+                    f.hops(src, dst),
+                    want,
+                    "case {case}: hops({src}, {dst}) in {nodes}-node graph"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn symmetric_topologies_have_symmetric_hop_counts() {
+    let mut g = Gen(0x5eed_0002);
+    for _ in 0..64 {
+        let nodes = 2 + g.below(24) as usize;
+        let f = Fabric::from_links(nodes, nodes, random_symmetric(&mut g, nodes), 16).unwrap();
+        for a in 0..nodes {
+            for b in 0..nodes {
+                assert_eq!(
+                    f.hops(a, b),
+                    f.hops(b, a),
+                    "hops({a}, {b}) vs hops({b}, {a})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn standard_topologies_are_symmetric_too() {
+    for gpus in [1, 2, 3, 8, 16, 32, 64] {
+        for t in [
+            Topology::Flat,
+            Topology::Ring,
+            Topology::Mesh2d,
+            Topology::Switch,
+        ] {
+            let f = Fabric::of_topology(t, &FabricParams::new(gpus, 100, 150));
+            for a in 0..f.nodes() {
+                for b in 0..f.nodes() {
+                    assert_eq!(f.hops(a, b), f.hops(b, a), "{t} gpus={gpus} {a}<->{b}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn routing_tables_are_identical_across_construction_order() {
+    let mut g = Gen(0x5eed_0003);
+    for case in 0..64 {
+        let nodes = 2 + g.below(24) as usize;
+        let specs = random_symmetric(&mut g, nodes);
+        let reference = Fabric::from_links(nodes, nodes, specs.clone(), 16).unwrap();
+        for _ in 0..4 {
+            let mut shuffled = specs.clone();
+            shuffle(&mut g, &mut shuffled);
+            let f = Fabric::from_links(nodes, nodes, shuffled, 16).unwrap();
+            assert_eq!(
+                f.routing_table(),
+                reference.routing_table(),
+                "case {case}: routing table depends on construction order"
+            );
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    assert_eq!(
+                        f.zero_load_latency(a, b),
+                        reference.zero_load_latency(a, b),
+                        "case {case}: zero-load({a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn routes_follow_the_routing_table_to_their_destination() {
+    let mut g = Gen(0x5eed_0004);
+    for _ in 0..32 {
+        let nodes = 2 + g.below(16) as usize;
+        let mut f = Fabric::from_links(nodes, nodes, random_symmetric(&mut g, nodes), 16).unwrap();
+        let src = g.below(nodes as u64) as usize;
+        let dst = g.below(nodes as u64) as usize;
+        let mut node = src;
+        let mut at = mgpu_types::Cycle(0);
+        let mut hops = 0;
+        while node != dst {
+            let h = f.send(at, node, dst);
+            node = h.node;
+            at = h.arrive;
+            hops += 1;
+            assert!(hops <= nodes as u32, "route {src} -> {dst} loops");
+        }
+        assert_eq!(hops, f.hops(src, dst));
+        assert_eq!(at.0, f.zero_load_latency(src, dst));
+    }
+}

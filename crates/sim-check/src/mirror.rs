@@ -13,21 +13,42 @@
 //! The only timing the serial flow leaves observable is the *relative*
 //! order of the three racing events of the least-TLB probe/walk race
 //! (paper Algorithm 1 lines 12-20). The mirror re-derives those orders
-//! from the configured latencies:
+//! from the interconnect's zero-load distances (`fabric::Fabric`,
+//! constructed exactly as the simulator constructs it from the config):
 //!
-//! - the remote probe arrives at `t + tlb_latency + inter_gpu_latency`;
-//!   the walk finishes at `t + tlb_latency + service`. Ties go to the
-//!   probe (scheduled first, FIFO tie-break) — so the probe wins iff
-//!   `inter_gpu_latency <= service`.
-//! - when the walk wins, its fill lands `gpu_iommu_latency` later; the
+//! - the remote probe enters the fabric at the requester's node and
+//!   arrives at the holder `d_probe = zero_load(requester, holder)`
+//!   cycles later; the walk finishes `service` cycles after launch.
+//!   The probe wins iff `d_probe < service`, or on a tie iff the route
+//!   is direct: a single-hop probe's arrival event is enqueued before
+//!   the walk-completion event (FIFO tie-break), while a multi-hop
+//!   probe's final leg is enqueued later, from an intermediate
+//!   `FabricHop` dispatch.
+//! - when the walk wins, its fill lands `d_fill =
+//!   zero_load(iommu, requester)` cycles after walk completion; the
 //!   probe still arrives and touches the holder's L2. The probe is
-//!   processed before the fill iff
-//!   `inter_gpu_latency <= service + gpu_iommu_latency` (tie again to
-//!   the probe).
+//!   processed before the fill iff `d_probe < service + d_fill` (tie
+//!   again to a direct probe).
 //!
-//! `link_message_cycles` shifts only the *absolute* IOMMU arrival time of
-//! a serial request, never any post-arrival relative order, so the mirror
-//! ignores it.
+//! Zero-load distances are exact here: within one serially-replayed
+//! access, the probe (requester→holder) and the fill (IOMMU→requester)
+//! can never contend for the same directed link in a distance-symmetric
+//! topology — a shared link `u -> v` would need `dist(req, u) <
+//! dist(req, v)` on the probe's shortest path and `dist(u, req) >
+//! dist(v, req)` on the fill's, which symmetry forbids — and all four
+//! standard topologies are distance-symmetric. Earlier traffic of the
+//! same access (the request's own uplink message) departs every shared
+//! link strictly before the probe reaches it.
+//!
+//! Per-message serialization cycles shift probe and fill arrivals by the
+//! per-hop `message_cycles` already folded into the zero-load distances;
+//! the deprecated `link_message_cycles` shim lands on the IOMMU
+//! attachment links and is picked up the same way.
+//!
+//! Under the flat topology with no fabric section (every pre-existing
+//! config), every route is a single direct link, `d_probe` is
+//! `inter_gpu_latency` and `d_fill` is `gpu_iommu_latency`, so the rules
+//! reduce exactly to the pre-fabric `<=` comparisons.
 
 use filters::LocalTlbTracker;
 use gcn_model::GpuStats;
@@ -146,8 +167,7 @@ pub fn app_footprints(cfg: &SystemConfig, spec: &WorkloadSpec) -> Vec<u64> {
 pub struct Mirror {
     policy: least_tlb::Policy,
     gpus: usize,
-    inter_gpu: u64,
-    gpu_iommu: u64,
+    fabric: fabric::Fabric,
     walk_flat: u64,
     l2: Vec<Tlb>,
     iommu_tlb: Tlb,
@@ -188,6 +208,10 @@ impl Mirror {
             !(cfg.policy.probing_ring && cfg.policy.tracker.is_some()),
             "probing ring excludes the tracker"
         );
+        assert!(
+            !cfg.policy.probing_ring || cfg.topology() == least_tlb::Topology::Flat,
+            "the serial oracle models ring probing over the flat topology only"
+        );
         let mut l2cfg = cfg.gpu.l2_tlb;
         if bug == MirrorBug::FifoL2 {
             l2cfg.replacement = tlb::ReplacementPolicy::Fifo;
@@ -195,8 +219,7 @@ impl Mirror {
         Mirror {
             policy: cfg.policy,
             gpus: cfg.gpus,
-            inter_gpu: cfg.inter_gpu_latency,
-            gpu_iommu: cfg.gpu_iommu_latency,
+            fabric: cfg.build_fabric(),
             walk_flat: cfg.iommu.walk_latency.cycles(4),
             l2: (0..cfg.gpus).map(|_| Tlb::new(l2cfg)).collect(),
             iommu_tlb: Tlb::new(cfg.iommu.tlb),
@@ -340,9 +363,15 @@ impl Mirror {
                     return;
                 }
                 // Race mode: the walk launches at arrival either way (its
-                // PWC side effects precede the probe outcome).
+                // PWC side effects precede the probe outcome). The race
+                // is arbitrated by the fabric's zero-load distances; a
+                // tie goes to the probe only on a direct route (see the
+                // module docs for the FIFO argument).
                 let service = self.walk_effects(key, idx);
-                if self.inter_gpu <= service {
+                let d_probe = self.fabric.zero_load_latency(gpu.index(), holder.index());
+                let direct = self.fabric.is_direct(gpu.index(), holder.index());
+                let probe_wins = d_probe < service || (d_probe == service && direct);
+                if probe_wins {
                     // Probe wins the race.
                     if self.remote_probe(holder, key) {
                         self.probe_serve(gpu, holder, key, idx);
@@ -351,7 +380,14 @@ impl Mirror {
                         self.deliver_effects(gpu, key);
                         self.fill(gpu, key);
                     }
-                } else if self.inter_gpu <= service + self.gpu_iommu {
+                    return;
+                }
+                let d_fill = self
+                    .fabric
+                    .zero_load_latency(self.fabric.iommu_node(), gpu.index());
+                let probe_first =
+                    d_probe < service + d_fill || (d_probe == service + d_fill && direct);
+                if probe_first {
                     // Walk wins; the probe still lands before the fill.
                     self.deliver_effects(gpu, key);
                     let _ = self.remote_probe(holder, key);

@@ -14,6 +14,10 @@
 //! - `obs` (the observability layer) gets the full rule set — it exists
 //!   to report *simulated* time, so the `nondet` wall-clock ban applies
 //!   with no allowances;
+//! - `fabric` (the interconnect model) also gets the full rule set: link
+//!   timestamps are simulated time and routing tables must be
+//!   construction-order deterministic, so both the wall-clock ban and
+//!   the hygiene rules apply in full;
 //! - binaries (`src/bin/`), `tests/`, `benches/`, `examples/` and any
 //!   directory named `fixtures` are exempt: they are driver/test code
 //!   where panicking on bad input or asserting freely is correct.
@@ -98,6 +102,20 @@ fn crate_policy(name: &str) -> FilePolicy {
         "sim-engine" => FilePolicy {
             event: false,
             ..FilePolicy::ALL
+        },
+        // The interconnect model: full rules, spelled out rather than
+        // left to the default so the policy table names every
+        // simulation-time crate explicitly. Link admission times are
+        // simulated cycles (nondet), and routing-table construction must
+        // be deterministic in the face of arbitrary link-spec order
+        // (hygiene); it schedules nothing itself, but the `event` rule
+        // still bans any future drift toward raw `.schedule(` calls.
+        "fabric" => FilePolicy {
+            nondet: true,
+            event: true,
+            panic: true,
+            hygiene: true,
+            index: true,
         },
         // Everything else — including `obs`, the observability layer,
         // which is deterministic by contract (sim-time only: metrics and

@@ -38,11 +38,20 @@ fn workspace_event_protocol_graph_is_complete_and_single_dispatch() {
     let g = a
         .graph
         .expect("the workspace defines the Event protocol enum");
-    // The protocol is the 13-variant Event enum in core::system. If a
+    // The protocol is the 14-variant Event enum in core::system. If a
     // variant is added or removed, this count (and the DOT golden) must
     // be updated deliberately.
     assert_eq!(g.enum_file, "crates/core/src/system/mod.rs");
-    assert_eq!(g.variants.len(), 13, "Event variant count changed");
+    assert_eq!(g.variants.len(), 14, "Event variant count changed");
+    // Fabric delivery: every network message re-enters the protocol
+    // through the single FabricHop variant, and that variant — like all
+    // others — must have exactly one dispatcher (checked per-variant
+    // below); here we pin that it exists at all, so the transport can
+    // never silently fall out of the flow analysis.
+    assert!(
+        g.variants.iter().any(|v| v.name == "FabricHop"),
+        "the fabric transport variant disappeared from the Event protocol"
+    );
     for v in &g.variants {
         assert!(
             !v.producers.is_empty(),
@@ -94,6 +103,7 @@ fn workspace_walk_covers_the_simulation_crates() {
         "crates/iommu",
         "crates/gcn-model",
         "crates/core",
+        "crates/fabric",
     ] {
         assert!(seen(covered), "{covered} missing from the walk");
     }

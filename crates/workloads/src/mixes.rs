@@ -94,11 +94,16 @@ pub fn multi_app_workloads() -> Vec<MultiAppMix> {
     ]
 }
 
-/// The 8-GPU workloads W11–W15 and the 16-GPU workload W16 of Table 5.
-/// Pass `gpus = 8` or `gpus = 16` to select the matching subset.
+/// The 8-GPU workloads W11–W15 and the 16-GPU workload W16 of Table 5,
+/// plus extrapolated 32- and 64-GPU mixes (S32/S64: the W16 pattern
+/// tiled, for interconnect-scaling sweeps past the paper's 16-GPU
+/// ceiling). Pass `gpus` ∈ {8, 16, 32, 64} to select the subset.
 #[must_use]
 pub fn scaling_workloads(gpus: usize) -> Vec<MultiAppMix> {
     use AppKind::*;
+    let w16_pattern = [
+        Fir, Fft, Sc, Aes, Km, Mm, Pr, Bs, Mt, Mt, St, St, Fir, Aes, Km, Mt,
+    ];
     match gpus {
         8 => vec![
             MultiAppMix::one_per_gpu("W11", "LLLMMMHH", &[Aes, Fir, Sc, Pr, Mm, Km, Mt, St]),
@@ -110,10 +115,16 @@ pub fn scaling_workloads(gpus: usize) -> Vec<MultiAppMix> {
         16 => vec![MultiAppMix::one_per_gpu(
             "W16",
             "LLLLLMMMMMHHHHHH",
-            &[
-                Fir, Fft, Sc, Aes, Km, Mm, Pr, Bs, Mt, Mt, St, St, Fir, Aes, Km, Mt,
-            ],
+            &w16_pattern,
         )],
+        32 => {
+            let apps: Vec<AppKind> = w16_pattern.iter().copied().cycle().take(32).collect();
+            vec![MultiAppMix::one_per_gpu("S32", "W16x2", &apps)]
+        }
+        64 => {
+            let apps: Vec<AppKind> = w16_pattern.iter().copied().cycle().take(64).collect();
+            vec![MultiAppMix::one_per_gpu("S64", "W16x4", &apps)]
+        }
         _ => Vec::new(),
     }
 }
@@ -209,6 +220,16 @@ mod tests {
         assert_eq!(w16.len(), 1);
         assert_eq!(w16[0].placements.len(), 16);
         assert_eq!(w16[0].gpus(), 16);
+        for gpus in [32usize, 64] {
+            let w = scaling_workloads(gpus);
+            assert_eq!(w.len(), 1);
+            assert_eq!(w[0].placements.len(), gpus);
+            assert_eq!(w[0].gpus(), gpus);
+            // Tiled W16: every 16-GPU slice repeats the same app order.
+            for (i, p) in w[0].placements.iter().enumerate() {
+                assert_eq!(p.app, w16[0].placements[i % 16].app, "{} tile", w[0].name);
+            }
+        }
         assert!(scaling_workloads(4).is_empty());
     }
 
