@@ -135,7 +135,7 @@ impl ExpOptions {
 /// suite worker's accumulator (see [`exec::note_run`]).
 pub(crate) fn run(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunResult {
     let result = System::new(cfg, spec)
-        // sim-lint: allow(panic, reason = "experiment specs are workspace constants validated by tier-1 tests; a build failure here is a programming error")
+        // sim-lint: allow(panic-reach, reason = "experiment specs are workspace constants validated by tier-1 tests; a build failure here is a programming error")
         .expect("experiment configuration is valid")
         .run();
     exec::note_run(&result);

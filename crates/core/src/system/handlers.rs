@@ -333,7 +333,7 @@ impl System {
         if self.cfg.policy.local_page_tables && self.local_pt[g].contains(&key) {
             let walk = self
                 .walk_key(key)
-                // sim-lint: allow(panic, reason = "local_pt membership implies a mapping; divergence is a state-machine bug")
+                // sim-lint: allow(panic-reach, reason = "local_pt membership implies a mapping; divergence is a state-machine bug")
                 .expect("locally-resident translations are mapped");
             let service = self.cfg.iommu.walk_latency.cycles(walk.levels);
             let req = WalkRequest {
@@ -416,7 +416,7 @@ impl System {
                 }
                 let frame = self
                     .walk_key(key)
-                    // sim-lint: allow(panic, reason = "infinite_seen membership implies a mapping; divergence is a state-machine bug")
+                    // sim-lint: allow(panic-reach, reason = "infinite_seen membership implies a mapping; divergence is a state-machine bug")
                     .expect("infinite-TLB entries are mapped")
                     .frame;
                 let iommu = self.fabric.iommu_node();
@@ -577,7 +577,7 @@ impl System {
         if let Some(req) = self.iommu.walkers.complete() {
             let walk = self
                 .walk_key(req.key)
-                // sim-lint: allow(panic, reason = "walker backlog only holds mapped keys (faults take the PRI path); divergence is a state-machine bug")
+                // sim-lint: allow(panic-reach, reason = "walker backlog only holds mapped keys (faults take the PRI path); divergence is a state-machine bug")
                 .expect("queued walks target mapped pages");
             let service = self.walk_service(req.key, walk.levels);
             self.queue.schedule_after(
@@ -659,7 +659,7 @@ impl System {
             }
             return;
         };
-        // sim-lint: allow(panic, reason = "probe_result returns Some only when called with hit=true; divergence is a state-machine bug")
+        // sim-lint: allow(panic-reach, reason = "probe_result returns Some only when called with hit=true; divergence is a state-machine bug")
         let entry = hit.expect("probe_result only serves on a hit");
         self.iommu.stats.probe_hits += 1;
         // The probe won: a still-queued parallel walk is useless — cancel
@@ -955,7 +955,7 @@ impl System {
         if let Some(req) = self.gpu_walkers[gpu.index()].complete() {
             let walk = self
                 .walk_key(req.key)
-                // sim-lint: allow(panic, reason = "local-walker backlog only holds mapped keys; divergence is a state-machine bug")
+                // sim-lint: allow(panic-reach, reason = "local-walker backlog only holds mapped keys; divergence is a state-machine bug")
                 .expect("queued local walks target mapped pages");
             let service = self.cfg.iommu.walk_latency.cycles(walk.levels);
             self.queue.schedule_after(
@@ -986,11 +986,11 @@ impl System {
                     let frame = self
                         .frames
                         .allocate()
-                        // sim-lint: allow(panic, reason = "System::new rejects footprints larger than physical memory; exhaustion mid-run is a config bug the simulator cannot recover from")
+                        // sim-lint: allow(panic-reach, reason = "System::new rejects footprints larger than physical memory; exhaustion mid-run is a config bug the simulator cannot recover from")
                         .expect("physical memory exhausted during fault handling");
                     self.tables[usize::from(fault.key.asid.0)]
                         .map(fault.key.vpn, frame, mgpu_types::PageSize::Size4K)
-                        // sim-lint: allow(panic, reason = "walk_key returned None for this key on this path; a mapping conflict is a state-machine bug")
+                        // sim-lint: allow(panic-reach, reason = "walk_key returned None for this key on this path; a mapping conflict is a state-machine bug")
                         .expect("faulting page is unmapped");
                     frame
                 }

@@ -489,7 +489,7 @@ impl System {
                 let slot = tenants
                     .iter()
                     .position(|&a| a == app_idx)
-                    // sim-lint: allow(panic, reason = "per_gpu_apps was built from these placements lines above; absence is a construction bug")
+                    // sim-lint: allow(panic-reach, reason = "per_gpu_apps was built from these placements lines above; absence is a construction bug")
                     .expect("app is a tenant of its own GPU");
                 let share = wpc / tenants.len();
                 for cu in 0..cfg.gpu.cus {
@@ -668,7 +668,7 @@ impl System {
                         .map_err(|_| BuildError::OutOfPhysicalMemory)?;
                     table
                         .map(VirtPage(vpn), frame, PageSize::Size4K)
-                        // sim-lint: allow(panic, reason = "tables are freshly built in this loop; a conflict is a construction bug")
+                        // sim-lint: allow(panic-reach, reason = "tables are freshly built in this loop; a conflict is a construction bug")
                         .expect("fresh table has no conflicting mappings");
                 }
             }
@@ -681,7 +681,7 @@ impl System {
                         if let Ok(base) = frames.allocate_contiguous(512) {
                             table
                                 .map(VirtPage(vpn), base, PageSize::Size2M)
-                                // sim-lint: allow(panic, reason = "tables are freshly built in this loop; a conflict is a construction bug")
+                                // sim-lint: allow(panic-reach, reason = "tables are freshly built in this loop; a conflict is a construction bug")
                                 .expect("fresh table has no conflicting mappings");
                             superpages.insert(VirtPage(vpn >> 9));
                             vpn += 512;
@@ -693,7 +693,7 @@ impl System {
                         .map_err(|_| BuildError::OutOfPhysicalMemory)?;
                     table
                         .map(VirtPage(vpn), frame, PageSize::Size4K)
-                        // sim-lint: allow(panic, reason = "tables are freshly built in this loop; a conflict is a construction bug")
+                        // sim-lint: allow(panic-reach, reason = "tables are freshly built in this loop; a conflict is a construction bug")
                         .expect("fresh table has no conflicting mappings");
                     vpn += 1;
                 }

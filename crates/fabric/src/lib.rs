@@ -326,7 +326,7 @@ impl Fabric {
             Topology::Switch => switch_links(p),
         };
         Fabric::from_links(p.gpus, nodes, specs, p.queue_capacity)
-            // sim-lint: allow(panic, reason = "the four standard topology generators always yield connected graphs for gpus >= 1; a failure is a construction bug")
+            // sim-lint: allow(panic-reach, reason = "the four standard topology generators always yield connected graphs for gpus >= 1; a failure is a construction bug")
             .unwrap_or_else(|e| panic!("{topology} fabric construction failed: {e}"))
     }
 

@@ -184,7 +184,7 @@ impl Iommu {
             .iter()
             .enumerate()
             .min_by_key(|(_, c)| **c)
-            // sim-lint: allow(panic, reason = "eviction_counters holds one entry per GPU and systems have at least one GPU")
+            // sim-lint: allow(panic-reach, reason = "eviction_counters holds one entry per GPU and systems have at least one GPU")
             .expect("at least one GPU");
         GpuId(idx as u8)
     }

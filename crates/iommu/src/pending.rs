@@ -131,7 +131,7 @@ impl PendingTable {
     pub fn mark_walk(&mut self, key: TranslationKey) {
         self.entries
             .get_mut(&key)
-            // sim-lint: allow(panic, reason = "documented API contract: walks are only launched for registered requests")
+            // sim-lint: allow(panic-reach, reason = "documented API contract: walks are only launched for registered requests")
             .expect("walk launched without a pending entry")
             .walks += 1;
     }
@@ -144,7 +144,7 @@ impl PendingTable {
     pub fn mark_probe(&mut self, key: TranslationKey) {
         self.entries
             .get_mut(&key)
-            // sim-lint: allow(panic, reason = "documented API contract: probes are only launched for registered requests")
+            // sim-lint: allow(panic-reach, reason = "documented API contract: probes are only launched for registered requests")
             .expect("probe launched without a pending entry")
             .probes += 1;
     }

@@ -110,7 +110,7 @@ impl PriBatcher {
             Some(
                 oldest
                     .queued_at
-                    // sim-lint: allow(panic, reason = "first()? above already proved the queue is non-empty")
+                    // sim-lint: allow(panic-reach, reason = "first()? above already proved the queue is non-empty")
                     .max(self.queue.last().expect("non-empty").queued_at),
             )
         } else {

@@ -4,6 +4,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use fabric::{FabricConfig, Topology};
 use least_tlb::{Inclusion, Policy, ReceiverPolicy, SystemConfig, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use tlb::{ReplacementPolicy, TlbConfig};
@@ -64,6 +65,17 @@ pub struct FuzzCase {
     pub inter_gpu: u16,
     /// GPU↔IOMMU latency (`1 + gpu_iommu % 300`).
     pub gpu_iommu: u16,
+    /// Interconnect fabric section: 0 = none (the pre-fabric flat shim),
+    /// 1 = flat, 2 = ring, 3 = 2-D mesh, 4 = switch (modulo 5).
+    pub fabric_topology: u8,
+    /// Fabric link-latency regime: even = fast links (7/13 cycles),
+    /// odd = slow links (300/450 cycles). Both regimes keep the GPU and
+    /// IOMMU per-hop latencies distinct so probe-vs-walk races exercise
+    /// both orders without depending on equal-latency tie-breaks.
+    pub fabric_link: u8,
+    /// Per-message link serialization cycles (`% 4`; 0 = infinite
+    /// bandwidth, which makes `flat` match the pre-fabric model exactly).
+    pub fabric_message_cycles: u8,
     /// Flat walk latency (`1 + walk % 600`).
     pub walk: u16,
     /// Workload seed.
@@ -92,7 +104,36 @@ impl FuzzCase {
         if self.infinite || self.ring {
             self.tracker = 0;
         }
+        // The serial oracle models Valkyrie ring probing over the flat
+        // topology only (the probing ring is its own virtual ring, not a
+        // route through the fabric); multi-hop topologies drop it.
+        if self.fabric_topology % 5 >= 2 {
+            self.ring = false;
+        }
         self
+    }
+
+    /// The fabric section this case selects, if any.
+    fn fabric_section(&self) -> Option<FabricConfig> {
+        let topology = match self.fabric_topology % 5 {
+            0 => return None,
+            1 => Topology::Flat,
+            2 => Topology::Ring,
+            3 => Topology::Mesh2d,
+            _ => Topology::Switch,
+        };
+        let (gpu_link, iommu_link) = if self.fabric_link.is_multiple_of(2) {
+            (7, 13)
+        } else {
+            (300, 450)
+        };
+        Some(FabricConfig {
+            topology,
+            gpu_link_latency: Some(gpu_link),
+            iommu_link_latency: Some(iommu_link),
+            message_cycles: u64::from(self.fabric_message_cycles % 4),
+            queue_capacity: 16,
+        })
     }
 
     /// Expands the case into a simulator configuration and workload spec.
@@ -157,6 +198,7 @@ impl FuzzCase {
             .then(|| TlbConfig::new(16, 4, ReplacementPolicy::Lru));
         cfg.inter_gpu_latency = 1 + u64::from(case.inter_gpu) % 300;
         cfg.gpu_iommu_latency = 1 + u64::from(case.gpu_iommu) % 300;
+        cfg.fabric = case.fabric_section();
 
         let tracker = match case.tracker % 4 {
             0 => None,
@@ -226,6 +268,9 @@ pub fn generate(g: &mut Gen) -> FuzzCase {
         iommu_ways: g.below(16) as u8,
         inter_gpu: g.below(1 << 16) as u16,
         gpu_iommu: g.below(1 << 16) as u16,
+        fabric_topology: g.below(5) as u8,
+        fabric_link: g.below(4) as u8,
+        fabric_message_cycles: g.below(4) as u8,
         walk: g.below(1 << 16) as u16,
         seed: g.next(),
         entries: Vec::new(),
@@ -344,6 +389,11 @@ pub fn shrink(case: &FuzzCase, failing: impl Fn(&FuzzCase) -> bool) -> FuzzCase 
         |c| c.replacement = 0,
         |c| c.mode = 0,
         |c| c.inclusion = 0,
+        // Fabric simplifications, most aggressive first: no fabric
+        // section at all, then infinite bandwidth, then fast links.
+        |c| c.fabric_topology = 0,
+        |c| c.fabric_message_cycles = 0,
+        |c| c.fabric_link = 0,
     ];
     for simplify in simplifications {
         let mut candidate = best.clone();
@@ -368,11 +418,51 @@ mod tests {
             assert!((1..=4).contains(&case.gpus));
             assert!(!(case.infinite && case.tracker != 0));
             assert!(!(case.ring && case.tracker != 0));
+            assert!(!(case.ring && case.fabric_topology % 5 >= 2));
             assert!(!case.entries.is_empty());
             let (cfg, spec) = case.to_config();
             assert!(cfg.gpus >= 1);
             assert!(!spec.placements.is_empty());
         }
+    }
+
+    #[test]
+    fn fabric_sections_expand_for_every_topology() {
+        let mut g = Gen::new(0xfab);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let case = generate(&mut g);
+            seen[usize::from(case.fabric_topology % 5)] = true;
+            let (cfg, _) = case.to_config();
+            match case.fabric_topology % 5 {
+                0 => assert!(cfg.fabric.is_none()),
+                _ => {
+                    let f = cfg.fabric.expect("fabric section");
+                    assert!(f.message_cycles < 4);
+                    assert!(f.gpu_link_latency.is_some());
+                    assert!(f.iommu_link_latency.is_some());
+                    // The selected regime keeps link classes distinct.
+                    assert_ne!(f.gpu_link_latency, f.iommu_link_latency);
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| *s), "all topologies drawn: {seen:?}");
+    }
+
+    #[test]
+    fn shrink_simplifies_fabric_fields_when_irrelevant() {
+        let mut g = Gen::new(0x51ab);
+        let mut case = generate(&mut g);
+        case.fabric_topology = 3;
+        case.fabric_link = 1;
+        case.fabric_message_cycles = 3;
+        // A predicate that ignores the fabric entirely: the shrinker must
+        // strip the fabric section and its knobs.
+        let small = shrink(&case, |c| !c.entries.is_empty());
+        assert_eq!(small.fabric_topology, 0);
+        assert_eq!(small.fabric_message_cycles, 0);
+        assert_eq!(small.fabric_link, 0);
+        assert_eq!(small.entries.len(), 1);
     }
 
     #[test]

@@ -33,6 +33,9 @@ fn base_case() -> FuzzCase {
         iommu_ways: 6,    // fully associative
         inter_gpu: 10,
         gpu_iommu: 10,
+        fabric_topology: 0, // no fabric section
+        fabric_link: 0,
+        fabric_message_cycles: 0,
         walk: 100,
         seed: 7,
         entries: Vec::new(),

@@ -54,7 +54,8 @@ const DEFAULT_RING: usize = 4096;
 
 /// A deterministic discrete-event queue (two-tier calendar queue).
 ///
-/// See the [module docs](self) for the structure; the external contract —
+/// See the module docs at the top of this file for the structure; the
+/// external contract —
 /// time order, FIFO within a cycle, the past-time panic, and the
 /// scheduled/delivered/high-water telemetry — is identical to the
 /// general-purpose binary-heap queue it replaced.
@@ -363,7 +364,7 @@ impl<E> EventQueue<E> {
         let slot = (c & self.mask) as usize;
         let event = self.buckets[slot]
             .pop_front()
-            // sim-lint: allow(panic, reason = "next_cycle returned this slot's cycle, and promote() fills the bucket when it came from the overflow heap; an empty bucket is an internal-invariant bug")
+            // sim-lint: allow(panic-reach, reason = "next_cycle returned this slot's cycle, and promote() fills the bucket when it came from the overflow heap; an empty bucket is an internal-invariant bug")
             .expect("scanned calendar slot holds an event");
         if self.buckets[slot].is_empty() {
             self.clear_slot(slot);

@@ -22,6 +22,7 @@
 //!   directory named `fixtures` are exempt: they are driver/test code
 //!   where panicking on bad input or asserting freely is correct.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -96,6 +97,11 @@ fn crate_policy(name: &str) -> FilePolicy {
             panic: false,
             hygiene: false,
             index: false,
+            // The fuzzer derives every Gen from the case seed; keeping the
+            // taint rule on here is exactly what catches a stray
+            // `Gen(0xdead)` debugging constant before it lands.
+            seed_taint: true,
+            dead_config: true,
         },
         // Defining crate of the schedule API; its own internals may call
         // the raw primitive.
@@ -116,6 +122,8 @@ fn crate_policy(name: &str) -> FilePolicy {
             panic: true,
             hygiene: true,
             index: true,
+            seed_taint: true,
+            dead_config: true,
         },
         // Everything else — including `obs`, the observability layer,
         // which is deterministic by contract (sim-time only: metrics and
@@ -123,6 +131,65 @@ fn crate_policy(name: &str) -> FilePolicy {
         // rule, the wall-clock ban most of all.
         _ => FilePolicy::ALL,
     }
+}
+
+/// The crate names `collect_workspace` skips, for `--list-rules`.
+#[must_use]
+pub fn skipped_crates() -> &'static [&'static str] {
+    SKIP_CRATES
+}
+
+/// The policy table as displayable rows, for `--list-rules`: explicit
+/// per-crate entries first, then the default everything-else row.
+#[must_use]
+pub fn policy_rows() -> Vec<(&'static str, FilePolicy)> {
+    vec![
+        ("sim-check", crate_policy("sim-check")),
+        ("sim-engine", crate_policy("sim-engine")),
+        ("fabric", crate_policy("fabric")),
+        ("(default)", crate_policy("")),
+    ]
+}
+
+/// Every cargo feature declared anywhere in the workspace: `[features]`
+/// section keys from the root manifest and each `crates/*/Cargo.toml`.
+/// The dead-config rule uses this to tell a live feature gate from a
+/// gate on a feature nobody declares.
+pub fn declared_features(root: &Path) -> io::Result<BTreeSet<String>> {
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        manifests.extend(dirs.into_iter().map(|d| d.join("Cargo.toml")));
+    }
+    let mut out = BTreeSet::new();
+    for m in manifests {
+        let Ok(text) = fs::read_to_string(&m) else {
+            continue;
+        };
+        let mut in_features = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(section) = line.strip_prefix('[') {
+                in_features = section.trim_end_matches(']').trim() == "features";
+                continue;
+            }
+            if !in_features || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((key, _)) = line.split_once('=') {
+                let key = key.trim().trim_matches('"');
+                if !key.is_empty() {
+                    out.insert(key.to_string());
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn collect_rs(dir: &Path, policy: FilePolicy, out: &mut Vec<SourceFile>) -> io::Result<()> {

@@ -1,0 +1,356 @@
+//! Interprocedural dataflow on top of the call graph: seed-taint
+//! (entropy provenance for RNG streams) and dead-config (every `*Config`
+//! field must reach a consumer).
+//!
+//! ## Taint semantics
+//!
+//! A name is *seed-derived* in a function if
+//!
+//! - it lexically contains `seed` (the workspace naming convention for
+//!   master/derived seeds — `config.seed`, `for_runner(seed, name)`), or
+//! - a `let` bound it from an rhs mentioning a seed-derived name, or
+//! - it is a parameter and some call site passes a seed-derived argument
+//!   in its position.
+//!
+//! The last two iterate to a monotone fixpoint over the whole workspace,
+//! so a seed threaded through three helpers still taints the RNG
+//! construction at the end. An RNG construction site whose seeding
+//! expression mentions no seed-derived ident is untracked entropy; two
+//! sites in one crate seeded by the *same* expression are correlated
+//! streams. Both are deny-by-default errors.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::diag::{Diagnostic, Rule, Severity};
+use crate::model::FileModel;
+use crate::rules::FilePolicy;
+
+fn is_seedy(name: &str) -> bool {
+    name.to_ascii_lowercase().contains("seed")
+}
+
+/// Per-function sets of seed-derived names (indexed like
+/// [`CallGraph::fns`]).
+#[derive(Debug)]
+pub struct Taint {
+    pub tainted: Vec<BTreeSet<String>>,
+}
+
+/// Run the taint fixpoint over let-bindings and argument→parameter flow.
+#[must_use]
+pub fn taint(models: &[FileModel], g: &CallGraph) -> Taint {
+    let mut t: Vec<BTreeSet<String>> = vec![BTreeSet::new(); g.fns.len()];
+    loop {
+        let mut changed = false;
+        // Intraprocedural: `let name = rhs;`.
+        for (mi, m) in models.iter().enumerate() {
+            for lb in &m.lets {
+                let Some(fi) = lb.fn_idx else { continue };
+                let gi = g.offsets[mi] + fi;
+                if t[gi].contains(&lb.name) {
+                    continue;
+                }
+                if lb.rhs.iter().any(|id| is_seedy(id) || t[gi].contains(id)) {
+                    t[gi].insert(lb.name.clone());
+                    changed = true;
+                }
+            }
+        }
+        // Interprocedural: tainted argument → callee parameter.
+        for rc in &g.calls {
+            let args = &models[rc.model].calls[rc.site].args;
+            for (ai, aset) in args.iter().enumerate() {
+                let arg_tainted = aset
+                    .iter()
+                    .any(|id| is_seedy(id) || rc.caller.is_some_and(|c| t[c].contains(id)));
+                if !arg_tainted {
+                    continue;
+                }
+                for &callee in &rc.callees {
+                    let Some(p) = g.fns[callee].params.get(ai) else {
+                        continue;
+                    };
+                    if !t[callee].contains(p) {
+                        let p = p.clone();
+                        t[callee].insert(p);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Taint { tainted: t }
+}
+
+/// The crate component of a workspace-relative path.
+fn crate_of(file: &str) -> &str {
+    let mut parts = file.split(['/', '\\']);
+    while let Some(p) = parts.next() {
+        if p == "crates" {
+            return parts.next().unwrap_or("");
+        }
+    }
+    ""
+}
+
+/// The seed-taint rule: every RNG construction site must be seeded from a
+/// seed-derived expression, and no two streams in a crate may share one.
+#[must_use]
+pub fn check_seed_taint(
+    models: &[FileModel],
+    g: &CallGraph,
+    taint: &Taint,
+    policies: &BTreeMap<String, FilePolicy>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // (crate, seed expression) → first clean site, for correlation.
+    let mut first_by_expr: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for (mi, m) in models.iter().enumerate() {
+        if !policies.get(&m.file).is_none_or(|p| p.seed_taint) {
+            continue;
+        }
+        for s in &m.rng_sites {
+            // Self-evolution (`self.rng = self.rng.wrapping_mul(k)`)
+            // advances an existing stream; provenance was checked where
+            // the stream was first seeded.
+            if s.rhs.contains(&s.dest) {
+                continue;
+            }
+            let gi = s.fn_idx.map(|fi| g.offsets[mi] + fi);
+            let derived = s
+                .rhs
+                .iter()
+                .any(|id| is_seedy(id) || gi.is_some_and(|gidx| taint.tainted[gidx].contains(id)));
+            if !derived {
+                out.push(Diagnostic {
+                    file: m.file.clone(),
+                    line: s.line,
+                    rule: Rule::SeedTaint,
+                    severity: Severity::Error,
+                    message: format!(
+                        "RNG state `{}` is seeded from untracked entropy (`{}`); every \
+                         stream must derive transitively from the master seed (use \
+                         `experiments::for_runner` or thread the seed through), or \
+                         allow with the provenance as the reason",
+                        s.dest, s.rhs_text
+                    ),
+                });
+            } else {
+                let key = (crate_of(&m.file).to_string(), s.rhs_text.clone());
+                match first_by_expr.get(&key) {
+                    None => {
+                        first_by_expr.insert(key, (m.file.clone(), s.line));
+                    }
+                    Some((ff, fl)) if !(*ff == m.file && *fl == s.line) => {
+                        out.push(Diagnostic {
+                            file: m.file.clone(),
+                            line: s.line,
+                            rule: Rule::SeedTaint,
+                            severity: Severity::Error,
+                            message: format!(
+                                "the seed expression `{}` also feeds the RNG stream at \
+                                 {ff}:{fl}; correlated streams bias paired experiments — \
+                                 mix a distinct salt into each (e.g. a `(seed, name)` \
+                                 derivation via `experiments::for_runner`)",
+                                s.rhs_text
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The dead-config rule: every field of every brace-bodied `*Config`
+/// struct (in a crate where the rule is on) must have at least one
+/// non-test read somewhere in the workspace, outside dead feature gates.
+#[must_use]
+pub fn check_dead_config(
+    models: &[FileModel],
+    declared_features: &BTreeSet<String>,
+    policies: &BTreeMap<String, FilePolicy>,
+) -> Vec<Diagnostic> {
+    // Field-name consumption over the whole workspace (reads anywhere
+    // count: field access is name-based, so a read of *any* struct's
+    // same-named field counts — the documented over-approximation).
+    let mut live_reads: BTreeSet<&str> = BTreeSet::new();
+    let mut gated_reads: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for m in models {
+        for fa in &m.fields {
+            if fa.write {
+                continue;
+            }
+            let dead_gates: Vec<&str> = fa
+                .cfg_groups
+                .iter()
+                .filter(|grp| !grp.iter().any(|f| declared_features.contains(f)))
+                .flat_map(|grp| grp.iter().map(String::as_str))
+                .collect();
+            if dead_gates.is_empty() {
+                live_reads.insert(&fa.name);
+            } else {
+                gated_reads.entry(&fa.name).or_default().extend(dead_gates);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for m in models {
+        if !policies.get(&m.file).is_none_or(|p| p.dead_config) {
+            continue;
+        }
+        for st in &m.structs {
+            if !st.name.ends_with("Config") {
+                continue;
+            }
+            for (field, line) in &st.fields {
+                if live_reads.contains(field.as_str()) {
+                    continue;
+                }
+                let message = match gated_reads.get(field.as_str()) {
+                    Some(feats) => {
+                        let feats = feats.iter().copied().collect::<Vec<_>>().join(", ");
+                        format!(
+                            "`{}.{field}` is read only behind undeclared feature gate(s) \
+                             [{feats}]; the field is parsed but can never influence a \
+                             build — wire it, delete it, or declare the feature",
+                            st.name
+                        )
+                    }
+                    None => format!(
+                        "`{}.{field}` is parsed but never read anywhere in the \
+                         workspace; a dead knob silently no-ops config sweeps — wire \
+                         it to a consumer, delete it, or allow with the plan",
+                        st.name
+                    ),
+                };
+                out.push(Diagnostic {
+                    file: m.file.clone(),
+                    line: *line,
+                    rule: Rule::DeadConfig,
+                    severity: Severity::Error,
+                    message,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+    use crate::lexer::lex;
+    use crate::model::extract;
+    use crate::scan::scan;
+
+    fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
+        files
+            .iter()
+            .map(|(name, src)| {
+                let lx = lex(src);
+                let cx = scan(&lx);
+                extract(name, &lx, &cx)
+            })
+            .collect()
+    }
+
+    fn run_seed(files: &[(&str, &str)]) -> Vec<(String, u32)> {
+        let ms = models(files);
+        let g = callgraph::build(&ms);
+        let t = taint(&ms, &g);
+        check_seed_taint(&ms, &g, &t, &BTreeMap::new())
+            .into_iter()
+            .map(|d| (d.file, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn direct_and_transitive_seeds_are_clean() {
+        let src = "fn a(cfg: &C) { let rng = cfg.seed | 1; }\n\
+                   fn b(seed: u64) { let salt = mix(seed); let rng = salt ^ 3; }\n\
+                   fn mix(x: u64) -> u64 { x }\n";
+        assert!(run_seed(&[("crates/x/src/l.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn untracked_entropy_is_flagged() {
+        let src = "fn a() { let rng = 0xdead_beef_u64; }\n";
+        assert_eq!(
+            run_seed(&[("crates/x/src/l.rs", src)]),
+            vec![("crates/x/src/l.rs".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn taint_flows_through_call_arguments() {
+        let src = "fn top(seed: u64) { boot(seed + 1); }\n\
+                   fn boot(start: u64) { let rng = start | 1; }\n";
+        assert!(run_seed(&[("crates/x/src/l.rs", src)]).is_empty());
+        // Sever the flow: the callee now gets a constant.
+        let cut = "fn top(seed: u64) { boot(42); }\n\
+                   fn boot(start: u64) { let rng = start | 1; }\n";
+        assert_eq!(run_seed(&[("crates/x/src/l.rs", cut)]).len(), 1);
+    }
+
+    #[test]
+    fn correlated_streams_in_one_crate_are_flagged() {
+        let a = "fn a(cfg: &C) { let rng = cfg.seed | 1; }\n";
+        let b = "fn b(cfg: &C) { let rng = cfg.seed | 1; }\n";
+        // Same crate: the second site is flagged.
+        let hits = run_seed(&[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)]);
+        assert_eq!(hits, vec![("crates/x/src/b.rs".to_string(), 1)]);
+        // Different crates: independent configs, no correlation.
+        assert!(run_seed(&[("crates/x/src/a.rs", a), ("crates/y/src/b.rs", b)]).is_empty());
+    }
+
+    fn run_dead(files: &[(&str, &str)], features: &[&str]) -> Vec<(u32, bool)> {
+        let ms = models(files);
+        let feats: BTreeSet<String> = features.iter().map(|s| (*s).to_string()).collect();
+        check_dead_config(&ms, &feats, &BTreeMap::new())
+            .into_iter()
+            .map(|d| (d.line, d.message.contains("feature gate")))
+            .collect()
+    }
+
+    #[test]
+    fn unread_and_gate_dead_fields_are_flagged() {
+        let def = "pub struct KnobConfig {\n    pub used: u64,\n    pub ghost: u64,\n    pub never: u64,\n}\n";
+        let use_ = "fn f(c: &KnobConfig) { read(c.used); }\n\
+                    #[cfg(feature = \"ghost\")]\nfn g(c: &KnobConfig) { read(c.ghost); }\n";
+        let hits = run_dead(
+            &[("crates/x/src/cfg.rs", def), ("crates/x/src/u.rs", use_)],
+            &[],
+        );
+        // ghost (line 3): dead-gated read; never (line 4): no read at all.
+        assert_eq!(hits, vec![(3, true), (4, false)]);
+        // Declaring the feature revives the gated read.
+        let hits = run_dead(
+            &[("crates/x/src/cfg.rs", def), ("crates/x/src/u.rs", use_)],
+            &["ghost"],
+        );
+        assert_eq!(hits, vec![(4, false)]);
+    }
+
+    #[test]
+    fn non_config_structs_are_ignored() {
+        let def = "pub struct State { pub never: u64 }\n";
+        assert!(run_dead(&[("crates/x/src/s.rs", def)], &[]).is_empty());
+    }
+
+    #[test]
+    fn writes_do_not_count_as_consumption() {
+        let files = [(
+            "crates/x/src/c.rs",
+            "pub struct WConfig { pub knob: u64 }\nfn f(c: &mut WConfig) { c.knob = 3; }\n",
+        )];
+        assert_eq!(run_dead(&files, &[]).len(), 1);
+    }
+}

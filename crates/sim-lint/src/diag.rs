@@ -25,9 +25,12 @@ impl fmt::Display for Severity {
 
 /// The rule families sim-lint enforces. The first five are token-level
 /// rules (PR 3); the four flow rules operate on the cross-file
-/// event-protocol graph built by [`crate::flow`]. `Directive` covers
-/// problems with suppression comments themselves (malformed, missing
-/// reason, unused) and is not itself suppressible.
+/// event-protocol graph built by [`crate::flow`]; the three dataflow
+/// rules (`seed-taint`, `dead-config`, `panic-reach`) run over the
+/// workspace call graph and taint engine ([`crate::callgraph`],
+/// [`crate::dataflow`]). `Directive` covers problems with suppression
+/// comments themselves (malformed, missing reason, unused) and is not
+/// itself suppressible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     Nondet,
@@ -39,6 +42,9 @@ pub enum Rule {
     UnhandledEvent,
     MultiDispatch,
     TaxonomyWiring,
+    SeedTaint,
+    DeadConfig,
+    PanicReach,
     Directive,
 }
 
@@ -54,6 +60,9 @@ impl Rule {
             Rule::UnhandledEvent => "unhandled-event",
             Rule::MultiDispatch => "multi-dispatch",
             Rule::TaxonomyWiring => "taxonomy-wiring",
+            Rule::SeedTaint => "seed-taint",
+            Rule::DeadConfig => "dead-config",
+            Rule::PanicReach => "panic-reach",
             Rule::Directive => "directive",
         }
     }
@@ -72,9 +81,117 @@ impl Rule {
             "unhandled-event" => Some(Rule::UnhandledEvent),
             "multi-dispatch" => Some(Rule::MultiDispatch),
             "taxonomy-wiring" => Some(Rule::TaxonomyWiring),
+            "seed-taint" => Some(Rule::SeedTaint),
+            "dead-config" => Some(Rule::DeadConfig),
+            "panic-reach" => Some(Rule::PanicReach),
             _ => None,
         }
     }
+}
+
+/// One row of the `--list-rules` table.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    pub rule: Rule,
+    /// Default severity of the rule's findings (nondet's raw-pointer
+    /// variant and directive's unused-allow variant downgrade to warning).
+    pub severity: Severity,
+    /// Which analysis layer produces it: `token`, `flow`, `dataflow`, or
+    /// `directive`.
+    pub layer: &'static str,
+    pub summary: &'static str,
+}
+
+/// Every rule with its default severity, layer and one-line summary, in
+/// `Rule` declaration order — the canonical reference `--list-rules`
+/// renders and suppression reasons should cite.
+#[must_use]
+pub fn rule_metas() -> Vec<RuleMeta> {
+    use Severity::{Error, Info, Warning};
+    vec![
+        RuleMeta {
+            rule: Rule::Nondet,
+            severity: Error,
+            layer: "token",
+            summary: "no hash-ordered containers, wall-clock time, thread identity or \
+                      raw-pointer values in simulation state",
+        },
+        RuleMeta {
+            rule: Rule::Panic,
+            severity: Warning,
+            layer: "token",
+            summary: "unwrap/expect/panic! in library code needs a documented invariant",
+        },
+        RuleMeta {
+            rule: Rule::Hygiene,
+            severity: Warning,
+            layer: "token",
+            summary: "asserts on simulation paths must use the check-gated idiom",
+        },
+        RuleMeta {
+            rule: Rule::Event,
+            severity: Error,
+            layer: "token",
+            summary: "raw .schedule( is engine-only; .pop_batch(/.rescind_delivered( \
+                      belong to the central dispatch loop",
+        },
+        RuleMeta {
+            rule: Rule::Index,
+            severity: Info,
+            layer: "token",
+            summary: "advisory note on slice indexing (never gates)",
+        },
+        RuleMeta {
+            rule: Rule::DeadEvent,
+            severity: Error,
+            layer: "flow",
+            summary: "an Event variant no schedule* call constructs",
+        },
+        RuleMeta {
+            rule: Rule::UnhandledEvent,
+            severity: Error,
+            layer: "flow",
+            summary: "an Event variant with no dispatch arm",
+        },
+        RuleMeta {
+            rule: Rule::MultiDispatch,
+            severity: Error,
+            layer: "flow",
+            summary: "an Event variant consumed by more than one match block",
+        },
+        RuleMeta {
+            rule: Rule::TaxonomyWiring,
+            severity: Error,
+            layer: "flow",
+            summary: "every Resolution variant wired through obs, core and sim-check",
+        },
+        RuleMeta {
+            rule: Rule::SeedTaint,
+            severity: Error,
+            layer: "dataflow",
+            summary: "every RNG stream seeded transitively from the master seed, and \
+                      no two streams in a crate from the same expression",
+        },
+        RuleMeta {
+            rule: Rule::DeadConfig,
+            severity: Error,
+            layer: "dataflow",
+            summary: "every *Config field read somewhere outside dead feature gates",
+        },
+        RuleMeta {
+            rule: Rule::PanicReach,
+            severity: Error,
+            layer: "dataflow",
+            summary: "panic sites reachable from the dispatch hot loop (upgraded from \
+                      the panic rule via the call graph)",
+        },
+        RuleMeta {
+            rule: Rule::Directive,
+            severity: Error,
+            layer: "directive",
+            summary: "malformed/unreasoned/unused allow directives (not suppressible)",
+        },
+    ]
 }
 
 impl fmt::Display for Rule {
@@ -104,7 +221,7 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Append `s` to `out` as a JSON string literal (RFC 8259 escaping).
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -123,21 +240,39 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Call-graph counts for the JSON document header.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSummary {
+    pub functions: usize,
+    pub edges: usize,
+    pub roots: usize,
+    pub hot: usize,
+}
+
 /// Machine-readable diagnostics document for `--format json`: a stable
 /// schema CI tooling can parse without depending on sim-lint's output
-/// wording. The writer is hand-rolled so the tool itself stays
-/// dependency-free; the output is verified to round-trip through the
-/// workspace's `serde_json` in `tests/json_roundtrip.rs`.
+/// wording. Version 2 adds the `callgraph` summary block. The writer is
+/// hand-rolled so the tool itself stays dependency-free; the output is
+/// verified to round-trip through the workspace's `serde_json` in
+/// `tests/json_roundtrip.rs`.
 #[must_use]
-pub fn to_json(diags: &[Diagnostic]) -> String {
+pub fn to_json(diags: &[Diagnostic], graph: Option<&GraphSummary>) -> String {
     use fmt::Write as _;
     let (errors, warnings, infos) = crate::tally(diags);
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"version\":1,\"summary\":{{\"errors\":{errors},\"warnings\":{warnings},\
-         \"infos\":{infos}}},\"diagnostics\":["
+        "{{\"version\":2,\"summary\":{{\"errors\":{errors},\"warnings\":{warnings},\
+         \"infos\":{infos}}},"
     );
+    if let Some(g) = graph {
+        let _ = write!(
+            out,
+            "\"callgraph\":{{\"functions\":{},\"edges\":{},\"roots\":{},\"hot\":{}}},",
+            g.functions, g.edges, g.roots, g.hot
+        );
+    }
+    out.push_str("\"diagnostics\":[");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -203,11 +338,27 @@ mod tests {
             severity: Severity::Error,
             message: "line1\nline2\ttab".to_string(),
         }];
-        let json = to_json(&diags);
+        let json = to_json(&diags, None);
+        assert!(json.contains("\"version\":2"));
         assert!(json.contains("\"errors\":1"));
         assert!(json.contains("\"rule\":\"dead-event\""));
         assert!(json.contains("a \\\"b\\\"\\\\c.rs"));
         assert!(json.contains("line1\\nline2\\ttab"));
+        assert!(!json.contains("callgraph"));
+    }
+
+    #[test]
+    fn json_includes_callgraph_summary_when_present() {
+        let g = GraphSummary {
+            functions: 10,
+            edges: 20,
+            roots: 2,
+            hot: 7,
+        };
+        let json = to_json(&[], Some(&g));
+        assert!(
+            json.contains("\"callgraph\":{\"functions\":10,\"edges\":20,\"roots\":2,\"hot\":7}")
+        );
     }
 
     #[test]
@@ -233,9 +384,36 @@ mod tests {
             Rule::UnhandledEvent,
             Rule::MultiDispatch,
             Rule::TaxonomyWiring,
+            Rule::SeedTaint,
+            Rule::DeadConfig,
+            Rule::PanicReach,
         ] {
             assert_eq!(Rule::from_name(r.name()), Some(r));
         }
         assert_eq!(Rule::from_name("directive"), None);
+    }
+
+    #[test]
+    fn rule_metas_cover_every_rule_exactly_once() {
+        let metas = rule_metas();
+        let all = [
+            Rule::Nondet,
+            Rule::Panic,
+            Rule::Hygiene,
+            Rule::Event,
+            Rule::Index,
+            Rule::DeadEvent,
+            Rule::UnhandledEvent,
+            Rule::MultiDispatch,
+            Rule::TaxonomyWiring,
+            Rule::SeedTaint,
+            Rule::DeadConfig,
+            Rule::PanicReach,
+            Rule::Directive,
+        ];
+        assert_eq!(metas.len(), all.len());
+        for (m, r) in metas.iter().zip(all) {
+            assert_eq!(m.rule, r, "metas must stay in Rule declaration order");
+        }
     }
 }

@@ -1,0 +1,117 @@
+//! `--fix-unused-allows`: mechanical removal of suppression comments
+//! whose rule never fires on their target line.
+//!
+//! The lint already flags these (`directive` Warning, "unused allow"),
+//! so the fixer is a thin loop: run the full workspace analysis, collect
+//! the unused-allow sites, and rewrite each file. A directive that is
+//! the whole line (modulo indentation) deletes the line; a directive
+//! trailing code truncates the line at the `// sim-lint:` marker. The
+//! fixer never touches malformed or unreasoned directives — those are
+//! Errors a human has to resolve, not dead weight to sweep.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Rule, Severity};
+use crate::flow;
+
+/// The comment marker every sim-lint directive starts with.
+const MARKER: &str = "// sim-lint:";
+
+/// Remove the directive comment on each 1-based line in `lines`.
+/// Returns the rewritten source and how many directives were removed.
+#[must_use]
+pub fn strip_directives(src: &str, lines: &BTreeSet<u32>) -> (String, usize) {
+    let mut out: Vec<&str> = Vec::new();
+    let mut removed = 0;
+    for (i, line) in src.lines().enumerate() {
+        let lineno = u32::try_from(i + 1).unwrap_or(u32::MAX);
+        if lines.contains(&lineno) {
+            if let Some(pos) = line.rfind(MARKER) {
+                removed += 1;
+                let prefix = line[..pos].trim_end();
+                if prefix.is_empty() {
+                    continue; // comment-only line: drop it entirely
+                }
+                out.push(prefix);
+                continue;
+            }
+        }
+        out.push(line);
+    }
+    let mut text = out.join("\n");
+    if src.ends_with('\n') && !text.is_empty() {
+        text.push('\n');
+    }
+    (text, removed)
+}
+
+/// Find every unused `allow(...)` in the workspace under `root` and
+/// delete it in place. Returns `(path, removed)` per rewritten file, in
+/// path order. Running it again on the result is a no-op: the analysis
+/// that feeds it no longer reports the removed sites.
+pub fn fix_unused_allows(root: &Path) -> io::Result<Vec<(PathBuf, usize)>> {
+    let analysis = flow::analyze_workspace(root)?;
+    let mut by_file: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+    for d in &analysis.diags {
+        if d.rule == Rule::Directive
+            && d.severity == Severity::Warning
+            && d.message.starts_with("unused allow(")
+        {
+            by_file.entry(d.file.clone()).or_default().insert(d.line);
+        }
+    }
+    let mut out = Vec::new();
+    for (file, lines) in by_file {
+        let path = root.join(&file);
+        let src = std::fs::read_to_string(&path)?;
+        let (fixed, removed) = strip_directives(&src, &lines);
+        if removed > 0 {
+            std::fs::write(&path, fixed)?;
+            out.push((path, removed));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(ns: &[u32]) -> BTreeSet<u32> {
+        ns.iter().copied().collect()
+    }
+
+    #[test]
+    fn trailing_directive_truncates_the_line() {
+        let src = "fn f() { x.unwrap(); } // sim-lint: allow(panic, reason = \"r\")\nfn g() {}\n";
+        let (fixed, n) = strip_directives(src, &lines(&[1]));
+        assert_eq!(n, 1);
+        assert_eq!(fixed, "fn f() { x.unwrap(); }\nfn g() {}\n");
+    }
+
+    #[test]
+    fn standalone_directive_deletes_the_line() {
+        let src = "    // sim-lint: allow(nondet, reason = \"r\")\nlet x = 1;\n";
+        let (fixed, n) = strip_directives(src, &lines(&[1]));
+        assert_eq!(n, 1);
+        assert_eq!(fixed, "let x = 1;\n");
+    }
+
+    #[test]
+    fn lines_without_a_marker_are_kept_verbatim() {
+        let src = "let y = 2;\nlet x = 1;\n";
+        let (fixed, n) = strip_directives(src, &lines(&[1, 2]));
+        assert_eq!(n, 0);
+        assert_eq!(fixed, src);
+    }
+
+    #[test]
+    fn untargeted_directives_survive() {
+        let src = "// sim-lint: allow(panic, reason = \"used\")\nfn f() { x.unwrap(); }\n";
+        let (fixed, n) = strip_directives(src, &BTreeSet::new());
+        assert_eq!(n, 0);
+        assert_eq!(fixed, src);
+    }
+}

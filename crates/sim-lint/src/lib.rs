@@ -24,6 +24,21 @@
 //! - **taxonomy-wiring** — every `Resolution` variant wired through obs,
 //!   the core serve sites, and the sim-check mirror.
 //!
+//! The **dataflow layer** ([`callgraph`] + [`dataflow`]) assembles a
+//! workspace call graph (function definitions, lexically-resolved call
+//! edges, reachability from the `.pop_batch(` dispatch loops) and runs
+//! three interprocedural analyses over it:
+//!
+//! - **seed-taint** — every RNG-state construction must be transitively
+//!   derived from the master seed; untracked entropy and two independent
+//!   streams built from the same seed expression both flag;
+//! - **dead-config** — every field of every `*Config` struct must reach
+//!   a consumer; parsed-but-never-read fields and fields read only
+//!   behind undeclared feature gates both flag;
+//! - **panic-reach** — the per-line `panic` Warnings upgrade to Errors,
+//!   with the root→function chain in the message, when the panic is
+//!   reachable from a dispatch loop.
+//!
 //! Findings can be suppressed per line with
 //! `// sim-lint: allow(<rule>, reason = "...")` — a non-empty reason is
 //! mandatory, and unused suppressions are themselves flagged.
@@ -32,11 +47,15 @@
 //! dependencies) so it builds and runs offline, in CI, with nothing but
 //! the workspace checkout.
 
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
+pub mod fix;
 pub mod flow;
 pub mod graph;
 pub mod lexer;
+pub mod listing;
 pub mod model;
 pub mod rules;
 pub mod rules_flow;
@@ -92,7 +111,7 @@ pub(crate) fn finalize(file: &str, raw: Vec<Diagnostic>, allows: &[Allow]) -> Ve
                 format!(
                     "unknown rule `{}` in allow; rules are nondet, panic, hygiene, \
                      event, index, dead-event, unhandled-event, multi-dispatch, \
-                     taxonomy-wiring",
+                     taxonomy-wiring, seed-taint, dead-config, panic-reach",
                     a.rule
                 ),
             );

@@ -3,19 +3,26 @@
 //! ```text
 //! cargo run -p sim-lint -- [--root <path>] [--deny warnings] [--quiet]
 //!                          [--format <human|json|github>] [--emit-graph <path>]
+//!                          [--emit-callgraph <path>] [--list-rules]
+//!                          [--fix-unused-allows]
 //! ```
 //!
 //! `--format json` writes the machine-readable diagnostics document to
 //! stdout (summary goes to stderr); `--format github` prints one GitHub
 //! Actions annotation per finding. `--emit-graph` writes the event-protocol
-//! graph as DOT to the given path.
+//! graph as DOT to the given path; `--emit-callgraph` does the same for
+//! the workspace call graph. `--list-rules` prints every rule with its
+//! severity and the per-crate policy table (honors `--format json`) and
+//! exits. `--fix-unused-allows` deletes unused suppression comments in
+//! place and then lints the fixed tree.
 //!
 //! Exit codes: 0 clean, 1 gated findings, 2 usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sim_lint::diag::{self, Severity};
+use sim_lint::diag::{self, GraphSummary, Severity};
+use sim_lint::{fix, listing};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -24,12 +31,13 @@ enum Format {
     Github,
 }
 
+const USAGE: &str = "usage: sim-lint [--root <path>] [--deny warnings] [--quiet] \
+     [--format <human|json|github>] [--emit-graph <path>] \
+     [--emit-callgraph <path>] [--list-rules] [--fix-unused-allows]";
+
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("sim-lint: {msg}");
-    eprintln!(
-        "usage: sim-lint [--root <path>] [--deny warnings] [--quiet] \
-         [--format <human|json|github>] [--emit-graph <path>]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -39,6 +47,9 @@ fn main() -> ExitCode {
     let mut quiet = false;
     let mut format = Format::Human;
     let mut emit_graph: Option<PathBuf> = None;
+    let mut emit_callgraph: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut fix_unused = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,25 +84,59 @@ fn main() -> ExitCode {
                     return usage_error("--emit-graph requires an output path for the DOT file")
                 }
             },
+            "--emit-callgraph" => match args.next() {
+                Some(p) => emit_callgraph = Some(PathBuf::from(p)),
+                None => {
+                    return usage_error("--emit-callgraph requires an output path for the DOT file")
+                }
+            },
+            "--list-rules" => list_rules = true,
+            "--fix-unused-allows" => fix_unused = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "sim-lint: workspace static analysis (nondet, panic, hygiene, event, \
-                     index + flow rules dead-event, unhandled-event, multi-dispatch, \
-                     taxonomy-wiring)"
+                    "sim-lint: workspace static analysis (token rules nondet, panic, \
+                     hygiene, event, index; flow rules dead-event, unhandled-event, \
+                     multi-dispatch, taxonomy-wiring; dataflow rules seed-taint, \
+                     dead-config, panic-reach)"
                 );
-                println!(
-                    "usage: sim-lint [--root <path>] [--deny warnings] [--quiet] \
-                     [--format <human|json|github>] [--emit-graph <path>]"
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
                 return usage_error(&format!(
                     "unknown flag `{other}`; accepted flags are --root <path>, \
                      --deny warnings, --quiet, --format <human|json|github>, \
-                     --emit-graph <path>"
+                     --emit-graph <path>, --emit-callgraph <path>, --list-rules, \
+                     --fix-unused-allows"
                 ));
+            }
+        }
+    }
+
+    if list_rules {
+        match format {
+            Format::Json => print!("{}", listing::render_json()),
+            _ => print!("{}", listing::render_table()),
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if fix_unused {
+        match fix::fix_unused_allows(&root) {
+            Ok(fixed) => {
+                for (path, n) in &fixed {
+                    eprintln!(
+                        "sim-lint: removed {n} unused allow(s) from {}",
+                        path.display()
+                    );
+                }
+                if fixed.is_empty() {
+                    eprintln!("sim-lint: no unused allows to remove");
+                }
+            }
+            Err(e) => {
+                return usage_error(&format!("cannot fix workspace at {}: {e}", root.display()))
             }
         }
     }
@@ -101,6 +146,13 @@ fn main() -> ExitCode {
         Err(e) => return usage_error(&format!("cannot walk workspace at {}: {e}", root.display())),
     };
     let diags = &analysis.diags;
+    let (nf, ne, nr, nh) = analysis.callgraph.summary();
+    let graph_summary = GraphSummary {
+        functions: nf,
+        edges: ne,
+        roots: nr,
+        hot: nh,
+    };
 
     if let Some(path) = &emit_graph {
         let Some(graph) = &analysis.graph else {
@@ -114,6 +166,15 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &emit_callgraph {
+        if let Err(e) = std::fs::write(path, analysis.callgraph.to_dot()) {
+            return usage_error(&format!(
+                "cannot write call graph to {}: {e}",
+                path.display()
+            ));
+        }
+    }
+
     match format {
         Format::Human => {
             if !quiet {
@@ -122,7 +183,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Format::Json => print!("{}", diag::to_json(diags)),
+        Format::Json => print!("{}", diag::to_json(diags, Some(&graph_summary))),
         Format::Github => {
             // Annotate only what can gate: GitHub caps annotations per
             // step, and hundreds of advisory Info notes would drown the
@@ -137,8 +198,10 @@ fn main() -> ExitCode {
     }
 
     let (errors, warnings, infos) = sim_lint::tally(diags);
-    let summary =
-        format!("sim-lint: {errors} error(s), {warnings} warning(s), {infos} info note(s)");
+    let summary = format!(
+        "sim-lint: {errors} error(s), {warnings} warning(s), {infos} info note(s); \
+         call graph: {nf} fns, {ne} edges, {nr} dispatch roots, {nh} hot"
+    );
     // Keep stdout machine-parseable under --format json.
     if format == Format::Json {
         eprintln!("{summary}");

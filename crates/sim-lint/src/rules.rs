@@ -15,6 +15,11 @@ pub struct FilePolicy {
     pub hygiene: bool,
     pub event: bool,
     pub index: bool,
+    /// Dataflow rules (checked per *defining* file: RNG sites here for
+    /// `seed-taint`, `*Config` structs here for `dead-config` — consumers
+    /// anywhere in the workspace count regardless of their own policy).
+    pub seed_taint: bool,
+    pub dead_config: bool,
 }
 
 impl FilePolicy {
@@ -24,6 +29,8 @@ impl FilePolicy {
         hygiene: true,
         event: true,
         index: true,
+        seed_taint: true,
+        dead_config: true,
     };
 }
 

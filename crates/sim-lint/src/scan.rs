@@ -23,6 +23,14 @@ pub struct Context {
     /// `from_*`, `default`), where upfront argument validation via bare
     /// `assert!` is accepted style.
     pub ctor: Vec<bool>,
+    /// Token-index spans of items under a positive `#[cfg(feature = ...)]`
+    /// attribute, with the feature names the predicate mentions. Negated
+    /// predicates (`not(...)`) are not recorded: code behind them is live
+    /// precisely when the feature is absent, so it never counts as
+    /// feature-gated for the dead-config analysis. Unlike the boolean
+    /// masks, these keep the group structure: one entry per attribute,
+    /// and the group is live if *any* of its features is declared.
+    pub features: Vec<(usize, usize, Vec<String>)>,
 }
 
 /// A parsed `// sim-lint: allow(<rule>, reason = "...")` directive.
@@ -110,6 +118,32 @@ fn classify_cfg_tokens(lx: &Lexed, start: usize, end: usize) -> CfgFlags {
     flags
 }
 
+/// Feature names mentioned as `feature = "name"` in a `#[cfg(...)]`
+/// attribute interior, or `None` if the predicate contains a `not(...)`
+/// (see [`Context::features`]). Only real `cfg` attributes count:
+/// `cfg_attr` gates an attribute, not the item's compilation.
+fn cfg_feature_names(lx: &Lexed, lb: usize, rb: usize) -> Option<Vec<String>> {
+    if ident_at(lx, lb + 1) != Some("cfg") || !punct_at(lx, lb + 2, '(') {
+        return None;
+    }
+    let mut names = Vec::new();
+    let mut i = lb + 3;
+    while i < rb {
+        match &lx.tokens[i].tok {
+            Tok::Ident(s) if s == "not" => return None,
+            Tok::Ident(s) if s == "feature" && punct_at(lx, i + 1, '=') => {
+                if let Some(Tok::Lit(l)) = lx.tokens.get(i + 2).map(|t| &t.tok) {
+                    names.push(l.trim_matches('"').to_string());
+                    i += 2;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (!names.is_empty()).then_some(names)
+}
+
 /// From the token after an item's attributes, find the index where the item
 /// ends: the matching `}` of its first body brace, or a top-level `;`.
 pub(crate) fn find_item_end(lx: &Lexed, mut i: usize) -> usize {
@@ -149,6 +183,7 @@ pub fn scan(lx: &Lexed) -> Context {
     let mut test_iv: Vec<(usize, usize)> = Vec::new();
     let mut gated_iv: Vec<(usize, usize)> = Vec::new();
     let mut ctor_iv: Vec<(usize, usize)> = Vec::new();
+    let mut feat_iv: Vec<(usize, usize, Vec<String>)> = Vec::new();
 
     let mut i = 0usize;
     while i < n {
@@ -167,13 +202,17 @@ pub fn scan(lx: &Lexed) -> Context {
                 // `#[test]` needs no cfg ident; a gate only counts inside an
                 // actual cfg predicate.
                 let is_gate = flags.has_cfg && flags.gate_pred;
-                if flags.is_test || is_gate {
+                let features = cfg_feature_names(lx, lb, rb);
+                if flags.is_test || is_gate || features.is_some() {
                     let end = find_item_end(lx, rb + 1);
                     if flags.is_test {
                         test_iv.push((i, end));
                     }
                     if is_gate {
                         gated_iv.push((i, end));
+                    }
+                    if let Some(names) = features {
+                        feat_iv.push((i, end, names));
                     }
                 }
                 // Do not jump past the attribute's item: nested items inside
@@ -221,6 +260,7 @@ pub fn scan(lx: &Lexed) -> Context {
         test: vec![false; n],
         gated: vec![false; n],
         ctor: vec![false; n],
+        features: feat_iv,
     };
     for &(a, b) in &test_iv {
         cx.test[a..=b.min(n.saturating_sub(1))].fill(true);
@@ -336,6 +376,21 @@ mod tests {
             mask_for_ident(src, "seed", |c| &c.ctor),
             vec![true, true, false]
         );
+    }
+
+    #[test]
+    fn feature_gates_record_their_names() {
+        let src = "#[cfg(feature = \"ghost\")]\nfn g() { x(); }\n\
+                   #[cfg(not(feature = \"off\"))]\nfn h() { y(); }\n\
+                   #[cfg(any(feature = \"a\", feature = \"b\"))]\nfn k() { z(); }\n";
+        let lx = lex(src);
+        let cx = scan(&lx);
+        let groups: Vec<&Vec<String>> = cx.features.iter().map(|(_, _, g)| g).collect();
+        // The `not(...)` gate is deliberately absent (its body is live
+        // when the feature is off, so it never hides a consumer).
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], &vec!["ghost".to_string()]);
+        assert_eq!(groups[1], &vec!["a".to_string(), "b".to_string()]);
     }
 
     #[test]

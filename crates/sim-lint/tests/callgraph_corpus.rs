@@ -1,0 +1,223 @@
+//! Fixture corpus for the dataflow rules (`tests/fixtures/callgraph_proto/`):
+//! each of seed-taint, dead-config and panic-reach is pinned at its exact
+//! (rule, line), and sabotage/repair variants prove the finding appears
+//! and disappears with the code, not the fixture layout.
+
+use std::path::Path;
+
+use sim_lint::diag::{Diagnostic, Rule, Severity};
+use sim_lint::flow::{analyze_sources, analyze_sources_with, Analysis, SourceText};
+use sim_lint::rules::FilePolicy;
+
+fn read_fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+}
+
+fn sources(mounts: &[(&str, String)]) -> Vec<SourceText> {
+    mounts
+        .iter()
+        .map(|(virtual_path, src)| SourceText {
+            name: (*virtual_path).to_string(),
+            src: src.clone(),
+            policy: FilePolicy::ALL,
+        })
+        .collect()
+}
+
+fn analyze_fixture(virtual_path: &str, fixture: &str) -> Analysis {
+    analyze_sources(&sources(&[(virtual_path, read_fixture(fixture))]))
+}
+
+/// `(rule, line)` pairs of all findings at or above Warning severity.
+fn gating(diags: &[Diagnostic]) -> Vec<(Rule, u32)> {
+    diags
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn dead_config_fixture_pins_both_variants_at_exact_lines() {
+    let a = analyze_fixture("crates/core/src/cfg.rs", "callgraph_proto/cfg.rs");
+    assert_eq!(
+        gating(&a.diags),
+        vec![
+            (Rule::DeadConfig, 6), // ghost: parsed but never read
+            (Rule::DeadConfig, 7), // gated: read only behind a dead gate
+        ],
+        "{:?}",
+        a.diags
+    );
+    let ghost = a.diags.iter().find(|d| d.line == 6).expect("ghost diag");
+    assert!(ghost.message.contains("never read"), "{}", ghost.message);
+    let gated = a.diags.iter().find(|d| d.line == 7).expect("gated diag");
+    assert!(
+        gated.message.contains("feature gate") && gated.message.contains("phantom-knob"),
+        "{}",
+        gated.message
+    );
+}
+
+#[test]
+fn declaring_the_feature_revives_the_gated_read() {
+    let feats = ["phantom-knob".to_string()].into_iter().collect();
+    let a = analyze_sources_with(
+        &sources(&[(
+            "crates/core/src/cfg.rs",
+            read_fixture("callgraph_proto/cfg.rs"),
+        )]),
+        &feats,
+    );
+    assert_eq!(
+        gating(&a.diags),
+        vec![(Rule::DeadConfig, 6)],
+        "{:?}",
+        a.diags
+    );
+}
+
+#[test]
+fn wiring_the_ghost_field_clears_its_finding() {
+    let repaired = read_fixture("callgraph_proto/cfg.rs").replace("c.used", "c.used + c.ghost");
+    let a = analyze_sources(&sources(&[("crates/core/src/cfg.rs", repaired)]));
+    assert_eq!(
+        gating(&a.diags),
+        vec![(Rule::DeadConfig, 7)],
+        "{:?}",
+        a.diags
+    );
+}
+
+#[test]
+fn seed_taint_fixture_pins_entropy_and_correlation_lines() {
+    let a = analyze_fixture("crates/core/src/rng.rs", "callgraph_proto/rng.rs");
+    assert_eq!(
+        gating(&a.diags),
+        vec![
+            (Rule::SeedTaint, 7), // bare-constant seed
+            (Rule::SeedTaint, 9), // second stream from the same expression
+        ],
+        "{:?}",
+        a.diags
+    );
+    let bad = a.diags.iter().find(|d| d.line == 7).expect("entropy diag");
+    assert!(bad.message.contains("untracked entropy"), "{}", bad.message);
+    let dup = a
+        .diags
+        .iter()
+        .find(|d| d.line == 9)
+        .expect("correlation diag");
+    assert!(
+        dup.message.contains("also feeds") && dup.message.contains("rng.rs:8"),
+        "correlation must point at the first stream: {}",
+        dup.message
+    );
+}
+
+#[test]
+fn threading_the_seed_through_repairs_the_entropy_finding() {
+    let repaired = read_fixture("callgraph_proto/rng.rs").replace("0x1234_5678", "config_seed ^ 2");
+    let a = analyze_sources(&sources(&[("crates/core/src/rng.rs", repaired)]));
+    assert_eq!(
+        gating(&a.diags),
+        vec![(Rule::SeedTaint, 9)],
+        "{:?}",
+        a.diags
+    );
+}
+
+#[test]
+fn salting_the_second_stream_repairs_the_correlation_finding() {
+    let repaired = read_fixture("callgraph_proto/rng.rs").replacen(
+        "SmallRng::new(config_seed | 1)",
+        "SmallRng::new(config_seed | 3)",
+        1,
+    );
+    let a = analyze_sources(&sources(&[("crates/core/src/rng.rs", repaired)]));
+    assert_eq!(
+        gating(&a.diags),
+        vec![(Rule::SeedTaint, 7)],
+        "{:?}",
+        a.diags
+    );
+}
+
+#[test]
+fn panic_reach_fixture_upgrades_hot_panic_and_spares_cli() {
+    let a = analyze_fixture("crates/core/src/hot.rs", "callgraph_proto/hot.rs");
+    assert_eq!(
+        gating(&a.diags),
+        vec![
+            (Rule::PanicReach, 18), // unwrap two edges below the dispatch loop
+            (Rule::Panic, 22),      // CLI-only unwrap stays a warning
+        ],
+        "{:?}",
+        a.diags
+    );
+    let hot = a.diags.iter().find(|d| d.line == 18).expect("hot diag");
+    assert_eq!(hot.severity, Severity::Error);
+    assert!(
+        hot.message
+            .contains("ProtoSys::run -> ProtoSys::dispatch -> proto_serve"),
+        "upgrade must carry the dispatch chain: {}",
+        hot.message
+    );
+    let cli = a.diags.iter().find(|d| d.line == 22).expect("cli diag");
+    assert_eq!(cli.severity, Severity::Warning);
+}
+
+#[test]
+fn severing_the_call_edge_downgrades_the_hot_panic() {
+    // Cut dispatch → proto_serve: the unwrap is no longer reachable from
+    // the pop_batch loop, so it reverts to a plain panic Warning.
+    let repaired =
+        read_fixture("callgraph_proto/hot.rs").replace("proto_serve(self.x);", "let _ = self.x;");
+    let a = analyze_sources(&sources(&[("crates/core/src/hot.rs", repaired)]));
+    assert_eq!(
+        gating(&a.diags),
+        vec![(Rule::Panic, 18), (Rule::Panic, 22)],
+        "{:?}",
+        a.diags
+    );
+    assert!(a
+        .diags
+        .iter()
+        .all(|d| d.severity == Severity::Warning || d.severity == Severity::Info));
+}
+
+#[test]
+fn whole_corpus_analyzed_together_keeps_every_pin() {
+    let a = analyze_sources(&sources(&[
+        (
+            "crates/core/src/cfg.rs",
+            read_fixture("callgraph_proto/cfg.rs"),
+        ),
+        (
+            "crates/core/src/rng.rs",
+            read_fixture("callgraph_proto/rng.rs"),
+        ),
+        (
+            "crates/core/src/hot.rs",
+            read_fixture("callgraph_proto/hot.rs"),
+        ),
+    ]));
+    let mut hits = gating(&a.diags);
+    hits.sort();
+    assert_eq!(
+        hits,
+        vec![
+            (Rule::Panic, 22),
+            (Rule::SeedTaint, 7),
+            (Rule::SeedTaint, 9),
+            (Rule::DeadConfig, 6),
+            (Rule::DeadConfig, 7),
+            (Rule::PanicReach, 18),
+        ],
+        "{:?}",
+        a.diags
+    );
+}

@@ -1,0 +1,99 @@
+//! `--fix-unused-allows` end-to-end: on a scratch workspace the fixer
+//! removes exactly the unused directives on the first pass and is a
+//! byte-level no-op on the second (idempotence); on the real workspace
+//! it has nothing to do at all, because the committed tree carries no
+//! unused allows.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use sim_lint::fix::fix_unused_allows;
+
+/// Build a minimal `crates/<name>/src/lib.rs` workspace under a unique
+/// scratch directory and return its root.
+fn scratch_workspace(tag: &str, lib_src: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("sim-lint-fix-{}-{tag}", std::process::id()));
+    let src_dir = root.join("crates/scratch/src");
+    fs::create_dir_all(&src_dir).expect("mkdir scratch workspace");
+    fs::write(src_dir.join("lib.rs"), lib_src).expect("write scratch lib.rs");
+    root
+}
+
+#[test]
+fn fixer_removes_unused_allows_then_reaches_a_fixpoint() {
+    let lib = "\
+// sim-lint: allow(nondet, reason = \"stale: nothing nondet below\")
+fn quiet() -> u64 {
+    7
+}
+
+fn loud() -> u64 {
+    maybe().unwrap() // sim-lint: allow(panic, reason = \"still load-bearing\")
+}
+";
+    let root = scratch_workspace("fixpoint", lib);
+    let lib_path = root.join("crates/scratch/src/lib.rs");
+
+    // Pass 1: exactly the stale whole-line directive goes; the
+    // load-bearing trailing one stays.
+    let removed = fix_unused_allows(&root).expect("first fix pass");
+    assert_eq!(removed.len(), 1, "{removed:?}");
+    assert_eq!(removed[0].1, 1, "one directive removed: {removed:?}");
+    let after_first = fs::read_to_string(&lib_path).expect("read back");
+    assert!(
+        !after_first.contains("stale"),
+        "stale directive survived:\n{after_first}"
+    );
+    assert!(
+        after_first.contains("still load-bearing"),
+        "used directive was stripped:\n{after_first}"
+    );
+
+    // Pass 2: byte-identical input and output — the fixer is idempotent.
+    let removed_again = fix_unused_allows(&root).expect("second fix pass");
+    assert!(removed_again.is_empty(), "{removed_again:?}");
+    let after_second = fs::read_to_string(&lib_path).expect("read back again");
+    assert_eq!(after_first, after_second, "second pass must be a no-op");
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn fixer_preserves_trailing_directives_it_truncates() {
+    let lib = "\
+fn mixed() {
+    let m = HashMap::new(); // sim-lint: allow(nondet, reason = \"scratch map\")
+    m.insert(1, 2);
+}
+";
+    let root = scratch_workspace("trailing", lib);
+    let lib_path = root.join("crates/scratch/src/lib.rs");
+
+    // `HashMap` genuinely trips nondet, so this allow is used and must stay.
+    let removed = fix_unused_allows(&root).expect("fix pass");
+    assert!(removed.is_empty(), "{removed:?}");
+    assert_eq!(fs::read_to_string(&lib_path).expect("read back"), lib);
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn committed_workspace_is_already_a_fixpoint() {
+    // Read-only check on the real tree: the analysis reports zero unused
+    // allows, so running the fixer over it would rewrite nothing. This is
+    // the invariant that keeps `--fix-unused-allows` safe to run in anger.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let a = sim_lint::flow::analyze_workspace(root).expect("workspace walk");
+    let unused: Vec<_> = a
+        .diags
+        .iter()
+        .filter(|d| d.message.starts_with("unused allow("))
+        .collect();
+    assert!(
+        unused.is_empty(),
+        "committed tree has unused allows; run --fix-unused-allows: {unused:?}"
+    );
+}

@@ -1,0 +1,17 @@
+//! Dead-config fixture: `used` is read, `ghost` is parsed but never
+//! read anywhere, `gated` is read only behind a feature nobody declares.
+
+pub struct ProtoConfig {
+    pub used: u32,
+    pub ghost: u32,
+    pub gated: u32,
+}
+
+pub fn consume(c: &ProtoConfig) -> u32 {
+    c.used
+}
+
+#[cfg(feature = "phantom-knob")]
+pub fn gated_consume(c: &ProtoConfig) -> u32 {
+    c.gated
+}

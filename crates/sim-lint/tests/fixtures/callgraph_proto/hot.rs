@@ -1,0 +1,23 @@
+//! Panic-reach fixture: a dispatch loop draining the queue, a panic two
+//! call edges down from it (upgrades to an Error with the chain in the
+//! message), and a CLI-only panic that stays a plain Warning.
+
+impl ProtoSys {
+    pub fn run(&mut self, q: &mut Q) {
+        // sim-lint: allow(event, reason = "fixture's own dispatch loop")
+        q.pop_batch(&mut self.batch);
+        self.dispatch();
+    }
+
+    fn dispatch(&mut self) {
+        proto_serve(self.x);
+    }
+}
+
+fn proto_serve(x: u64) {
+    proto_decode(x).unwrap();
+}
+
+fn proto_cli_main() {
+    proto_parse_args().unwrap();
+}

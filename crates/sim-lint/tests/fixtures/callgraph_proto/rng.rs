@@ -1,0 +1,11 @@
+//! Seed-taint fixture: one stream derived from the master seed, one
+//! from a bare constant (untracked entropy), and two independent streams
+//! built from the byte-identical seed expression (correlation hazard).
+
+pub fn streams(config_seed: u64) {
+    let rng = SmallRng::new(config_seed ^ 1);
+    let bad = SmallRng::new(0x1234_5678);
+    let a = SmallRng::new(config_seed | 1);
+    let b = SmallRng::new(config_seed | 1);
+    drive(rng, bad, a, b);
+}

@@ -1,0 +1,74 @@
+//! Golden snapshot of the workspace call graph's DOT export.
+//!
+//! The committed golden (`tests/golden/callgraph.dot`) pins the reviewed
+//! shape of the call graph — every function node, resolved edge, dispatch
+//! root and hot marking. Byte-identical output is asserted (and CI
+//! byte-compares the emitted artifact against this file), so any change
+//! to the hot-path surface shows up as a reviewable diff. Refresh
+//! deliberately with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sim-lint --test golden_callgraph
+//! ```
+
+use std::path::Path;
+
+#[test]
+fn callgraph_dot_matches_committed_golden() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let a = sim_lint::flow::analyze_workspace(root).expect("workspace walk succeeds");
+    let dot = a.callgraph.to_dot();
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/callgraph.dot");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &dot).expect("write refreshed golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        dot, golden,
+        "workspace call graph changed; review the diff, then refresh with \
+         UPDATE_GOLDEN=1 cargo test -p sim-lint --test golden_callgraph"
+    );
+}
+
+#[test]
+fn callgraph_dot_is_stable_across_runs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let d1 = sim_lint::flow::analyze_workspace(root)
+        .expect("walk 1")
+        .callgraph
+        .to_dot();
+    let d2 = sim_lint::flow::analyze_workspace(root)
+        .expect("walk 2")
+        .callgraph
+        .to_dot();
+    assert_eq!(d1, d2, "call-graph DOT must be byte-identical across runs");
+}
+
+#[test]
+fn callgraph_has_the_two_dispatch_roots() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let a = sim_lint::flow::analyze_workspace(root).expect("workspace walk succeeds");
+    let g = &a.callgraph;
+    // System::drain and System::run both drain via pop_batch.
+    let root_names: Vec<String> = g.roots.iter().map(|&r| g.fns[r].qual_name()).collect();
+    assert!(
+        root_names.contains(&"System::drain".to_string()),
+        "roots: {root_names:?}"
+    );
+    let (nf, ne, nr, nh) = g.summary();
+    assert!(nf > 300, "function count suspiciously low: {nf}");
+    assert!(ne > 500, "edge count suspiciously low: {ne}");
+    assert!(nr >= 1 && nh > nr, "roots {nr} / hot {nh}");
+}

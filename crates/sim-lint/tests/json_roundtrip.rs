@@ -3,7 +3,7 @@
 //! `serde_json` and preserves every field — including hostile strings.
 
 use serde::Value;
-use sim_lint::diag::{to_json, Diagnostic, Rule, Severity};
+use sim_lint::diag::{to_json, Diagnostic, GraphSummary, Rule, Severity};
 
 fn field<'a>(obj: &'a Value, key: &str) -> &'a Value {
     obj.as_object()
@@ -42,10 +42,10 @@ fn sample() -> Vec<Diagnostic> {
 #[test]
 fn json_output_roundtrips_through_serde_json() {
     let diags = sample();
-    let json = to_json(&diags);
+    let json = to_json(&diags, None);
     let v: Value = serde_json::from_str(&json).expect("emitter output must be valid JSON");
 
-    assert_eq!(field(&v, "version"), &Value::U64(1));
+    assert_eq!(field(&v, "version"), &Value::U64(2));
     let summary = field(&v, "summary");
     assert_eq!(field(summary, "errors"), &Value::U64(1));
     assert_eq!(field(summary, "warnings"), &Value::U64(1));
@@ -66,12 +66,28 @@ fn json_output_roundtrips_through_serde_json() {
 
 #[test]
 fn empty_diagnostics_is_still_a_valid_document() {
-    let v: Value = serde_json::from_str(&to_json(&[])).expect("valid JSON");
+    let v: Value = serde_json::from_str(&to_json(&[], None)).expect("valid JSON");
     let summary = field(&v, "summary");
     assert_eq!(field(summary, "errors"), &Value::U64(0));
     assert!(field(&v, "diagnostics")
         .as_array()
         .is_some_and(Vec::is_empty));
+}
+
+#[test]
+fn callgraph_summary_block_parses_when_present() {
+    let g = GraphSummary {
+        functions: 12,
+        edges: 34,
+        roots: 2,
+        hot: 9,
+    };
+    let v: Value = serde_json::from_str(&to_json(&[], Some(&g))).expect("valid JSON");
+    let cg = field(&v, "callgraph");
+    assert_eq!(field(cg, "functions"), &Value::U64(12));
+    assert_eq!(field(cg, "edges"), &Value::U64(34));
+    assert_eq!(field(cg, "roots"), &Value::U64(2));
+    assert_eq!(field(cg, "hot"), &Value::U64(9));
 }
 
 #[test]
@@ -81,7 +97,7 @@ fn workspace_json_document_parses() {
         .nth(2)
         .expect("workspace root");
     let diags = sim_lint::lint_workspace(root).expect("workspace walk succeeds");
-    let v: Value = serde_json::from_str(&to_json(&diags)).expect("valid JSON");
+    let v: Value = serde_json::from_str(&to_json(&diags, None)).expect("valid JSON");
     let items = field(&v, "diagnostics").as_array().expect("array");
     assert_eq!(items.len(), diags.len());
 }
