@@ -1,0 +1,82 @@
+//! Microbenchmarks of the epoch-windowed timeline: window rollover (the
+//! boundary-crossing path the dispatch loop hits), fabric link-window
+//! sampling, and an enabled-vs-disabled quick-simulation pair guarding
+//! the zero-cost disabled path (`timeline_next == u64::MAX` keeps the
+//! hot loop to one compare). Representative numbers are recorded in
+//! `BENCH_timeline.json` at the repository root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use least_tlb::{System, SystemConfig, WorkloadSpec};
+use mgpu_types::Cycle;
+use obs::TimelineBuilder;
+use workloads::AppKind;
+
+/// One window close per iteration: sample-and-difference of the 9 hop
+/// counters and two app lanes, pushing the closed window.
+fn window_roll(c: &mut Criterion) {
+    c.bench_function("timeline_window_roll", |b| {
+        let mut t = TimelineBuilder::new(64, 2);
+        let mut hops = [0u64; 9];
+        let mut apps = [[0u64; 9]; 2];
+        let mut now = 0u64;
+        let mut delivered = 0u64;
+        b.iter(|| {
+            now += 64;
+            delivered += 37;
+            hops[5] += 11;
+            apps[0][5] += 6;
+            apps[1][5] += 5;
+            t.roll(black_box(now), &hops, &apps, delivered, 3, Vec::new());
+            t.closed().len()
+        });
+    });
+}
+
+/// Draining the fabric's per-link window accumulators after a burst of
+/// sends — the per-boundary cost a fabric-enabled timeline adds.
+fn link_sample(c: &mut Criterion) {
+    let mut cfg = SystemConfig::scaled_down(4);
+    cfg.fabric = Some(least_tlb::FabricConfig::new(least_tlb::Topology::Mesh2d));
+    let mut fabric = cfg.build_fabric();
+    let iommu = fabric.iommu_node();
+    let mut now = 0u64;
+    c.bench_function("timeline_link_sample", |b| {
+        b.iter(|| {
+            for g in 0..4 {
+                let hop = fabric.send(Cycle(now), g, iommu);
+                now = now.max(hop.arrive.0);
+            }
+            now += 8;
+            black_box(fabric.window_sample().len())
+        });
+    });
+}
+
+/// The guard for the zero-cost disabled path: the same scaled-down
+/// simulation with the timeline off and on. Disabled is the default for
+/// every figure/test run; a gap here is boundary-check overhead leaking
+/// past the `timeline_next` gate.
+fn sim_toggle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeline_toggle");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for (label, timeline) in [("quick_sim_disabled", false), ("quick_sim_timeline", true)] {
+        group.bench_function(label, |b| {
+            let mut cfg = SystemConfig::scaled_down(2);
+            cfg.instructions_per_gpu = 50_000;
+            cfg.obs.timeline = timeline;
+            let spec = WorkloadSpec::single_app(AppKind::Pr, 2);
+            b.iter(|| {
+                let r = System::new(&cfg, &spec).expect("bench config builds").run();
+                assert!(r.end_cycle > 0);
+                r.end_cycle
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, window_roll, link_sample, sim_toggle);
+criterion_main!(benches);

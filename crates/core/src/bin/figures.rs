@@ -3,6 +3,8 @@
 //! ```text
 //! figures [--quick] [--budget N] [--seed N] [--jobs N]
 //!         [--breakdown] [--metrics-json FILE] [--telemetry-json FILE]
+//!         [--timeline] [--timeline-json FILE] [--timeline-window N]
+//!         [--trace-out FILE] [--trace-sample N] [--profile-json FILE]
 //!         [--topology-sweep] [fig14 fig16 ... | all]
 //! ```
 //!
@@ -28,6 +30,18 @@
 //! (schema `engine-telemetry/v1`) — the input of CI's engine perf gate
 //! (`engine-gate` in the bench crate). Unlike the other outputs it
 //! contains wall-clock measurements and is *not* byte-stable.
+//!
+//! Timeline & profiling: `--timeline` prints each run's epoch-windowed
+//! sparkline phase table to stderr; `--timeline-json FILE` writes every
+//! run's timeline as one JSON document (schema `timeline/v1`, runners in
+//! input order — byte-identical across `--jobs` values);
+//! `--timeline-window N` overrides the window length in cycles (0 =
+//! auto). `--trace-out FILE` writes one Perfetto trace per simulated run,
+//! named `{stem}-{runner}-{i}{ext}` (`--trace-sample N` keeps every Nth
+//! span); when a timeline is also collected the windows appear as counter
+//! tracks in each trace. `--profile-json FILE` enables the host-side
+//! handler profiler and writes the suite-merged report — wall-clock
+//! derived, non-deterministic, never part of the byte-stable outputs.
 
 use std::time::Instant;
 
@@ -43,6 +57,8 @@ fn usage_error(msg: &str) -> ! {
     eprintln!(
         "usage: figures [--quick] [--budget N] [--seed N] [--jobs N] \
          [--breakdown] [--metrics-json FILE] [--telemetry-json FILE] \
+         [--timeline] [--timeline-json FILE] [--timeline-window N] \
+         [--trace-out FILE] [--trace-sample N] [--profile-json FILE] \
          [--topology-sweep] [experiments... | all]"
     );
     std::process::exit(2);
@@ -67,6 +83,10 @@ fn main() {
     let mut breakdown = false;
     let mut metrics_json: Option<String> = None;
     let mut telemetry_json: Option<String> = None;
+    let mut timeline = false;
+    let mut timeline_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut profile_json: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -108,11 +128,44 @@ fn main() {
                     )
                 }));
             }
+            "--timeline" => timeline = true,
+            "--timeline-json" => {
+                timeline_json = Some(args.next().unwrap_or_else(|| {
+                    usage_error(
+                        "--timeline-json takes an output path, e.g. --timeline-json tl.json",
+                    )
+                }));
+            }
+            "--timeline-window" => {
+                opts.timeline_window = parsed_value(
+                    &mut args,
+                    "--timeline-window",
+                    "a cycle count (0 = auto), e.g. --timeline-window 4096",
+                );
+            }
+            "--trace-out" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    usage_error("--trace-out takes an output path, e.g. --trace-out trace.json")
+                }));
+            }
+            "--trace-sample" => {
+                opts.trace_sample = parsed_value(
+                    &mut args,
+                    "--trace-sample",
+                    "a span count, e.g. --trace-sample 16",
+                );
+            }
+            "--profile-json" => {
+                profile_json = Some(args.next().unwrap_or_else(|| {
+                    usage_error("--profile-json takes an output path, e.g. --profile-json p.json")
+                }));
+            }
             "all" => wanted.extend(ALL_EXPERIMENTS.iter().map(std::string::ToString::to_string)),
             other if other.starts_with('-') => usage_error(&format!(
                 "unknown flag '{other}'; accepted flags are --quick, --budget N, --seed N, \
                  --jobs N, --breakdown, --metrics-json FILE, --telemetry-json FILE, \
-                 --topology-sweep"
+                 --timeline, --timeline-json FILE, --timeline-window N, --trace-out FILE, \
+                 --trace-sample N, --profile-json FILE, --topology-sweep"
             )),
             other => wanted.push(other.to_string()),
         }
@@ -133,6 +186,9 @@ fn main() {
     }
 
     opts.metrics = breakdown || metrics_json.is_some();
+    opts.timeline = timeline || timeline_json.is_some() || opts.timeline_window > 0;
+    opts.trace = trace_out.is_some();
+    opts.profile = profile_json.is_some();
 
     let total = Instant::now();
     let outcomes = run_suite(&wanted, &opts, jobs);
@@ -167,6 +223,42 @@ fn main() {
         std::fs::write(path, json).expect("metrics file writes");
         eprintln!("wrote merged metrics snapshot to {path}");
     }
+    if timeline {
+        for outcome in &outcomes {
+            for (workload, tl) in &outcome.timelines {
+                eprintln!(
+                    "==== timeline: {} / {workload} ({} windows of {} cycles) ====",
+                    outcome.name,
+                    tl.windows.len(),
+                    tl.window
+                );
+                eprintln!("{}", least_tlb::timeline_report(tl));
+            }
+        }
+    }
+    if let Some(path) = &timeline_json {
+        let json = timeline_json_report(&outcomes);
+        std::fs::write(path, json).expect("timeline file writes");
+        eprintln!("wrote timeline series to {path}");
+    }
+    if let Some(base) = &trace_out {
+        write_traces(base, &outcomes);
+    }
+    if let Some(path) = &profile_json {
+        let mut merged = obs::ProfileReport::default();
+        for outcome in &outcomes {
+            merged.absorb(&outcome.profile);
+        }
+        let json = serde_json::to_string_pretty(&merged).expect("serializable");
+        std::fs::write(path, json).expect("profile file writes");
+        for h in merged.handlers.iter().take(5) {
+            eprintln!(
+                "  profile: {:<14} {:>12} events  {:>8} ns/event",
+                h.name, h.events, h.ns_per_event
+            );
+        }
+        eprintln!("wrote merged handler profile to {path}");
+    }
     eprintln!("==== telemetry ({jobs} jobs) ====");
     eprintln!("{}", telemetry_table(&outcomes));
     let total_wall = total.elapsed().as_secs_f64();
@@ -176,6 +268,73 @@ fn main() {
         eprintln!("wrote telemetry report to {path}");
     }
     eprintln!("total wall time: {total_wall:.1}s");
+}
+
+/// Renders every run's timeline as one JSON document (schema
+/// `timeline/v1`): runners in input order, each with its runs in the
+/// runner's own execution order. Pure sim-time content, so the bytes are
+/// identical across `--jobs` values.
+fn timeline_json_report(outcomes: &[least_tlb::experiments::SuiteOutcome]) -> String {
+    use serde::Serialize;
+
+    // Owned structs: the vendored serde derive does not support
+    // lifetime-generic types, and the clone cost is trivial next to the
+    // simulations that produced the data.
+    #[derive(Serialize)]
+    struct Run {
+        workload: String,
+        timeline: obs::Timeline,
+    }
+
+    #[derive(Serialize)]
+    struct Runner {
+        name: String,
+        runs: Vec<Run>,
+    }
+
+    #[derive(Serialize)]
+    struct Report {
+        schema: String,
+        runners: Vec<Runner>,
+    }
+
+    let report = Report {
+        schema: "timeline/v1".to_string(),
+        runners: outcomes
+            .iter()
+            .map(|o| Runner {
+                name: o.name.clone(),
+                runs: o
+                    .timelines
+                    .iter()
+                    .map(|(workload, timeline)| Run {
+                        workload: workload.clone(),
+                        timeline: timeline.clone(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&report).expect("serializable")
+}
+
+/// Writes one Perfetto trace file per simulated run, named
+/// `{stem}-{runner}-{i}{ext}` after the `--trace-out` base path.
+fn write_traces(base: &str, outcomes: &[least_tlb::experiments::SuiteOutcome]) {
+    let (stem, ext) = match base.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => (stem, format!(".{ext}")),
+        _ => (base, String::new()),
+    };
+    let mut files = 0usize;
+    for outcome in outcomes {
+        for (i, (workload, doc)) in outcome.traces.iter().enumerate() {
+            let path = format!("{stem}-{}-{i}{ext}", outcome.name);
+            std::fs::write(&path, doc).expect("trace-event file writes");
+            eprintln!("wrote trace for {} / {workload} to {path}", outcome.name);
+            files += 1;
+        }
+    }
+    eprintln!("wrote {files} Perfetto trace files (load at https://ui.perfetto.dev)");
 }
 
 /// Renders the suite telemetry as the JSON document the CI engine gate

@@ -8,6 +8,8 @@
 //!           [--record-trace FILE] [--replay-trace FILE]
 //!           [--breakdown] [--metrics-json FILE]
 //!           [--trace-out FILE] [--trace-sample N]
+//!           [--timeline-json FILE] [--timeline-window N]
+//!           [--profile-json FILE]
 //! ```
 //!
 //! Prints a human-readable summary, or the full [`RunResult`] as JSON with
@@ -25,6 +27,15 @@
 //! snapshot (schema in `EXPERIMENTS.md`), and `--trace-out FILE` writes a
 //! Chrome trace-event file loadable at <https://ui.perfetto.dev>
 //! (`--trace-sample N` keeps every Nth span).
+//!
+//! Timeline & profiling: `--timeline-json FILE` writes the epoch-windowed
+//! timeline series (deterministic — byte-identical across runs and
+//! `--jobs`); `--timeline-window N` overrides the window length in cycles
+//! (0 = auto, ~256 windows per run). When a timeline is collected and
+//! `--trace-out` is given, the windows also appear as Perfetto counter
+//! tracks in the trace file. `--profile-json FILE` enables the host-side
+//! handler profiler and writes its wall-time report; the report is
+//! non-deterministic by nature and is excluded from `--json` output.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -43,7 +54,8 @@ fn usage_error(msg: &str) -> ! {
          [--seed N] [--quick] [--page-size 4k|2m] [--json] \
          [--topology flat|ring|mesh|switch] [--link-cycles N] \
          [--record-trace FILE] [--replay-trace FILE] [--breakdown] \
-         [--metrics-json FILE] [--trace-out FILE] [--trace-sample N]"
+         [--metrics-json FILE] [--trace-out FILE] [--trace-sample N] \
+         [--timeline-json FILE] [--timeline-window N] [--profile-json FILE]"
     );
     std::process::exit(2);
 }
@@ -65,6 +77,9 @@ struct Args {
     metrics_json: Option<String>,
     trace_out: Option<String>,
     trace_sample: u64,
+    timeline_json: Option<String>,
+    timeline_window: u64,
+    profile_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -85,6 +100,9 @@ fn parse_args() -> Args {
         metrics_json: None,
         trace_out: None,
         trace_sample: 1,
+        timeline_json: None,
+        timeline_window: 0,
+        profile_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -137,12 +155,23 @@ fn parse_args() -> Args {
                     usage_error("--trace-sample takes a span count, e.g. --trace-sample 16")
                 });
             }
+            "--timeline-json" => a.timeline_json = Some(val()),
+            "--timeline-window" => {
+                a.timeline_window = val().parse().unwrap_or_else(|_| {
+                    usage_error(
+                        "--timeline-window takes a cycle count (0 = auto), \
+                         e.g. --timeline-window 4096",
+                    )
+                });
+            }
+            "--profile-json" => a.profile_json = Some(val()),
             other => usage_error(&format!(
                 "unknown flag '{other}'; accepted flags are --workload, --policy, \
                  --gpus, --budget, --seed, --quick, --page-size, --json, \
                  --topology, --link-cycles, \
                  --record-trace, --replay-trace, --breakdown, --metrics-json, \
-                 --trace-out, --trace-sample"
+                 --trace-out, --trace-sample, --timeline-json, --timeline-window, \
+                 --profile-json"
             )),
         }
     }
@@ -262,6 +291,9 @@ fn main() {
     cfg.obs.metrics = args.breakdown || args.metrics_json.is_some();
     cfg.obs.trace = args.trace_out.is_some();
     cfg.obs.trace_sample = args.trace_sample;
+    cfg.obs.timeline = args.timeline_json.is_some() || args.timeline_window > 0;
+    cfg.obs.timeline_window = args.timeline_window;
+    cfg.obs.profile = args.profile_json.is_some();
 
     let mut result = if let Some(path) = &args.replay_trace {
         let file = File::open(path).expect("trace file opens");
@@ -302,8 +334,36 @@ fn main() {
         eprintln!("wrote metrics snapshot to {path}");
     }
 
+    if let Some(path) = &args.timeline_json {
+        let timeline = result.timeline.as_ref().expect("timeline was collected");
+        let json = serde_json::to_string_pretty(timeline).expect("serializable");
+        std::fs::write(path, json).expect("timeline file writes");
+        eprintln!(
+            "wrote timeline ({} windows of {} cycles) to {path}",
+            timeline.windows.len(),
+            timeline.window
+        );
+    }
+
+    if let Some(path) = &args.profile_json {
+        // The profile is host wall-time: informative, but never part of a
+        // deterministic artifact. Take it out of the result so --json
+        // output stays byte-comparable across machines and runs.
+        let profile = result.profile.take().expect("profiler was enabled");
+        let json = serde_json::to_string_pretty(&profile).expect("serializable");
+        std::fs::write(path, json).expect("profile file writes");
+        for h in profile.handlers.iter().take(5) {
+            eprintln!(
+                "  profile: {:<14} {:>12} events  {:>8} ns/event",
+                h.name, h.events, h.ns_per_event
+            );
+        }
+        eprintln!("wrote handler profile to {path}");
+    }
+
     if args.json {
         result.trace = None;
+        result.profile = None;
         println!(
             "{}",
             serde_json::to_string_pretty(&result).expect("serializable")

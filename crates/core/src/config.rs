@@ -166,6 +166,20 @@ impl SystemConfig {
         Fabric::of_topology(self.topology(), &params)
     }
 
+    /// The resolved timeline window length in sim cycles. An explicit
+    /// `obs.timeline_window` wins; `0` auto-derives a length targeting
+    /// roughly 256 windows per run from the instruction budget (a
+    /// deterministic config-only approximation of the run's cycle count;
+    /// 64 cycles floor so tiny runs still window meaningfully).
+    #[must_use]
+    pub fn timeline_window(&self) -> u64 {
+        if self.obs.timeline_window == 0 {
+            (self.instructions_per_gpu / 256).max(64)
+        } else {
+            self.obs.timeline_window
+        }
+    }
+
     /// The interconnect topology in effect (flat when no fabric section
     /// is configured).
     #[must_use]

@@ -66,6 +66,17 @@ pub struct SuiteOutcome {
     /// Merged observability metrics from every simulation the runner
     /// performed. Empty unless [`ExpOptions::metrics`] was set.
     pub metrics: obs::MetricsSnapshot,
+    /// One `(workload, timeline)` pair per simulation, in the runner's
+    /// own (deterministic) execution order. Empty unless
+    /// [`ExpOptions::timeline`] was set.
+    pub timelines: Vec<(String, obs::Timeline)>,
+    /// One `(workload, Chrome trace document)` pair per simulation, same
+    /// order as `timelines`. Empty unless [`ExpOptions::trace`] was set.
+    pub traces: Vec<(String, String)>,
+    /// Merged host-side handler profile across the runner's simulations.
+    /// Wall-clock derived: informative, never part of a deterministic
+    /// artifact. Empty unless [`ExpOptions::profile`] was set.
+    pub profile: obs::ProfileReport,
 }
 
 thread_local! {
@@ -77,12 +88,26 @@ thread_local! {
     /// Per-thread metrics accumulator, merged commutatively so the merge
     /// order within one runner cannot affect the snapshot.
     static METRICS: RefCell<obs::MetricsSnapshot> = RefCell::new(obs::MetricsSnapshot::default());
+
+    /// Per-thread per-run collectibles (timelines, trace documents, the
+    /// merged profile). A runner executes entirely on one worker thread
+    /// and runs its simulations serially, so the vectors come out in the
+    /// runner's own deterministic execution order.
+    static EXTRAS: RefCell<RunExtras> = RefCell::new(RunExtras::default());
+}
+
+/// Per-run artifacts harvested by [`note_run`] beyond the counters.
+#[derive(Default)]
+struct RunExtras {
+    timelines: Vec<(String, obs::Timeline)>,
+    traces: Vec<(String, String)>,
+    profile: obs::ProfileReport,
 }
 
 /// Records one simulation's telemetry into the executing thread's
 /// accumulator. Called by the experiment plumbing for every simulation a
 /// runner performs.
-pub(crate) fn note_run(result: &RunResult) {
+pub(crate) fn note_run(result: &mut RunResult) {
     let t = result.telemetry.unwrap_or(RunTelemetry {
         instructions: result.apps.iter().map(|a| a.stats.instructions).sum(),
         events_delivered: result.events,
@@ -99,6 +124,20 @@ pub(crate) fn note_run(result: &RunResult) {
     if let Some(m) = &result.metrics {
         METRICS.with(|acc| acc.borrow_mut().absorb(m));
     }
+    // Timeline, trace and profile are moved out rather than cloned (trace
+    // documents can be large); runners never read them from the result.
+    EXTRAS.with(|acc| {
+        let mut acc = acc.borrow_mut();
+        if let Some(tl) = result.timeline.take() {
+            acc.timelines.push((result.workload.clone(), tl));
+        }
+        if let Some(doc) = result.trace_events.take() {
+            acc.traces.push((result.workload.clone(), doc));
+        }
+        if let Some(p) = result.profile.take() {
+            acc.profile.absorb(&p);
+        }
+    });
 }
 
 fn take_counters() -> (u64, u64, u64) {
@@ -109,14 +148,20 @@ fn take_metrics() -> obs::MetricsSnapshot {
     METRICS.with(|acc| std::mem::take(&mut *acc.borrow_mut()))
 }
 
+fn take_extras() -> RunExtras {
+    EXTRAS.with(|acc| std::mem::take(&mut *acc.borrow_mut()))
+}
+
 /// Runs one suite entry, capturing telemetry around the runner call.
 fn run_one(name: &str, opts: &ExpOptions) -> SuiteOutcome {
     let derived = opts.for_runner(name);
     let start = Instant::now();
     take_counters();
     take_metrics();
+    take_extras();
     let result = run_by_name(name, &derived);
     let (sims, instructions, events) = take_counters();
+    let extras = take_extras();
     SuiteOutcome {
         name: name.to_string(),
         result,
@@ -127,6 +172,9 @@ fn run_one(name: &str, opts: &ExpOptions) -> SuiteOutcome {
             events,
         },
         metrics: take_metrics(),
+        timelines: extras.timelines,
+        traces: extras.traces,
+        profile: extras.profile,
     }
 }
 
@@ -303,6 +351,37 @@ mod tests {
     }
 
     #[test]
+    fn timelines_opt_in_are_collected_and_jobs_invariant() {
+        let mut opts = tiny_opts();
+        opts.timeline = true;
+        let names = vec!["fig2".to_string(), "table3".to_string()];
+        let serial = run_suite(&names, &opts, 1);
+        let parallel = run_suite(&names, &opts, 2);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert!(!s.timelines.is_empty(), "{} collected timelines", s.name);
+            assert_eq!(
+                s.timelines, p.timelines,
+                "{} timelines diverged between --jobs 1 and --jobs 2",
+                s.name
+            );
+        }
+        // Default options collect none.
+        let off = run_suite(&names[..1], &tiny_opts(), 1);
+        assert!(off[0].timelines.is_empty());
+        assert!(off[0].traces.is_empty());
+        assert!(off[0].profile.is_empty());
+    }
+
+    #[test]
+    fn profile_opt_in_is_merged_per_runner() {
+        let mut opts = tiny_opts();
+        opts.profile = true;
+        let out = run_suite(&["fig2".to_string()], &opts, 1);
+        assert!(!out[0].profile.is_empty(), "profiler report collected");
+        assert!(out[0].profile.handlers.iter().all(|h| h.events > 0));
+    }
+
+    #[test]
     fn zero_wall_time_shows_dash_not_nan() {
         let outcome = SuiteOutcome {
             name: "instant".into(),
@@ -314,6 +393,9 @@ mod tests {
                 events: 0,
             },
             metrics: obs::MetricsSnapshot::default(),
+            timelines: Vec::new(),
+            traces: Vec::new(),
+            profile: obs::ProfileReport::default(),
         };
         let s = telemetry_table(&[outcome]).to_string();
         assert!(s.contains('—'), "instantaneous runner rate renders as —");

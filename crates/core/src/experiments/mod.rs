@@ -55,6 +55,21 @@ pub struct ExpOptions {
     /// during every simulation the runner performs. Off by default; the
     /// `figures` binary turns it on for `--breakdown` / `--metrics-json`.
     pub metrics: bool,
+    /// Collect the epoch-windowed timeline during every simulation. Off
+    /// by default; the `figures` binary turns it on for `--timeline` /
+    /// `--timeline-json`.
+    pub timeline: bool,
+    /// Timeline window length in cycles (0 = auto, ~256 windows per run).
+    pub timeline_window: u64,
+    /// Collect Chrome trace events during every simulation (the `figures`
+    /// binary's `--trace-out`).
+    pub trace: bool,
+    /// Keep every Nth trace span (1 = all).
+    pub trace_sample: u64,
+    /// Enable the host-side handler profiler. Its report is wall-clock
+    /// derived and non-deterministic; it never joins the table/metrics/
+    /// timeline outputs.
+    pub profile: bool,
 }
 
 impl ExpOptions {
@@ -67,6 +82,11 @@ impl ExpOptions {
             budget_multi: 8_000_000,
             seed: 0x1ea5_71b5,
             metrics: false,
+            timeline: false,
+            timeline_window: 0,
+            trace: false,
+            trace_sample: 1,
+            profile: false,
         }
     }
 
@@ -79,6 +99,11 @@ impl ExpOptions {
             budget_multi: 400_000,
             seed: 0x1ea5_71b5,
             metrics: false,
+            timeline: false,
+            timeline_window: 0,
+            trace: false,
+            trace_sample: 1,
+            profile: false,
         }
     }
 
@@ -91,6 +116,11 @@ impl ExpOptions {
         cfg.instructions_per_gpu = self.budget_single;
         cfg.seed = self.seed;
         cfg.obs.metrics = self.metrics;
+        cfg.obs.timeline = self.timeline;
+        cfg.obs.timeline_window = self.timeline_window;
+        cfg.obs.trace = self.trace;
+        cfg.obs.trace_sample = self.trace_sample;
+        cfg.obs.profile = self.profile;
         cfg
     }
 
@@ -134,11 +164,11 @@ impl ExpOptions {
 /// Runs one simulation, recording its telemetry into the executing
 /// suite worker's accumulator (see [`exec::note_run`]).
 pub(crate) fn run(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunResult {
-    let result = System::new(cfg, spec)
+    let mut result = System::new(cfg, spec)
         // sim-lint: allow(panic-reach, reason = "experiment specs are workspace constants validated by tier-1 tests; a build failure here is a programming error")
         .expect("experiment configuration is valid")
         .run();
-    exec::note_run(&result);
+    exec::note_run(&mut result);
     result
 }
 

@@ -48,7 +48,7 @@ pub mod trace;
 
 pub use config::{BuildError, SystemConfig, WorkloadSpec};
 pub use fabric::{FabricConfig, Topology};
-pub use obs_report::latency_breakdown;
+pub use obs_report::{latency_breakdown, timeline_report};
 pub use report::Table;
 pub use results::{AppResult, AppRunStats, FabricSummary, RunResult, RunTelemetry, SnapshotRecord};
 pub use system::{Inclusion, Policy, ReceiverPolicy, System};

@@ -7,8 +7,13 @@
 //! row per resolution that actually served requests. All statistics come
 //! from the deterministic log-bucketed histograms, so the rendered bytes
 //! are identical across `--jobs` values.
+//!
+//! [`timeline_report`] renders the epoch-windowed timeline as a sparkline
+//! phase table (one row per series: events, queue depth, per-resolution
+//! serves, per-link busy cycles) — also byte-deterministic, since the
+//! timeline itself is built from sim-time alone.
 
-use obs::{MetricsSnapshot, Resolution};
+use obs::{sparkline, MetricsSnapshot, Resolution, Timeline};
 
 use crate::report::Table;
 
@@ -88,6 +93,64 @@ fn stat_row(label: &str, comp: &str, h: &obs::HistogramSnapshot) -> Vec<String> 
     ]
 }
 
+/// Renders one run's timeline as a phase table: a sparkline row per
+/// series with its peak and total. Quiet series (all zeros) are
+/// suppressed, so the table stays readable on sparse runs.
+#[must_use]
+pub fn timeline_report(tl: &Timeline) -> Table {
+    let mut t = Table::new(
+        ["series", "shape", "peak", "total"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut push = |name: String, series: Vec<u64>| {
+        if series.iter().all(|&v| v == 0) {
+            return;
+        }
+        let peak = series.iter().copied().max().unwrap_or(0);
+        let total: u64 = series.iter().sum();
+        t.row(vec![
+            name,
+            sparkline(&series),
+            peak.to_string(),
+            total.to_string(),
+        ]);
+    };
+    push("events".into(), tl.series(|w| w.events));
+    push("queue_depth".into(), tl.series(|w| w.queue_depth));
+    for (i, res) in tl.resolutions.iter().enumerate() {
+        push(
+            format!("res:{res}"),
+            tl.series(|w| w.hops.get(i).copied().unwrap_or(0)),
+        );
+    }
+    for (a, app) in tl.apps.iter().enumerate() {
+        push(
+            format!("app:{app}"),
+            tl.series(|w| w.apps.get(a).map_or(0, |r| r.iter().sum())),
+        );
+    }
+    // Links appear sparsely (only when active in a window), so collect
+    // the set of directed pairs first, then build each series.
+    let mut pairs: Vec<(u64, u64)> = tl
+        .windows
+        .iter()
+        .flat_map(|w| w.links.iter().map(|l| (l.from, l.to)))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    for (from, to) in pairs {
+        let series = tl.series(|w| {
+            w.links
+                .iter()
+                .find(|l| l.from == from && l.to == to)
+                .map_or(0, |l| l.busy_cycles)
+        });
+        push(format!("link:{from}-{to}.busy"), series);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +199,59 @@ mod tests {
     fn empty_snapshot_yields_empty_table() {
         let t = latency_breakdown(&MetricsSnapshot::default());
         assert!(t.is_empty());
+    }
+
+    fn tiny_timeline() -> Timeline {
+        Timeline {
+            window: 100,
+            resolutions: vec!["l2_hit".into(), "walk".into()],
+            apps: vec!["app0:ST".into()],
+            windows: vec![
+                obs::TimelineWindow {
+                    start: 0,
+                    span: 100,
+                    events: 40,
+                    queue_depth: 3,
+                    hops: vec![4, 0],
+                    apps: vec![vec![4, 0]],
+                    links: vec![obs::LinkWindow {
+                        from: 0,
+                        to: 1,
+                        messages: 2,
+                        busy_cycles: 8,
+                        queue_peak: 1,
+                    }],
+                },
+                obs::TimelineWindow {
+                    start: 100,
+                    span: 100,
+                    events: 10,
+                    queue_depth: 1,
+                    hops: vec![1, 0],
+                    apps: vec![vec![1, 0]],
+                    links: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn timeline_report_rows_cover_active_series_and_skip_quiet_ones() {
+        let s = timeline_report(&tiny_timeline()).to_string();
+        assert!(s.contains("events"));
+        assert!(s.contains("queue_depth"));
+        assert!(s.contains("res:l2_hit"));
+        assert!(!s.contains("res:walk"), "all-zero series suppressed: {s}");
+        assert!(s.contains("app:app0:ST"));
+        assert!(s.contains("link:0-1.busy"));
+        // Sparkline glyphs present.
+        assert!(s.contains('█'));
+    }
+
+    #[test]
+    fn timeline_report_is_deterministic() {
+        let a = timeline_report(&tiny_timeline()).to_string();
+        let b = timeline_report(&tiny_timeline()).to_string();
+        assert_eq!(a, b);
     }
 }

@@ -258,6 +258,15 @@ pub struct RunResult {
     /// an explicit `fabric` section).
     #[serde(skip_serializing_if = "Option::is_none", default)]
     pub fabric: Option<FabricSummary>,
+    /// Epoch-windowed timeline series (when `cfg.obs.timeline` was
+    /// enabled). Deterministic: byte-identical across `--jobs` values.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub timeline: Option<obs::Timeline>,
+    /// Host-side dispatch-loop profile (when `cfg.obs.profile` was
+    /// enabled). **Non-deterministic** — the CLIs strip it from every
+    /// deterministic output and only write it via `--profile-json`.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub profile: Option<obs::ProfileReport>,
 }
 
 impl RunResult {
@@ -397,6 +406,8 @@ mod tests {
             trace_events: None,
             telemetry: None,
             fabric: None,
+            timeline: None,
+            profile: None,
         }
     }
 

@@ -17,39 +17,84 @@ use crate::results::SnapshotRecord;
 const MAX_SPILL_CHAIN: u32 = 64;
 
 impl System {
-    pub(crate) fn dispatch(&mut self, t: Cycle, ev: Event) {
+    /// The protocol's single dispatcher. Returns the handled variant's
+    /// index into [`Event::VARIANT_NAMES`] so the run loop can attribute
+    /// profiler batches without a second match over the protocol.
+    pub(crate) fn dispatch(&mut self, t: Cycle, ev: Event) -> usize {
         match ev {
-            Event::WfNext { gpu, cu, wf } => self.on_wf_next(t, gpu, cu, wf),
-            Event::WfMem { gpu, cu, wf, key } => self.on_wf_mem(t, gpu, cu, wf, key),
-            Event::L2Access { gpu, cu, wf, key } => self.on_l2_access(t, gpu, cu, wf, key),
-            Event::IommuArrive { gpu, key } => self.on_iommu_arrive(t, gpu, key),
-            Event::ProbeArrive { target, key } => self.on_probe_arrive(t, target, key),
+            Event::WfNext { gpu, cu, wf } => {
+                self.on_wf_next(t, gpu, cu, wf);
+                0
+            }
+            Event::WfMem { gpu, cu, wf, key } => {
+                self.on_wf_mem(t, gpu, cu, wf, key);
+                1
+            }
+            Event::L2Access { gpu, cu, wf, key } => {
+                self.on_l2_access(t, gpu, cu, wf, key);
+                2
+            }
+            Event::IommuArrive { gpu, key } => {
+                self.on_iommu_arrive(t, gpu, key);
+                3
+            }
+            Event::ProbeArrive { target, key } => {
+                self.on_probe_arrive(t, target, key);
+                4
+            }
             Event::PtwDone {
                 key,
                 frame,
                 requester,
-            } => self.on_ptw_done(t, key, frame, requester),
+            } => {
+                self.on_ptw_done(t, key, frame, requester);
+                5
+            }
             Event::FaultDone {
                 key,
                 frame,
                 requester,
-            } => self.on_fault_done(t, key, frame, requester),
-            Event::LocalPtwDone { gpu, key, frame } => self.on_local_ptw_done(t, gpu, key, frame),
+            } => {
+                self.on_fault_done(t, key, frame, requester);
+                6
+            }
+            Event::LocalPtwDone { gpu, key, frame } => {
+                self.on_local_ptw_done(t, gpu, key, frame);
+                7
+            }
             Event::Fill {
                 gpu,
                 key,
                 frame,
                 res,
-            } => self.on_fill(t, gpu, key, frame, res),
+            } => {
+                self.on_fill(t, gpu, key, frame, res);
+                8
+            }
             Event::RingProbe {
                 target,
                 origin,
                 key,
-            } => self.on_ring_probe(t, target, origin, key),
-            Event::RingResult { origin, key, hit } => self.on_ring_result(t, origin, key, hit),
-            Event::PriDispatch => self.on_pri_dispatch(t),
-            Event::Snapshot => self.on_snapshot(t),
-            Event::FabricHop { node, msg } => self.on_fabric_hop(t, node, msg),
+            } => {
+                self.on_ring_probe(t, target, origin, key);
+                9
+            }
+            Event::RingResult { origin, key, hit } => {
+                self.on_ring_result(t, origin, key, hit);
+                10
+            }
+            Event::PriDispatch => {
+                self.on_pri_dispatch(t);
+                11
+            }
+            Event::Snapshot => {
+                self.on_snapshot(t);
+                12
+            }
+            Event::FabricHop { node, msg } => {
+                self.on_fabric_hop(t, node, msg);
+                13
+            }
         }
     }
 

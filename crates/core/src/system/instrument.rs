@@ -9,7 +9,10 @@
 //! contract.
 
 use mgpu_types::{DetMap, GpuId};
-use obs::{CounterId, HistId, LaneSpan, ObsConfig, Registry, Resolution, TraceSink};
+use obs::{
+    CounterId, HistId, LaneSpan, LinkWindow, ObsConfig, Registry, Resolution, Timeline,
+    TimelineBuilder, TimelineWindow, TraceSink,
+};
 
 /// Span segment metric suffixes, in [`SEGMENTS`] order: issue→L1 queue
 /// wait, L1→L2, below-L2, and end-to-end.
@@ -22,8 +25,15 @@ pub(crate) struct Instrument {
     pub(crate) reg: Registry,
     /// Sampled trace sink (when `cfg.obs.trace`).
     pub(crate) trace: Option<TraceSink>,
-    /// Whether counters/histograms are collected (`cfg.obs.metrics`).
+    /// Whether counters/histograms are collected. True for
+    /// `cfg.obs.metrics` *or* `cfg.obs.timeline`: the timeline windows
+    /// are deltas of the hop counters and per-app latency counts, so
+    /// collecting a timeline implies collecting the counters it samples.
     metrics: bool,
+    /// Epoch-windowed series builder (when `cfg.obs.timeline`).
+    timeline: Option<TimelineBuilder>,
+    /// App labels, kept for the timeline export's index legend.
+    app_labels: Vec<String>,
     /// Open spans keyed by `(gpu << 32) | lane`; one in-flight
     /// translation per wavefront lane.
     spans: DetMap<u64, LaneSpan>,
@@ -41,8 +51,10 @@ pub(crate) struct Instrument {
 impl Instrument {
     /// Builds the instrument for `app_labels` (one `app{i}:{KIND}` label
     /// per placement), interning every metric name up front so the hot
-    /// path never hashes or allocates.
-    pub(crate) fn new(cfg: &ObsConfig, app_labels: &[String]) -> Self {
+    /// path never hashes or allocates. `window` is the resolved timeline
+    /// window length in cycles (the caller applies the auto-derivation;
+    /// ignored unless `cfg.timeline`).
+    pub(crate) fn new(cfg: &ObsConfig, app_labels: &[String], window: u64) -> Self {
         let mut reg = Registry::new();
         let hops = Resolution::ALL.map(|r| reg.counter(&format!("hops.{}", r.name())));
         let seg = app_labels
@@ -57,13 +69,84 @@ impl Instrument {
         Instrument {
             reg,
             trace: cfg.trace.then(|| TraceSink::new(cfg.trace_sample)),
-            metrics: cfg.metrics,
+            metrics: cfg.metrics || cfg.timeline,
+            timeline: cfg
+                .timeline
+                .then(|| TimelineBuilder::new(window, app_labels.len())),
+            app_labels: app_labels.to_vec(),
             spans: DetMap::new(),
             hops,
             seg,
             lat,
             h_stall,
         }
+    }
+
+    /// The next timeline boundary, or `u64::MAX` when no timeline is
+    /// collected (the dispatch loop compares against this every pop).
+    pub(crate) fn timeline_next(&self) -> u64 {
+        self.timeline
+            .as_ref()
+            .map_or(u64::MAX, TimelineBuilder::next_boundary)
+    }
+
+    /// Samples the cumulative counters the timeline windows difference.
+    fn timeline_samples(&self) -> ([u64; 9], Vec<[u64; 9]>) {
+        let hops = self.hops.map(|id| self.reg.get(id));
+        let apps = self
+            .lat
+            .iter()
+            .map(|ids| ids.map(|id| self.reg.hist_count(id)))
+            .collect();
+        (hops, apps)
+    }
+
+    /// Closes every window with a boundary `<= now`. Call before
+    /// dispatching events at cycle `now` (see `obs::timeline`).
+    pub(crate) fn timeline_roll(
+        &mut self,
+        now: u64,
+        delivered: u64,
+        queue_depth: u64,
+        links: Vec<LinkWindow>,
+    ) {
+        let (hops, apps) = self.timeline_samples();
+        if let Some(t) = &mut self.timeline {
+            t.roll(now, &hops, &apps, delivered, queue_depth, links);
+        }
+    }
+
+    /// Flushes the trailing partial window at the end of the run.
+    pub(crate) fn timeline_flush(
+        &mut self,
+        end: u64,
+        delivered: u64,
+        queue_depth: u64,
+        links: Vec<LinkWindow>,
+    ) {
+        let (hops, apps) = self.timeline_samples();
+        if let Some(t) = &mut self.timeline {
+            t.flush(end, &hops, &apps, delivered, queue_depth, links);
+        }
+    }
+
+    /// Windows closed so far (the differential oracle diffs these
+    /// against its own re-derivation).
+    pub(crate) fn timeline_windows(&self) -> Option<&[TimelineWindow]> {
+        self.timeline.as_ref().map(TimelineBuilder::closed)
+    }
+
+    /// Takes the finished timeline series out of the instrument.
+    pub(crate) fn take_timeline(&mut self) -> Option<Timeline> {
+        self.timeline.take().map(|t| {
+            t.into_series(
+                Resolution::ALL
+                    .iter()
+                    .map(|r| r.name().to_string())
+                    .collect(),
+                self.app_labels.clone(),
+            )
+        })
     }
 
     fn lane_key(gpu: GpuId, lane: usize) -> u64 {
@@ -175,12 +258,13 @@ mod tests {
             metrics: true,
             trace: true,
             trace_sample: 1,
+            ..ObsConfig::default()
         }
     }
 
     #[test]
     fn span_lifecycle_fills_segment_histograms() {
-        let mut ins = Instrument::new(&metrics_cfg(), &labels());
+        let mut ins = Instrument::new(&metrics_cfg(), &labels(), 0);
         let g = GpuId(1);
         ins.open_span(g, 3, 100);
         ins.open_span(g, 3, 999); // replay: first open wins
@@ -199,7 +283,7 @@ mod tests {
 
     #[test]
     fn close_without_open_is_a_noop() {
-        let mut ins = Instrument::new(&metrics_cfg(), &labels());
+        let mut ins = Instrument::new(&metrics_cfg(), &labels(), 0);
         ins.close_span(GpuId(0), 0, 0, Resolution::L2Hit, 50);
         let snap = ins.reg.snapshot();
         assert_eq!(snap.hist("span.app0:MM.total").unwrap().count, 0);
@@ -207,7 +291,7 @@ mod tests {
 
     #[test]
     fn hops_count_by_resolution() {
-        let mut ins = Instrument::new(&metrics_cfg(), &labels());
+        let mut ins = Instrument::new(&metrics_cfg(), &labels(), 0);
         ins.hop(Resolution::L2Hit);
         ins.hop(Resolution::L2Hit);
         ins.hop(Resolution::RemoteSpill);
@@ -222,13 +306,49 @@ mod tests {
             metrics: false,
             trace: true,
             trace_sample: 1,
+            ..ObsConfig::default()
         };
-        let mut ins = Instrument::new(&cfg, &labels());
+        let mut ins = Instrument::new(&cfg, &labels(), 0);
         ins.hop(Resolution::Walk);
         ins.open_span(GpuId(0), 0, 0);
         ins.close_span(GpuId(0), 0, 0, Resolution::Walk, 9);
         ins.stall(GpuId(0), 0, 20, 5);
         assert_eq!(ins.reg.counter_value("hops.walk"), Some(0));
         assert_eq!(ins.trace.as_ref().unwrap().kept(), 2);
+    }
+
+    #[test]
+    fn timeline_only_mode_collects_counters_and_windows() {
+        let cfg = ObsConfig {
+            timeline: true,
+            ..ObsConfig::default()
+        };
+        let mut ins = Instrument::new(&cfg, &labels(), 100);
+        assert_eq!(ins.timeline_next(), 100);
+        ins.hop(Resolution::L2Hit);
+        ins.hop(Resolution::Walk);
+        // Timeline implies counter collection even without `metrics`.
+        assert_eq!(ins.reg.counter_value("hops.l2_hit"), Some(1));
+        ins.timeline_roll(100, 40, 3, Vec::new());
+        assert_eq!(ins.timeline_next(), 200);
+        ins.hop(Resolution::Walk);
+        ins.timeline_flush(150, 55, 0, Vec::new());
+        let t = ins.take_timeline().unwrap();
+        assert_eq!(t.window, 100);
+        assert_eq!(t.windows.len(), 2);
+        assert_eq!(t.windows[0].events, 40);
+        assert_eq!(t.windows[0].hops[Resolution::L2Hit as usize], 1);
+        assert_eq!(t.windows[0].hops[Resolution::Walk as usize], 1);
+        assert_eq!(t.windows[1].span, 50);
+        assert_eq!(t.windows[1].hops[Resolution::Walk as usize], 1);
+        assert_eq!(t.apps, labels());
+        assert_eq!(t.resolutions[Resolution::Walk as usize], "walk");
+    }
+
+    #[test]
+    fn no_timeline_means_sentinel_boundary() {
+        let ins = Instrument::new(&metrics_cfg(), &labels(), 0);
+        assert_eq!(ins.timeline_next(), u64::MAX);
+        assert!(ins.timeline_windows().is_none());
     }
 }

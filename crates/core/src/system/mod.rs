@@ -268,6 +268,28 @@ pub(crate) enum Event {
     FabricHop { node: usize, msg: NetMsg },
 }
 
+impl Event {
+    /// Handler labels in declaration order — the profiler's attribution
+    /// axis. `System::dispatch` returns the index of the variant it
+    /// handled (the protocol's one match stays its only consumer).
+    pub(crate) const VARIANT_NAMES: &'static [&'static str] = &[
+        "wf_next",
+        "wf_mem",
+        "l2_access",
+        "iommu_arrive",
+        "probe_arrive",
+        "ptw_done",
+        "fault_done",
+        "local_ptw_done",
+        "fill",
+        "ring_probe",
+        "ring_result",
+        "pri_dispatch",
+        "snapshot",
+        "fabric_hop",
+    ];
+}
+
 /// A remote message in flight on the interconnect fabric. Each variant
 /// carries exactly the payload of the terminal [`Event`] it becomes on
 /// arrival; the destination node is derived from the payload (see
@@ -407,6 +429,13 @@ pub struct System {
     /// Observability state (`cfg.obs`); `None` when fully disabled, so
     /// the instrumentation sites cost one branch each.
     pub(crate) obs: Option<Box<instrument::Instrument>>,
+    /// Next timeline window boundary (`u64::MAX` when no timeline is
+    /// collected): the dispatch loops compare the pop time against this
+    /// before dispatching, so the disabled path costs one compare.
+    pub(crate) timeline_next: u64,
+    /// Host-side dispatch profiler (`cfg.obs.profile`); wall-clock state
+    /// that never feeds simulation time or deterministic outputs.
+    pub(crate) prof: Option<Box<obs::Prof>>,
     /// Recorded L2-level requests (when `cfg.record_trace`).
     pub(crate) trace: Vec<crate::trace::TraceEntry>,
     /// The spec, kept for trace headers.
@@ -556,8 +585,13 @@ impl System {
                 .enumerate()
                 .map(|(i, a)| format!("app{i}:{}", a.workload.kind().name()))
                 .collect();
-            Box::new(instrument::Instrument::new(&cfg.obs, &labels))
+            Box::new(instrument::Instrument::new(
+                &cfg.obs,
+                &labels,
+                cfg.timeline_window(),
+            ))
         });
+        let timeline_next = obs.as_ref().map_or(u64::MAX, |o| o.timeline_next());
         let mut system = System {
             cfg: cfg.clone(),
             workload_name: spec.name.clone(),
@@ -585,6 +619,11 @@ impl System {
             spill_rr: 0,
             fabric: cfg.build_fabric(),
             obs,
+            timeline_next,
+            prof: cfg
+                .obs
+                .profile
+                .then(|| Box::new(obs::Prof::new(Event::VARIANT_NAMES))),
             trace: Vec::new(),
             spec: spec.clone(),
         };
@@ -641,6 +680,9 @@ impl System {
         let mut batch: Vec<Event> = Vec::new();
         // sim-lint: allow(event, reason = "scripted-flow dispatch loop is a sanctioned pop_batch call site; handlers must route through dispatch")
         while let Some(t) = self.queue.pop_batch(&mut batch) {
+            if t.0 >= self.timeline_next {
+                self.roll_timeline(t.0, batch.len() as u64);
+            }
             for ev in batch.drain(..) {
                 self.dispatch(t, ev);
             }
@@ -651,6 +693,54 @@ impl System {
             );
         }
         self.queue.now()
+    }
+
+    /// Drains the fabric's per-window link accumulators into the obs
+    /// layer's window shape. Gated on an explicit fabric section, like
+    /// the cumulative link export in `collect`.
+    fn link_windows(&mut self) -> Vec<obs::LinkWindow> {
+        if self.cfg.fabric.is_none() {
+            return Vec::new();
+        }
+        self.fabric
+            .window_sample()
+            .into_iter()
+            .map(|l| obs::LinkWindow {
+                from: l.from as u64,
+                to: l.to as u64,
+                messages: l.messages,
+                busy_cycles: l.busy_cycles,
+                queue_peak: l.queue_peak,
+            })
+            .collect()
+    }
+
+    /// Closes every timeline window with a boundary `<= now`. Called from
+    /// the dispatch loops *before* dispatching the batch popped at `now`,
+    /// so all deltas accumulated since the previous close belong to the
+    /// first unclosed window (see `obs::timeline`). `batch_len` is
+    /// subtracted from the delivered count because `pop_batch` counts the
+    /// whole batch as delivered before any of it is dispatched.
+    #[cold]
+    fn roll_timeline(&mut self, now: u64, batch_len: u64) {
+        let delivered = self.queue.delivered().saturating_sub(batch_len);
+        let depth = self.queue.len() as u64;
+        let links = self.link_windows();
+        match &mut self.obs {
+            Some(o) => {
+                o.timeline_roll(now, delivered, depth, links);
+                self.timeline_next = o.timeline_next();
+            }
+            None => self.timeline_next = u64::MAX,
+        }
+    }
+
+    /// Timeline windows closed so far (the sim-check oracle diffs these
+    /// against an independent per-window re-derivation), or `None` when
+    /// no timeline is collected.
+    #[must_use]
+    pub fn timeline_windows(&self) -> Option<&[obs::TimelineWindow]> {
+        self.obs.as_ref().and_then(|o| o.timeline_windows())
     }
 
     fn map_footprint(
@@ -770,11 +860,24 @@ impl System {
         // sim-lint: allow(nondet, reason = "wall-clock telemetry only; never feeds simulation state or output ordering")
         let wall_start = std::time::Instant::now();
         let mut batch: Vec<Event> = Vec::new();
+        let profiling = self.prof.is_some();
+        let mut prof_counts = [0u32; Event::VARIANT_NAMES.len()];
+        if let Some(p) = &mut self.prof {
+            // Start timing at the loop head so construction cost is not
+            // attributed to the first batch.
+            p.rearm();
+        }
         // sim-lint: allow(event, reason = "the core dispatch loop is the sanctioned pop_batch call site; handlers must route through dispatch")
         'sim: while let Some(t) = self.queue.pop_batch(&mut batch) {
+            if t.0 >= self.timeline_next {
+                self.roll_timeline(t.0, batch.len() as u64);
+            }
             let mut pending = batch.drain(..);
             while let Some(ev) = pending.next() {
-                self.dispatch(t, ev);
+                let variant = self.dispatch(t, ev);
+                if profiling {
+                    prof_counts[variant] += 1;
+                }
                 if self.completed == self.apps.len() {
                     // Events left in the batch were never dispatched; undo
                     // their delivered-count so telemetry matches the
@@ -792,6 +895,10 @@ impl System {
                     self.queue.delivered() - pending.len() as u64 <= self.cfg.max_events,
                     "event budget exhausted: simulation is not converging"
                 );
+            }
+            if let Some(p) = &mut self.prof {
+                p.batch(&prof_counts);
+                prof_counts = [0; Event::VARIANT_NAMES.len()];
             }
         }
         let wall = wall_start.elapsed().as_secs_f64();
@@ -829,10 +936,26 @@ impl System {
 
     fn collect(mut self) -> RunResult {
         let end = self.end_cycle.unwrap_or(self.queue.now());
+        let profile = self.prof.take().map(|p| p.report());
+        // Flush the trailing partial timeline window before taking the
+        // instrument: all dispatched events happened at or before the
+        // queue's final time, so the remaining deltas belong to the
+        // current (partial) window.
+        let flush_end = self.queue.now().0;
+        let flush_delivered = self.queue.delivered();
+        let flush_depth = self.queue.len() as u64;
+        let flush_links = if self.timeline_next != u64::MAX {
+            self.link_windows()
+        } else {
+            Vec::new()
+        };
         // Fold the structural end-of-run counters (TLB/IOMMU stats) into
         // the registry, then snapshot it and serialize the trace.
-        let (metrics, trace_events) = match self.obs.take() {
+        let (metrics, trace_events, timeline) = match self.obs.take() {
             Some(mut o) => {
+                if self.cfg.obs.timeline {
+                    o.timeline_flush(flush_end, flush_delivered, flush_depth, flush_links);
+                }
                 self.iommu.stats.export(&mut o.reg, "iommu");
                 self.iommu.tlb.stats().export(&mut o.reg, "iommu.tlb");
                 for (g, gpu) in self.gpus.iter().enumerate() {
@@ -857,11 +980,27 @@ impl System {
                         }
                     }
                 }
+                let timeline = o.take_timeline();
+                // Append the timeline as Perfetto counter tracks under a
+                // dedicated pid (the first id past the GPU pids).
+                if let (Some(tl), Some(sink)) = (&timeline, o.trace.as_mut()) {
+                    let pid = self.cfg.gpus as u64;
+                    sink.set_process_name(pid, "timeline");
+                    for w in &tl.windows {
+                        sink.counter(pid, "timeline.events", w.start, w.events);
+                        sink.counter(pid, "timeline.queue_depth", w.start, w.queue_depth);
+                        for l in &w.links {
+                            let base = format!("timeline.link.{}-{}", l.from, l.to);
+                            sink.counter(pid, &format!("{base}.busy"), w.start, l.busy_cycles);
+                            sink.counter(pid, &format!("{base}.queue_peak"), w.start, l.queue_peak);
+                        }
+                    }
+                }
                 let trace_events = o.trace.as_ref().and_then(|t| t.finish().ok());
                 let metrics = self.cfg.obs.metrics.then(|| o.reg.snapshot());
-                (metrics, trace_events)
+                (metrics, trace_events, timeline)
             }
-            None => (None, None),
+            None => (None, None, None),
         };
         let track_reuse = self.cfg.track_reuse;
         let track_sharing = self.cfg.track_sharing;
@@ -907,6 +1046,8 @@ impl System {
                     nodes: self.fabric.nodes(),
                     links: self.fabric.link_stats(),
                 }),
+            timeline,
+            profile,
         }
     }
 

@@ -274,6 +274,23 @@ pub struct Hop {
     pub arrive: Cycle,
 }
 
+/// Per-link activity since the last [`Fabric::window_sample`] drain —
+/// the timeline's per-window link-heat deltas. Pure sim-time state:
+/// updated only from `send`/`note`, so the samples are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkWindowSample {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Messages that entered the link during the window.
+    pub messages: u64,
+    /// Serializer-busy cycles charged during the window.
+    pub busy_cycles: u64,
+    /// Peak FIFO occupancy observed during the window.
+    pub queue_peak: u64,
+}
+
 /// A single directed link: immutable shape plus mutable contention state.
 #[derive(Debug, Clone)]
 struct Link {
@@ -287,6 +304,11 @@ struct Link {
     busy_cycles: u64,
     queue_peak: u64,
     overflows: u64,
+    /// Window accumulators (deltas since the last `window_sample`),
+    /// maintained alongside the cumulative fields above.
+    wmessages: u64,
+    wbusy: u64,
+    wpeak: u64,
 }
 
 /// A fixed link graph with precomputed shortest-path routing tables and
@@ -438,6 +460,9 @@ impl Fabric {
                 busy_cycles: 0,
                 queue_peak: 0,
                 overflows: 0,
+                wmessages: 0,
+                wbusy: 0,
+                wpeak: 0,
             })
             .collect();
         Ok(Fabric {
@@ -485,6 +510,7 @@ impl Fabric {
         let li = self.next_link[src * self.nodes + dst] as usize;
         let link = &mut self.links[li];
         link.messages += 1;
+        link.wmessages += 1;
         if link.spec.message_cycles == 0 {
             // Infinite-bandwidth link: pure latency, no FIFO. Senders may
             // hand messages over with out-of-order timestamps (handlers
@@ -493,6 +519,9 @@ impl Fabric {
             // zero-cycle link must not have.
             if link.queue_peak == 0 {
                 link.queue_peak = 1;
+            }
+            if link.wpeak == 0 {
+                link.wpeak = 1;
             }
             return Hop {
                 node: link.spec.to,
@@ -506,6 +535,9 @@ impl Fabric {
         if depth > link.queue_peak {
             link.queue_peak = depth;
         }
+        if depth > link.wpeak {
+            link.wpeak = depth;
+        }
         if depth > self.capacity as u64 {
             link.overflows += 1;
         }
@@ -514,6 +546,7 @@ impl Fabric {
         link.free_at = depart;
         link.inflight.push_back(depart);
         link.busy_cycles += link.spec.message_cycles;
+        link.wbusy += link.spec.message_cycles;
         Hop {
             node: link.spec.to,
             arrive: depart.after(link.spec.latency),
@@ -529,8 +562,32 @@ impl Fabric {
         while at != dst {
             let li = self.next_link[at * self.nodes + dst] as usize;
             self.links[li].messages += 1;
+            self.links[li].wmessages += 1;
             at = self.links[li].spec.to;
         }
+    }
+
+    /// Drains the per-link window accumulators: returns the links that
+    /// saw any activity since the previous drain (in canonical link
+    /// order) and resets the accumulators for the next window.
+    pub fn window_sample(&mut self) -> Vec<LinkWindowSample> {
+        let mut out = Vec::new();
+        for l in &mut self.links {
+            if l.wmessages == 0 && l.wbusy == 0 && l.wpeak == 0 {
+                continue;
+            }
+            out.push(LinkWindowSample {
+                from: l.spec.from,
+                to: l.spec.to,
+                messages: l.wmessages,
+                busy_cycles: l.wbusy,
+                queue_peak: l.wpeak,
+            });
+            l.wmessages = 0;
+            l.wbusy = 0;
+            l.wpeak = 0;
+        }
+        out
     }
 
     /// Shortest-path hop count from `src` to `dst` (0 when equal).
@@ -762,6 +819,39 @@ mod tests {
         assert_eq!(l01.busy_cycles, 20);
         assert_eq!(l01.queue_peak, 2);
         assert_eq!(l01.overflows, 0);
+    }
+
+    #[test]
+    fn window_sample_drains_and_resets_without_touching_cumulative() {
+        let mut p = params(4);
+        p.gpu_message_cycles = 10;
+        let mut f = Fabric::of_topology(Topology::Flat, &p);
+        f.send(Cycle(100), 0, 1);
+        f.send(Cycle(100), 0, 1);
+        f.note(2, 3);
+        let w1 = f.window_sample();
+        // Only the two active links appear, in canonical order.
+        assert_eq!(w1.len(), 2);
+        let l01 = w1.iter().find(|l| l.from == 0 && l.to == 1).unwrap();
+        assert_eq!(l01.messages, 2);
+        assert_eq!(l01.busy_cycles, 20);
+        assert_eq!(l01.queue_peak, 2);
+        let l23 = w1.iter().find(|l| l.from == 2 && l.to == 3).unwrap();
+        assert_eq!(l23.messages, 1);
+        assert_eq!(l23.busy_cycles, 0);
+        // A second drain with no traffic is empty; cumulative stats keep
+        // the full totals.
+        assert!(f.window_sample().is_empty());
+        let stats = f.link_stats();
+        let c01 = stats.iter().find(|l| l.from == 0 && l.to == 1).unwrap();
+        assert_eq!(c01.messages, 2);
+        assert_eq!(c01.queue_peak, 2);
+        // Traffic after the drain lands in the next window only.
+        f.send(Cycle(300), 0, 1);
+        let w2 = f.window_sample();
+        assert_eq!(w2.len(), 1);
+        assert_eq!(w2[0].messages, 1);
+        assert_eq!(w2[0].queue_peak, 1);
     }
 
     #[test]

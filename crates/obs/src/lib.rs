@@ -1,14 +1,18 @@
 //! Deterministic observability for the least-TLB simulator.
 //!
-//! Everything in this crate is **sim-time only**: the registry counts
-//! events and buckets sim-cycle latencies, spans stamp sim cycles at each
-//! hop of a translation request, and the trace exporter writes those same
-//! cycles out as Chrome trace-event JSON. No wall clocks, no hash-ordered
-//! containers, no thread identity — the crate is covered by every
-//! `sim-lint` rule with no exemptions, so any output derived from it is
-//! bit-reproducible across processes and `--jobs` values.
+//! Everything in this crate — with one fenced exception — is **sim-time
+//! only**: the registry counts events and buckets sim-cycle latencies,
+//! spans stamp sim cycles at each hop of a translation request, the
+//! timeline windows counter deltas at fixed cycle boundaries, and the
+//! trace exporter writes those same cycles out as Chrome trace-event
+//! JSON. No wall clocks, no hash-ordered containers, no thread identity —
+//! so any output derived from these parts is bit-reproducible across
+//! processes and `--jobs` values. The exception is [`prof`], the
+//! host-side self-profiler: it is the workspace's one sanctioned
+//! wall-clock site (a scoped `sim-lint` exemption), and its report is
+//! kept out of every deterministic output.
 //!
-//! The layer has three parts:
+//! The layer's parts:
 //!
 //! - [`Registry`]: named monotonic counters plus log-bucketed latency
 //!   histograms ([`Histogram`]) with deterministic p50/p95/p99/max.
@@ -18,8 +22,14 @@
 //! - [`LaneSpan`] + [`Resolution`]: per-translation-request lifecycle
 //!   stamps (wavefront issue → L1 → L2 → resolution), rolled up by the
 //!   simulator into per-app, per-component latency histograms.
+//! - [`Timeline`] + [`TimelineBuilder`]: epoch-windowed per-window
+//!   deltas of the resolution mix, event rate, queue depth, and
+//!   per-fabric-link activity (`--timeline-json`, `figures --timeline`).
 //! - [`TraceSink`]: a sampled Chrome trace-event / Perfetto JSON
-//!   exporter (`simulate --trace-out PATH`).
+//!   exporter (`simulate --trace-out PATH`), with counter tracks for
+//!   the timeline series.
+//! - [`prof`]: batch-granular wall-time attribution per event variant
+//!   (`--profile-json`), host-side and explicitly non-deterministic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,15 +37,19 @@
 use serde::{Deserialize, Serialize, Value};
 
 pub mod histogram;
+pub mod prof;
 pub mod registry;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use histogram::Histogram;
+pub use prof::{HandlerProfile, Prof, ProfileReport};
 pub use registry::{
     CounterId, CounterSnapshot, HistId, HistogramSnapshot, MetricsSnapshot, Registry,
 };
 pub use span::{LaneSpan, Resolution};
+pub use timeline::{sparkline, LinkWindow, Timeline, TimelineBuilder, TimelineWindow};
 pub use trace::TraceSink;
 
 /// Instrumentation switches carried inside the simulator configuration.
@@ -50,13 +64,22 @@ pub struct ObsConfig {
     pub trace: bool,
     /// Keep every Nth closed span in the trace (`0`/`1` keep all).
     pub trace_sample: u64,
+    /// Collect the epoch-windowed timeline series (implies counters).
+    pub timeline: bool,
+    /// Timeline window length in sim cycles; `0` derives a length
+    /// targeting ≈256 windows from the run's instruction budget.
+    pub timeline_window: u64,
+    /// Run the host-side dispatch-loop profiler (non-deterministic
+    /// report, never part of deterministic outputs).
+    pub profile: bool,
 }
 
 impl ObsConfig {
-    /// Whether any instrumentation is active.
+    /// Whether any deterministic instrumentation is active (the
+    /// profiler does not count: it never touches sim state).
     #[must_use]
     pub fn enabled(&self) -> bool {
-        self.metrics || self.trace
+        self.metrics || self.trace || self.timeline
     }
 }
 
@@ -66,6 +89,9 @@ impl Default for ObsConfig {
             metrics: false,
             trace: false,
             trace_sample: 1,
+            timeline: false,
+            timeline_window: 0,
+            profile: false,
         }
     }
 }
@@ -87,6 +113,15 @@ impl Deserialize for ObsConfig {
         }
         if let Some(v) = Value::lookup(members, "trace_sample") {
             cfg.trace_sample = u64::from_value(v)?;
+        }
+        if let Some(v) = Value::lookup(members, "timeline") {
+            cfg.timeline = bool::from_value(v)?;
+        }
+        if let Some(v) = Value::lookup(members, "timeline_window") {
+            cfg.timeline_window = u64::from_value(v)?;
+        }
+        if let Some(v) = Value::lookup(members, "profile") {
+            cfg.profile = bool::from_value(v)?;
         }
         Ok(cfg)
     }
@@ -117,8 +152,27 @@ mod tests {
     fn partial_object_keeps_defaults_for_absent_switches() {
         let v = Value::Object(vec![("trace".to_string(), Value::Bool(true))]);
         let got = ObsConfig::from_value(&v).unwrap();
-        assert!(got.trace && !got.metrics);
+        assert!(got.trace && !got.metrics && !got.timeline && !got.profile);
         assert_eq!(got.trace_sample, 1);
+        assert_eq!(got.timeline_window, 0);
+    }
+
+    #[test]
+    fn timeline_alone_enables_instrumentation() {
+        let cfg = ObsConfig {
+            timeline: true,
+            ..ObsConfig::default()
+        };
+        assert!(cfg.enabled());
+    }
+
+    #[test]
+    fn profile_alone_does_not_enable_deterministic_instrumentation() {
+        let cfg = ObsConfig {
+            profile: true,
+            ..ObsConfig::default()
+        };
+        assert!(!cfg.enabled());
     }
 
     #[test]
@@ -127,6 +181,9 @@ mod tests {
             metrics: true,
             trace: true,
             trace_sample: 8,
+            timeline: true,
+            timeline_window: 4096,
+            profile: true,
         };
         let back = ObsConfig::from_value(&cfg.to_value()).unwrap();
         assert_eq!(back, cfg);

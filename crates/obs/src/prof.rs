@@ -1,0 +1,269 @@
+//! Host-side self-profiler for the dispatch loop.
+//!
+//! This module is the **one sanctioned wall-clock site** in the
+//! workspace: `sim-lint`'s `nondet` rule flags `std::time` everywhere
+//! else, but grants this file a scoped exemption (see
+//! `sim_lint::config::crate_policy`). The exemption is safe because
+//! nothing here feeds back into simulation state — the profiler only
+//! *observes* the host cost of dispatching each event variant, and its
+//! report is carried outside every deterministic output (`--json`
+//! results, metrics, timelines, and traces never include it).
+//!
+//! Attribution is batch-granular to keep the probe cheap: the dispatch
+//! loop counts events per variant while draining one `pop_batch` batch,
+//! then calls [`Prof::batch`] once — a single `Instant` read — and the
+//! elapsed wall time since the previous call is split across the batch's
+//! variants proportionally to their event counts. Handlers with wildly
+//! uneven per-event costs therefore blur *within* a batch, but batches
+//! are small (same-cycle events) and the per-variant totals converge
+//! over the millions of batches in a real run.
+
+use mgpu_types::DetMap;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Wall-time accumulator over the event-variant labels of one system.
+#[derive(Debug, Clone)]
+pub struct Prof {
+    labels: &'static [&'static str],
+    totals_ns: Vec<u64>,
+    counts: Vec<u64>,
+    last: Instant,
+    batches: u64,
+}
+
+impl Prof {
+    /// Creates a profiler attributing to `labels` (one per event
+    /// variant, in dispatch-index order).
+    #[must_use]
+    pub fn new(labels: &'static [&'static str]) -> Self {
+        Prof {
+            labels,
+            totals_ns: vec![0; labels.len()],
+            counts: vec![0; labels.len()],
+            last: Instant::now(),
+            batches: 0,
+        }
+    }
+
+    /// Re-arms the timestamp without attributing anything (call when
+    /// wall time was spent outside the dispatch loop).
+    pub fn rearm(&mut self) {
+        self.last = Instant::now();
+    }
+
+    /// Attributes the wall time since the previous call across the
+    /// variants of one dispatched batch, proportionally to
+    /// `per_variant` event counts. One `Instant` read per call.
+    pub fn batch(&mut self, per_variant: &[u32]) {
+        let now = Instant::now();
+        let elapsed = u64::try_from(now.duration_since(self.last).as_nanos()).unwrap_or(u64::MAX);
+        self.last = now;
+        self.batches += 1;
+        let total: u64 = per_variant.iter().copied().map(u64::from).sum();
+        if total == 0 {
+            return;
+        }
+        for (i, &c) in per_variant.iter().enumerate() {
+            if c == 0 || i >= self.totals_ns.len() {
+                continue;
+            }
+            let share = (u128::from(elapsed) * u128::from(c) / u128::from(total)) as u64;
+            self.totals_ns[i] = self.totals_ns[i].saturating_add(share);
+            self.counts[i] += u64::from(c);
+        }
+    }
+
+    /// Builds the handler-level report, sorted by total wall time
+    /// (descending; name breaks ties).
+    #[must_use]
+    pub fn report(&self) -> ProfileReport {
+        let mut handlers: Vec<HandlerProfile> = self
+            .labels
+            .iter()
+            .zip(self.totals_ns.iter().zip(self.counts.iter()))
+            .filter(|(_, (_, &count))| count > 0)
+            .map(|(&name, (&total_ns, &events))| HandlerProfile {
+                name: name.to_string(),
+                events,
+                total_ns,
+                ns_per_event: total_ns / events.max(1),
+            })
+            .collect();
+        handlers.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        ProfileReport {
+            total_ns: self.totals_ns.iter().sum(),
+            batches: self.batches,
+            handlers,
+        }
+    }
+}
+
+/// Wall-time attribution for one event variant's handler.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HandlerProfile {
+    /// Event-variant name.
+    pub name: String,
+    /// Events dispatched through this handler.
+    pub events: u64,
+    /// Wall time attributed, in nanoseconds.
+    pub total_ns: u64,
+    /// Mean attributed cost per event, in nanoseconds.
+    pub ns_per_event: u64,
+}
+
+/// The exported profiler report. **Host-side and non-deterministic**:
+/// numbers differ run to run and machine to machine; never compare
+/// these bytes for determinism.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Total attributed wall time, in nanoseconds.
+    pub total_ns: u64,
+    /// Dispatch batches observed.
+    pub batches: u64,
+    /// Per-handler attribution, heaviest first.
+    pub handlers: Vec<HandlerProfile>,
+}
+
+impl ProfileReport {
+    /// Whether anything was attributed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+
+    /// Merges `other` into `self` (summing per-handler totals and
+    /// recomputing means), for suite-level aggregation across runs.
+    pub fn absorb(&mut self, other: &ProfileReport) {
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.batches += other.batches;
+        let mut by_name: DetMap<String, (u64, u64)> = self
+            .handlers
+            .drain(..)
+            .map(|h| (h.name, (h.events, h.total_ns)))
+            .collect();
+        for h in &other.handlers {
+            let e = by_name.entry(h.name.clone()).or_insert((0, 0));
+            e.0 += h.events;
+            e.1 = e.1.saturating_add(h.total_ns);
+        }
+        self.handlers = by_name
+            .into_iter()
+            .map(|(name, (events, total_ns))| HandlerProfile {
+                name,
+                events,
+                total_ns,
+                ns_per_event: total_ns / events.max(1),
+            })
+            .collect();
+        self.handlers
+            .sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LABELS: &[&str] = &["alpha", "beta", "gamma"];
+
+    #[test]
+    fn batch_attributes_proportionally_to_counts() {
+        let mut p = Prof::new(LABELS);
+        p.rearm();
+        p.batch(&[3, 1, 0]);
+        let r = p.report();
+        assert_eq!(r.batches, 1);
+        // gamma saw no events and is absent from the report.
+        assert_eq!(r.handlers.len(), 2);
+        let alpha = r.handlers.iter().find(|h| h.name == "alpha").unwrap();
+        let beta = r.handlers.iter().find(|h| h.name == "beta").unwrap();
+        assert_eq!(alpha.events, 3);
+        assert_eq!(beta.events, 1);
+        // Proportional split: alpha gets ~3x beta's share (integer
+        // division can only shave nanoseconds off each share).
+        assert!(alpha.total_ns >= beta.total_ns);
+    }
+
+    #[test]
+    fn empty_batches_count_but_attribute_nothing() {
+        let mut p = Prof::new(LABELS);
+        p.batch(&[0, 0, 0]);
+        let r = p.report();
+        assert_eq!(r.batches, 1);
+        assert!(r.is_empty());
+        assert_eq!(r.total_ns, 0);
+    }
+
+    #[test]
+    fn report_sorts_heaviest_first() {
+        let mut p = Prof::new(LABELS);
+        // Drive attribution through real (tiny) elapsed intervals; the
+        // ordering invariant holds regardless of the absolute numbers.
+        p.rearm();
+        for _ in 0..50 {
+            p.batch(&[0, 5, 1]);
+        }
+        let r = p.report();
+        for pair in r.handlers.windows(2) {
+            assert!(pair[0].total_ns >= pair[1].total_ns);
+        }
+        assert_eq!(r.total_ns, r.handlers.iter().map(|h| h.total_ns).sum());
+    }
+
+    #[test]
+    fn absorb_sums_and_recomputes_means() {
+        let mut a = ProfileReport {
+            total_ns: 100,
+            batches: 2,
+            handlers: vec![HandlerProfile {
+                name: "alpha".to_string(),
+                events: 10,
+                total_ns: 100,
+                ns_per_event: 10,
+            }],
+        };
+        let b = ProfileReport {
+            total_ns: 300,
+            batches: 3,
+            handlers: vec![
+                HandlerProfile {
+                    name: "alpha".to_string(),
+                    events: 10,
+                    total_ns: 200,
+                    ns_per_event: 20,
+                },
+                HandlerProfile {
+                    name: "beta".to_string(),
+                    events: 1,
+                    total_ns: 100,
+                    ns_per_event: 100,
+                },
+            ],
+        };
+        a.absorb(&b);
+        assert_eq!(a.total_ns, 400);
+        assert_eq!(a.batches, 5);
+        assert_eq!(a.handlers[0].name, "alpha");
+        assert_eq!(a.handlers[0].events, 20);
+        assert_eq!(a.handlers[0].total_ns, 300);
+        assert_eq!(a.handlers[0].ns_per_event, 15);
+        assert_eq!(a.handlers[1].name, "beta");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = ProfileReport {
+            total_ns: 42,
+            batches: 1,
+            handlers: vec![HandlerProfile {
+                name: "x".to_string(),
+                events: 2,
+                total_ns: 42,
+                ns_per_event: 21,
+            }],
+        };
+        let back = ProfileReport::from_value(&r.to_value()).unwrap();
+        assert_eq!(back, r);
+    }
+}

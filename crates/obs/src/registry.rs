@@ -76,6 +76,20 @@ impl Registry {
         }
     }
 
+    /// Current value of an interned counter (hot-path safe: plain index,
+    /// no hashing; used by the timeline's boundary sampling).
+    #[must_use]
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.counters.get(id.0).copied().unwrap_or(0)
+    }
+
+    /// Observation count of an interned histogram (hot-path safe; used
+    /// by the timeline's per-app resolution sampling).
+    #[must_use]
+    pub fn hist_count(&self, id: HistId) -> u64 {
+        self.hists.get(id.0).map_or(0, Histogram::count)
+    }
+
     /// Cold name lookup of a counter's current value (used by the
     /// differential oracle); `None` when the name was never interned.
     #[must_use]
@@ -238,6 +252,20 @@ mod tests {
         assert_eq!(r.counter_value("hops.l1_hit"), Some(3));
         assert_eq!(r.counter_value("hops.l2_hit"), Some(1));
         assert_eq!(r.counter_value("never"), None);
+        assert_eq!(r.get(a), 3);
+        assert_eq!(r.get(b), 1);
+    }
+
+    #[test]
+    fn id_reads_match_name_reads() {
+        let mut r = Registry::new();
+        let h = r.hist("lat");
+        r.record(h, 10);
+        r.record(h, 20);
+        assert_eq!(r.hist_count(h), 2);
+        let c = r.counter("c");
+        r.add(c, 7);
+        assert_eq!(r.get(c), r.counter_value("c").unwrap());
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Epoch-windowed timeline series: counter/histogram deltas sampled at
+//! fixed sim-cycle boundaries.
+//!
+//! The simulator closes windows from inside its dispatch loops: before
+//! dispatching any event at cycle `c`, every window boundary `B <= c` is
+//! closed. All deltas accumulated since the previous close therefore
+//! belong entirely to the *first* unclosed window — when one pop jumps
+//! several boundaries at once, the accumulated delta lands in that first
+//! window and the skipped windows are emitted empty (they carry the same
+//! queue-depth sample, taken at the close). The trailing partial window
+//! is flushed at collection time with its real span.
+//!
+//! Every value in the series is a pure function of sim time: windows are
+//! keyed by cycle boundaries, deltas come from the deterministic
+//! [`crate::Registry`] counters, and link samples come from the fabric's
+//! deterministic per-link accumulators. Timeline JSON is therefore
+//! byte-identical across `--jobs` values, like every other deterministic
+//! output.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-fabric-link activity within one window (deltas, not cumulative).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkWindow {
+    /// Source node of the directed link.
+    pub from: u64,
+    /// Destination node of the directed link.
+    pub to: u64,
+    /// Messages that entered the link during the window.
+    pub messages: u64,
+    /// Cycles the link spent busy during the window.
+    pub busy_cycles: u64,
+    /// Peak FIFO occupancy observed during the window.
+    pub queue_peak: u64,
+}
+
+/// One closed window of the timeline (all counts are window deltas).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineWindow {
+    /// First cycle covered by the window.
+    pub start: u64,
+    /// Cycles covered (`window` for full windows, less for the trailing
+    /// partial window).
+    pub span: u64,
+    /// Events dispatched during the window.
+    pub events: u64,
+    /// Event-queue depth sampled when the window closed.
+    pub queue_depth: u64,
+    /// Per-resolution serve counts, indexed like
+    /// [`crate::Resolution::ALL`].
+    pub hops: Vec<u64>,
+    /// Per-app per-resolution serve counts (outer index = app, inner
+    /// indexed like [`crate::Resolution::ALL`]).
+    pub apps: Vec<Vec<u64>>,
+    /// Per-link activity (only links active during the window).
+    pub links: Vec<LinkWindow>,
+}
+
+impl TimelineWindow {
+    /// Whether the window saw no activity at all (queue depth aside).
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.events == 0
+            && self.hops.iter().all(|&h| h == 0)
+            && self.apps.iter().flatten().all(|&h| h == 0)
+            && self.links.is_empty()
+    }
+}
+
+/// The full exported series for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Window length in sim cycles.
+    pub window: u64,
+    /// Resolution names, in the index order used by `hops`/`apps`.
+    pub resolutions: Vec<String>,
+    /// App labels, in the index order used by `apps`.
+    pub apps: Vec<String>,
+    /// Closed windows, in start order.
+    pub windows: Vec<TimelineWindow>,
+}
+
+impl Timeline {
+    /// The per-window series of one top-level field, for sparklines.
+    #[must_use]
+    pub fn series(&self, field: impl Fn(&TimelineWindow) -> u64) -> Vec<u64> {
+        self.windows.iter().map(field).collect()
+    }
+}
+
+/// Incremental construction of a [`Timeline`] from cumulative counters.
+///
+/// The caller samples cumulative values at each boundary crossing
+/// ([`TimelineBuilder::roll`]); the builder differences them against the
+/// previous close. Link samples arrive as deltas already (the fabric
+/// drains its window accumulators).
+#[derive(Debug, Clone)]
+pub struct TimelineBuilder {
+    window: u64,
+    next_boundary: u64,
+    prev_hops: [u64; 9],
+    prev_apps: Vec<[u64; 9]>,
+    prev_delivered: u64,
+    windows: Vec<TimelineWindow>,
+}
+
+impl TimelineBuilder {
+    /// Creates a builder with the given window length (clamped to ≥ 1)
+    /// for `apps` application lanes.
+    #[must_use]
+    pub fn new(window: u64, apps: usize) -> Self {
+        let window = window.max(1);
+        TimelineBuilder {
+            window,
+            next_boundary: window,
+            prev_hops: [0; 9],
+            prev_apps: vec![[0; 9]; apps],
+            prev_delivered: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The cycle at which the next window closes.
+    #[must_use]
+    pub fn next_boundary(&self) -> u64 {
+        self.next_boundary
+    }
+
+    /// Windows closed so far.
+    #[must_use]
+    pub fn closed(&self) -> &[TimelineWindow] {
+        &self.windows
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn delta_window(
+        &mut self,
+        start: u64,
+        span: u64,
+        hops: &[u64; 9],
+        apps: &[[u64; 9]],
+        delivered: u64,
+        queue_depth: u64,
+        links: Vec<LinkWindow>,
+    ) -> TimelineWindow {
+        let w = TimelineWindow {
+            start,
+            span,
+            events: delivered.saturating_sub(self.prev_delivered),
+            queue_depth,
+            hops: hops
+                .iter()
+                .zip(self.prev_hops.iter())
+                .map(|(&c, &p)| c.saturating_sub(p))
+                .collect(),
+            apps: apps
+                .iter()
+                .zip(self.prev_apps.iter())
+                .map(|(c, p)| {
+                    c.iter()
+                        .zip(p.iter())
+                        .map(|(&c, &p)| c.saturating_sub(p))
+                        .collect()
+                })
+                .collect(),
+            links,
+        };
+        self.prev_hops = *hops;
+        self.prev_apps.clear();
+        self.prev_apps.extend_from_slice(apps);
+        self.prev_delivered = delivered;
+        w
+    }
+
+    /// Closes every window whose boundary is `<= now`. The accumulated
+    /// deltas go to the first unclosed window; skipped windows are
+    /// emitted empty with the same queue-depth sample. Call **before**
+    /// dispatching events at cycle `now` (see the module docs).
+    pub fn roll(
+        &mut self,
+        now: u64,
+        hops: &[u64; 9],
+        apps: &[[u64; 9]],
+        delivered: u64,
+        queue_depth: u64,
+        links: Vec<LinkWindow>,
+    ) {
+        let mut links = Some(links);
+        while self.next_boundary <= now {
+            let start = self.next_boundary - self.window;
+            let span = self.window;
+            let w = self.delta_window(
+                start,
+                span,
+                hops,
+                apps,
+                delivered,
+                queue_depth,
+                links.take().unwrap_or_default(),
+            );
+            self.windows.push(w);
+            self.next_boundary += self.window;
+        }
+    }
+
+    /// Flushes the trailing partial window `[last boundary, end]` at the
+    /// end of the run. Emitted only if it has a non-zero span or carries
+    /// a delta; its `span` is its real (partial) coverage.
+    pub fn flush(
+        &mut self,
+        end: u64,
+        hops: &[u64; 9],
+        apps: &[[u64; 9]],
+        delivered: u64,
+        queue_depth: u64,
+        links: Vec<LinkWindow>,
+    ) {
+        let start = self.next_boundary - self.window;
+        let span = end.saturating_sub(start);
+        let w = self.delta_window(
+            start,
+            span.max(1),
+            hops,
+            apps,
+            delivered,
+            queue_depth,
+            links,
+        );
+        if span > 0 || !w.is_quiet() {
+            self.windows.push(w);
+        }
+    }
+
+    /// Finishes the builder into an exportable [`Timeline`].
+    #[must_use]
+    pub fn into_series(self, resolutions: Vec<String>, apps: Vec<String>) -> Timeline {
+        Timeline {
+            window: self.window,
+            resolutions,
+            apps,
+            windows: self.windows,
+        }
+    }
+}
+
+/// Renders a unicode sparkline (▁..█) of `values`, scaled to their max.
+#[must_use]
+pub fn sparkline(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                BARS[0]
+            } else {
+                let idx = (u128::from(v) * 7).div_ceil(u128::from(max));
+                BARS[idx.min(7) as usize]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hops(n: u64) -> [u64; 9] {
+        let mut h = [0; 9];
+        h[1] = n;
+        h
+    }
+
+    #[test]
+    fn roll_differences_cumulative_counters() {
+        let mut b = TimelineBuilder::new(100, 1);
+        assert_eq!(b.next_boundary(), 100);
+        b.roll(100, &hops(3), &[hops(3)], 40, 5, Vec::new());
+        b.roll(200, &hops(10), &[hops(10)], 90, 2, Vec::new());
+        let t = b.into_series(vec!["r".into()], vec!["a".into()]);
+        assert_eq!(t.windows.len(), 2);
+        assert_eq!(t.windows[0].start, 0);
+        assert_eq!(t.windows[0].events, 40);
+        assert_eq!(t.windows[0].hops[1], 3);
+        assert_eq!(t.windows[1].start, 100);
+        assert_eq!(t.windows[1].events, 50);
+        assert_eq!(t.windows[1].hops[1], 7);
+        assert_eq!(t.windows[1].apps[0][1], 7);
+        assert_eq!(t.windows[1].queue_depth, 2);
+    }
+
+    #[test]
+    fn jumping_several_boundaries_emits_empty_windows() {
+        let mut b = TimelineBuilder::new(10, 0);
+        // A pop at cycle 35 crosses boundaries 10, 20, 30: deltas go to
+        // the first unclosed window, the next two are empty.
+        b.roll(35, &hops(4), &[], 12, 1, Vec::new());
+        assert_eq!(b.next_boundary(), 40);
+        let t = b.into_series(Vec::new(), Vec::new());
+        assert_eq!(t.windows.len(), 3);
+        assert_eq!(t.windows[0].events, 12);
+        assert_eq!(t.windows[1].events, 0);
+        assert_eq!(t.windows[2].events, 0);
+        assert!(t.windows[1].is_quiet());
+        assert_eq!(t.windows[2].queue_depth, 1);
+    }
+
+    #[test]
+    fn flush_emits_partial_window_with_real_span() {
+        let mut b = TimelineBuilder::new(100, 0);
+        b.roll(100, &hops(2), &[], 10, 0, Vec::new());
+        b.flush(130, &hops(5), &[], 16, 0, Vec::new());
+        let t = b.into_series(Vec::new(), Vec::new());
+        assert_eq!(t.windows.len(), 2);
+        assert_eq!(t.windows[1].start, 100);
+        assert_eq!(t.windows[1].span, 30);
+        assert_eq!(t.windows[1].events, 6);
+        assert_eq!(t.windows[1].hops[1], 3);
+    }
+
+    #[test]
+    fn flush_skips_an_empty_zero_span_tail() {
+        let mut b = TimelineBuilder::new(100, 0);
+        b.roll(100, &hops(2), &[], 10, 0, Vec::new());
+        b.flush(100, &hops(2), &[], 10, 0, Vec::new());
+        let t = b.into_series(Vec::new(), Vec::new());
+        assert_eq!(t.windows.len(), 1);
+    }
+
+    #[test]
+    fn link_samples_ride_the_first_closed_window() {
+        let mut b = TimelineBuilder::new(10, 0);
+        let l = LinkWindow {
+            from: 0,
+            to: 1,
+            messages: 3,
+            busy_cycles: 9,
+            queue_peak: 2,
+        };
+        b.roll(25, &hops(1), &[], 5, 0, vec![l.clone()]);
+        let t = b.into_series(Vec::new(), Vec::new());
+        assert_eq!(t.windows[0].links, vec![l]);
+        assert!(t.windows[1].links.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut b = TimelineBuilder::new(50, 2);
+        b.roll(50, &hops(1), &[hops(1), hops(0)], 7, 3, Vec::new());
+        let t = b.into_series(vec!["l2_hit".into()], vec!["a0".into(), "a1".into()]);
+        let back = Timeline::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let s = sparkline(&[0, 1, 4, 8]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

@@ -11,8 +11,14 @@
 //! Sampling is a deterministic counter — every Nth closed span is kept —
 //! so the exported bytes depend only on the simulated event sequence,
 //! never on wall time or worker scheduling.
+//!
+//! Besides spans, the sink carries **counter tracks** (`"C"` events):
+//! the timeline layer appends one counter sample per window so Perfetto
+//! renders the event-rate / queue-depth / link-heat series alongside
+//! the span tracks. Counter tracks live under their own pid with an
+//! explicit process label ([`TraceSink::set_process_name`]).
 
-use mgpu_types::DetSet;
+use mgpu_types::{DetMap, DetSet};
 use serde::Value;
 
 /// One retained trace event.
@@ -26,12 +32,23 @@ struct TraceEvent {
     dur: u64,
 }
 
+/// One counter-track sample (`"C"` phase event).
+#[derive(Debug, Clone)]
+struct CounterEvent {
+    name: String,
+    pid: u64,
+    ts: u64,
+    value: u64,
+}
+
 /// Collects sampled spans and serializes them as Chrome trace JSON.
 #[derive(Debug, Clone)]
 pub struct TraceSink {
     sample: u64,
     seen: u64,
     events: Vec<TraceEvent>,
+    counters: Vec<CounterEvent>,
+    labels: DetMap<u64, String>,
 }
 
 impl TraceSink {
@@ -43,6 +60,8 @@ impl TraceSink {
             sample: sample.max(1),
             seen: 0,
             events: Vec::new(),
+            counters: Vec::new(),
+            labels: DetMap::new(),
         }
     }
 
@@ -83,6 +102,28 @@ impl TraceSink {
         self.events.len()
     }
 
+    /// Appends one counter-track sample (never sampled away: counter
+    /// series are already window-decimated by their producer).
+    pub fn counter(&mut self, pid: u64, name: &str, ts: u64, value: u64) {
+        self.counters.push(CounterEvent {
+            name: name.to_string(),
+            pid,
+            ts,
+            value,
+        });
+    }
+
+    /// Number of counter samples retained.
+    #[must_use]
+    pub fn counters_kept(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Labels `pid` in the viewer (overrides the default `gpu{pid}`).
+    pub fn set_process_name(&mut self, pid: u64, label: &str) {
+        self.labels.insert(pid, label.to_string());
+    }
+
     /// Serializes the retained events as a Chrome trace JSON document.
     ///
     /// # Errors
@@ -91,15 +132,25 @@ impl TraceSink {
     /// unreachable for this value shape).
     pub fn finish(&self) -> Result<String, String> {
         let mut events: Vec<Value> = Vec::new();
-        let pids: DetSet<u64> = self.events.iter().map(|e| e.pid).collect();
+        let pids: DetSet<u64> = self
+            .events
+            .iter()
+            .map(|e| e.pid)
+            .chain(self.counters.iter().map(|c| c.pid))
+            .collect();
         for &pid in &pids {
+            let label = self
+                .labels
+                .get(&pid)
+                .cloned()
+                .unwrap_or_else(|| format!("gpu{pid}"));
             events.push(Value::Object(vec![
                 ("ph".to_string(), Value::Str("M".to_string())),
                 ("name".to_string(), Value::Str("process_name".to_string())),
                 ("pid".to_string(), Value::U64(pid)),
                 (
                     "args".to_string(),
-                    Value::Object(vec![("name".to_string(), Value::Str(format!("gpu{pid}")))]),
+                    Value::Object(vec![("name".to_string(), Value::Str(label))]),
                 ),
             ]));
         }
@@ -112,6 +163,18 @@ impl TraceSink {
                 ("tid".to_string(), Value::U64(e.tid)),
                 ("ts".to_string(), Value::U64(e.ts)),
                 ("dur".to_string(), Value::U64(e.dur)),
+            ]));
+        }
+        for c in &self.counters {
+            events.push(Value::Object(vec![
+                ("ph".to_string(), Value::Str("C".to_string())),
+                ("name".to_string(), Value::Str(c.name.clone())),
+                ("pid".to_string(), Value::U64(c.pid)),
+                ("ts".to_string(), Value::U64(c.ts)),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![("value".to_string(), Value::U64(c.value))]),
+                ),
             ]));
         }
         let doc = Value::Object(vec![
@@ -167,6 +230,35 @@ mod tests {
         assert_eq!(Value::lookup(span, "ph").and_then(Value::as_str), Some("X"));
         assert!(json.contains("\"dur\":40"));
         assert!(json.contains("\"name\":\"gpu0\""));
+    }
+
+    #[test]
+    fn counter_tracks_serialize_as_c_events_with_labels() {
+        let mut sink = TraceSink::new(1);
+        sink.record(0, 0, "walk", "translation", 10, 20);
+        sink.set_process_name(4, "timeline");
+        sink.counter(4, "timeline.events", 0, 12);
+        sink.counter(4, "timeline.events", 256, 30);
+        assert_eq!(sink.counters_kept(), 2);
+        let json = sink.finish().unwrap();
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = Value::lookup(doc.as_object().unwrap(), "traceEvents")
+            .and_then(Value::as_array)
+            .unwrap();
+        // 2 process metas (pid 0 span, pid 4 counters) + 1 span + 2 C.
+        assert_eq!(events.len(), 5);
+        let c_events: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.as_object()
+                    .and_then(|m| Value::lookup(m, "ph"))
+                    .and_then(Value::as_str)
+                    == Some("C")
+            })
+            .collect();
+        assert_eq!(c_events.len(), 2);
+        assert!(json.contains("\"name\":\"timeline\""));
+        assert!(json.contains("\"value\":30"));
     }
 
     #[test]

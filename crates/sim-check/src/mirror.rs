@@ -49,6 +49,35 @@
 //! config), every route is a single direct link, `d_probe` is
 //! `inter_gpu_latency` and `d_fill` is `gpu_iommu_latency`, so the rules
 //! reduce exactly to the pre-fabric `<=` comparisons.
+//!
+//! # Windowed serve-cycle re-derivation
+//!
+//! The same zero-load distances make every *serve cycle* computable in
+//! closed form: the instrumentation increments a `hops.*` counter at the
+//! dispatch cycle of the serving handler, so a request injected at the
+//! L2 at cycle `t0` serves at
+//!
+//! - `t0` for an L2 hit (counted in `on_l2_access` itself);
+//! - `t0 + walk_latency` for a local page-table walk (no PWC on the
+//!   local path);
+//! - `t0 + d_up` for an IOMMU TLB hit, where `d_up = zero_load(gpu,
+//!   iommu)` (the hop is counted at arrival, before `tlb_latency` is
+//!   charged to the fill);
+//! - `t0 + d_up + tlb_latency + service` for a page-table walk
+//!   (`service` includes the PWC halving);
+//! - `t0 + d_up + tlb_latency + d_probe` for a winning remote probe;
+//!   a serialized probe miss restarts the walk at the probe's arrival,
+//!   landing at `t0 + d_up + tlb_latency + d_probe + service`;
+//! - `t0 + 2·d(origin, neighbour) + l2_latency` for a ring serve
+//!   (probe out, L2 lookup, result back); an all-miss ring falls back
+//!   to the IOMMU at the *last* result's arrival.
+//!
+//! [`Mirror::process`] takes the injection cycle and buckets each serve
+//! into `floor(serve / window)` — exactly where the simulator's epoch
+//! timeline attributes the counter delta, because the dispatch loop
+//! closes windows *before* dispatching the batch popped at the boundary.
+//! The oracle diffs these buckets against every closed
+//! `TimelineWindow`'s `hops` deltas after each request.
 
 use filters::LocalTlbTracker;
 use gcn_model::GpuStats;
@@ -78,6 +107,11 @@ pub enum MirrorBug {
     /// the mirrored hop counters — the observability layer's
     /// `hops.remote_shared` / `hops.remote_spill` split drifts.
     MisclassifySpillHit,
+    /// Shift every serve cycle forward by half a timeline window before
+    /// bucketing — the cumulative hop counters stay exact while the
+    /// per-window resolution deltas drift against the simulator's epoch
+    /// timeline.
+    ShiftWindowBoundary,
 }
 
 /// Independent re-derivation of the observability layer's `hops.*`
@@ -169,6 +203,12 @@ pub struct Mirror {
     gpus: usize,
     fabric: fabric::Fabric,
     walk_flat: u64,
+    tlb_latency: u64,
+    l2_latency: u64,
+    /// Resolved timeline window length (`SystemConfig::timeline_window`).
+    window: u64,
+    /// Per-window serve counts, indexed by `floor(serve_cycle / window)`.
+    window_hops: Vec<MirrorHops>,
     l2: Vec<Tlb>,
     iommu_tlb: Tlb,
     pwc: Option<Tlb>,
@@ -221,6 +261,10 @@ impl Mirror {
             gpus: cfg.gpus,
             fabric: cfg.build_fabric(),
             walk_flat: cfg.iommu.walk_latency.cycles(4),
+            tlb_latency: cfg.iommu.tlb_latency,
+            l2_latency: cfg.gpu.l2_latency,
+            window: cfg.timeline_window(),
+            window_hops: Vec::new(),
             l2: (0..cfg.gpus).map(|_| Tlb::new(l2cfg)).collect(),
             iommu_tlb: Tlb::new(cfg.iommu.tlb),
             pwc: cfg.iommu.pwc.map(Tlb::new),
@@ -245,15 +289,18 @@ impl Mirror {
         }
     }
 
-    /// Processes one translation request to completion.
-    pub fn process(&mut self, gpu: GpuId, asid: Asid, vpn: VirtPage) {
+    /// Processes one translation request to completion. `at` is the
+    /// injection cycle (the simulator's `L2Access` dispatch time); serve
+    /// cycles for the windowed hop buckets are derived from it (see the
+    /// [module docs](self)).
+    pub fn process(&mut self, gpu: GpuId, asid: Asid, vpn: VirtPage, at: u64) {
         let key = TranslationKey::new(asid, vpn);
         let idx = usize::from(asid.0);
         self.apps[idx].l2_lookups += 1;
         self.gpu_stats[gpu.index()].l2_requests += 1;
         if self.l2[gpu.index()].lookup(key).is_some() {
             self.apps[idx].l2_hits += 1;
-            self.hops.l2_hit += 1;
+            self.serve(at, |h| &mut h.l2_hit);
             return;
         }
         // Primary miss (serial replay: the MSHRs are empty between
@@ -261,20 +308,46 @@ impl Mirror {
         self.gpu_stats[gpu.index()].ats_sent += 1;
         let g = gpu.index();
         if self.policy.local_page_tables && self.local_pt[g].contains(&key) {
-            self.hops.local_walk += 1;
+            // Local walkers bypass the PWC: flat 4-level service.
+            self.serve(at + self.walk_flat, |h| &mut h.local_walk);
             self.fill(gpu, key);
         } else if self.policy.probing_ring && self.gpus > 1 {
-            self.ring(gpu, key, idx);
+            self.ring(gpu, key, idx, at);
         } else {
-            self.iommu_arrive(gpu, key, idx);
+            let arrive = at + self.d_up(gpu);
+            self.iommu_arrive(gpu, key, idx, arrive);
         }
+    }
+
+    /// Counts one serve event at cycle `at`: the cumulative counter and
+    /// the timeline bucket `floor(at / window)` — where the simulator's
+    /// epoch timeline attributes the delta, since windows close before
+    /// the boundary batch dispatches.
+    fn serve(&mut self, at: u64, hop: impl Fn(&mut MirrorHops) -> &mut u64) {
+        *hop(&mut self.hops) += 1;
+        let at = if self.bug == MirrorBug::ShiftWindowBoundary {
+            at + self.window / 2
+        } else {
+            at
+        };
+        let idx = (at / self.window) as usize;
+        if self.window_hops.len() <= idx {
+            self.window_hops.resize(idx + 1, MirrorHops::default());
+        }
+        *hop(&mut self.window_hops[idx]) += 1;
+    }
+
+    /// Zero-load requester→IOMMU distance.
+    fn d_up(&self, gpu: GpuId) -> u64 {
+        self.fabric
+            .zero_load_latency(gpu.index(), self.fabric.iommu_node())
     }
 
     // ------------------------------------------------------------------
     // Ring probing
     // ------------------------------------------------------------------
 
-    fn ring(&mut self, origin: GpuId, key: TranslationKey, idx: usize) {
+    fn ring(&mut self, origin: GpuId, key: TranslationKey, idx: usize, at: u64) {
         let g = origin.index();
         let n = self.gpus;
         let left = GpuId(((g + n - 1) % n) as u8);
@@ -285,17 +358,36 @@ impl Mirror {
             vec![left, right]
         };
         // Both probes are processed before either result returns; the
-        // first positive result serves, the second is dropped.
+        // first positive result serves, the second is dropped. A result
+        // from `target` arrives back at the origin after the probe leg,
+        // the holder's L2 lookup, and the return leg.
         let hits: Vec<bool> = targets
             .iter()
             .map(|&target| self.remote_probe(target, key))
             .collect();
+        let arrivals: Vec<u64> = targets
+            .iter()
+            .map(|&target| {
+                at + 2 * self.fabric.zero_load_latency(g, target.index()) + self.l2_latency
+            })
+            .collect();
         if hits.iter().any(|&h| h) {
             self.apps[idx].remote_hits += 1;
-            self.hops.ring_remote += 1;
+            // The first positive result counts the hop on arrival.
+            let first_hit = arrivals
+                .iter()
+                .zip(&hits)
+                .filter_map(|(&a, &h)| h.then_some(a))
+                .min()
+                .unwrap_or(at);
+            self.serve(first_hit, |h| &mut h.ring_remote);
             self.fill(origin, key);
         } else {
-            self.iommu_arrive(origin, key, idx);
+            // Both neighbours missed: the IOMMU request leaves at the
+            // *last* result's arrival (§5.5 serialization penalty).
+            let last = arrivals.iter().copied().max().unwrap_or(at);
+            let arrive = last + self.d_up(origin);
+            self.iommu_arrive(origin, key, idx, arrive);
         }
     }
 
@@ -303,7 +395,9 @@ impl Mirror {
     // IOMMU side
     // ------------------------------------------------------------------
 
-    fn iommu_arrive(&mut self, gpu: GpuId, key: TranslationKey, idx: usize) {
+    /// `at` is the request's arrival cycle at the IOMMU (injection plus
+    /// the uplink distance, plus any ring detour).
+    fn iommu_arrive(&mut self, gpu: GpuId, key: TranslationKey, idx: usize, at: u64) {
         self.iommu_stats.requests += 1;
         // Serial replay: the pending table never holds a live entry when a
         // request arrives, so nothing merges.
@@ -312,11 +406,12 @@ impl Mirror {
         if self.policy.infinite_iommu {
             if self.infinite_seen.contains(&key) {
                 self.apps[idx].iommu_hits += 1;
-                self.hops.iommu_hit += 1;
+                // The hit is counted at arrival, before `tlb_latency`.
+                self.serve(at, |h| &mut h.iommu_hit);
                 self.fill(gpu, key);
             } else {
-                self.walk_effects(key, idx);
-                self.deliver_effects(gpu, key);
+                let service = self.walk_effects(key, idx);
+                self.deliver_effects(gpu, key, at + self.tlb_latency + service);
                 self.fill(gpu, key);
             }
             return;
@@ -325,7 +420,7 @@ impl Mirror {
         match self.iommu_tlb.lookup(key) {
             Some(entry) => {
                 self.apps[idx].iommu_hits += 1;
-                self.hops.iommu_hit += 1;
+                self.serve(at, |h| &mut h.iommu_hit);
                 if self.is_victim() {
                     // least-inclusive: the hit moves the entry to the
                     // requester's L2.
@@ -345,19 +440,21 @@ impl Mirror {
                 }
                 let Some(holder) = target else {
                     // No probe: walk, deliver, fill.
-                    self.walk_effects(key, idx);
-                    self.deliver_effects(gpu, key);
+                    let service = self.walk_effects(key, idx);
+                    self.deliver_effects(gpu, key, at + self.tlb_latency + service);
                     self.fill(gpu, key);
                     return;
                 };
                 self.iommu_stats.probes += 1;
+                let d_probe = self.fabric.zero_load_latency(gpu.index(), holder.index());
                 if self.policy.serialize_remote {
-                    // Probe first; only a probe miss falls back to the walk.
+                    // Probe first; only a probe miss falls back to the
+                    // walk, which launches at the probe's arrival.
                     if self.remote_probe(holder, key) {
-                        self.probe_serve(gpu, holder, key, idx);
+                        self.probe_serve(gpu, holder, key, idx, at + self.tlb_latency + d_probe);
                     } else {
-                        self.walk_effects(key, idx);
-                        self.deliver_effects(gpu, key);
+                        let service = self.walk_effects(key, idx);
+                        self.deliver_effects(gpu, key, at + self.tlb_latency + d_probe + service);
                         self.fill(gpu, key);
                     }
                     return;
@@ -368,16 +465,15 @@ impl Mirror {
                 // tie goes to the probe only on a direct route (see the
                 // module docs for the FIFO argument).
                 let service = self.walk_effects(key, idx);
-                let d_probe = self.fabric.zero_load_latency(gpu.index(), holder.index());
                 let direct = self.fabric.is_direct(gpu.index(), holder.index());
                 let probe_wins = d_probe < service || (d_probe == service && direct);
                 if probe_wins {
                     // Probe wins the race.
                     if self.remote_probe(holder, key) {
-                        self.probe_serve(gpu, holder, key, idx);
+                        self.probe_serve(gpu, holder, key, idx, at + self.tlb_latency + d_probe);
                         self.iommu_stats.wasted_walks += 1;
                     } else {
-                        self.deliver_effects(gpu, key);
+                        self.deliver_effects(gpu, key, at + self.tlb_latency + service);
                         self.fill(gpu, key);
                     }
                     return;
@@ -387,16 +483,17 @@ impl Mirror {
                     .zero_load_latency(self.fabric.iommu_node(), gpu.index());
                 let probe_first =
                     d_probe < service + d_fill || (d_probe == service + d_fill && direct);
+                let walk_done = at + self.tlb_latency + service;
                 if probe_first {
                     // Walk wins; the probe still lands before the fill.
-                    self.deliver_effects(gpu, key);
+                    self.deliver_effects(gpu, key, walk_done);
                     let _ = self.remote_probe(holder, key);
                     self.fill(gpu, key);
                 } else {
                     // Walk wins and the fill installs before the probe
                     // arrives (fill-chain spills may mutate the holder's
                     // L2 first).
-                    self.deliver_effects(gpu, key);
+                    self.deliver_effects(gpu, key, walk_done);
                     self.fill(gpu, key);
                     let _ = self.remote_probe(holder, key);
                 }
@@ -428,9 +525,9 @@ impl Mirror {
     /// infinite model records membership; victim hierarchies do nothing.
     /// Every call is a walk completion that serves its waiter, so this is
     /// also where the mirrored `hops.walk` counter increments (wasted
-    /// walks never reach here).
-    fn deliver_effects(&mut self, gpu: GpuId, key: TranslationKey) {
-        self.hops.walk += 1;
+    /// walks never reach here). `at` is the walk's completion cycle.
+    fn deliver_effects(&mut self, gpu: GpuId, key: TranslationKey, at: u64) {
+        self.serve(at, |h| &mut h.walk);
         if self.policy.infinite_iommu {
             self.infinite_seen.insert(key);
         } else if !self.is_victim() {
@@ -438,8 +535,16 @@ impl Mirror {
         }
     }
 
-    /// A remote probe served the request out of `holder`'s L2.
-    fn probe_serve(&mut self, requester: GpuId, holder: GpuId, key: TranslationKey, idx: usize) {
+    /// A remote probe served the request out of `holder`'s L2. `at` is
+    /// the probe's arrival cycle at the holder (where the hop counts).
+    fn probe_serve(
+        &mut self,
+        requester: GpuId,
+        holder: GpuId,
+        key: TranslationKey,
+        idx: usize,
+        at: u64,
+    ) {
         self.iommu_stats.probe_hits += 1;
         // The racing walk is already in service, so it cannot be
         // cancelled; it completes as a wasted walk (counted by callers in
@@ -452,9 +557,9 @@ impl Mirror {
             holder_runs_app
         };
         if counted_as_shared {
-            self.hops.remote_shared += 1;
+            self.serve(at, |h| &mut h.remote_shared);
         } else {
-            self.hops.remote_spill += 1;
+            self.serve(at, |h| &mut h.remote_spill);
         }
         if !holder_runs_app {
             // Spilled entry: moved back, not shared.
@@ -655,6 +760,21 @@ impl Mirror {
     #[must_use]
     pub fn hops(&self) -> &MirrorHops {
         &self.hops
+    }
+
+    /// Per-window serve counts, indexed by timeline window (buckets the
+    /// mirror never served stay absent — the oracle treats them as
+    /// zeros). Trailing buckets may cover windows the simulator has not
+    /// closed yet; those are compared once a later request closes them.
+    #[must_use]
+    pub fn window_hops(&self) -> &[MirrorHops] {
+        &self.window_hops
+    }
+
+    /// The resolved timeline window length the buckets use.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
     }
 
     /// The seeded bug, if any.

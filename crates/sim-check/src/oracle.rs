@@ -7,8 +7,43 @@ use std::fmt;
 use least_tlb::{System, SystemConfig, WorkloadSpec};
 use mgpu_types::{Asid, Cycle, GpuId, VirtPage};
 
-use crate::mirror::{Mirror, MirrorBug};
+use crate::mirror::{Mirror, MirrorBug, MirrorHops};
 use crate::Access;
+
+/// Timeline window length the oracle forces (`cfg.obs.timeline_window`):
+/// short enough that serial replays cross many boundaries, so the
+/// per-window comparison actually exercises the bucketing.
+pub const ORACLE_WINDOW: u64 = 512;
+
+/// Hop-counter names in `obs::Resolution::ALL` declaration order — the
+/// order of `TimelineWindow::hops` deltas.
+const RESOLUTIONS: [&str; 9] = [
+    "l1_hit",
+    "l2_hit",
+    "iommu_hit",
+    "remote_shared",
+    "remote_spill",
+    "walk",
+    "local_walk",
+    "ring_remote",
+    "fault",
+];
+
+/// The mirror's count for one named resolution (`l1_hit` and `fault`
+/// stay zero in scripted replay: injections enter at the L2 and only
+/// pre-mapped footprints are replayed).
+fn mirror_hop(h: &MirrorHops, name: &str) -> u64 {
+    match name {
+        "l2_hit" => h.l2_hit,
+        "iommu_hit" => h.iommu_hit,
+        "remote_shared" => h.remote_shared,
+        "remote_spill" => h.remote_spill,
+        "walk" => h.walk,
+        "local_walk" => h.local_walk,
+        "ring_remote" => h.ring_remote,
+        _ => 0,
+    }
+}
 
 /// A detected disagreement between the simulator and the mirror.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,6 +160,26 @@ fn compare(sys: &System, m: &Mirror, gpus: usize, step: usize) -> Result<(), Div
             &mir,
         )?;
     }
+    // The epoch timeline's per-window resolution deltas are re-derived
+    // from the mirror's closed-form serve cycles; a hop attributed to
+    // the wrong window (or a window boundary drifting off the epoch
+    // grid) diverges here even when the cumulative counters agree.
+    let windows = sys.timeline_windows().unwrap_or(&[]);
+    for (wi, w) in windows.iter().enumerate() {
+        let mir = m.window_hops().get(wi).copied().unwrap_or_default();
+        for (ri, name) in RESOLUTIONS.iter().enumerate() {
+            diff(
+                step,
+                &format!(
+                    "timeline window {wi} [{}..{}) hops.{name}",
+                    w.start,
+                    w.start + w.span
+                ),
+                &w.hops.get(ri).copied().unwrap_or(0),
+                &mirror_hop(&mir, name),
+            )?;
+        }
+    }
     match (&io.pwc, m.pwc()) {
         (Some(sim), Some(mir)) => {
             diff(step, "PWC stats", sim.stats(), mir.stats())?;
@@ -169,20 +224,24 @@ pub fn run_serial_with_bug(
     accesses: &[Access],
     bug: MirrorBug,
 ) -> Result<OracleReport, Divergence> {
-    // Force the observability layer on so its hop counters are part of
-    // the differential surface (the mirror rederives them independently).
+    // Force the observability layer on so its hop counters — cumulative
+    // and per-timeline-window — are part of the differential surface
+    // (the mirror rederives both independently).
     let cfg = &{
         let mut cfg = cfg.clone();
         cfg.obs.metrics = true;
+        cfg.obs.timeline = true;
+        cfg.obs.timeline_window = ORACLE_WINDOW;
         cfg
     };
     let mut sys = System::new_scripted(cfg, spec).expect("oracle config must build");
     let mut m = Mirror::new(cfg, spec, bug);
     let mut now = Cycle(0);
     for (i, a) in accesses.iter().enumerate() {
+        let injected_at = now.0;
         sys.inject_translation(GpuId(a.gpu), Asid(a.asid), VirtPage(a.vpn), now);
         now = sys.drain();
-        m.process(GpuId(a.gpu), Asid(a.asid), VirtPage(a.vpn));
+        m.process(GpuId(a.gpu), Asid(a.asid), VirtPage(a.vpn), injected_at);
         compare(&sys, &m, cfg.gpus, i)?;
         sys.check_invariants();
     }

@@ -184,6 +184,40 @@ fn oracle_catches_misclassified_spill_hops() {
     run_case(&shrunk).expect("shrunk case must still pass a clean mirror");
 }
 
+/// A streaming case whose serves land all over the epoch grid: cold
+/// misses walk (~300+ cycles each with the default 200-cycle IOMMU TLB
+/// latency), so consecutive serves fall in different 512-cycle timeline
+/// windows. Cumulative hop counters are identical with or without the
+/// half-window shift — only the per-window deltas can catch it.
+fn window_sensitive_case() -> FuzzCase {
+    let mut case = base_case();
+    for vpn in 0..24 {
+        case.entries.push(at(vpn)); // cold: walk
+        case.entries.push(at(vpn)); // hot: L2 hit, serves at injection
+    }
+    case
+}
+
+#[test]
+fn oracle_catches_shifted_window_boundaries() {
+    let case = window_sensitive_case();
+    run_case(&case).expect("clean mirror must pass the sabotage input");
+    let err = run_case_with_bug(&case, MirrorBug::ShiftWindowBoundary)
+        .expect_err("shifted window bucketing must be detected");
+    assert!(
+        err.contains("timeline window"),
+        "divergence should implicate a timeline window: {err}"
+    );
+
+    let shrunk = shrink(&case, |c| {
+        run_case_with_bug(c, MirrorBug::ShiftWindowBoundary).is_err()
+    });
+    assert!(shrunk.entries.len() < case.entries.len());
+    run_case_with_bug(&shrunk, MirrorBug::ShiftWindowBoundary)
+        .expect_err("shrunk case must still trigger the bug");
+    run_case(&shrunk).expect("shrunk case must still pass a clean mirror");
+}
+
 #[test]
 fn repro_json_round_trips_through_a_file() {
     let case = fifo_sensitive_case();

@@ -13,7 +13,10 @@
 //!   loops) is off inside it;
 //! - `obs` (the observability layer) gets the full rule set — it exists
 //!   to report *simulated* time, so the `nondet` wall-clock ban applies
-//!   with no allowances;
+//!   with one surgical allowance: `crates/obs/src/prof.rs`, the
+//!   sanctioned host-side profiler, may read `std::time` (its output is
+//!   declared non-deterministic and kept out of every deterministic
+//!   artifact), while every other nondet check still applies to it;
 //! - `fabric` (the interconnect model) also gets the full rule set: link
 //!   timestamps are simulated time and routing tables must be
 //!   construction-order deterministic, so both the wall-clock ban and
@@ -93,6 +96,7 @@ fn crate_policy(name: &str) -> FilePolicy {
         // but it must still be deterministic and event-disciplined.
         "sim-check" => FilePolicy {
             nondet: true,
+            wallclock: true,
             event: true,
             panic: false,
             hygiene: false,
@@ -118,6 +122,7 @@ fn crate_policy(name: &str) -> FilePolicy {
         // still bans any future drift toward raw `.schedule(` calls.
         "fabric" => FilePolicy {
             nondet: true,
+            wallclock: true,
             event: true,
             panic: true,
             hygiene: true,
@@ -131,6 +136,21 @@ fn crate_policy(name: &str) -> FilePolicy {
         // rule, the wall-clock ban most of all.
         _ => FilePolicy::ALL,
     }
+}
+
+/// Per-file overrides layered on top of the crate policy. The only
+/// entry: `crates/obs/src/prof.rs` — the sanctioned host-side handler
+/// profiler — is exempt from the wall-clock arm of `nondet` (it exists
+/// to read `Instant`), while every other rule of the full set still
+/// applies to it.
+fn file_policy(path: &Path, policy: FilePolicy) -> FilePolicy {
+    if path.ends_with(Path::new("obs/src/prof.rs")) {
+        return FilePolicy {
+            wallclock: false,
+            ..policy
+        };
+    }
+    policy
 }
 
 /// The crate names `collect_workspace` skips, for `--list-rules`.
@@ -147,6 +167,10 @@ pub fn policy_rows() -> Vec<(&'static str, FilePolicy)> {
         ("sim-check", crate_policy("sim-check")),
         ("sim-engine", crate_policy("sim-engine")),
         ("fabric", crate_policy("fabric")),
+        (
+            "obs::prof",
+            file_policy(Path::new("crates/obs/src/prof.rs"), FilePolicy::ALL),
+        ),
         ("(default)", crate_policy("")),
     ]
 }
@@ -208,6 +232,7 @@ fn collect_rs(dir: &Path, policy: FilePolicy, out: &mut Vec<SourceFile>) -> io::
             }
             collect_rs(&p, policy, out)?;
         } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let policy = file_policy(&p, policy);
             out.push(SourceFile { path: p, policy });
         }
     }

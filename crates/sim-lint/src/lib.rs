@@ -4,7 +4,11 @@
 //!
 //! - **nondet** — no hash-ordered containers, wall-clock time, thread
 //!   identity or raw-pointer values in simulation-state code (the paper's
-//!   figures must be bit-identical across runs and `--jobs` values);
+//!   figures must be bit-identical across runs and `--jobs` values). The
+//!   wall-clock arm is policied separately (`FilePolicy::wallclock`) so
+//!   the one sanctioned host-side profiler, `crates/obs/src/prof.rs`, can
+//!   read `std::time::Instant` while every other nondet check still
+//!   applies to it;
 //! - **panic** — no `unwrap`/`expect`/`panic!`-family calls in library
 //!   crates without a documented justification;
 //! - **hygiene** — asserts on hot paths must use the check-gated idiom

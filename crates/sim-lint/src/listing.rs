@@ -12,9 +12,10 @@ use crate::rules::FilePolicy;
 /// dataflow rules beyond these run wherever their anchor constructs
 /// live; `panic-reach` inherits the `panic` column (it is the same
 /// findings, upgraded by reachability).
-fn policy_cells(p: FilePolicy) -> [(&'static str, bool); 7] {
+fn policy_cells(p: FilePolicy) -> [(&'static str, bool); 8] {
     [
         ("nondet", p.nondet),
+        ("wallclock", p.wallclock),
         ("panic", p.panic),
         ("hygiene", p.hygiene),
         ("event", p.event),
@@ -122,7 +123,13 @@ mod tests {
         for m in rule_metas() {
             assert!(t.contains(m.rule.name()), "missing rule {}", m.rule.name());
         }
-        for name in ["sim-check", "sim-engine", "fabric", "(default)"] {
+        for name in [
+            "sim-check",
+            "sim-engine",
+            "fabric",
+            "obs::prof",
+            "(default)",
+        ] {
             assert!(t.contains(name), "missing policy row {name}");
         }
         assert!(t.contains("sim-lint"), "skip list should name sim-lint");

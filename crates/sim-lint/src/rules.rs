@@ -11,6 +11,11 @@ use crate::scan::Context;
 #[derive(Debug, Clone, Copy)]
 pub struct FilePolicy {
     pub nondet: bool,
+    /// The wall-clock arm of `nondet` (`std::time` paths). Separate from
+    /// the rest of the family so the one sanctioned host-side profiler
+    /// (`crates/obs/src/prof.rs`) can read `Instant` while every other
+    /// nondet check still applies to it.
+    pub wallclock: bool,
     pub panic: bool,
     pub hygiene: bool,
     pub event: bool,
@@ -25,6 +30,7 @@ pub struct FilePolicy {
 impl FilePolicy {
     pub const ALL: FilePolicy = FilePolicy {
         nondet: true,
+        wallclock: true,
         panic: true,
         hygiene: true,
         event: true,
@@ -223,14 +229,17 @@ pub fn check_tokens(file: &str, lx: &Lexed, cx: &Context, p: &FilePolicy) -> Vec
                         "{id} is seeded per-process; simulation state must hash deterministically"
                     ),
                 ),
-                "std" if path_sep(lx, i + 1) && ident(lx, i + 3) == Some("time") => emit(
-                    i,
-                    Rule::Nondet,
-                    Severity::Error,
-                    "wall-clock time must not reach simulation state; model time \
-                     lives in sim_engine::Cycle"
-                        .to_string(),
-                ),
+                "std" if p.wallclock && path_sep(lx, i + 1) && ident(lx, i + 3) == Some("time") => {
+                    emit(
+                        i,
+                        Rule::Nondet,
+                        Severity::Error,
+                        "wall-clock time must not reach simulation state; model time \
+                         lives in sim_engine::Cycle (the sole exemption is the \
+                         obs::prof host-side profiler)"
+                            .to_string(),
+                    );
+                }
                 "thread" if path_sep(lx, i + 1) && ident(lx, i + 3) == Some("current") => emit(
                     i,
                     Rule::Nondet,

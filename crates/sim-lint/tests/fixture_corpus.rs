@@ -133,6 +133,52 @@ fn obs_wallclock_fixture_is_flagged() {
 }
 
 #[test]
+fn prof_wallclock_fixture_splits_on_the_wallclock_policy_bit() {
+    // Under the full policy (any file other than the sanctioned profiler)
+    // the fixture's std::time sites are nondet errors alongside the
+    // HashMap ones.
+    let full = gating(&lint_fixture("prof_wallclock.rs"));
+    assert_eq!(
+        full,
+        vec![
+            (Rule::Nondet, 5),  // use std::time::Instant
+            (Rule::Nondet, 7),  // use ... HashMap
+            (Rule::Nondet, 11), // HashMap field
+        ]
+    );
+    assert!(
+        lint_fixture("prof_wallclock.rs")
+            .iter()
+            .any(|d| d.line == 5 && d.message.contains("wall-clock")),
+        "the std::time finding must be the wall-clock diagnostic"
+    );
+}
+
+#[test]
+fn prof_policy_allows_wallclock_but_still_flags_hash_containers() {
+    // The per-file policy `collect_workspace` assigns to
+    // `crates/obs/src/prof.rs`: full rules with `wallclock` off.
+    let prof_policy = FilePolicy {
+        wallclock: false,
+        ..FilePolicy::ALL
+    };
+    let diags = lint_source(
+        "crates/obs/src/prof.rs",
+        &read_fixture("prof_wallclock.rs"),
+        &prof_policy,
+    );
+    let findings = gating(&diags);
+    assert!(
+        findings.iter().all(|(_, line)| *line != 5),
+        "std::time must be sanctioned under the prof policy: {diags:?}"
+    );
+    assert!(
+        findings.contains(&(Rule::Nondet, 7)) && findings.contains(&(Rule::Nondet, 11)),
+        "HashMap must stay a nondet error under the prof policy: {diags:?}"
+    );
+}
+
+#[test]
 fn nondet_alias_fixture_catches_aliased_hash_iteration() {
     let diags = lint_fixture("nondet_alias.rs");
     assert_eq!(

@@ -1,0 +1,21 @@
+// Profiler-shaped snippet standing in for `crates/obs/src/prof.rs`: it
+// reads wall-clock time (sanctioned there, flagged everywhere else) but
+// also declares a HashMap, which stays a nondet error under every
+// policy that has `nondet` on.
+use std::time::Instant;
+
+use std::collections::HashMap;
+
+pub struct Prof {
+    last: Instant,
+    totals: HashMap<String, u64>,
+}
+
+impl Prof {
+    pub fn batch(&mut self, label: &str) {
+        let now = Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        *self.totals.entry(label.to_string()).or_insert(0) += ns;
+        self.last = now;
+    }
+}
