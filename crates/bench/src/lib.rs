@@ -17,4 +17,6 @@
 //! quick-suite sim rate regresses past the committed tolerance. The
 //! `engine-gate` binary (`src/bin/engine-gate.rs`) is its CLI.
 
+#![forbid(unsafe_code)]
+
 pub mod engine_gate;

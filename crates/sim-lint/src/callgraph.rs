@@ -153,39 +153,20 @@ pub fn build(models: &[FileModel]) -> CallGraph {
     }
 
     // BFS from the dispatch roots over the edge set.
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
-    for &(a, b) in &edges {
-        adj[a].push(b);
-    }
     let roots: Vec<usize> = roots_set.into_iter().collect();
-    let mut hot = vec![false; fns.len()];
-    let mut parent = vec![None; fns.len()];
-    let mut q: VecDeque<usize> = VecDeque::new();
-    for &r in &roots {
-        if !hot[r] {
-            hot[r] = true;
-            q.push_back(r);
-        }
-    }
-    while let Some(u) = q.pop_front() {
-        for &v in &adj[u] {
-            if !hot[v] {
-                hot[v] = true;
-                parent[v] = Some(u);
-                q.push_back(v);
-            }
-        }
-    }
-
-    CallGraph {
+    let mut g = CallGraph {
         fns,
         offsets,
         edges,
         calls,
         roots,
-        hot,
-        parent,
-    }
+        hot: Vec::new(),
+        parent: Vec::new(),
+    };
+    let (hot, parent) = g.reach(&g.roots.clone());
+    g.hot = hot;
+    g.parent = parent;
+    g
 }
 
 impl CallGraph {
@@ -201,16 +182,54 @@ impl CallGraph {
             .map(|(g, _)| g)
     }
 
-    /// A `root → ... → fn` chain for a hot function, via the BFS tree.
+    /// Forward reachability from an arbitrary seed set over the edge
+    /// set: `(reached, bfs_parent)` masks parallel to `fns`. The hot
+    /// mask uses this with the dispatch roots as seeds; the par pass
+    /// reuses it with spawn-closure callees.
     #[must_use]
-    pub fn hot_path(&self, mut idx: usize) -> String {
+    pub fn reach(&self, seeds: &[usize]) -> (Vec<bool>, Vec<Option<usize>>) {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.fns.len()];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+        }
+        let mut seen = vec![false; self.fns.len()];
+        let mut parent = vec![None; self.fns.len()];
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for &r in seeds {
+            if !seen[r] {
+                seen[r] = true;
+                q.push_back(r);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = Some(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        (seen, parent)
+    }
+
+    /// A `seed → ... → fn` chain through a BFS tree produced by
+    /// [`CallGraph::reach`].
+    #[must_use]
+    pub fn chain_via(&self, parent: &[Option<usize>], mut idx: usize) -> String {
         let mut chain = vec![self.fns[idx].qual_name()];
-        while let Some(p) = self.parent[idx] {
+        while let Some(p) = parent[idx] {
             chain.push(self.fns[p].qual_name());
             idx = p;
         }
         chain.reverse();
         chain.join(" -> ")
+    }
+
+    /// A `root → ... → fn` chain for a hot function, via the BFS tree.
+    #[must_use]
+    pub fn hot_path(&self, idx: usize) -> String {
+        self.chain_via(&self.parent, idx)
     }
 
     /// `(functions, edges, roots, hot)` counts for the JSON summary.
@@ -224,12 +243,38 @@ impl CallGraph {
         )
     }
 
-    /// Deterministic DOT rendering: nodes in index order with numeric
-    /// ids, dispatch roots double-bordered, hot nodes shaded, edges in
-    /// sorted order — byte-stable for the committed golden.
+    /// Stable node keys, parallel to `fns`: `file::Owner::name` (owner
+    /// omitted for free fns), with `#2`, `#3`, ... suffixes breaking
+    /// same-file same-name collisions in declaration order. Line numbers
+    /// are deliberately absent so a pure line-shift edit leaves every key
+    /// — and the committed golden DOT — unchanged.
+    #[must_use]
+    pub fn stable_keys(&self) -> Vec<String> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        self.fns
+            .iter()
+            .map(|f| {
+                let base = format!("{}::{}", f.file, f.qual_name());
+                let n = counts.entry(base.clone()).or_insert(0);
+                *n += 1;
+                if *n == 1 {
+                    base
+                } else {
+                    format!("{base}#{n}")
+                }
+            })
+            .collect()
+    }
+
+    /// Deterministic DOT rendering: nodes in index order keyed by
+    /// [`CallGraph::stable_keys`], dispatch roots double-bordered, hot
+    /// nodes shaded, edges in sorted order. Declaration lines appear only
+    /// as a `line=N` attribute, which [`strip_line_attrs`] removes before
+    /// golden comparison so line-shift edits don't churn the snapshot.
     #[must_use]
     pub fn to_dot(&self) -> String {
         let (nf, ne, nr, nh) = self.summary();
+        let keys = self.stable_keys();
         let mut out = String::new();
         let _ = writeln!(out, "digraph callgraph {{");
         let _ = writeln!(out, "  rankdir=LR;");
@@ -250,18 +295,41 @@ impl CallGraph {
             }
             let _ = writeln!(
                 out,
-                "  n{g} [label=\"{}\\n{}:{}\"{attrs}];",
+                "  \"{}\" [label=\"{}\", line={}{attrs}];",
+                esc(&keys[g]),
                 esc(&f.qual_name()),
-                esc(&f.file),
                 f.line
             );
         }
         for &(a, b) in &self.edges {
-            let _ = writeln!(out, "  n{a} -> n{b};");
+            let _ = writeln!(out, "  \"{}\" -> \"{}\";", esc(&keys[a]), esc(&keys[b]));
         }
         let _ = writeln!(out, "}}");
         out
     }
+}
+
+/// Remove every `, line=N` attribute from a DOT document — the
+/// line-number-free form committed as the golden snapshot (CI applies the
+/// same strip via `sed` before byte-comparing).
+#[must_use]
+pub fn strip_line_attrs(dot: &str) -> String {
+    const NEEDLE: &str = ", line=";
+    let mut out = String::with_capacity(dot.len());
+    let mut rest = dot;
+    while let Some(pos) = rest.find(NEEDLE) {
+        let after = &rest[pos + NEEDLE.len()..];
+        let digits = after.len() - after.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+        if digits == 0 {
+            out.push_str(&rest[..pos + NEEDLE.len()]);
+            rest = after;
+        } else {
+            out.push_str(&rest[..pos]);
+            rest = &after[digits..];
+        }
+    }
+    out.push_str(rest);
+    out
 }
 
 /// Escape a string for use inside a double-quoted DOT label.
@@ -351,7 +419,30 @@ mod tests {
         let d = g.to_dot();
         assert_eq!(d, build(&models(&[("a.rs", HOT)])).to_dot());
         assert!(d.contains("peripheries=2"));
-        assert!(d.contains("Sys::run"));
+        assert!(d.contains("\"a.rs::Sys::run\""));
         assert!(d.contains("5 fns"));
+    }
+
+    #[test]
+    fn stable_keys_disambiguate_collisions() {
+        let ms = models(&[(
+            "a.rs",
+            "impl A { fn go() {} }\nimpl A { fn go() {} }\nfn go() {}\n",
+        )]);
+        let g = build(&ms);
+        assert_eq!(
+            g.stable_keys(),
+            vec!["a.rs::A::go", "a.rs::A::go#2", "a.rs::go"]
+        );
+    }
+
+    #[test]
+    fn stripped_dot_survives_a_pure_line_shift() {
+        let shifted = format!("// lead\n//\n\n{HOT}");
+        let a = build(&models(&[("a.rs", HOT)])).to_dot();
+        let b = build(&models(&[("a.rs", &shifted)])).to_dot();
+        assert_ne!(a, b, "line attrs should differ");
+        assert_eq!(strip_line_attrs(&a), strip_line_attrs(&b));
+        assert!(!strip_line_attrs(&a).contains(", line="));
     }
 }

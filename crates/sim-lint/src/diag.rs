@@ -28,9 +28,11 @@ impl fmt::Display for Severity {
 /// event-protocol graph built by [`crate::flow`]; the three dataflow
 /// rules (`seed-taint`, `dead-config`, `panic-reach`) run over the
 /// workspace call graph and taint engine ([`crate::callgraph`],
-/// [`crate::dataflow`]). `Directive` covers problems with suppression
-/// comments themselves (malformed, missing reason, unused) and is not
-/// itself suppressible.
+/// [`crate::dataflow`]); the five parallelism rules (`shared-mut`,
+/// `output-order`, `lock-graph`, `atomic-ordering`, `unsafe-audit`) run
+/// over the worker-reachable fn set built by [`crate::par`]. `Directive`
+/// covers problems with suppression comments themselves (malformed,
+/// missing reason, unused) and is not itself suppressible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     Nondet,
@@ -45,6 +47,11 @@ pub enum Rule {
     SeedTaint,
     DeadConfig,
     PanicReach,
+    SharedMut,
+    OutputOrder,
+    LockGraph,
+    AtomicOrdering,
+    UnsafeAudit,
     Directive,
 }
 
@@ -63,6 +70,11 @@ impl Rule {
             Rule::SeedTaint => "seed-taint",
             Rule::DeadConfig => "dead-config",
             Rule::PanicReach => "panic-reach",
+            Rule::SharedMut => "shared-mut",
+            Rule::OutputOrder => "output-order",
+            Rule::LockGraph => "lock-graph",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::UnsafeAudit => "unsafe-audit",
             Rule::Directive => "directive",
         }
     }
@@ -84,6 +96,11 @@ impl Rule {
             "seed-taint" => Some(Rule::SeedTaint),
             "dead-config" => Some(Rule::DeadConfig),
             "panic-reach" => Some(Rule::PanicReach),
+            "shared-mut" => Some(Rule::SharedMut),
+            "output-order" => Some(Rule::OutputOrder),
+            "lock-graph" => Some(Rule::LockGraph),
+            "atomic-ordering" => Some(Rule::AtomicOrdering),
+            "unsafe-audit" => Some(Rule::UnsafeAudit),
             _ => None,
         }
     }
@@ -96,8 +113,8 @@ pub struct RuleMeta {
     /// Default severity of the rule's findings (nondet's raw-pointer
     /// variant and directive's unused-allow variant downgrade to warning).
     pub severity: Severity,
-    /// Which analysis layer produces it: `token`, `flow`, `dataflow`, or
-    /// `directive`.
+    /// Which analysis layer produces it: `token`, `flow`, `dataflow`,
+    /// `par`, or `directive`.
     pub layer: &'static str,
     pub summary: &'static str,
 }
@@ -186,6 +203,41 @@ pub fn rule_metas() -> Vec<RuleMeta> {
                       the panic rule via the call graph)",
         },
         RuleMeta {
+            rule: Rule::SharedMut,
+            severity: Error,
+            layer: "par",
+            summary: "no mutable statics or non-thread_local Cell/RefCell interior \
+                      mutability reachable from worker code",
+        },
+        RuleMeta {
+            rule: Rule::OutputOrder,
+            severity: Error,
+            layer: "par",
+            summary: "no direct stdout/stderr writes in worker-reachable fns; merge \
+                      output deterministically on the coordinator",
+        },
+        RuleMeta {
+            rule: Rule::LockGraph,
+            severity: Error,
+            layer: "par",
+            summary: "no cycles in the worker lock-acquisition graph, and no second \
+                      .lock() while a guard is live in the same fn",
+        },
+        RuleMeta {
+            rule: Rule::AtomicOrdering,
+            severity: Error,
+            layer: "par",
+            summary: "Ordering::Relaxed only on policy-named counters; anything else \
+                      needs an inline allow",
+        },
+        RuleMeta {
+            rule: Rule::UnsafeAudit,
+            severity: Error,
+            layer: "par",
+            summary: "first-party crates carry #![forbid(unsafe_code)]; any unsafe \
+                      block needs a // SAFETY: comment",
+        },
+        RuleMeta {
             rule: Rule::Directive,
             severity: Error,
             layer: "directive",
@@ -249,20 +301,33 @@ pub struct GraphSummary {
     pub hot: usize,
 }
 
+/// Parallelism-pass counts for the JSON document header.
+#[derive(Debug, Clone, Copy)]
+pub struct ParSummary {
+    pub roots: usize,
+    pub worker_reachable: usize,
+    pub lock_edges: usize,
+}
+
 /// Machine-readable diagnostics document for `--format json`: a stable
 /// schema CI tooling can parse without depending on sim-lint's output
-/// wording. Version 2 adds the `callgraph` summary block. The writer is
-/// hand-rolled so the tool itself stays dependency-free; the output is
-/// verified to round-trip through the workspace's `serde_json` in
-/// `tests/json_roundtrip.rs`.
+/// wording. Version 2 added the `callgraph` summary block; version 3
+/// adds the `par` block (parallel roots, worker-reachable fn count,
+/// lock-acquisition edges). The writer is hand-rolled so the tool itself
+/// stays dependency-free; the output is verified to round-trip through
+/// the workspace's `serde_json` in `tests/json_roundtrip.rs`.
 #[must_use]
-pub fn to_json(diags: &[Diagnostic], graph: Option<&GraphSummary>) -> String {
+pub fn to_json(
+    diags: &[Diagnostic],
+    graph: Option<&GraphSummary>,
+    par: Option<&ParSummary>,
+) -> String {
     use fmt::Write as _;
     let (errors, warnings, infos) = crate::tally(diags);
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"version\":2,\"summary\":{{\"errors\":{errors},\"warnings\":{warnings},\
+        "{{\"version\":3,\"summary\":{{\"errors\":{errors},\"warnings\":{warnings},\
          \"infos\":{infos}}},"
     );
     if let Some(g) = graph {
@@ -270,6 +335,13 @@ pub fn to_json(diags: &[Diagnostic], graph: Option<&GraphSummary>) -> String {
             out,
             "\"callgraph\":{{\"functions\":{},\"edges\":{},\"roots\":{},\"hot\":{}}},",
             g.functions, g.edges, g.roots, g.hot
+        );
+    }
+    if let Some(p) = par {
+        let _ = write!(
+            out,
+            "\"par\":{{\"roots\":{},\"worker_reachable\":{},\"lock_edges\":{}}},",
+            p.roots, p.worker_reachable, p.lock_edges
         );
     }
     out.push_str("\"diagnostics\":[");
@@ -338,13 +410,14 @@ mod tests {
             severity: Severity::Error,
             message: "line1\nline2\ttab".to_string(),
         }];
-        let json = to_json(&diags, None);
-        assert!(json.contains("\"version\":2"));
+        let json = to_json(&diags, None, None);
+        assert!(json.contains("\"version\":3"));
         assert!(json.contains("\"errors\":1"));
         assert!(json.contains("\"rule\":\"dead-event\""));
         assert!(json.contains("a \\\"b\\\"\\\\c.rs"));
         assert!(json.contains("line1\\nline2\\ttab"));
         assert!(!json.contains("callgraph"));
+        assert!(!json.contains("\"par\""));
     }
 
     #[test]
@@ -355,10 +428,21 @@ mod tests {
             roots: 2,
             hot: 7,
         };
-        let json = to_json(&[], Some(&g));
+        let json = to_json(&[], Some(&g), None);
         assert!(
             json.contains("\"callgraph\":{\"functions\":10,\"edges\":20,\"roots\":2,\"hot\":7}")
         );
+    }
+
+    #[test]
+    fn json_includes_par_summary_when_present() {
+        let p = ParSummary {
+            roots: 1,
+            worker_reachable: 42,
+            lock_edges: 3,
+        };
+        let json = to_json(&[], None, Some(&p));
+        assert!(json.contains("\"par\":{\"roots\":1,\"worker_reachable\":42,\"lock_edges\":3}"));
     }
 
     #[test]
@@ -387,6 +471,11 @@ mod tests {
             Rule::SeedTaint,
             Rule::DeadConfig,
             Rule::PanicReach,
+            Rule::SharedMut,
+            Rule::OutputOrder,
+            Rule::LockGraph,
+            Rule::AtomicOrdering,
+            Rule::UnsafeAudit,
         ] {
             assert_eq!(Rule::from_name(r.name()), Some(r));
         }
@@ -409,6 +498,11 @@ mod tests {
             Rule::SeedTaint,
             Rule::DeadConfig,
             Rule::PanicReach,
+            Rule::SharedMut,
+            Rule::OutputOrder,
+            Rule::LockGraph,
+            Rule::AtomicOrdering,
+            Rule::UnsafeAudit,
             Rule::Directive,
         ];
         assert_eq!(metas.len(), all.len());

@@ -13,6 +13,9 @@ pub struct Producer {
     pub line: u32,
     /// `schedule` / `schedule_after` / `schedule_no_earlier`.
     pub via: String,
+    /// Enclosing function of the call (`?` when at item scope) — the
+    /// stable part of the DOT node key, so line churn never re-keys it.
+    pub fn_name: String,
 }
 
 /// One match arm consuming the variant.
@@ -88,6 +91,7 @@ pub fn build(models: &[FileModel], enum_name: &str) -> Option<ProtocolGraph> {
                     file: m.file.clone(),
                     line: p.line,
                     via: p.via.clone(),
+                    fn_name: p.fn_name.clone(),
                 });
             }
         }
@@ -139,6 +143,13 @@ impl ProtocolGraph {
     /// Render as Graphviz DOT. Output is fully deterministic: variants in
     /// declaration order, sites in (file, line) order, node declarations
     /// deduplicated on first use — so the golden snapshot is byte-stable.
+    ///
+    /// Node keys are line-free (`file::fn via`, `fn @ file`): pure line
+    /// shifts change only the strippable `line=N` attribute, never the
+    /// graph shape, so the golden comparison runs on
+    /// [`crate::callgraph::strip_line_attrs`] output. Two same-named
+    /// call sites in one function merge into one node (their edges
+    /// dedup), which is the right granularity for a protocol diagram.
     #[must_use]
     pub fn to_dot(&self) -> String {
         let mut out = String::new();
@@ -153,27 +164,41 @@ impl ProtocolGraph {
             self.variants.len()
         );
         let mut declared: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut edges: std::collections::BTreeSet<(String, String)> =
+            std::collections::BTreeSet::new();
+        let mut edge = |out: &mut String, from: &str, to: &str| {
+            if edges.insert((from.to_string(), to.to_string())) {
+                let _ = writeln!(out, "  \"{}\" -> \"{}\";", esc(from), esc(to));
+            }
+        };
         for v in &self.variants {
             let vn = format!("{}::{}", self.enum_name, v.name);
             let _ = writeln!(out, "  \"{}\" [shape=ellipse];", esc(&vn));
             for p in &v.producers {
-                let pn = format!("{}:{} {}", p.file, p.line, p.via);
+                let pn = format!("{}::{} {}", p.file, p.fn_name, p.via);
                 if declared.insert(pn.clone()) {
-                    let _ = writeln!(out, "  \"{}\" [shape=box];", esc(&pn));
+                    let _ = writeln!(out, "  \"{}\" [shape=box, line={}];", esc(&pn), p.line);
                 }
-                let _ = writeln!(out, "  \"{}\" -> \"{}\";", esc(&pn), esc(&vn));
+                edge(&mut out, &pn, &vn);
             }
             for c in &v.consumers {
-                let cn = format!("{} @ {}:{}", c.fn_name, c.file, c.match_line);
+                let cn = format!("{} @ {}", c.fn_name, c.file);
                 if declared.insert(cn.clone()) {
-                    let _ = writeln!(out, "  \"{}\" [shape=box];", esc(&cn));
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\" [shape=box, line={}];",
+                        esc(&cn),
+                        c.match_line
+                    );
                 }
-                let _ = writeln!(out, "  \"{}\" -> \"{}\";", esc(&vn), esc(&cn));
+                edge(&mut out, &vn, &cn);
             }
         }
         for w in &self.wildcards {
-            let wn = format!("wildcard @ {}:{}", w.file, w.line);
-            let _ = writeln!(out, "  \"{}\" [shape=diamond];", esc(&wn));
+            let wn = format!("wildcard @ {}::{}", w.file, w.fn_name);
+            if declared.insert(wn.clone()) {
+                let _ = writeln!(out, "  \"{}\" [shape=diamond, line={}];", esc(&wn), w.line);
+            }
         }
         let _ = writeln!(out, "}}");
         out
@@ -234,7 +259,21 @@ mod tests {
         assert_eq!(d1, d2);
         assert!(d1.contains("\"Ev::A\""));
         assert!(d1.contains("\"Ev::B\""));
-        assert!(d1.contains("p.rs:6 schedule_after"));
-        assert!(d1.contains("dispatch @ p.rs:10"));
+        assert!(d1.contains("\"p.rs::produce schedule_after\" [shape=box, line=6];"));
+        assert!(d1.contains("\"dispatch @ p.rs\" [shape=box, line=10];"));
+    }
+
+    #[test]
+    fn stripped_dot_is_invariant_under_line_shift() {
+        let ms = models(&[("p.rs", PROTO)]);
+        let shifted = format!("// header\n// more header\n{PROTO}");
+        let ms2 = models(&[("p.rs", shifted.as_str())]);
+        let d1 = build(&ms, "Ev").expect("enum found").to_dot();
+        let d2 = build(&ms2, "Ev").expect("enum found").to_dot();
+        assert_ne!(d1, d2, "raw DOT should carry the shifted lines");
+        assert_eq!(
+            crate::callgraph::strip_line_attrs(&d1),
+            crate::callgraph::strip_line_attrs(&d2)
+        );
     }
 }

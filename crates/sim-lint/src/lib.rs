@@ -43,6 +43,24 @@
 //!   with the root→function chain in the message, when the panic is
 //!   reachable from a dispatch loop.
 //!
+//! The **parallelism pass** ([`par`] + [`rules_par`]) computes the set
+//! of functions reachable from spawned-worker closures (`scope.spawn`,
+//! `thread::spawn`, plus policy-named future dispatch roots) and the
+//! lock-acquisition graph over it, then runs five deny-by-default rules
+//! that clear the runway for engine parallelism:
+//!
+//! - **shared-mut** — mutable statics and non-`thread_local!` interior
+//!   mutability reachable from worker code;
+//! - **output-order** — worker-side stdout/stderr writes (interleaving
+//!   is scheduling-dependent; merge on the coordinator);
+//! - **lock-graph** — a second `.lock()` while a guard is live, and any
+//!   cycle in the cross-function lock-acquisition graph;
+//! - **atomic-ordering** — `Ordering::Relaxed` only on policy-named
+//!   counters;
+//! - **unsafe-audit** — first-party crate roots carry
+//!   `#![forbid(unsafe_code)]`; any `unsafe` needs a `// SAFETY:`
+//!   comment.
+//!
 //! Findings can be suppressed per line with
 //! `// sim-lint: allow(<rule>, reason = "...")` — a non-empty reason is
 //! mandatory, and unused suppressions are themselves flagged.
@@ -50,6 +68,8 @@
 //! The tool is entirely self-contained (hand-written lexer, no
 //! dependencies) so it builds and runs offline, in CI, with nothing but
 //! the workspace checkout.
+
+#![forbid(unsafe_code)]
 
 pub mod callgraph;
 pub mod config;
@@ -61,8 +81,10 @@ pub mod graph;
 pub mod lexer;
 pub mod listing;
 pub mod model;
+pub mod par;
 pub mod rules;
 pub mod rules_flow;
+pub mod rules_par;
 pub mod scan;
 
 use std::path::Path;
@@ -115,7 +137,9 @@ pub(crate) fn finalize(file: &str, raw: Vec<Diagnostic>, allows: &[Allow]) -> Ve
                 format!(
                     "unknown rule `{}` in allow; rules are nondet, panic, hygiene, \
                      event, index, dead-event, unhandled-event, multi-dispatch, \
-                     taxonomy-wiring, seed-taint, dead-config, panic-reach",
+                     taxonomy-wiring, seed-taint, dead-config, panic-reach, \
+                     shared-mut, output-order, lock-graph, atomic-ordering, \
+                     unsafe-audit",
                     a.rule
                 ),
             );

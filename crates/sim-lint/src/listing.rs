@@ -12,7 +12,7 @@ use crate::rules::FilePolicy;
 /// dataflow rules beyond these run wherever their anchor constructs
 /// live; `panic-reach` inherits the `panic` column (it is the same
 /// findings, upgraded by reachability).
-fn policy_cells(p: FilePolicy) -> [(&'static str, bool); 8] {
+fn policy_cells(p: FilePolicy) -> [(&'static str, bool); 13] {
     [
         ("nondet", p.nondet),
         ("wallclock", p.wallclock),
@@ -22,6 +22,11 @@ fn policy_cells(p: FilePolicy) -> [(&'static str, bool); 8] {
         ("index", p.index),
         ("seed-taint", p.seed_taint),
         ("dead-config", p.dead_config),
+        ("shared-mut", p.shared_mut),
+        ("output-order", p.output_order),
+        ("lock-graph", p.lock_graph),
+        ("atomic-ordering", p.atomic_ordering),
+        ("unsafe-audit", p.unsafe_audit),
     ]
 }
 
@@ -73,7 +78,7 @@ pub fn render_table() -> String {
 /// The same listing as a JSON document (`--list-rules --format json`).
 #[must_use]
 pub fn render_json() -> String {
-    let mut out = String::from("{\"version\":2,\"rules\":[");
+    let mut out = String::from("{\"version\":3,\"rules\":[");
     for (i, m) in rule_metas().iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -128,6 +133,7 @@ mod tests {
             "sim-engine",
             "fabric",
             "obs::prof",
+            "core::exec",
             "(default)",
         ] {
             assert!(t.contains(name), "missing policy row {name}");
@@ -138,10 +144,13 @@ mod tests {
     #[test]
     fn json_listing_is_well_formed_enough_to_spot_check() {
         let j = render_json();
-        assert!(j.starts_with("{\"version\":2,\"rules\":["));
+        assert!(j.starts_with("{\"version\":3,\"rules\":["));
         assert!(j.contains("\"rule\":\"seed-taint\""));
+        assert!(j.contains("\"rule\":\"lock-graph\""));
         assert!(j.contains("\"crate\":\"sim-check\""));
+        assert!(j.contains("\"crate\":\"core::exec\""));
         assert!(j.contains("\"panic\":false"));
+        assert!(j.contains("\"output-order\":false"));
         assert!(j.contains("\"skipped_crates\":[\"serde\""));
         assert!(j.trim_end().ends_with("]}"));
     }

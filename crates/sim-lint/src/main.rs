@@ -3,25 +3,27 @@
 //! ```text
 //! cargo run -p sim-lint -- [--root <path>] [--deny warnings] [--quiet]
 //!                          [--format <human|json|github>] [--emit-graph <path>]
-//!                          [--emit-callgraph <path>] [--list-rules]
-//!                          [--fix-unused-allows]
+//!                          [--emit-callgraph <path>] [--emit-pargraph <path>]
+//!                          [--list-rules] [--fix-unused-allows]
 //! ```
 //!
 //! `--format json` writes the machine-readable diagnostics document to
 //! stdout (summary goes to stderr); `--format github` prints one GitHub
 //! Actions annotation per finding. `--emit-graph` writes the event-protocol
 //! graph as DOT to the given path; `--emit-callgraph` does the same for
-//! the workspace call graph. `--list-rules` prints every rule with its
-//! severity and the per-crate policy table (honors `--format json`) and
-//! exits. `--fix-unused-allows` deletes unused suppression comments in
-//! place and then lints the fixed tree.
+//! the workspace call graph and `--emit-pargraph` for the parallelism
+//! graph (spawn roots, worker-reachable functions, lock edges).
+//! `--list-rules` prints every rule with its severity and the per-crate
+//! policy table (honors `--format json`) and exits.
+//! `--fix-unused-allows` deletes unused suppression comments in place
+//! and then lints the fixed tree.
 //!
 //! Exit codes: 0 clean, 1 gated findings, 2 usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sim_lint::diag::{self, GraphSummary, Severity};
+use sim_lint::diag::{self, GraphSummary, ParSummary, Severity};
 use sim_lint::{fix, listing};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -33,7 +35,8 @@ enum Format {
 
 const USAGE: &str = "usage: sim-lint [--root <path>] [--deny warnings] [--quiet] \
      [--format <human|json|github>] [--emit-graph <path>] \
-     [--emit-callgraph <path>] [--list-rules] [--fix-unused-allows]";
+     [--emit-callgraph <path>] [--emit-pargraph <path>] [--list-rules] \
+     [--fix-unused-allows]";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("sim-lint: {msg}");
@@ -48,6 +51,7 @@ fn main() -> ExitCode {
     let mut format = Format::Human;
     let mut emit_graph: Option<PathBuf> = None;
     let mut emit_callgraph: Option<PathBuf> = None;
+    let mut emit_pargraph: Option<PathBuf> = None;
     let mut list_rules = false;
     let mut fix_unused = false;
 
@@ -90,6 +94,12 @@ fn main() -> ExitCode {
                     return usage_error("--emit-callgraph requires an output path for the DOT file")
                 }
             },
+            "--emit-pargraph" => match args.next() {
+                Some(p) => emit_pargraph = Some(PathBuf::from(p)),
+                None => {
+                    return usage_error("--emit-pargraph requires an output path for the DOT file")
+                }
+            },
             "--list-rules" => list_rules = true,
             "--fix-unused-allows" => fix_unused = true,
             "--quiet" => quiet = true,
@@ -98,7 +108,8 @@ fn main() -> ExitCode {
                     "sim-lint: workspace static analysis (token rules nondet, panic, \
                      hygiene, event, index; flow rules dead-event, unhandled-event, \
                      multi-dispatch, taxonomy-wiring; dataflow rules seed-taint, \
-                     dead-config, panic-reach)"
+                     dead-config, panic-reach; parallelism rules shared-mut, \
+                     output-order, lock-graph, atomic-ordering, unsafe-audit)"
                 );
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -107,8 +118,8 @@ fn main() -> ExitCode {
                 return usage_error(&format!(
                     "unknown flag `{other}`; accepted flags are --root <path>, \
                      --deny warnings, --quiet, --format <human|json|github>, \
-                     --emit-graph <path>, --emit-callgraph <path>, --list-rules, \
-                     --fix-unused-allows"
+                     --emit-graph <path>, --emit-callgraph <path>, \
+                     --emit-pargraph <path>, --list-rules, --fix-unused-allows"
                 ));
             }
         }
@@ -153,6 +164,12 @@ fn main() -> ExitCode {
         roots: nr,
         hot: nh,
     };
+    let (np, nw, nl) = analysis.par.summary();
+    let par_summary = ParSummary {
+        roots: np,
+        worker_reachable: nw,
+        lock_edges: nl,
+    };
 
     if let Some(path) = &emit_graph {
         let Some(graph) = &analysis.graph else {
@@ -175,6 +192,15 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &emit_pargraph {
+        if let Err(e) = std::fs::write(path, analysis.par.to_dot(&analysis.callgraph)) {
+            return usage_error(&format!(
+                "cannot write parallelism graph to {}: {e}",
+                path.display()
+            ));
+        }
+    }
+
     match format {
         Format::Human => {
             if !quiet {
@@ -183,7 +209,10 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Format::Json => print!("{}", diag::to_json(diags, Some(&graph_summary))),
+        Format::Json => print!(
+            "{}",
+            diag::to_json(diags, Some(&graph_summary), Some(&par_summary))
+        ),
         Format::Github => {
             // Annotate only what can gate: GitHub caps annotations per
             // step, and hundreds of advisory Info notes would drown the
@@ -200,7 +229,8 @@ fn main() -> ExitCode {
     let (errors, warnings, infos) = sim_lint::tally(diags);
     let summary = format!(
         "sim-lint: {errors} error(s), {warnings} warning(s), {infos} info note(s); \
-         call graph: {nf} fns, {ne} edges, {nr} dispatch roots, {nh} hot"
+         call graph: {nf} fns, {ne} edges, {nr} dispatch roots, {nh} hot; \
+         parallelism: {np} roots, {nw} worker-reachable, {nl} lock edges"
     );
     // Keep stdout machine-parseable under --format json.
     if format == Format::Json {

@@ -1,0 +1,534 @@
+//! Worker-reachability for the parallelism pass.
+//!
+//! A *parallel root* is a function containing a `scope.spawn(...)` /
+//! `thread::spawn(...)` call (plus any qualified name the
+//! [`crate::config::par_roots`] policy hook registers — the seam for a
+//! future work-stealing dispatch loop). The closure handed to `spawn`
+//! runs on a worker thread, so every function resolvable from a call
+//! inside the spawn's paren span is a *worker seed*; the worker-reachable
+//! set is the transitive closure of the seeds over the workspace call
+//! graph ([`CallGraph::reach`] — the same BFS machinery the panic-reach
+//! rule uses with dispatch roots).
+//!
+//! One subtlety: a site lexically inside a spawn closure belongs, by
+//! token span, to the *root* function — which is usually not itself
+//! worker-reachable (the coordinator joins the scope). Site
+//! classification therefore checks "enclosing fn worker-reachable OR
+//! token inside a spawn span" ([`ParGraph::site_is_worker`]).
+//!
+//! The pass also assembles the *lock-acquisition graph*: for every
+//! `let`-bound `.lock()` in worker context (a guard; statement-expression
+//! locks release at the semicolon and carry no liveness), any later lock
+//! in the same function — or in any function reachable from calls after
+//! the guard — adds an edge `first_recv → second_recv`. Guard liveness is
+//! approximated to the end of the enclosing function (no drop/scope
+//! tracking; see DESIGN.md §8.11 for the imprecision budget). Cycles in
+//! that graph, and same-function second acquisitions, become `lock-graph`
+//! findings in [`crate::rules_par`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::callgraph::CallGraph;
+use crate::model::FileModel;
+
+/// A second `.lock()` while an earlier guard in the same fn is live.
+#[derive(Debug, Clone)]
+pub struct DoubleLock {
+    pub file: String,
+    /// Line of the second acquisition (the finding's anchor).
+    pub line: u32,
+    pub first_recv: String,
+    pub first_line: u32,
+    pub binder: String,
+    pub second_recv: String,
+    pub fn_qual: String,
+}
+
+/// A cycle in the lock-acquisition graph.
+#[derive(Debug, Clone)]
+pub struct LockCycle {
+    /// The acquisition chain, `a -> b -> ... -> a`.
+    pub chain: String,
+    /// Anchor: the guard site witnessing the cycle's first edge.
+    pub file: String,
+    pub line: u32,
+}
+
+/// The assembled parallelism graph over a [`CallGraph`].
+#[derive(Debug)]
+pub struct ParGraph {
+    /// Global fn indices owning a spawn call or named by the policy
+    /// hook, sorted.
+    pub roots: Vec<usize>,
+    /// Worker-reachable mask over `cg.fns`.
+    pub worker: Vec<bool>,
+    /// BFS parents within the worker set, for chain rendering.
+    parent: Vec<Option<usize>>,
+    /// Worker seed fn → the root whose spawn reaches it (first wins).
+    origin: BTreeMap<usize, usize>,
+    /// `root → seed` spawn edges, for the DOT rendering.
+    spawn_edges: BTreeSet<(usize, usize)>,
+    /// Lock-acquisition edges between normalized receiver names.
+    pub lock_edges: BTreeSet<(String, String)>,
+    /// The guard site witnessing each edge, `(file, line)`.
+    edge_sites: BTreeMap<(String, String), (String, u32)>,
+    /// Same-fn second acquisitions.
+    pub double_locks: Vec<DoubleLock>,
+    /// Cycles, deduplicated by participating lock set.
+    pub cycles: Vec<LockCycle>,
+}
+
+/// One worker-context lock site, flattened for graph assembly.
+#[derive(Debug)]
+struct WorkerLock {
+    model: usize,
+    /// Global fn index (sites at module scope are skipped).
+    fn_g: usize,
+    /// Local fn index within the model.
+    fn_local: usize,
+    site: usize,
+}
+
+/// Build the parallelism graph. `extra_roots` is the policy hook's
+/// qualified-name list (injected as a parameter so fixtures can exercise
+/// it without touching the real policy table).
+#[must_use]
+pub fn build(models: &[FileModel], cg: &CallGraph, extra_roots: &[&str]) -> ParGraph {
+    let mut roots_set = BTreeSet::new();
+    let mut seeds_set = BTreeSet::new();
+    let mut origin = BTreeMap::new();
+    let mut spawn_edges = BTreeSet::new();
+    for (mi, m) in models.iter().enumerate() {
+        if m.spawns.is_empty() {
+            continue;
+        }
+        for sp in &m.spawns {
+            let root = sp.fn_idx.map(|k| cg.offsets[mi] + k);
+            if let Some(r) = root {
+                roots_set.insert(r);
+            }
+            for rc in cg.calls.iter().filter(|rc| rc.model == mi) {
+                let tok = m.calls[rc.site].tok;
+                if sp.lp < tok && tok < sp.rp {
+                    for &t in &rc.callees {
+                        seeds_set.insert(t);
+                        if let Some(r) = root {
+                            origin.entry(t).or_insert(r);
+                            spawn_edges.insert((r, t));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Policy roots: their own bodies *are* worker code, so they seed the
+    // BFS directly as well as counting as roots.
+    for (g, f) in cg.fns.iter().enumerate() {
+        if extra_roots.contains(&f.qual_name().as_str()) {
+            roots_set.insert(g);
+            seeds_set.insert(g);
+        }
+    }
+    let seeds: Vec<usize> = seeds_set.into_iter().collect();
+    let (worker, parent) = cg.reach(&seeds);
+
+    let mut par = ParGraph {
+        roots: roots_set.into_iter().collect(),
+        worker,
+        parent,
+        origin,
+        spawn_edges,
+        lock_edges: BTreeSet::new(),
+        edge_sites: BTreeMap::new(),
+        double_locks: Vec::new(),
+        cycles: Vec::new(),
+    };
+    par.build_lock_graph(models, cg);
+    par
+}
+
+impl ParGraph {
+    /// Is a site at `(model, enclosing local fn, token)` worker-side?
+    /// True when the enclosing fn is worker-reachable, or when the token
+    /// lies inside a spawn closure of the same file (whose sites belong,
+    /// by span, to the coordinator fn).
+    #[must_use]
+    pub fn site_is_worker(
+        &self,
+        cg: &CallGraph,
+        models: &[FileModel],
+        model: usize,
+        fn_idx: Option<usize>,
+        tok: usize,
+    ) -> bool {
+        if models[model]
+            .spawns
+            .iter()
+            .any(|s| s.lp < tok && tok < s.rp)
+        {
+            return true;
+        }
+        fn_idx.is_some_and(|k| self.worker[cg.offsets[model] + k])
+    }
+
+    /// The `root {spawn} -> seed -> ... -> fn` chain explaining why a
+    /// function is worker-reachable.
+    #[must_use]
+    pub fn chain(&self, cg: &CallGraph, idx: usize) -> String {
+        let mut chain = vec![cg.fns[idx].qual_name()];
+        let mut cur = idx;
+        while let Some(p) = self.parent[cur] {
+            chain.push(cg.fns[p].qual_name());
+            cur = p;
+        }
+        if let Some(&r) = self.origin.get(&cur) {
+            chain.push(format!("{} {{spawn}}", cg.fns[r].qual_name()));
+        }
+        chain.reverse();
+        chain.join(" -> ")
+    }
+
+    /// `(roots, worker_reachable, lock_edges)` counts for the JSON
+    /// summary and the CLI footer.
+    #[must_use]
+    pub fn summary(&self) -> (usize, usize, usize) {
+        (
+            self.roots.len(),
+            self.worker.iter().filter(|w| **w).count(),
+            self.lock_edges.len(),
+        )
+    }
+
+    fn build_lock_graph(&mut self, models: &[FileModel], cg: &CallGraph) {
+        // Worker-context lock sites, and an index of them per global fn.
+        let mut wlocks: Vec<WorkerLock> = Vec::new();
+        let mut by_fn: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (mi, m) in models.iter().enumerate() {
+            for (si, l) in m.locks.iter().enumerate() {
+                if !self.site_is_worker(cg, models, mi, l.fn_idx, l.tok) {
+                    continue;
+                }
+                let Some(k) = l.fn_idx else {
+                    continue;
+                };
+                let fn_g = cg.offsets[mi] + k;
+                by_fn.entry(fn_g).or_default().push(wlocks.len());
+                wlocks.push(WorkerLock {
+                    model: mi,
+                    fn_g,
+                    fn_local: k,
+                    site: si,
+                });
+            }
+        }
+
+        for w in &wlocks {
+            let m = &models[w.model];
+            let guard = &m.locks[w.site];
+            let Some(binder) = &guard.binder else {
+                continue;
+            };
+            // Same fn: any later acquisition while this guard is live
+            // (liveness approximated to end of fn).
+            for &oi in &by_fn[&w.fn_g] {
+                let other = &wlocks[oi];
+                if other.model != w.model {
+                    continue;
+                }
+                let second = &m.locks[other.site];
+                if second.tok <= guard.tok {
+                    continue;
+                }
+                self.add_edge(&guard.recv, &second.recv, &m.file, guard.line);
+                self.double_locks.push(DoubleLock {
+                    file: m.file.clone(),
+                    line: second.line,
+                    first_recv: guard.recv.clone(),
+                    first_line: guard.line,
+                    binder: binder.clone(),
+                    second_recv: second.recv.clone(),
+                    fn_qual: cg.fns[w.fn_g].qual_name(),
+                });
+            }
+            // Cross fn: locks in any function reachable from calls made
+            // after the guard in the same enclosing fn.
+            let seeds: Vec<usize> = cg
+                .calls
+                .iter()
+                .filter(|rc| {
+                    rc.model == w.model
+                        && models[rc.model].calls[rc.site].caller == Some(w.fn_local)
+                        && models[rc.model].calls[rc.site].tok > guard.tok
+                })
+                .flat_map(|rc| rc.callees.iter().copied())
+                .collect();
+            if seeds.is_empty() {
+                continue;
+            }
+            let (reached, _) = cg.reach(&seeds);
+            for (&fn_g, sites) in &by_fn {
+                if !reached[fn_g] {
+                    continue;
+                }
+                for &oi in sites {
+                    let other = &wlocks[oi];
+                    let second = &models[other.model].locks[other.site];
+                    self.add_edge(&guard.recv, &second.recv, &m.file, guard.line);
+                }
+            }
+        }
+
+        self.find_cycles();
+    }
+
+    fn add_edge(&mut self, a: &str, b: &str, file: &str, line: u32) {
+        let key = (a.to_string(), b.to_string());
+        self.edge_sites
+            .entry(key.clone())
+            .or_insert_with(|| (file.to_string(), line));
+        self.lock_edges.insert(key);
+    }
+
+    /// Detect cycles: for each edge `a → b`, a path `b → ... → a` closes
+    /// one. Deduplicated by participating lock set, anchored at the
+    /// witnessing guard site of the edge that discovered it.
+    fn find_cycles(&mut self) {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in &self.lock_edges {
+            adj.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        let mut seen_sets: BTreeSet<Vec<String>> = BTreeSet::new();
+        for (a, b) in &self.lock_edges {
+            // BFS from b looking for a.
+            let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+            let mut queue = vec![b.as_str()];
+            let mut qi = 0;
+            let mut found = false;
+            while qi < queue.len() && !found {
+                let u = queue[qi];
+                qi += 1;
+                for &v in adj.get(u).map_or(&[][..], |x| x.as_slice()) {
+                    if v == a {
+                        parent.insert(v, u);
+                        found = true;
+                        break;
+                    }
+                    if v != b.as_str() && !parent.contains_key(v) {
+                        parent.insert(v, u);
+                        queue.push(v);
+                    }
+                }
+            }
+            if !found {
+                continue;
+            }
+            // Reconstruct a -> b -> ... -> a.
+            let mut path = vec![a.as_str()];
+            let mut cur = a.as_str();
+            while cur != b.as_str() {
+                cur = parent[cur];
+                path.push(cur);
+            }
+            path.push(a.as_str());
+            path.reverse();
+            let mut set: Vec<String> = path.iter().map(|s| (*s).to_string()).collect();
+            set.sort();
+            set.dedup();
+            if !seen_sets.insert(set) {
+                continue;
+            }
+            let (file, line) = self.edge_sites[&(a.clone(), b.clone())].clone();
+            self.cycles.push(LockCycle {
+                chain: path.join(" -> "),
+                file,
+                line,
+            });
+        }
+    }
+
+    /// Deterministic DOT rendering of the parallelism graph: roots
+    /// double-bordered, worker-reachable fns shaded, spawn edges bold,
+    /// call edges within the worker set plain, and the lock-acquisition
+    /// graph as octagon nodes with dashed edges. Node identity uses the
+    /// call graph's stable keys and carries no line numbers, so the
+    /// committed golden is byte-stable under pure line shifts.
+    #[must_use]
+    pub fn to_dot(&self, cg: &CallGraph) -> String {
+        let (nr, nw, nl) = self.summary();
+        let keys = cg.stable_keys();
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph pargraph {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(
+            out,
+            "  node [fontname=\"monospace\", shape=box, fontsize=10];"
+        );
+        let _ = writeln!(
+            out,
+            "  label=\"parallelism: {nr} parallel roots, {nw} worker-reachable fns, {nl} lock edges\";"
+        );
+        for (g, f) in cg.fns.iter().enumerate() {
+            let is_root = self.roots.contains(&g);
+            if !is_root && !self.worker[g] {
+                continue;
+            }
+            let attrs = if is_root {
+                ", peripheries=2, color=red"
+            } else {
+                ", style=filled, fillcolor=lightblue"
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [label=\"{}\"{attrs}];",
+                esc(&keys[g]),
+                esc(&f.qual_name())
+            );
+        }
+        for &(r, s) in &self.spawn_edges {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [style=bold];",
+                esc(&keys[r]),
+                esc(&keys[s])
+            );
+        }
+        for &(a, b) in &cg.edges {
+            if self.worker[a] && self.worker[b] {
+                let _ = writeln!(out, "  \"{}\" -> \"{}\";", esc(&keys[a]), esc(&keys[b]));
+            }
+        }
+        let mut lock_nodes: BTreeSet<&str> = BTreeSet::new();
+        for (a, b) in &self.lock_edges {
+            lock_nodes.insert(a);
+            lock_nodes.insert(b);
+        }
+        for l in lock_nodes {
+            let _ = writeln!(out, "  \"lock:{}\" [shape=octagon, color=orange];", esc(l));
+        }
+        for (a, b) in &self.lock_edges {
+            let _ = writeln!(
+                out,
+                "  \"lock:{}\" -> \"lock:{}\" [style=dashed, color=red];",
+                esc(a),
+                esc(b)
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+    use crate::lexer::lex;
+    use crate::model::extract;
+    use crate::scan::scan;
+
+    fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
+        files
+            .iter()
+            .map(|(name, src)| {
+                let lx = lex(src);
+                let cx = scan(&lx);
+                extract(name, &lx, &cx)
+            })
+            .collect()
+    }
+
+    const SPAWNING: &str = "fn run_all(n: usize) {\n    std::thread::scope(|scope| {\n        scope.spawn(|| {\n            step_one(n);\n        });\n    });\n}\nfn step_one(n: usize) { helper(n); }\nfn helper(n: usize) {}\nfn coordinator_only(n: usize) {}\n";
+
+    #[test]
+    fn spawn_roots_and_worker_reachability() {
+        let ms = models(&[("a.rs", SPAWNING)]);
+        let cg = callgraph::build(&ms);
+        let par = build(&ms, &cg, &[]);
+        assert_eq!(par.roots.len(), 1);
+        assert_eq!(cg.fns[par.roots[0]].qual_name(), "run_all");
+        let worker: Vec<String> = cg
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| par.worker[*i])
+            .map(|(_, f)| f.qual_name())
+            .collect();
+        assert_eq!(worker, vec!["step_one", "helper"]);
+        let helper = cg.fns.iter().position(|f| f.name == "helper").unwrap();
+        assert_eq!(
+            par.chain(&cg, helper),
+            "run_all {spawn} -> step_one -> helper"
+        );
+    }
+
+    #[test]
+    fn in_span_sites_are_worker_even_though_the_root_is_not() {
+        let ms = models(&[("a.rs", SPAWNING)]);
+        let cg = callgraph::build(&ms);
+        let par = build(&ms, &cg, &[]);
+        let root = par.roots[0];
+        assert!(
+            !par.worker[root],
+            "the coordinator joins, it is not a worker"
+        );
+        let call = ms[0].calls.iter().find(|c| c.callee == "step_one").unwrap();
+        assert!(par.site_is_worker(&cg, &ms, 0, call.caller, call.tok));
+    }
+
+    #[test]
+    fn policy_hook_roots_seed_their_own_bodies() {
+        let src = "fn steal_loop(n: usize) { grind(n); }\nfn grind(n: usize) {}\n";
+        let ms = models(&[("a.rs", src)]);
+        let cg = callgraph::build(&ms);
+        let par = build(&ms, &cg, &["steal_loop"]);
+        assert_eq!(par.roots.len(), 1);
+        let grind = cg.fns.iter().position(|f| f.name == "grind").unwrap();
+        assert!(par.worker[grind]);
+        assert!(
+            par.worker[par.roots[0]],
+            "policy roots are themselves worker code"
+        );
+    }
+
+    #[test]
+    fn lock_cycle_detected_across_fns() {
+        let src = "fn run(p: &Pool) {\n    std::thread::scope(|scope| {\n        scope.spawn(|| { step_a(p); });\n        scope.spawn(|| { step_b(p); });\n    });\n}\nfn step_a(p: &Pool) {\n    let ga = p.m1.lock().unwrap();\n    touch_b(p, ga);\n}\nfn touch_b(p: &Pool, x: G) {\n    let gb = p.m2.lock().unwrap();\n}\nfn step_b(p: &Pool) {\n    let gb = p.m2.lock().unwrap();\n    touch_a(p, gb);\n}\nfn touch_a(p: &Pool, x: G) {\n    let ga = p.m1.lock().unwrap();\n}\n";
+        let ms = models(&[("a.rs", src)]);
+        let cg = callgraph::build(&ms);
+        let par = build(&ms, &cg, &[]);
+        assert!(par
+            .lock_edges
+            .contains(&("p.m1".to_string(), "p.m2".to_string())));
+        assert!(par
+            .lock_edges
+            .contains(&("p.m2".to_string(), "p.m1".to_string())));
+        assert_eq!(par.cycles.len(), 1, "{:?}", par.cycles);
+        assert_eq!(par.cycles[0].chain, "p.m1 -> p.m2 -> p.m1");
+    }
+
+    #[test]
+    fn statement_locks_build_no_edges() {
+        let src = "fn run(slots: &S) {\n    std::thread::scope(|scope| {\n        scope.spawn(|| { put(slots); });\n    });\n}\nfn put(slots: &S) {\n    *slots[0].lock().unwrap() = 1;\n    *slots[1].lock().unwrap() = 2;\n}\n";
+        let ms = models(&[("a.rs", src)]);
+        let cg = callgraph::build(&ms);
+        let par = build(&ms, &cg, &[]);
+        assert!(par.lock_edges.is_empty(), "{:?}", par.lock_edges);
+        assert!(par.double_locks.is_empty());
+    }
+
+    #[test]
+    fn dot_render_is_deterministic_and_line_free() {
+        let ms = models(&[("a.rs", SPAWNING)]);
+        let cg = callgraph::build(&ms);
+        let par = build(&ms, &cg, &[]);
+        let d = par.to_dot(&cg);
+        let ms2 = models(&[("a.rs", SPAWNING)]);
+        let cg2 = callgraph::build(&ms2);
+        assert_eq!(d, build(&ms2, &cg2, &[]).to_dot(&cg2));
+        assert!(d.contains("peripheries=2"));
+        assert!(d.contains("lightblue"));
+        assert!(!d.contains(", line="));
+    }
+}

@@ -25,6 +25,16 @@ pub struct FilePolicy {
     /// anywhere in the workspace count regardless of their own policy).
     pub seed_taint: bool,
     pub dead_config: bool,
+    /// Parallelism rules (checked per *site* file: a worker-reachable fn
+    /// in a file with the rule off is exempt even when the spawn lives
+    /// elsewhere). `output_order` off marks a sanctioned
+    /// deterministic-merge site; `atomic_ordering` exemptions for named
+    /// counters live in [`crate::config::relaxed_counters`] instead.
+    pub shared_mut: bool,
+    pub output_order: bool,
+    pub lock_graph: bool,
+    pub atomic_ordering: bool,
+    pub unsafe_audit: bool,
 }
 
 impl FilePolicy {
@@ -37,6 +47,11 @@ impl FilePolicy {
         index: true,
         seed_taint: true,
         dead_config: true,
+        shared_mut: true,
+        output_order: true,
+        lock_graph: true,
+        atomic_ordering: true,
+        unsafe_audit: true,
     };
 }
 

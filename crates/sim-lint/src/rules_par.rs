@@ -1,0 +1,335 @@
+//! The parallelism rules, run over the worker-reachable set built by
+//! [`crate::par`]: `shared-mut`, `output-order`, `lock-graph`,
+//! `atomic-ordering` and `unsafe-audit`. All five are deny-by-default
+//! Errors — they guard the byte-identical-across-`--jobs` determinism
+//! contract that engine parallelism (ROADMAP item 1) must preserve — and
+//! all five go through the shared `allow(...)` suppression machinery.
+//!
+//! Policy gating is per *site* file: a worker-reachable function in a
+//! file whose policy switches a rule off is exempt even when the spawn
+//! lives elsewhere (that is how `exec.rs`, the sanctioned
+//! deterministic-merge site, keeps its coordinator-side progress line).
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::diag::{Diagnostic, Rule, Severity};
+use crate::lexer;
+use crate::model::{self, FileModel};
+use crate::par::ParGraph;
+use crate::rules::FilePolicy;
+use crate::scan;
+
+/// Run the worker-context rules over an analyzed model set. The
+/// `relaxed` slice is the [`crate::config::relaxed_counters`] policy:
+/// `(file suffix, receiver ident)` pairs sanctioned for
+/// `Ordering::Relaxed`.
+#[must_use]
+pub fn check_par(
+    models: &[FileModel],
+    cg: &CallGraph,
+    par: &ParGraph,
+    policies: &BTreeMap<String, FilePolicy>,
+    relaxed: &[(&str, &str)],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let policy_of = |file: &str| policies.get(file).copied().unwrap_or(FilePolicy::ALL);
+
+    for (mi, m) in models.iter().enumerate() {
+        let p = policy_of(&m.file);
+
+        if p.shared_mut {
+            for s in &m.static_mut_refs {
+                if par.site_is_worker(cg, models, mi, s.fn_idx, s.tok) {
+                    out.push(Diagnostic {
+                        file: m.file.clone(),
+                        line: s.line,
+                        rule: Rule::SharedMut,
+                        severity: Severity::Error,
+                        message: format!(
+                            "mutable static `{}` referenced in worker context{}; racing \
+                             writes break run-to-run determinism — share state through \
+                             the coordinator or a lock",
+                            s.name,
+                            why(par, cg, mi, s.fn_idx)
+                        ),
+                    });
+                }
+            }
+            for s in &m.interior_muts {
+                if par.site_is_worker(cg, models, mi, s.fn_idx, s.tok) {
+                    out.push(Diagnostic {
+                        file: m.file.clone(),
+                        line: s.line,
+                        rule: Rule::SharedMut,
+                        severity: Severity::Error,
+                        message: format!(
+                            "`{}` interior mutability in worker-reachable code{}; wrap \
+                             per-worker state in `thread_local!` or share it behind a \
+                             Mutex",
+                            s.name,
+                            why(par, cg, mi, s.fn_idx)
+                        ),
+                    });
+                }
+            }
+        }
+
+        if p.output_order {
+            for s in &m.prints {
+                if par.site_is_worker(cg, models, mi, s.fn_idx, s.tok) {
+                    out.push(Diagnostic {
+                        file: m.file.clone(),
+                        line: s.line,
+                        rule: Rule::OutputOrder,
+                        severity: Severity::Error,
+                        message: format!(
+                            "worker-side `{}` write{}; interleaved output is \
+                             scheduling-dependent — collect results and merge them \
+                             deterministically on the coordinator",
+                            s.name,
+                            why(par, cg, mi, s.fn_idx)
+                        ),
+                    });
+                }
+            }
+        }
+
+        if p.atomic_ordering {
+            for a in &m.atomics {
+                if a.ordering != "Relaxed" {
+                    continue;
+                }
+                let head = a.recv.rsplit('.').next().unwrap_or(&a.recv);
+                if relaxed
+                    .iter()
+                    .any(|(suf, name)| m.file.ends_with(suf) && head == *name)
+                {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    file: m.file.clone(),
+                    line: a.line,
+                    rule: Rule::AtomicOrdering,
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{}.{}(Ordering::Relaxed)` on a counter the policy does not \
+                         name; use Acquire/Release (or SeqCst), add the counter to \
+                         `config::relaxed_counters`, or justify it with an inline allow",
+                        a.recv, a.method
+                    ),
+                });
+            }
+        }
+
+        if p.unsafe_audit {
+            out.extend(audit_model(m));
+        }
+    }
+
+    for dl in &par.double_locks {
+        if !policy_of(&dl.file).lock_graph {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: dl.file.clone(),
+            line: dl.line,
+            rule: Rule::LockGraph,
+            severity: Severity::Error,
+            message: format!(
+                "second lock `{}` acquired while guard `{}` on `{}` (line {}) is still \
+                 live in `{}`; acquisition chain {} -> {} — scope the first guard or \
+                 merge the critical sections",
+                dl.second_recv,
+                dl.binder,
+                dl.first_recv,
+                dl.first_line,
+                dl.fn_qual,
+                dl.first_recv,
+                dl.second_recv
+            ),
+        });
+    }
+    for c in &par.cycles {
+        if !policy_of(&c.file).lock_graph {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: c.file.clone(),
+            line: c.line,
+            rule: Rule::LockGraph,
+            severity: Severity::Error,
+            message: format!(
+                "lock-acquisition cycle: {}; workers taking these locks in different \
+                 orders can deadlock — impose one global acquisition order",
+                c.chain
+            ),
+        });
+    }
+
+    out
+}
+
+/// ` (chain)` suffix explaining why a site is worker-side: the
+/// worker-reachability chain of its enclosing fn, or the spawn-closure
+/// note when the site sits lexically inside a spawn call.
+fn why(par: &ParGraph, cg: &CallGraph, mi: usize, fn_idx: Option<usize>) -> String {
+    if let Some(k) = fn_idx {
+        let g = cg.offsets[mi] + k;
+        if par.worker[g] {
+            return format!(" ({})", par.chain(cg, g));
+        }
+    }
+    " (inside a spawn closure)".to_string()
+}
+
+/// The unsafe-audit checks over one file model: a crate root must carry
+/// `#![forbid(unsafe_code)]`, and any `unsafe` occurrence needs a
+/// `// SAFETY:` comment within the three lines above it.
+fn audit_model(m: &FileModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if m.file.ends_with("src/lib.rs") && !m.has_forbid_unsafe {
+        out.push(Diagnostic {
+            file: m.file.clone(),
+            line: 1,
+            rule: Rule::UnsafeAudit,
+            severity: Severity::Error,
+            message: "crate root lacks #![forbid(unsafe_code)]; first-party crates \
+                      declare the no-unsafe guarantee at the root so any future \
+                      unsafe block is a compile error, not a review hazard"
+                .to_string(),
+        });
+    }
+    for u in &m.unsafe_sites {
+        if !u.has_safety {
+            out.push(Diagnostic {
+                file: m.file.clone(),
+                line: u.line,
+                rule: Rule::UnsafeAudit,
+                severity: Severity::Error,
+                message: "unsafe without a // SAFETY: comment in the three lines \
+                          above it; state the invariant that makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// The `unsafe-audit` sweep over first-party crates the workspace walk
+/// skips (`bench`, `sim-lint` itself — see
+/// [`crate::config::audited_crates`]). Only the audit rule runs here:
+/// these crates hold fixtures and deliberately-bad snippets that the
+/// full rule set must not see. Suppression works as everywhere else,
+/// restricted to `allow(unsafe-audit, ...)` directives so the sweep
+/// cannot emit unused-allow noise for other rules' markers.
+#[must_use]
+pub fn audit_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (name, src) in files {
+        let lx = lexer::lex(src);
+        let cx = scan::scan(&lx);
+        let m = model::extract(name, &lx, &cx);
+        let raw = audit_model(&m);
+        let allows: Vec<scan::Allow> = scan::parse_allows(&lx)
+            .into_iter()
+            .filter(|a| Rule::from_name(&a.rule) == Some(Rule::UnsafeAudit))
+            .collect();
+        out.extend(crate::finalize(name, raw, &allows));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+    use crate::par;
+    use crate::scan::scan;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        run_with(files, &[], &[])
+    }
+
+    fn run_with(
+        files: &[(&str, &str)],
+        extra_roots: &[&str],
+        relaxed: &[(&str, &str)],
+    ) -> Vec<Diagnostic> {
+        let models: Vec<FileModel> = files
+            .iter()
+            .map(|(name, src)| {
+                let lx = lexer::lex(src);
+                let cx = scan(&lx);
+                model::extract(name, &lx, &cx)
+            })
+            .collect();
+        let cg = callgraph::build(&models);
+        let pg = par::build(&models, &cg, extra_roots);
+        let policies: BTreeMap<String, FilePolicy> = files
+            .iter()
+            .map(|(name, _)| ((*name).to_string(), FilePolicy::ALL))
+            .collect();
+        check_par(&models, &cg, &pg, &policies, relaxed)
+    }
+
+    #[test]
+    fn coordinator_prints_are_fine_worker_prints_are_not() {
+        let src = "fn run() {\n    println!(\"starting\");\n    std::thread::scope(|scope| {\n        scope.spawn(|| { work(); });\n    });\n}\nfn work() { println!(\"done\"); }\n";
+        let d = run(&[("crates/x/src/a.rs", src)]);
+        let lines: Vec<u32> = d
+            .iter()
+            .filter(|d| d.rule == Rule::OutputOrder)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![7], "{d:?}");
+    }
+
+    #[test]
+    fn relaxed_counter_policy_exempts_named_receiver() {
+        let src = "fn run(cursor: &AtomicUsize, other: &AtomicUsize) {\n    std::thread::scope(|scope| {\n        scope.spawn(|| { work(cursor, other); });\n    });\n}\nfn work(cursor: &AtomicUsize, other: &AtomicUsize) {\n    cursor.fetch_add(1, Ordering::Relaxed);\n    other.fetch_add(1, Ordering::Relaxed);\n    other.fetch_add(1, Ordering::SeqCst);\n}\n";
+        let d = run_with(
+            &[("crates/x/src/a.rs", src)],
+            &[],
+            &[("src/a.rs", "cursor")],
+        );
+        let lines: Vec<u32> = d
+            .iter()
+            .filter(|d| d.rule == Rule::AtomicOrdering)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![8], "{d:?}");
+    }
+
+    #[test]
+    fn audit_sweep_flags_missing_forbid_and_bare_unsafe() {
+        let files = vec![
+            (
+                "crates/x/src/lib.rs".to_string(),
+                "pub fn f() {}\n".to_string(),
+            ),
+            (
+                "crates/y/src/lib.rs".to_string(),
+                "#![forbid(unsafe_code)]\npub fn g() {}\n".to_string(),
+            ),
+        ];
+        let d = audit_sources(&files);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/x/src/lib.rs");
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].rule, Rule::UnsafeAudit);
+    }
+
+    #[test]
+    fn audit_sweep_respects_unsafe_audit_allows_only() {
+        let files = vec![(
+            "crates/x/src/lib.rs".to_string(),
+            "pub fn f() {} // sim-lint: allow(unsafe-audit, reason = \"forbid pending\")\n// sim-lint: allow(panic, reason = \"not consumed here\")\nfn g() {}\n".to_string(),
+        )];
+        let d = audit_sources(&files);
+        // The unsafe-audit allow suppresses the missing-forbid finding;
+        // the unrelated panic allow is invisible to the sweep (no
+        // unused-allow noise).
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,5 @@
+fn bump(counter: &AtomicUsize, events: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+    counter.fetch_add(1, Ordering::SeqCst);
+    let _ = events.load(Ordering::Relaxed); // sim-lint: allow(atomic-ordering, reason = "stat read; staleness acceptable")
+}

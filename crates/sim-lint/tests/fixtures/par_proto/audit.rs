@@ -1,0 +1,8 @@
+pub fn fast_copy(dst: &mut Buf, src: &Buf) {
+    unsafe { copy_overlapping(dst, src) }
+}
+
+// SAFETY: both buffers are owned and sized by the caller above.
+pub fn fast_fill(dst: &mut Buf) {
+    unsafe { fill_bytes(dst) }
+}

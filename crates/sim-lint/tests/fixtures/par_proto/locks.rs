@@ -1,0 +1,37 @@
+fn run(pool: &Pool) {
+    std::thread::scope(|scope| {
+        scope.spawn(|| { step_a(pool); });
+        scope.spawn(|| { step_b(pool); });
+        scope.spawn(|| { merge(pool); });
+    });
+}
+
+fn step_a(pool: &Pool) {
+    let held = pool.m1.lock().ok();
+    touch_b(pool);
+}
+
+fn touch_b(pool: &Pool) {
+    let inner = pool.m2.lock().ok();
+    drive(inner);
+}
+
+fn step_b(pool: &Pool) {
+    let held = pool.m2.lock().ok();
+    touch_a(pool);
+}
+
+fn touch_a(pool: &Pool) {
+    let inner = pool.m1.lock().ok();
+    drive(inner);
+}
+
+fn merge(pool: &Pool) {
+    let first = pool.log.lock().ok();
+    let second = pool.out.lock().ok();
+    drive(first);
+}
+
+fn drive(x: Option<G>) {
+    let _ = x;
+}

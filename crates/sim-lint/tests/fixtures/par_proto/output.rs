@@ -1,0 +1,21 @@
+fn run_all() {
+    println!("coordinator: starting");
+    std::thread::scope(|scope| {
+        scope.spawn(|| { step_one(); });
+    });
+    report();
+}
+
+fn step_one() {
+    println!("worker: step done");
+    let mut sink = std::io::stdout();
+    emit(&mut sink);
+}
+
+fn report() {
+    eprintln!("coordinator: summary");
+}
+
+fn emit(sink: &mut W) {
+    let _ = sink;
+}

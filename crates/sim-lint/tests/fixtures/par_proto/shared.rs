@@ -1,0 +1,20 @@
+static mut GLOBAL_HITS: u64 = 0;
+
+fn tally() {
+    std::thread::scope(|scope| {
+        scope.spawn(|| { worker_tally(); });
+    });
+    reset();
+}
+
+fn worker_tally() {
+    GLOBAL_HITS += 1;
+    let scratch = std::cell::RefCell::new(Vec::new());
+    scratch.borrow_mut().push(1);
+}
+
+fn reset() {
+    GLOBAL_HITS = 0;
+    let warm = std::cell::Cell::new(0u32);
+    warm.set(1);
+}

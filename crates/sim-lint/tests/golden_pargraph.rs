@@ -1,0 +1,57 @@
+//! Golden snapshot of the workspace parallelism graph's DOT export.
+//!
+//! The committed golden (`tests/golden/par-graph.dot`) pins the reviewed
+//! parallel surface of the workspace: which functions own spawns, what
+//! the worker-reachable set is, and which lock-acquisition edges exist.
+//! The DOT carries no line numbers at all (node identity is the call
+//! graph's stable `file::owner::name` keys), so the comparison is raw
+//! byte-for-byte — CI `cmp`s the emitted artifact against this file with
+//! no stripping. Refresh deliberately with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sim-lint --test golden_pargraph
+//! ```
+
+use std::path::Path;
+
+#[test]
+fn pargraph_dot_matches_committed_golden() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let a = sim_lint::flow::analyze_workspace(root).expect("workspace walk succeeds");
+    let dot = a.par.to_dot(&a.callgraph);
+    assert!(
+        !dot.contains(", line="),
+        "par-graph nodes must be line-free so the golden never churns"
+    );
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/par-graph.dot");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &dot).expect("write refreshed golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        dot, golden,
+        "workspace parallelism graph changed; review the diff, then refresh with \
+         UPDATE_GOLDEN=1 cargo test -p sim-lint --test golden_pargraph"
+    );
+}
+
+#[test]
+fn pargraph_dot_is_stable_across_runs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let a1 = sim_lint::flow::analyze_workspace(root).expect("walk 1");
+    let a2 = sim_lint::flow::analyze_workspace(root).expect("walk 2");
+    assert_eq!(
+        a1.par.to_dot(&a1.callgraph),
+        a2.par.to_dot(&a2.callgraph),
+        "parallelism DOT must be byte-identical across runs"
+    );
+}

@@ -1,0 +1,89 @@
+//! Line-shift regression for the golden DOT exports.
+//!
+//! The goldens pin graph *shape*, not source layout: node identity is the
+//! stable `file::owner::name` key and line numbers ride along only as a
+//! strippable `line=N` attribute. This test re-analyzes the real
+//! workspace with every file shifted down by one comment line and proves
+//! all three exports — call graph and event graph after
+//! [`sim_lint::callgraph::strip_line_attrs`], parallelism graph raw —
+//! are byte-identical to the unshifted run. A doc comment added above
+//! any function can therefore never churn a committed golden.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use sim_lint::flow::{analyze_sources_with, Analysis, SourceText};
+
+fn workspace_sources(shift: bool) -> (Vec<SourceText>, BTreeSet<String>) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let files = sim_lint::config::collect_workspace(root).expect("walk succeeds");
+    let features = sim_lint::config::declared_features(root).expect("features readable");
+    let sources = files
+        .into_iter()
+        .map(|f| {
+            let name = f
+                .path
+                .strip_prefix(root)
+                .unwrap_or(&f.path)
+                .display()
+                .to_string();
+            let src = std::fs::read_to_string(&f.path).expect("source readable");
+            SourceText {
+                name,
+                src: if shift {
+                    format!("// line-shift regression probe\n{src}")
+                } else {
+                    src
+                },
+                policy: f.policy,
+            }
+        })
+        .collect();
+    (sources, features)
+}
+
+fn analyze(shift: bool) -> Analysis {
+    let (sources, features) = workspace_sources(shift);
+    analyze_sources_with(&sources, &features)
+}
+
+#[test]
+fn all_three_golden_exports_survive_a_pure_line_shift() {
+    let base = analyze(false);
+    let shifted = analyze(true);
+
+    let cg0 = base.callgraph.to_dot();
+    let cg1 = shifted.callgraph.to_dot();
+    assert_ne!(
+        cg0, cg1,
+        "raw call-graph DOT should carry the shifted lines"
+    );
+    assert_eq!(
+        sim_lint::callgraph::strip_line_attrs(&cg0),
+        sim_lint::callgraph::strip_line_attrs(&cg1),
+        "stripped call-graph golden must be invariant under a pure line shift"
+    );
+
+    let eg0 = base.graph.as_ref().expect("event graph").to_dot();
+    let eg1 = shifted.graph.as_ref().expect("event graph").to_dot();
+    assert_ne!(
+        eg0, eg1,
+        "raw event-graph DOT should carry the shifted lines"
+    );
+    assert_eq!(
+        sim_lint::callgraph::strip_line_attrs(&eg0),
+        sim_lint::callgraph::strip_line_attrs(&eg1),
+        "stripped event-graph golden must be invariant under a pure line shift"
+    );
+
+    // The parallelism DOT carries no line attributes at all, so it must
+    // be byte-identical without any stripping.
+    assert_eq!(
+        base.par.to_dot(&base.callgraph),
+        shifted.par.to_dot(&shifted.callgraph),
+        "par-graph DOT must be raw-byte invariant under a pure line shift"
+    );
+}

@@ -1,0 +1,257 @@
+//! Fixture corpus for the parallelism rules (`tests/fixtures/par_proto/`):
+//! each of shared-mut, output-order, lock-graph, atomic-ordering and
+//! unsafe-audit is pinned at its exact (rule, line), and sabotage/repair
+//! variants prove every finding appears and disappears with the code —
+//! the lock-order cycle included — not with the fixture layout.
+
+use std::path::Path;
+
+use sim_lint::diag::{Diagnostic, Rule, Severity};
+use sim_lint::flow::{analyze_sources, Analysis, SourceText};
+use sim_lint::rules::FilePolicy;
+
+fn read_fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+}
+
+fn sources(mounts: &[(&str, String)]) -> Vec<SourceText> {
+    mounts
+        .iter()
+        .map(|(virtual_path, src)| SourceText {
+            name: (*virtual_path).to_string(),
+            src: src.clone(),
+            policy: FilePolicy::ALL,
+        })
+        .collect()
+}
+
+fn analyze_fixture(virtual_path: &str, fixture: &str) -> Analysis {
+    analyze_sources(&sources(&[(virtual_path, read_fixture(fixture))]))
+}
+
+/// `(rule, line)` pairs of all findings at or above Warning severity.
+fn gating(diags: &[Diagnostic]) -> Vec<(Rule, u32)> {
+    diags
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn shared_mut_fixture_pins_static_and_cell_in_worker_code() {
+    let a = analyze_fixture("crates/core/src/shared.rs", "par_proto/shared.rs");
+    assert_eq!(
+        gating(&a.diags),
+        vec![
+            (Rule::SharedMut, 11), // static mut write in worker-reachable fn
+            (Rule::SharedMut, 12), // naked RefCell in worker-reachable fn
+        ],
+        "{:?}",
+        a.diags
+    );
+    let st = a.diags.iter().find(|d| d.line == 11).expect("static diag");
+    assert!(
+        st.message.contains("GLOBAL_HITS") && st.message.contains("tally {spawn}"),
+        "must name the static and carry the spawn chain: {}",
+        st.message
+    );
+    let cell = a.diags.iter().find(|d| d.line == 12).expect("cell diag");
+    assert!(
+        cell.message.contains("RefCell") && cell.message.contains("thread_local!"),
+        "{}",
+        cell.message
+    );
+    // The same constructs on the coordinator side (lines 17-18) are clean.
+}
+
+#[test]
+fn severing_the_spawn_clears_the_shared_mut_findings() {
+    let repaired = read_fixture("par_proto/shared.rs")
+        .replace("scope.spawn(|| { worker_tally(); });", "worker_tally();");
+    let a = analyze_sources(&sources(&[("crates/core/src/shared.rs", repaired)]));
+    assert_eq!(gating(&a.diags), vec![], "{:?}", a.diags);
+}
+
+#[test]
+fn output_order_fixture_flags_worker_writes_only() {
+    let a = analyze_fixture("crates/core/src/output.rs", "par_proto/output.rs");
+    assert_eq!(
+        gating(&a.diags),
+        vec![
+            (Rule::OutputOrder, 10), // worker println!
+            (Rule::OutputOrder, 11), // worker stdout() handle
+        ],
+        "{:?}",
+        a.diags
+    );
+    // Coordinator-side println (line 2) and eprintln (line 16) are clean.
+    let h = a.diags.iter().find(|d| d.line == 11).expect("handle diag");
+    assert!(h.message.contains("stdout"), "{}", h.message);
+}
+
+#[test]
+fn lock_fixture_pins_cycle_and_double_lock_at_exact_lines() {
+    let a = analyze_fixture("crates/core/src/locks.rs", "par_proto/locks.rs");
+    assert_eq!(
+        gating(&a.diags),
+        vec![
+            (Rule::LockGraph, 10), // m1 -> m2 -> m1 cycle, anchored at the witnessing guard
+            (Rule::LockGraph, 31), // second acquisition while `first` is live in merge
+        ],
+        "{:?}",
+        a.diags
+    );
+    let cycle = a.diags.iter().find(|d| d.line == 10).expect("cycle diag");
+    assert!(
+        cycle.message.contains("pool.m1 -> pool.m2 -> pool.m1"),
+        "cycle must carry the acquisition chain: {}",
+        cycle.message
+    );
+    let dl = a.diags.iter().find(|d| d.line == 31).expect("double-lock");
+    assert!(
+        dl.message.contains("pool.log") && dl.message.contains("`first`"),
+        "{}",
+        dl.message
+    );
+}
+
+#[test]
+fn breaking_the_lock_order_cycle_repairs_it() {
+    // touch_a takes a third lock instead of re-taking m1: the m2 -> m1
+    // back-edge disappears and only the same-fn double lock remains.
+    let repaired = read_fixture("par_proto/locks.rs").replace(
+        "let inner = pool.m1.lock().ok();",
+        "let inner = pool.m3.lock().ok();",
+    );
+    let a = analyze_sources(&sources(&[("crates/core/src/locks.rs", repaired)]));
+    assert_eq!(
+        gating(&a.diags),
+        vec![(Rule::LockGraph, 31)],
+        "{:?}",
+        a.diags
+    );
+}
+
+#[test]
+fn scoping_the_first_guard_repairs_the_double_lock() {
+    let repaired =
+        read_fixture("par_proto/locks.rs").replace("    let second = pool.out.lock().ok();\n", "");
+    let a = analyze_sources(&sources(&[("crates/core/src/locks.rs", repaired)]));
+    assert_eq!(
+        gating(&a.diags),
+        vec![(Rule::LockGraph, 10)],
+        "{:?}",
+        a.diags
+    );
+}
+
+#[test]
+fn atomic_ordering_fixture_flags_unsanctioned_relaxed_only() {
+    let a = analyze_fixture("crates/core/src/atomics.rs", "par_proto/atomics.rs");
+    assert_eq!(
+        gating(&a.diags),
+        vec![(Rule::AtomicOrdering, 2)], // SeqCst (3) clean; allowed Relaxed (4) suppressed
+        "{:?}",
+        a.diags
+    );
+    let d = &a.diags[0];
+    assert!(
+        d.message.contains("counter.fetch_add(Ordering::Relaxed)")
+            && d.message.contains("relaxed_counters"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn removing_the_allow_resurfaces_the_stat_read() {
+    let sabotaged = read_fixture("par_proto/atomics.rs").replace(
+        " // sim-lint: allow(atomic-ordering, reason = \"stat read; staleness acceptable\")",
+        "",
+    );
+    let a = analyze_sources(&sources(&[("crates/core/src/atomics.rs", sabotaged)]));
+    assert_eq!(
+        gating(&a.diags),
+        vec![(Rule::AtomicOrdering, 2), (Rule::AtomicOrdering, 4)],
+        "{:?}",
+        a.diags
+    );
+}
+
+#[test]
+fn unsafe_audit_fixture_flags_missing_forbid_and_bare_unsafe() {
+    let a = analyze_fixture("crates/par_proto/src/lib.rs", "par_proto/audit.rs");
+    assert_eq!(
+        gating(&a.diags),
+        vec![
+            (Rule::UnsafeAudit, 1), // crate root without #![forbid(unsafe_code)]
+            (Rule::UnsafeAudit, 2), // unsafe with no SAFETY comment above
+        ],
+        "{:?}",
+        a.diags
+    );
+    // fast_fill's unsafe (line 7) is covered by the SAFETY comment on 5.
+}
+
+#[test]
+fn forbidding_unsafe_and_stating_the_invariant_repairs_the_audit() {
+    let repaired = read_fixture("par_proto/audit.rs").replace(
+        "pub fn fast_copy(dst: &mut Buf, src: &Buf) {\n    unsafe",
+        "#![forbid(unsafe_code)]\n// SAFETY: caller owns both buffers.\npub fn fast_copy(dst: &mut Buf, src: &Buf) {\n    unsafe",
+    );
+    let a = analyze_sources(&sources(&[("crates/par_proto/src/lib.rs", repaired)]));
+    assert_eq!(gating(&a.diags), vec![], "{:?}", a.diags);
+}
+
+#[test]
+fn whole_corpus_analyzed_together_keeps_every_pin() {
+    let a = analyze_sources(&sources(&[
+        (
+            "crates/core/src/shared.rs",
+            read_fixture("par_proto/shared.rs"),
+        ),
+        (
+            "crates/core/src/output.rs",
+            read_fixture("par_proto/output.rs"),
+        ),
+        (
+            "crates/core/src/locks.rs",
+            read_fixture("par_proto/locks.rs"),
+        ),
+        (
+            "crates/core/src/atomics.rs",
+            read_fixture("par_proto/atomics.rs"),
+        ),
+        (
+            "crates/par_proto/src/lib.rs",
+            read_fixture("par_proto/audit.rs"),
+        ),
+    ]));
+    let mut hits = gating(&a.diags);
+    hits.sort();
+    assert_eq!(
+        hits,
+        vec![
+            (Rule::SharedMut, 11),
+            (Rule::SharedMut, 12),
+            (Rule::OutputOrder, 10),
+            (Rule::OutputOrder, 11),
+            (Rule::LockGraph, 10),
+            (Rule::LockGraph, 31),
+            (Rule::AtomicOrdering, 2),
+            (Rule::UnsafeAudit, 1),
+            (Rule::UnsafeAudit, 2),
+        ],
+        "{:?}",
+        a.diags
+    );
+    // The parallelism graph spans the corpus: three spawning files.
+    let (roots, workers, lock_edges) = a.par.summary();
+    assert_eq!(roots, 3, "tally, run_all and run each own a spawn");
+    assert!(workers >= 7, "worker set too small: {workers}");
+    assert_eq!(lock_edges, 3, "{:?}", a.par.lock_edges);
+}

@@ -86,6 +86,48 @@ fn workspace_event_protocol_graph_is_complete_and_single_dispatch() {
 }
 
 #[test]
+fn workspace_parallel_surface_is_the_sanctioned_one() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let a = sim_lint::flow::analyze_workspace(root).expect("workspace walk succeeds");
+    let g = &a.callgraph;
+
+    // The only real parallel root today is the suite runner's scoped
+    // spawn in core::experiments::exec. If a second spawn site appears,
+    // this pin (and the par-graph golden) must be updated deliberately.
+    let root_names: Vec<String> = a.par.roots.iter().map(|&r| g.fns[r].qual_name()).collect();
+    assert!(
+        root_names.contains(&"run_suite".to_string()),
+        "run_suite's scoped spawn disappeared from the parallel roots: {root_names:?}"
+    );
+
+    // The worker closure runs whole experiments, so the worker-reachable
+    // set must span a substantial share of the simulation call graph.
+    let (roots, workers, lock_edges) = a.par.summary();
+    assert_eq!(roots, root_names.len());
+    assert!(
+        workers > 100,
+        "worker-reachable set suspiciously small: {workers}"
+    );
+
+    // The determinism contract the rules enforce, restated as data: no
+    // shared-mut or output-order finding anywhere in worker-reachable
+    // code (exec.rs merges output on the coordinator, thread_local!
+    // covers per-worker state), and the workers' lock usage is
+    // statement-scoped — no guard held across another acquisition.
+    assert!(
+        !a.diags.iter().any(|d| matches!(
+            d.rule,
+            sim_lint::diag::Rule::SharedMut | sim_lint::diag::Rule::OutputOrder
+        )),
+        "worker-reachable shared state or output crept in"
+    );
+    assert_eq!(lock_edges, 0, "{:?}", a.par.lock_edges);
+}
+
+#[test]
 fn workspace_walk_covers_the_simulation_crates() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
